@@ -1,0 +1,233 @@
+//! Network Community Profiling (Fortunato & Hric, Physics Reports '16) —
+//! one of the random-walk applications the paper's introduction motivates:
+//! find a good local community around a seed vertex by sweeping the
+//! PPR-ordered vertices for the minimum-conductance prefix.
+
+use noswalker_core::apps_prelude::*;
+use noswalker_graph::Csr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Local community profiling: PPR-style walks from a seed, then a
+/// conductance sweep over the visit-ranked vertices.
+#[derive(Debug)]
+pub struct CommunityProfiling {
+    seed_vertex: VertexId,
+    walks: u64,
+    length: u32,
+    visits: Vec<AtomicU64>,
+}
+
+/// Walker state for [`CommunityProfiling`].
+#[derive(Debug, Clone)]
+pub struct CommunityWalker {
+    /// Current vertex.
+    pub at: VertexId,
+    /// Steps taken.
+    pub step: u32,
+}
+
+/// Result of the conductance sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Community {
+    /// Vertices of the best prefix, in visit order (seed first).
+    pub members: Vec<VertexId>,
+    /// Its conductance `cut(S) / min(vol(S), vol(V∖S))`; lower is better.
+    pub conductance: f64,
+}
+
+impl CommunityProfiling {
+    /// `walks` walks of `length` steps from `seed_vertex`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` is zero or the seed is out of range.
+    pub fn new(seed_vertex: VertexId, walks: u64, length: u32, num_vertices: usize) -> Self {
+        assert!(num_vertices > 0, "graph must have vertices");
+        assert!(
+            (seed_vertex as usize) < num_vertices,
+            "seed vertex out of range"
+        );
+        CommunityProfiling {
+            seed_vertex,
+            walks,
+            length,
+            visits: (0..num_vertices).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Visit count at `v` (the seed itself counts one visit per walk).
+    pub fn visits(&self, v: VertexId) -> u64 {
+        self.visits[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sweep: order vertices by visit count (seed forced first), compute
+    /// the conductance of every prefix up to `max_size`, return the best.
+    ///
+    /// Needs the graph to count cut edges; call it after the walk run.
+    /// Returns `None` if no vertex was visited.
+    pub fn sweep(&self, csr: &Csr, max_size: usize) -> Option<Community> {
+        let mut ranked: Vec<(u64, VertexId)> = self
+            .visits
+            .iter()
+            .enumerate()
+            .map(|(v, c)| (c.load(Ordering::Relaxed), v as VertexId))
+            .filter(|&(c, v)| c > 0 || v == self.seed_vertex)
+            .collect();
+        if ranked.is_empty() {
+            return None;
+        }
+        // Seed first, then by visits descending (ties by id for
+        // determinism).
+        ranked.sort_by_key(|&(c, v)| (v != self.seed_vertex, std::cmp::Reverse(c), v));
+
+        let total_vol: u64 = (0..csr.num_vertices()).map(|v| csr.degree(v as u32)).sum();
+        let mut in_set = vec![false; csr.num_vertices()];
+        let mut vol = 0u64;
+        let mut cut = 0i64;
+        let mut best: Option<Community> = None;
+        let mut members = Vec::new();
+        for &(_, v) in ranked.iter().take(max_size.max(1)) {
+            // Adding v: every edge v→u (and u→v for in-set u) flips between
+            // cut and internal. With CSR we only see out-edges; treat the
+            // graph as its symmetrized volume for the sweep (standard NCP
+            // practice on directed data).
+            for &u in csr.neighbors(v) {
+                if u == v {
+                    continue;
+                }
+                if in_set[u as usize] {
+                    cut -= 1;
+                } else {
+                    cut += 1;
+                }
+            }
+            // Edges from existing members into v stop being cut.
+            for &m in &members {
+                let m: VertexId = m;
+                if csr.has_edge(m, v) {
+                    cut -= 1;
+                }
+            }
+            in_set[v as usize] = true;
+            vol += csr.degree(v);
+            members.push(v);
+            if vol == 0 || vol >= total_vol {
+                continue;
+            }
+            let denom = vol.min(total_vol - vol) as f64;
+            let cond = (cut.max(0) as f64) / denom;
+            if best.as_ref().is_none_or(|b| cond < b.conductance) {
+                best = Some(Community {
+                    members: members.clone(),
+                    conductance: cond,
+                });
+            }
+        }
+        best
+    }
+}
+
+impl Walk for CommunityProfiling {
+    type Walker = CommunityWalker;
+
+    fn total_walkers(&self) -> u64 {
+        self.walks
+    }
+
+    fn generate(&self, _n: u64, _rng: &mut WalkRng) -> CommunityWalker {
+        self.visits[self.seed_vertex as usize].fetch_add(1, Ordering::Relaxed);
+        CommunityWalker {
+            at: self.seed_vertex,
+            step: 0,
+        }
+    }
+
+    fn location(&self, w: &CommunityWalker) -> VertexId {
+        w.at
+    }
+
+    fn is_active(&self, w: &CommunityWalker) -> bool {
+        w.step < self.length
+    }
+
+    fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        uniform_sample(v, rng)
+    }
+
+    fn action(&self, w: &mut CommunityWalker, next: VertexId, _rng: &mut WalkRng) -> bool {
+        w.at = next;
+        w.step += 1;
+        self.visits[next as usize].fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noswalker_graph::CsrBuilder;
+    use rand::SeedableRng;
+
+    /// Two dense 4-cliques joined by a single bridge edge.
+    fn two_cliques() -> Csr {
+        let mut b = CsrBuilder::new(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        b.push_edge(base + i, base + j);
+                    }
+                }
+            }
+        }
+        b.push_edge(3, 4);
+        b.push_edge(4, 3);
+        b.build()
+    }
+
+    #[test]
+    fn sweep_finds_the_seeds_clique() {
+        let g = two_cliques();
+        let app = CommunityProfiling::new(0, 400, 4, 8);
+        // Drive the walks directly (engine-level runs are covered by the
+        // cross-engine tests; this validates the sweep logic).
+        let mut rng = WalkRng::seed_from_u64(5);
+        for n in 0..400 {
+            let mut w = app.generate(n, &mut rng);
+            while app.is_active(&w) {
+                let view = noswalker_graph::layout::VertexEdges::from_csr(&g, w.at);
+                if view.is_empty() {
+                    break;
+                }
+                let dst = app.sample(&view, &mut rng);
+                app.action(&mut w, dst, &mut rng);
+            }
+        }
+        let community = app.sweep(&g, 8).expect("some community found");
+        let mut members = community.members.clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2, 3], "should recover the clique");
+        // Clique conductance: 1 cut edge (3→4 out) + 1 (4→3 in, counted
+        // from the out-edges of 4 which is outside)… with out-edge
+        // counting: cut = 1 (3→4). Volume = 4*3 + 1 = 13.
+        assert!(community.conductance < 0.2, "{}", community.conductance);
+    }
+
+    #[test]
+    fn sweep_without_visits_returns_seed_only_or_none() {
+        let g = two_cliques();
+        let app = CommunityProfiling::new(2, 0, 4, 8);
+        // No walks at all: seed has zero recorded visits.
+        let c = app.sweep(&g, 8);
+        // The seed is force-included; a 1-vertex prefix still has a
+        // defined conductance.
+        let c = c.expect("seed prefix");
+        assert_eq!(c.members, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed vertex out of range")]
+    fn rejects_bad_seed() {
+        let _ = CommunityProfiling::new(99, 1, 1, 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! DeepWalk-style sequence extraction (Perozzi et al., KDD '14): the
+//! upstream task the paper's introduction motivates — extract a corpus of
+//! random walk sequences to feed a skip-gram embedding model.
+
+use noswalker_core::apps_prelude::*;
+use parking_lot::Mutex;
+
+/// DeepWalk corpus extraction: `walks_per_vertex` walks of `length` steps
+/// from every vertex, with the full sequences collected.
+#[derive(Debug)]
+pub struct DeepWalk {
+    num_vertices: u32,
+    walks_per_vertex: u32,
+    length: u32,
+    /// Collected sequences (capped by `max_collected` to bound host
+    /// memory; the count of *generated* sequences is always exact).
+    corpus: Mutex<Vec<Vec<VertexId>>>,
+    max_collected: usize,
+}
+
+/// Walker state for [`DeepWalk`]: carries its sequence.
+#[derive(Debug, Clone)]
+pub struct DeepWalkWalker {
+    /// The sequence so far, starting at the source vertex.
+    pub path: Vec<VertexId>,
+}
+
+impl DeepWalk {
+    /// Creates the extraction task; at most `max_collected` sequences are
+    /// retained in memory (the rest are generated and dropped, as a
+    /// downstream trainer consuming a stream would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` is zero.
+    pub fn new(
+        num_vertices: usize,
+        walks_per_vertex: u32,
+        length: u32,
+        max_collected: usize,
+    ) -> Self {
+        assert!(num_vertices > 0, "graph must have vertices");
+        DeepWalk {
+            num_vertices: num_vertices as u32,
+            walks_per_vertex,
+            length,
+            corpus: Mutex::new(Vec::new()),
+            max_collected,
+        }
+    }
+
+    /// Takes the collected sequences out.
+    pub fn take_corpus(&self) -> Vec<Vec<VertexId>> {
+        std::mem::take(&mut self.corpus.lock())
+    }
+
+    /// Number of sequences currently retained.
+    pub fn collected(&self) -> usize {
+        self.corpus.lock().len()
+    }
+}
+
+impl Walk for DeepWalk {
+    type Walker = DeepWalkWalker;
+
+    fn total_walkers(&self) -> u64 {
+        self.num_vertices as u64 * self.walks_per_vertex as u64
+    }
+
+    fn generate(&self, n: u64, _rng: &mut WalkRng) -> DeepWalkWalker {
+        let start = (n / self.walks_per_vertex as u64) as VertexId;
+        let mut path = Vec::with_capacity(self.length as usize + 1);
+        path.push(start);
+        DeepWalkWalker { path }
+    }
+
+    fn location(&self, w: &DeepWalkWalker) -> VertexId {
+        *w.path.last().expect("non-empty path")
+    }
+
+    fn is_active(&self, w: &DeepWalkWalker) -> bool {
+        (w.path.len() as u32) < self.length + 1
+    }
+
+    fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        uniform_sample(v, rng)
+    }
+
+    fn action(&self, w: &mut DeepWalkWalker, next: VertexId, _rng: &mut WalkRng) -> bool {
+        w.path.push(next);
+        true
+    }
+
+    fn on_terminate(&self, w: &DeepWalkWalker) {
+        let mut corpus = self.corpus.lock();
+        if corpus.len() < self.max_collected {
+            corpus.push(w.path.clone());
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<DeepWalkWalker>() + (self.length as usize + 1) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walks_per_vertex_schedule() {
+        let app = DeepWalk::new(4, 3, 5, 100);
+        let mut rng = WalkRng::seed_from_u64(0);
+        assert_eq!(app.total_walkers(), 12);
+        assert_eq!(app.location(&app.generate(0, &mut rng)), 0);
+        assert_eq!(app.location(&app.generate(2, &mut rng)), 0);
+        assert_eq!(app.location(&app.generate(3, &mut rng)), 1);
+        assert_eq!(app.location(&app.generate(11, &mut rng)), 3);
+    }
+
+    #[test]
+    fn corpus_collection_is_capped() {
+        let app = DeepWalk::new(4, 1, 2, 2);
+        let mut rng = WalkRng::seed_from_u64(0);
+        for n in 0..4 {
+            let mut w = app.generate(n, &mut rng);
+            app.action(&mut w, 1, &mut rng);
+            app.action(&mut w, 2, &mut rng);
+            app.on_terminate(&w);
+        }
+        assert_eq!(app.collected(), 2);
+        let corpus = app.take_corpus();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus[0].len(), 3);
+        assert_eq!(app.collected(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Graphlet Concentration (paper §4.2: "we use the graphlet triangle as a
+//! study case. We randomly start |V|/100 walkers of length 3").
+//!
+//! A length-3 uniform walk that returns to its start vertex witnesses a
+//! closed triangle through the start; the fraction of returning walks
+//! estimates the concentration of the triangle graphlet relative to
+//! length-3 paths.
+
+use noswalker_core::apps_prelude::*;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Triangle graphlet concentration estimator.
+#[derive(Debug)]
+pub struct GraphletConcentration {
+    walkers: u64,
+    num_vertices: u32,
+    completed: AtomicU64,
+    closed: AtomicU64,
+}
+
+/// Walker state for [`GraphletConcentration`].
+#[derive(Debug, Clone)]
+pub struct GraphletWalker {
+    /// Start vertex of the walk.
+    pub start: VertexId,
+    /// Current vertex.
+    pub at: VertexId,
+    /// Steps taken (walk length is fixed at 3).
+    pub step: u32,
+}
+
+impl GraphletConcentration {
+    /// The paper's setting: `num_vertices / 100` walkers (at least 1).
+    pub fn paper_scale(num_vertices: usize) -> Self {
+        Self::new(((num_vertices as u64) / 100).max(1), num_vertices)
+    }
+
+    /// `walkers` length-3 walks from uniformly random starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` is zero.
+    pub fn new(walkers: u64, num_vertices: usize) -> Self {
+        assert!(num_vertices > 0, "graph must have vertices");
+        GraphletConcentration {
+            walkers,
+            num_vertices: num_vertices as u32,
+            completed: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+        }
+    }
+
+    /// Walks that completed all 3 steps.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Completed walks that returned to their start (closed a triangle).
+    pub fn closed(&self) -> u64 {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    /// The triangle concentration estimate (`closed / completed`).
+    pub fn concentration(&self) -> f64 {
+        let done = self.completed();
+        if done == 0 {
+            0.0
+        } else {
+            self.closed() as f64 / done as f64
+        }
+    }
+}
+
+impl Walk for GraphletConcentration {
+    type Walker = GraphletWalker;
+
+    fn total_walkers(&self) -> u64 {
+        self.walkers
+    }
+
+    fn generate(&self, _n: u64, rng: &mut WalkRng) -> GraphletWalker {
+        let start = rng.gen_range(0..self.num_vertices);
+        GraphletWalker {
+            start,
+            at: start,
+            step: 0,
+        }
+    }
+
+    fn location(&self, w: &GraphletWalker) -> VertexId {
+        w.at
+    }
+
+    fn is_active(&self, w: &GraphletWalker) -> bool {
+        w.step < 3
+    }
+
+    fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        uniform_sample(v, rng)
+    }
+
+    fn action(&self, w: &mut GraphletWalker, next: VertexId, _rng: &mut WalkRng) -> bool {
+        w.at = next;
+        w.step += 1;
+        if w.step == 3 {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            if w.at == w.start {
+                self.closed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_closed_walks() {
+        let app = GraphletConcentration::new(2, 8);
+        let mut rng = WalkRng::seed_from_u64(3);
+        let mut w = app.generate(0, &mut rng);
+        let s = w.start;
+        app.action(&mut w, (s + 1) % 8, &mut rng);
+        app.action(&mut w, (s + 2) % 8, &mut rng);
+        app.action(&mut w, s, &mut rng); // returns: triangle
+        assert_eq!(app.completed(), 1);
+        assert_eq!(app.closed(), 1);
+        let mut w2 = app.generate(1, &mut rng);
+        let s2 = w2.start;
+        app.action(&mut w2, (s2 + 1) % 8, &mut rng);
+        app.action(&mut w2, (s2 + 2) % 8, &mut rng);
+        app.action(&mut w2, (s2 + 3) % 8, &mut rng); // open
+        assert_eq!(app.completed(), 2);
+        assert!((app.concentration() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_is_v_over_100() {
+        let app = GraphletConcentration::paper_scale(10_000);
+        assert_eq!(app.total_walkers(), 100);
+        let tiny = GraphletConcentration::paper_scale(5);
+        assert_eq!(tiny.total_walkers(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Node2Vec second-order random walk (Grover & Leskovec, KDD '16),
+//! implemented with the paper's rejection-sampling extension
+//! (Appendix A, Algorithm 4).
+//!
+//! The transition weight for a walker that came from `u`, stands on `v`,
+//! and considers neighbor `x` is
+//!
+//! ```text
+//!           ⎧ 1/p   if d(u, x) = 0   (going back)
+//!   α(v,x) = ⎨ 1     if d(u, x) = 1   (staying close)
+//!           ⎩ 1/q   if d(u, x) = 2   (exploring)
+//! ```
+//!
+//! Rejection sampling decouples *candidate generation* (a uniform edge
+//! sample at `v` plus a uniform coordinate `h ∈ [0, max(1/p, 1, 1/q)]`)
+//! from the *accept test* (which needs `x`'s own edge list to evaluate
+//! `d(u, x)`), so candidates can come from pre-sampled buffers and the
+//! test is deferred until `x`'s block is resident.
+
+use noswalker_core::apps_prelude::*;
+use parking_lot::Mutex;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The Node2Vec walk generation task: `walks_per_vertex` walks of `length`
+/// steps from every vertex of an **undirected** graph.
+#[derive(Debug)]
+pub struct Node2Vec {
+    num_vertices: u32,
+    walks_per_vertex: u32,
+    length: u32,
+    /// Return parameter `p`.
+    p: f32,
+    /// In-out parameter `q`.
+    q: f32,
+    accepts: AtomicU64,
+    rejects: AtomicU64,
+    corpus: Mutex<Vec<Vec<VertexId>>>,
+    max_collected: usize,
+}
+
+/// Walker state for [`Node2Vec`] (Algorithm 4).
+#[derive(Debug, Clone)]
+pub struct Node2VecWalker {
+    /// The previous vertex (`None` before the first hop, making it
+    /// uniform).
+    pub prev: Option<VertexId>,
+    /// Current vertex.
+    pub at: VertexId,
+    /// Pending candidate destination.
+    pub candidate: Option<VertexId>,
+    /// The vertical rejection coordinate drawn with the candidate.
+    pub h: f32,
+    /// Steps committed.
+    pub step: u32,
+    /// The sequence so far (only grown when collection is enabled).
+    pub path: Vec<VertexId>,
+}
+
+impl Node2Vec {
+    /// Creates the task with the paper's §4.5 defaults in mind
+    /// (10 walks/vertex, p = 2, q = 0.5, length 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` is zero or `p`/`q` are not positive.
+    pub fn new(num_vertices: usize, walks_per_vertex: u32, length: u32, p: f32, q: f32) -> Self {
+        assert!(num_vertices > 0, "graph must have vertices");
+        assert!(p > 0.0 && q > 0.0, "p and q must be positive");
+        Node2Vec {
+            num_vertices: num_vertices as u32,
+            walks_per_vertex,
+            length,
+            p,
+            q,
+            accepts: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+            corpus: Mutex::new(Vec::new()),
+            max_collected: 0,
+        }
+    }
+
+    /// Enables sequence collection (up to `max` sequences).
+    pub fn collecting(mut self, max: usize) -> Self {
+        self.max_collected = max;
+        self
+    }
+
+    /// Accepted candidates so far.
+    pub fn accepts(&self) -> u64 {
+        self.accepts.load(Ordering::Relaxed)
+    }
+
+    /// Rejected candidates so far.
+    pub fn rejects(&self) -> u64 {
+        self.rejects.load(Ordering::Relaxed)
+    }
+
+    /// Mean rejection-sampling attempts per committed step (the paper's
+    /// `E`, Equation 3 — small even on huge graphs).
+    pub fn attempts_per_step(&self) -> f64 {
+        let a = self.accepts() as f64;
+        if a == 0.0 {
+            0.0
+        } else {
+            (a + self.rejects() as f64) / a
+        }
+    }
+
+    /// Takes the collected sequences out.
+    pub fn take_corpus(&self) -> Vec<Vec<VertexId>> {
+        std::mem::take(&mut self.corpus.lock())
+    }
+
+    fn h_max(&self) -> f32 {
+        (1.0 / self.p).max(1.0).max(1.0 / self.q)
+    }
+}
+
+impl Walk for Node2Vec {
+    type Walker = Node2VecWalker;
+
+    fn total_walkers(&self) -> u64 {
+        self.num_vertices as u64 * self.walks_per_vertex as u64
+    }
+
+    fn generate(&self, n: u64, _rng: &mut WalkRng) -> Node2VecWalker {
+        let start = (n / self.walks_per_vertex as u64) as VertexId;
+        let mut path = Vec::new();
+        if self.max_collected > 0 {
+            path.reserve(self.length as usize + 1);
+            path.push(start);
+        }
+        Node2VecWalker {
+            prev: None,
+            at: start,
+            candidate: None,
+            h: 0.0,
+            step: 0,
+            path,
+        }
+    }
+
+    fn location(&self, w: &Node2VecWalker) -> VertexId {
+        w.at
+    }
+
+    fn is_active(&self, w: &Node2VecWalker) -> bool {
+        w.step < self.length
+    }
+
+    fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        // Candidates are uniform: the rejection test shapes the final
+        // distribution (Appendix A.2 step 1).
+        uniform_sample(v, rng)
+    }
+
+    fn action(&self, w: &mut Node2VecWalker, next: VertexId, rng: &mut WalkRng) -> bool {
+        if w.candidate.is_some() {
+            return false; // already waiting for a rejection test
+        }
+        w.candidate = Some(next);
+        w.h = rng.gen_range(0.0..self.h_max());
+        true
+    }
+
+    fn on_terminate(&self, w: &Node2VecWalker) {
+        if self.max_collected > 0 {
+            let mut corpus = self.corpus.lock();
+            if corpus.len() < self.max_collected {
+                corpus.push(w.path.clone());
+            }
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Node2VecWalker>()
+            + if self.max_collected > 0 {
+                (self.length as usize + 1) * 4
+            } else {
+                0
+            }
+    }
+}
+
+impl SecondOrderWalk for Node2Vec {
+    fn candidate(&self, w: &Node2VecWalker) -> Option<VertexId> {
+        w.candidate
+    }
+
+    fn rejection(&self, w: &mut Node2VecWalker, cedges: &VertexEdges<'_>, _rng: &mut WalkRng) {
+        let c = w.candidate.take().expect("rejection needs a candidate");
+        let weight = match w.prev {
+            None => 1.0, // first hop: uniform
+            Some(u) if u == c => 1.0 / self.p,
+            // Undirected graph: d(u, c) = 1 ⟺ u ∈ edges(c).
+            Some(u) if cedges.contains_target(u) => 1.0,
+            Some(_) => 1.0 / self.q,
+        };
+        if w.h <= weight {
+            self.accepts.fetch_add(1, Ordering::Relaxed);
+            w.prev = Some(w.at);
+            w.at = c;
+            w.step += 1;
+            if self.max_collected > 0 {
+                w.path.push(c);
+            }
+        } else {
+            self.rejects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noswalker_graph::CsrBuilder;
+    use rand::SeedableRng;
+
+    /// Triangle 0-1-2 plus pendant 3 attached to 1, undirected.
+    fn square_graph() -> noswalker_graph::Csr {
+        CsrBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .edge(1, 3)
+            .build()
+            .to_undirected()
+    }
+
+    #[test]
+    fn candidate_then_rejection_commits_moves() {
+        let g = square_graph();
+        let app = Node2Vec::new(4, 1, 2, 2.0, 0.5);
+        let mut rng = WalkRng::seed_from_u64(1);
+        let mut w = app.generate(0, &mut rng); // starts at 0
+        assert!(app.action(&mut w, 1, &mut rng));
+        assert_eq!(app.candidate(&w), Some(1));
+        // Second action while a candidate is pending is refused.
+        assert!(!app.action(&mut w, 2, &mut rng));
+        let cedges = VertexEdges::from_csr(&g, 1);
+        app.rejection(&mut w, &cedges, &mut rng);
+        // First hop weight is 1.0 and h ∈ [0, 2): may reject; either way the
+        // candidate is cleared.
+        assert_eq!(app.candidate(&w), None);
+        assert_eq!(app.accepts() + app.rejects(), 1);
+    }
+
+    #[test]
+    fn distances_pick_correct_weights() {
+        let g = square_graph();
+        let app = Node2Vec::new(4, 1, 10, 2.0, 0.5);
+        let mut rng = WalkRng::seed_from_u64(2);
+        // Walker came from 0, stands on 1.
+        let mut w = app.generate(0, &mut rng);
+        w.prev = Some(0);
+        w.at = 1;
+        // Candidate 0 = going back: weight 1/p = 0.5.
+        w.candidate = Some(0);
+        w.h = 0.6; // > 0.5 → must reject
+        app.rejection(&mut w, &VertexEdges::from_csr(&g, 0), &mut rng);
+        assert_eq!(w.at, 1);
+        // Candidate 2: 0 ∈ edges(2) → d = 1 → weight 1 → h=0.6 accepts.
+        w.candidate = Some(2);
+        w.h = 0.6;
+        app.rejection(&mut w, &VertexEdges::from_csr(&g, 2), &mut rng);
+        assert_eq!(w.at, 2);
+        assert_eq!(w.prev, Some(1));
+        // Back on 1 via a fresh walker: candidate 3 from (prev=0, at=1):
+        // 0 ∉ edges(3) → d = 2 → weight 1/q = 2 → h=1.9 accepts.
+        let mut w2 = app.generate(1, &mut rng);
+        w2.prev = Some(0);
+        w2.at = 1;
+        w2.candidate = Some(3);
+        w2.h = 1.9;
+        app.rejection(&mut w2, &VertexEdges::from_csr(&g, 3), &mut rng);
+        assert_eq!(w2.at, 3);
+    }
+
+    #[test]
+    fn attempts_per_step_counts_rejections() {
+        let app = Node2Vec::new(4, 1, 10, 2.0, 0.5);
+        app.accepts.store(10, Ordering::Relaxed);
+        app.rejects.store(5, Ordering::Relaxed);
+        assert!((app.attempts_per_step() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collection_records_paths() {
+        let g = square_graph();
+        let app = Node2Vec::new(4, 1, 1, 2.0, 0.5).collecting(10);
+        let mut rng = WalkRng::seed_from_u64(3);
+        let mut w = app.generate(0, &mut rng);
+        w.candidate = Some(1);
+        w.h = 0.0;
+        app.rejection(&mut w, &VertexEdges::from_csr(&g, 1), &mut rng);
+        app.on_terminate(&w);
+        let corpus = app.take_corpus();
+        assert_eq!(corpus, vec![vec![0, 1]]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Random Walk with Restart (Tong et al., ICDM '06) — the teleporting
+//! formulation of personalized PageRank the paper cites among the core
+//! random walk applications [62, 63].
+//!
+//! Each step, the walker restarts at its source with probability `c`;
+//! otherwise it takes a uniform step. Walks are truncated at a maximum
+//! length (the geometric tail beyond it is negligible for typical `c`).
+
+use noswalker_core::apps_prelude::*;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monte-Carlo RWR from a set of query sources.
+#[derive(Debug)]
+pub struct RandomWalkWithRestart {
+    sources: Vec<VertexId>,
+    walks_per_source: u64,
+    restart_prob: f32,
+    max_length: u32,
+    visits: Vec<AtomicU64>,
+    restarts: AtomicU64,
+}
+
+/// Walker state for [`RandomWalkWithRestart`].
+#[derive(Debug, Clone)]
+pub struct RwrWalker {
+    /// The walker's personal source (restart target).
+    pub source: VertexId,
+    /// Current vertex.
+    pub at: VertexId,
+    /// Steps taken (restarts count as steps).
+    pub step: u32,
+}
+
+impl RandomWalkWithRestart {
+    /// Creates the workload. Typical `restart_prob` is 0.15.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty, `num_vertices` is zero, or
+    /// `restart_prob` is outside `[0, 1)`.
+    pub fn new(
+        sources: Vec<VertexId>,
+        walks_per_source: u64,
+        restart_prob: f32,
+        max_length: u32,
+        num_vertices: usize,
+    ) -> Self {
+        assert!(!sources.is_empty(), "need at least one query source");
+        assert!(num_vertices > 0, "graph must have vertices");
+        assert!(
+            (0.0..1.0).contains(&restart_prob),
+            "restart probability must be in [0, 1)"
+        );
+        RandomWalkWithRestart {
+            sources,
+            walks_per_source,
+            restart_prob,
+            max_length,
+            visits: (0..num_vertices).map(|_| AtomicU64::new(0)).collect(),
+            restarts: AtomicU64::new(0),
+        }
+    }
+
+    /// Visit count of `v`.
+    pub fn visits(&self, v: VertexId) -> u64 {
+        self.visits[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// Restarts taken across all walks.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Normalized stationary estimate (the RWR proximity vector).
+    pub fn estimate(&self) -> Vec<f64> {
+        let total: u64 = self.visits.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return vec![0.0; self.visits.len()];
+        }
+        self.visits
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as f64 / total as f64)
+            .collect()
+    }
+}
+
+impl Walk for RandomWalkWithRestart {
+    type Walker = RwrWalker;
+
+    fn total_walkers(&self) -> u64 {
+        self.sources.len() as u64 * self.walks_per_source
+    }
+
+    fn generate(&self, n: u64, _rng: &mut WalkRng) -> RwrWalker {
+        let s = self.sources[(n / self.walks_per_source) as usize];
+        RwrWalker {
+            source: s,
+            at: s,
+            step: 0,
+        }
+    }
+
+    fn location(&self, w: &RwrWalker) -> VertexId {
+        w.at
+    }
+
+    fn is_active(&self, w: &RwrWalker) -> bool {
+        w.step < self.max_length
+    }
+
+    fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        uniform_sample(v, rng)
+    }
+
+    fn action(&self, w: &mut RwrWalker, next: VertexId, rng: &mut WalkRng) -> bool {
+        // Teleport with probability c; the pre-sampled destination is
+        // simply not consumed in that case (we still count the hop).
+        if rng.gen::<f32>() < self.restart_prob {
+            w.at = w.source;
+            self.restarts.fetch_add(1, Ordering::Relaxed);
+            w.step += 1;
+            self.visits[w.at as usize].fetch_add(1, Ordering::Relaxed);
+            return false; // sample not consumed
+        }
+        w.at = next;
+        w.step += 1;
+        self.visits[next as usize].fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn restarts_return_to_source() {
+        let app = RandomWalkWithRestart::new(vec![3], 1, 0.999, 10, 8);
+        let mut rng = WalkRng::seed_from_u64(1);
+        let mut w = app.generate(0, &mut rng);
+        let consumed = app.action(&mut w, 5, &mut rng);
+        assert!(!consumed, "with c≈1 the hop must be a restart");
+        assert_eq!(w.at, 3);
+        assert_eq!(app.restarts(), 1);
+    }
+
+    #[test]
+    fn zero_restart_behaves_like_plain_walk() {
+        let app = RandomWalkWithRestart::new(vec![0], 1, 0.0, 10, 8);
+        let mut rng = WalkRng::seed_from_u64(2);
+        let mut w = app.generate(0, &mut rng);
+        assert!(app.action(&mut w, 5, &mut rng));
+        assert_eq!(w.at, 5);
+        assert_eq!(app.restarts(), 0);
+    }
+
+    #[test]
+    fn restart_rate_matches_probability() {
+        let app = RandomWalkWithRestart::new(vec![0], 1, 0.25, 10, 8);
+        let mut rng = WalkRng::seed_from_u64(3);
+        let mut w = app.generate(0, &mut rng);
+        let mut hops = 0u64;
+        while app.is_active(&w) {
+            app.action(&mut w, 1, &mut rng);
+            hops += 1;
+        }
+        assert_eq!(hops, 10);
+        // Run many walkers for the statistic.
+        let app = RandomWalkWithRestart::new(vec![0], 2000, 0.25, 10, 8);
+        let mut rng = WalkRng::seed_from_u64(4);
+        for n in 0..2000 {
+            let mut w = app.generate(n, &mut rng);
+            while app.is_active(&w) {
+                app.action(&mut w, 1, &mut rng);
+            }
+        }
+        let rate = app.restarts() as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "restart rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "restart probability")]
+    fn rejects_bad_probability() {
+        let _ = RandomWalkWithRestart::new(vec![0], 1, 1.5, 10, 8);
+    }
+}

@@ -1,0 +1,177 @@
+//! SimRank by random walk meeting time (paper §4.2: "for each of the two
+//! vertices in a queried pair, we start 2000 random walks with length 11
+//! to compute the expected meeting time").
+
+use noswalker_core::apps_prelude::*;
+use parking_lot::Mutex;
+
+/// SimRank similarity estimation for one queried vertex pair `(a, b)`.
+///
+/// Walk `2k` walkers (`k` from each endpoint); walker `2i` pairs with
+/// walker `2i + 1`. After both record their paths, the *meeting time* of
+/// pair `i` is the first step at which both stood on the same vertex.
+#[derive(Debug)]
+pub struct SimRank {
+    a: VertexId,
+    b: VertexId,
+    pairs: u64,
+    length: u32,
+    paths: Mutex<Vec<Option<Vec<VertexId>>>>,
+}
+
+/// Walker state for [`SimRank`]: the full path is carried so the meeting
+/// time can be computed pairwise at the end.
+#[derive(Debug, Clone)]
+pub struct SimRankWalker {
+    /// Walker index (`2i` walks from `a`, `2i+1` from `b`).
+    pub id: u64,
+    /// Visited vertices, starting with the source.
+    pub path: Vec<VertexId>,
+}
+
+impl SimRank {
+    /// Creates the query: `pairs` walker pairs of `length` steps from the
+    /// endpoints `a` and `b`.
+    pub fn new(a: VertexId, b: VertexId, pairs: u64, length: u32) -> Self {
+        SimRank {
+            a,
+            b,
+            pairs,
+            length,
+            paths: Mutex::new(vec![None; (pairs * 2) as usize]),
+        }
+    }
+
+    /// Meeting times of all pairs where both walkers met within the walk
+    /// length (`None` entries are pairs that never met).
+    pub fn meeting_times(&self) -> Vec<Option<u32>> {
+        let paths = self.paths.lock();
+        (0..self.pairs as usize)
+            .map(|i| {
+                let (pa, pb) = (&paths[2 * i], &paths[2 * i + 1]);
+                match (pa, pb) {
+                    (Some(pa), Some(pb)) => pa
+                        .iter()
+                        .zip(pb.iter())
+                        .position(|(x, y)| x == y)
+                        .map(|p| p as u32),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// The SimRank-style similarity estimate: `E[c^T]` over meeting times
+    /// `T` (pairs that never meet contribute 0), with decay `c`.
+    pub fn similarity(&self, c: f64) -> f64 {
+        let times = self.meeting_times();
+        if times.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = times
+            .iter()
+            .map(|t| t.map_or(0.0, |t| c.powi(t as i32)))
+            .sum();
+        sum / times.len() as f64
+    }
+}
+
+impl Walk for SimRank {
+    type Walker = SimRankWalker;
+
+    fn total_walkers(&self) -> u64 {
+        self.pairs * 2
+    }
+
+    fn generate(&self, n: u64, _rng: &mut WalkRng) -> SimRankWalker {
+        let start = if n.is_multiple_of(2) { self.a } else { self.b };
+        let mut path = Vec::with_capacity(self.length as usize + 1);
+        path.push(start);
+        SimRankWalker { id: n, path }
+    }
+
+    fn location(&self, w: &SimRankWalker) -> VertexId {
+        *w.path.last().expect("path starts non-empty")
+    }
+
+    fn is_active(&self, w: &SimRankWalker) -> bool {
+        (w.path.len() as u32) < self.length + 1
+    }
+
+    fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        uniform_sample(v, rng)
+    }
+
+    fn action(&self, w: &mut SimRankWalker, next: VertexId, _rng: &mut WalkRng) -> bool {
+        w.path.push(next);
+        true
+    }
+
+    fn on_terminate(&self, w: &SimRankWalker) {
+        self.paths.lock()[w.id as usize] = Some(w.path.clone());
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<SimRankWalker>() + (self.length as usize + 1) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairing_and_starts() {
+        let app = SimRank::new(1, 2, 3, 11);
+        let mut rng = WalkRng::seed_from_u64(0);
+        assert_eq!(app.total_walkers(), 6);
+        assert_eq!(app.location(&app.generate(0, &mut rng)), 1);
+        assert_eq!(app.location(&app.generate(1, &mut rng)), 2);
+        assert_eq!(app.location(&app.generate(4, &mut rng)), 1);
+    }
+
+    #[test]
+    fn meeting_time_is_first_common_position() {
+        let app = SimRank::new(0, 1, 1, 3);
+        let mut rng = WalkRng::seed_from_u64(0);
+        let mut wa = app.generate(0, &mut rng);
+        let mut wb = app.generate(1, &mut rng);
+        // a: 0 -> 5 -> 7 -> 9 ; b: 1 -> 6 -> 7 -> 9 → meet at step 2.
+        for v in [5u32, 7, 9] {
+            app.action(&mut wa, v, &mut rng);
+        }
+        for v in [6u32, 7, 9] {
+            app.action(&mut wb, v, &mut rng);
+        }
+        app.on_terminate(&wa);
+        app.on_terminate(&wb);
+        assert_eq!(app.meeting_times(), vec![Some(2)]);
+        let sim = app.similarity(0.6);
+        assert!((sim - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_meeting_pairs_count_zero() {
+        let app = SimRank::new(0, 1, 1, 2);
+        let mut rng = WalkRng::seed_from_u64(0);
+        let mut wa = app.generate(0, &mut rng);
+        let mut wb = app.generate(1, &mut rng);
+        for v in [2u32, 3] {
+            app.action(&mut wa, v, &mut rng);
+        }
+        for v in [4u32, 5] {
+            app.action(&mut wb, v, &mut rng);
+        }
+        app.on_terminate(&wa);
+        app.on_terminate(&wb);
+        assert_eq!(app.meeting_times(), vec![None]);
+        assert_eq!(app.similarity(0.6), 0.0);
+    }
+
+    #[test]
+    fn state_bytes_accounts_path() {
+        let app = SimRank::new(0, 1, 1, 11);
+        assert!(app.state_bytes() >= 12 * 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Criterion micro-benchmarks of the hot kernels behind the paper's
+//! numbers: alias sampling, pre-sample buffer fill/consume, block loading,
+//! rejection sampling, and end-to-end engine step throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use noswalker_apps::{BasicRw, Node2Vec};
+use noswalker_core::presample::{plan_quotas, PreSampleBuffer};
+use noswalker_core::{
+    walk::alias_sample, EngineOptions, NosWalkerEngine, OnDiskGraph, Walk, WalkRng,
+};
+use noswalker_graph::layout::VertexEdges;
+use noswalker_graph::{generators, AliasTable};
+use noswalker_storage::{MemoryBudget, SimSsd, SsdProfile};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn bench_alias_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias");
+    let mut rng = WalkRng::seed_from_u64(1);
+    for &n in &[8usize, 64, 1024] {
+        let weights: Vec<f32> = (0..n).map(|_| rng.gen_range(0.1f32..2.0)).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &weights, |b, w| {
+            b.iter(|| AliasTable::new(w))
+        });
+        let table = AliasTable::new(&weights);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("pick", n), &table, |b, t| {
+            let mut rng = WalkRng::seed_from_u64(2);
+            b.iter(|| {
+                let slot = rng.gen_range(0..t.len());
+                t.pick(slot, rng.gen())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alias_sample_views(c: &mut Criterion) {
+    let csr = generators::with_random_weights(
+        generators::rmat(12, 16, generators::RmatParams::default(), 3),
+        3,
+    );
+    let mut rng = WalkRng::seed_from_u64(4);
+    c.bench_function("sample/alias_from_csr_view", |b| {
+        b.iter(|| {
+            let v = rng.gen_range(0..csr.num_vertices() as u32);
+            if csr.degree(v) == 0 {
+                return 0u32;
+            }
+            let view = VertexEdges::from_csr(&csr, v);
+            alias_sample(&view, &mut rng)
+        })
+    });
+}
+
+fn bench_presample_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("presample");
+    let nv = 2048usize;
+    let degrees: Vec<u64> = (0..nv).map(|i| 8 + (i as u64 % 64)).collect();
+    let weights = vec![1u32; nv];
+    group.bench_function("plan_quotas_2048v", |b| {
+        b.iter(|| plan_quotas(&degrees, &weights, 65_536, 4, 64))
+    });
+    let plan = plan_quotas(&degrees, &weights, 65_536, 4, 64);
+    group.throughput(Throughput::Elements(plan.total_slots));
+    group.bench_function("build_and_drain", |b| {
+        b.iter(|| {
+            let mut x = 0u32;
+            let (mut buf, _) = PreSampleBuffer::build(
+                0,
+                &plan,
+                false,
+                |_v| {
+                    x = x.wrapping_add(2654435761);
+                    x % nv as u32
+                },
+                |_v, edges, _w| {
+                    edges.push(1);
+                    edges.push(2);
+                },
+            );
+            for v in 0..nv as u32 {
+                while let noswalker_core::presample::Peek::Sampled(_) = buf.peek(v) {
+                    buf.consume(v);
+                }
+            }
+            buf
+        })
+    });
+    group.finish();
+}
+
+fn bench_block_load(c: &mut Criterion) {
+    let csr = generators::rmat(14, 16, generators::RmatParams::default(), 5);
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let graph = OnDiskGraph::store(&csr, device, 64 << 10).unwrap();
+    let budget = MemoryBudget::unlimited();
+    let mut group = c.benchmark_group("load");
+    group.throughput(Throughput::Bytes(64 << 10));
+    group.bench_function("coarse_64k_block", |b| {
+        b.iter(|| graph.load_block(0, &budget).unwrap())
+    });
+    // Pick vertices that actually live in block 0 (RMAT hubs can make the
+    // first block a single huge vertex).
+    let info = *graph.partition().block(0);
+    let verts: Vec<u32> = (info.vertex_start..info.vertex_end).take(30).collect();
+    group.bench_function("fine_30_vertices", |b| {
+        b.iter(|| graph.load_fine(0, &verts, &budget).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let csr = generators::rmat(13, 16, generators::RmatParams::default(), 7);
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let graph = Arc::new(OnDiskGraph::store(&csr, device, 32 << 10).unwrap());
+    let n = csr.num_vertices();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    let walkers = 5_000u64;
+    group.throughput(Throughput::Elements(walkers * 10));
+    group.bench_function("noswalker_5k_walkers_len10", |b| {
+        b.iter(|| {
+            let app = Arc::new(BasicRw::new(walkers, 10, n));
+            let budget = MemoryBudget::new(1 << 20);
+            NosWalkerEngine::new(app, Arc::clone(&graph), EngineOptions::default(), budget)
+                .run(11)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_rejection(c: &mut Criterion) {
+    let csr = generators::rmat(10, 8, generators::RmatParams::default(), 9).to_undirected();
+    let app = Node2Vec::new(csr.num_vertices(), 1, 10, 2.0, 0.5);
+    let mut rng = WalkRng::seed_from_u64(13);
+    c.bench_function("node2vec/rejection_test", |b| {
+        b.iter(|| {
+            let mut w = app.generate(0, &mut rng);
+            let _ = app.action(&mut w, 1, &mut rng);
+            let view = VertexEdges::from_csr(&csr, 1);
+            use noswalker_core::SecondOrderWalk;
+            app.rejection(&mut w, &view, &mut rng);
+            w
+        })
+    });
+}
+
+fn bench_baseline_engines(c: &mut Criterion) {
+    use noswalker_baselines::{DrunkardMob, GraphWalker};
+    let csr = generators::rmat(12, 12, generators::RmatParams::default(), 15);
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let graph = Arc::new(OnDiskGraph::store(&csr, device, 16 << 10).unwrap());
+    let n = csr.num_vertices();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("graphwalker_2k_walkers_len8", |b| {
+        b.iter(|| {
+            let app = Arc::new(BasicRw::new(2_000, 8, n));
+            GraphWalker::new(
+                app,
+                Arc::clone(&graph),
+                EngineOptions::default(),
+                MemoryBudget::new(256 << 10),
+            )
+            .run(3)
+            .unwrap()
+        })
+    });
+    group.bench_function("drunkardmob_2k_walkers_len8", |b| {
+        b.iter(|| {
+            let app = Arc::new(BasicRw::new(2_000, 8, n));
+            DrunkardMob::new(
+                app,
+                Arc::clone(&graph),
+                EngineOptions::default(),
+                MemoryBudget::new(256 << 10),
+            )
+            .run(3)
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_second_order_engine(c: &mut Criterion) {
+    let csr = generators::rmat(11, 8, generators::RmatParams::default(), 19).to_undirected();
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let graph = Arc::new(OnDiskGraph::store(&csr, device, 8 << 10).unwrap());
+    let n = csr.num_vertices();
+    let mut group = c.benchmark_group("second_order");
+    group.sample_size(10);
+    group.bench_function("node2vec_1_walk_per_vertex_len8", |b| {
+        b.iter(|| {
+            let app = Arc::new(Node2Vec::new(n, 1, 8, 2.0, 0.5));
+            NosWalkerEngine::new(
+                app,
+                Arc::clone(&graph),
+                EngineOptions::default(),
+                MemoryBudget::new(256 << 10),
+            )
+            .run_second_order(7)
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alias_table,
+    bench_alias_sample_views,
+    bench_presample_buffer,
+    bench_block_load,
+    bench_engine_throughput,
+    bench_rejection,
+    bench_baseline_engines,
+    bench_second_order_engine
+);
+criterion_main!(benches);

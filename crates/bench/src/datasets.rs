@@ -1,0 +1,254 @@
+//! Scaled stand-ins for the paper's datasets (Table 1).
+//!
+//! Everything is generated deterministically. Scaling preserves the
+//! *ratios* that drive the paper's phenomena: power-law vs flat degree
+//! distributions, the graph-size : memory-budget ratio (the default
+//! budget is ~12 % of the largest graph, like the paper's 64 GiB vs
+//! CrawlWeb), and per-dataset average degrees close to the originals
+//! (TW ≈ 24, YH ≈ 5, K30/K31 = 32, CW ≈ 36, G12 = 12).
+
+use noswalker_graph::generators::{self, RmatParams};
+use noswalker_graph::Csr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Dataset scale: `Default` for benchmark runs, `Tiny` for smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Full scaled benchmark size (tens of MiB of edge data).
+    Default,
+    /// Very small graphs for CI/smoke runs.
+    Tiny,
+}
+
+impl Scale {
+    /// Parses `"default"` / `"tiny"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "default" => Some(Scale::Default),
+            "tiny" => Some(Scale::Tiny),
+            _ => None,
+        }
+    }
+
+    /// Scales a walker count: tiny runs divide by 100.
+    pub fn walkers(self, n: u64) -> u64 {
+        match self {
+            Scale::Default => n,
+            Scale::Tiny => (n / 100).max(10),
+        }
+    }
+}
+
+/// A named dataset: the in-memory CSR plus identity.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short name (`tw`, `yh`, `k30`, `k31`, `cw`, `k30w`, `g12`, `a27`).
+    pub name: &'static str,
+    /// Which paper dataset this stands in for.
+    pub paper_name: &'static str,
+    /// The graph.
+    pub csr: Arc<Csr>,
+}
+
+impl Dataset {
+    /// Edge-region bytes in the dataset's on-disk format.
+    pub fn edge_bytes(&self) -> u64 {
+        self.csr.edge_region_bytes()
+    }
+}
+
+fn build(name: &str, scale: Scale) -> Dataset {
+    // (scale_exp_default, scale_exp_tiny)
+    let e = |d: u32, t: u32| match scale {
+        Scale::Default => d,
+        Scale::Tiny => t,
+    };
+    let (paper_name, csr): (&'static str, Csr) = match name {
+        // Twitter: 61.6M v / 1.5B e, avg degree ~24.
+        "tw" => ("Twitter (TW)", generators::rmat(e(14, 9), 24, RmatParams::default(), 101)),
+        // YahooWeb: 1.4B v / 6.6B e, avg degree ~4.7 (vertex-heavy).
+        "yh" => ("YahooWeb (YH)", generators::rmat(e(16, 10), 5, RmatParams::default(), 102)),
+        // Kron30: 1B v / 32B e, avg degree 32, strongly power-law.
+        "k30" => ("Kron30 (K30)", generators::rmat(e(16, 10), 32, RmatParams::default(), 103)),
+        // Kron31: 2B v / 64B e.
+        "k31" => ("Kron31 (K31)", generators::rmat(e(17, 11), 32, RmatParams::default(), 104)),
+        // CrawlWeb: 3.5B v / 128B e, avg degree ~36 — the largest graph.
+        "cw" => ("CrawlWeb (CW)", generators::rmat(e(17, 11), 36, RmatParams::default(), 105)),
+        // Weighted Kron30 with pre-built alias tables (12 B/edge on disk).
+        "k30w" => (
+            "Weighted Kron30 (K30W)",
+            generators::with_random_weights(
+                generators::rmat(e(16, 10), 32, RmatParams::default(), 103),
+                1030,
+            ),
+        ),
+        // G12: uniform graph, every vertex exactly 12 edges.
+        "g12" => ("G12", generators::uniform_degree(1 << e(17, 11), 12, 106)),
+        // α2.7: configuration-model power law, much flatter than RMAT.
+        "a27" => (
+            "α2.7",
+            generators::configuration_model(1 << e(17, 11), 2.7, 4, 256, 107),
+        ),
+        // G2.5: near-road-graph density, avg degree ≈ 2.5 (paper §4.4's
+        // extra low-degree evaluation).
+        "g25" => (
+            "G2.5",
+            // Large vertex count so the ~2.5-degree edge region still
+            // exceeds the memory budget (the paper's G2.5 is out-of-core).
+            generators::configuration_model(1 << e(20, 13), 1.5, 1, 8, 108),
+        ),
+        other => panic!("unknown dataset {other}"),
+    };
+    Dataset {
+        name: leak(name),
+        paper_name,
+        csr: Arc::new(csr),
+    }
+}
+
+fn leak(s: &str) -> &'static str {
+    match s {
+        "tw" => "tw",
+        "yh" => "yh",
+        "k30" => "k30",
+        "k31" => "k31",
+        "cw" => "cw",
+        "k30w" => "k30w",
+        "g12" => "g12",
+        "a27" => "a27",
+        "g25" => "g25",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
+type Cache = Mutex<HashMap<(String, Scale, bool), Dataset>>;
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetches (building and memoizing) a dataset by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn get(name: &str, scale: Scale) -> Dataset {
+    let key = (name.to_string(), scale, false);
+    if let Some(d) = cache().lock().expect("cache lock").get(&key) {
+        return d.clone();
+    }
+    let d = build(name, scale);
+    cache().lock().expect("cache lock").insert(key, d.clone());
+    d
+}
+
+/// Fetches the undirected (symmetrized) version of a dataset, as Node2Vec
+/// requires (§4.5).
+pub fn get_undirected(name: &str, scale: Scale) -> Dataset {
+    let key = (name.to_string(), scale, true);
+    if let Some(d) = cache().lock().expect("cache lock").get(&key) {
+        return d.clone();
+    }
+    let base = get(name, scale);
+    let d = Dataset {
+        name: base.name,
+        paper_name: base.paper_name,
+        csr: Arc::new(base.csr.to_undirected()),
+    };
+    cache().lock().expect("cache lock").insert(key, d.clone());
+    d
+}
+
+/// The five main evaluation datasets (Figs. 9–11).
+pub fn main_five(scale: Scale) -> Vec<Dataset> {
+    ["tw", "yh", "k30", "k31", "cw"]
+        .iter()
+        .map(|n| get(n, scale))
+        .collect()
+}
+
+/// All eight datasets (Table 1).
+pub fn all(scale: Scale) -> Vec<Dataset> {
+    ["tw", "yh", "k30", "k31", "cw", "k30w", "g12", "a27"]
+        .iter()
+        .map(|n| get(n, scale))
+        .collect()
+}
+
+/// The default memory budget: ~12 % of the largest unweighted graph's edge
+/// region, mirroring the paper's 64 GiB against CrawlWeb's 540 GiB.
+pub fn default_budget(scale: Scale) -> u64 {
+    let cw = get("cw", scale);
+    // Floor keeps Tiny smoke runs feasible (two block buffers + pools).
+    ((cw.edge_bytes() as f64 * 0.12) as u64).max(96 << 10)
+}
+
+/// The default coarse block size: the dataset's edge region split into
+/// ~32 blocks (GraphWalker's evaluation partitions into 33, §2.3).
+pub fn default_block_bytes(d: &Dataset) -> u64 {
+    // ~32 blocks for an unweighted graph; weighted formats get
+    // proportionally more, smaller blocks so two block buffers do not
+    // crowd the pre-sample pool out of the budget.
+    (d.csr.num_edges() * 4 / 32).max(4096)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noswalker_graph::stats::DegreeStats;
+
+    #[test]
+    fn tiny_datasets_build_quickly_and_are_cached() {
+        let a = get("tw", Scale::Tiny);
+        let b = get("tw", Scale::Tiny);
+        assert!(Arc::ptr_eq(&a.csr, &b.csr), "memoized");
+        assert_eq!(a.csr.num_vertices(), 1 << 9);
+    }
+
+    #[test]
+    fn k30_is_more_skewed_than_g12() {
+        let k = get("k30", Scale::Tiny);
+        let g = get("g12", Scale::Tiny);
+        assert!(DegreeStats::of(&k.csr).gini > DegreeStats::of(&g.csr).gini);
+    }
+
+    #[test]
+    fn budget_is_a_small_fraction_of_cw() {
+        let b = default_budget(Scale::Tiny);
+        assert!(b >= 96 << 10);
+    }
+
+    #[test]
+    fn k30w_has_alias_tables() {
+        let d = get("k30w", Scale::Tiny);
+        assert!(d.csr.has_alias_tables());
+        assert_eq!(d.csr.edge_format().record_bytes(), 12);
+    }
+
+    #[test]
+    fn walker_scaling() {
+        assert_eq!(Scale::Default.walkers(100_000), 100_000);
+        assert_eq!(Scale::Tiny.walkers(100_000), 1_000);
+        assert_eq!(Scale::Tiny.walkers(100), 10); // floor
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn g25_has_road_graph_density() {
+        let d = get("g25", Scale::Tiny);
+        let s = DegreeStats::of(&d.csr);
+        assert!((1.8..3.2).contains(&s.avg_degree), "{}", s.avg_degree);
+    }
+
+    #[test]
+    fn undirected_is_symmetric() {
+        let d = get_undirected("tw", Scale::Tiny);
+        for (u, v) in d.csr.iter_edges().take(200) {
+            assert!(d.csr.has_edge(v, u));
+        }
+    }
+}

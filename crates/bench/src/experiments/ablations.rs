@@ -1,0 +1,170 @@
+//! Extra ablations beyond the paper's Fig. 14, for the design choices
+//! DESIGN.md calls out.
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use crate::runner::{run_system, SystemKind};
+use noswalker_apps::{BasicRw, Ppr};
+use noswalker_core::EngineOptions;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// `cnt`-proportional pre-sample allocation (§3.3.2) vs uniform: the
+/// proportional policy should reduce stalls and I/O on skewed access
+/// patterns like PPR.
+pub fn run_alloc(scale: Scale) {
+    let d = datasets::get("k30", scale);
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new(
+        "ablation_alloc",
+        "Ablation: cnt-proportional vs uniform pre-sample allocation (PPR on k30)",
+    );
+    r.header(["Policy", "SimSecs", "IO(MiB)", "PresampleSteps"]);
+    let mut rng = SmallRng::seed_from_u64(0xAB1);
+    let n = d.csr.num_vertices();
+    let sources: Vec<u32> = (0..50).map(|_| rng.gen_range(0..n as u32)).collect();
+    for (label, uniform) in [("cnt-proportional", false), ("uniform", true)] {
+        let opts = EngineOptions {
+            uniform_presample_alloc: uniform,
+            ..EngineOptions::default()
+        };
+        let app = Arc::new(Ppr::new(sources.clone(), scale.walkers(200).max(1), 10, n));
+        match run_system(SystemKind::NosWalker, app, &d, budget, opts, 91) {
+            Ok(m) => {
+                r.row([
+                    label.to_string(),
+                    format!("{:.3}", m.sim_secs()),
+                    format!("{:.1}", m.total_io_bytes() as f64 / (1 << 20) as f64),
+                    m.steps_on_presample.to_string(),
+                ]);
+            }
+            Err(e) => {
+                r.row([label.to_string(), "-".into(), "-".into(), e]);
+            }
+        }
+    }
+    r.finish();
+}
+
+/// The paper's extra G2.5 evaluation (§4.4): on a road-graph-density
+/// dataset (avg degree ≈ 2.5) pre-sampling buys only a small I/O cut and
+/// the three optimizations together land near ~2× over the base.
+pub fn run_g25(scale: Scale) {
+    let d = datasets::get("g25", scale);
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new(
+        "ablation_g25",
+        "Paper §4.4 extra: optimization ladder on G2.5 (avg degree ~2.5)",
+    );
+    r.header(["Config", "SimSecs", "NormTime", "IO(MiB)", "NormIO"]);
+    let mut base: Option<(u64, u64)> = None;
+    for (label, opts) in crate::experiments::fig14::ladder() {
+        let app = Arc::new(BasicRw::new(
+            scale.walkers(100_000),
+            10,
+            d.csr.num_vertices(),
+        ));
+        match run_system(SystemKind::NosWalker, app, &d, budget, opts, 97) {
+            Ok(m) => {
+                let (bt, bio) = *base.get_or_insert((m.sim_ns.max(1), m.total_io_bytes().max(1)));
+                r.row([
+                    label.to_string(),
+                    format!("{:.3}", m.sim_secs()),
+                    format!("{:.2}", m.sim_ns as f64 / bt as f64),
+                    format!("{:.1}", m.total_io_bytes() as f64 / (1 << 20) as f64),
+                    format!("{:.2}", m.total_io_bytes() as f64 / bio as f64),
+                ]);
+            }
+            Err(e) => {
+                r.row([label.to_string(), "-".into(), "-".into(), "-".into(), e]);
+            }
+        }
+    }
+    r.finish();
+}
+
+/// Number-of-SSDs sweep (the paper lists "the number of SSDs" among its
+/// studied settings, §1): a RAID-0 of N members with fixed per-member
+/// performance. Aggregate bandwidth scales with N; the IOPS floor per
+/// operation does not, so NosWalker's coarse phase speeds up while the
+/// fine-grained tail does not.
+pub fn run_ssds(scale: Scale) {
+    use crate::runner::{env_with_device, run_system_in};
+    use noswalker_storage::{Raid0, SsdProfile};
+
+    let d = datasets::get("k30", scale);
+    let budget = datasets::default_budget(scale);
+    let member = SsdProfile {
+        bandwidth_bytes_per_sec: 500 << 20, // one SATA-class SSD
+        iops: 21_000,
+    };
+    let mut r = Report::new(
+        "ablation_ssds",
+        "Ablation: number of SSDs in RAID-0 (Basic-RW on k30, NW vs GW)",
+    );
+    r.header(["SSDs", "GraphWalker(s)", "NosWalker(s)", "Speedup"]);
+    for n in [1usize, 2, 4, 7] {
+        let mut secs = [f64::NAN; 2];
+        for (i, sys) in [SystemKind::GraphWalker, SystemKind::NosWalker]
+            .iter()
+            .enumerate()
+        {
+            let raid = Arc::new(Raid0::new(n, member, 256 << 10));
+            let e = env_with_device(&d, budget, raid);
+            let app = Arc::new(BasicRw::new(
+                scale.walkers(100_000),
+                10,
+                d.csr.num_vertices(),
+            ));
+            if let Ok(m) = run_system_in(*sys, app, &e, EngineOptions::default(), 95) {
+                secs[i] = m.sim_secs();
+            }
+        }
+        r.row([
+            n.to_string(),
+            format!("{:.3}", secs[0]),
+            format!("{:.3}", secs[1]),
+            crate::report::speedup(secs[0], secs[1]),
+        ]);
+    }
+    r.finish();
+}
+
+/// Low-degree raw-edge retention threshold sweep (§3.3.4) on the flat
+/// α2.7 graph, which is dominated by low-degree vertices.
+pub fn run_lowdeg(scale: Scale) {
+    let d = datasets::get("a27", scale);
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new(
+        "ablation_lowdeg",
+        "Ablation: low-degree retention threshold (Basic-RW on α2.7)",
+    );
+    r.header(["Threshold", "SimSecs", "IO(MiB)", "RawSteps", "PresampleSteps"]);
+    for thresh in [0u32, 1, 2, 4, 8] {
+        let opts = EngineOptions {
+            low_degree_threshold: thresh,
+            ..EngineOptions::default()
+        };
+        let app = Arc::new(BasicRw::new(
+            scale.walkers(100_000),
+            10,
+            d.csr.num_vertices(),
+        ));
+        match run_system(SystemKind::NosWalker, app, &d, budget, opts, 93) {
+            Ok(m) => {
+                r.row([
+                    thresh.to_string(),
+                    format!("{:.3}", m.sim_secs()),
+                    format!("{:.1}", m.total_io_bytes() as f64 / (1 << 20) as f64),
+                    m.steps_on_raw.to_string(),
+                    m.steps_on_presample.to_string(),
+                ]);
+            }
+            Err(e) => {
+                r.row([thresh.to_string(), "-".into(), "-".into(), "-".into(), e]);
+            }
+        }
+    }
+    r.finish();
+}

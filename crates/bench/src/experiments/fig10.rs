@@ -1,0 +1,51 @@
+//! Fig. 10: basic random walk time vs. number of walkers (length fixed at
+//! 10) on the five main datasets × three systems.
+//!
+//! Shape to reproduce: DrunkardMob/GraphWalker are flat until the walker
+//! count dominates (they reload most of the graph regardless), so
+//! NosWalker's speedup grows toward two orders of magnitude as walkers
+//! decrease; DrunkardMob disappears at large counts / large graphs (OOM).
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use crate::runner::{run_system, SystemKind};
+use noswalker_apps::BasicRw;
+use noswalker_core::EngineOptions;
+use std::sync::Arc;
+
+/// Walker counts, scaled from the paper's 10^3…10^10 sweep.
+pub fn walker_points(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Default => vec![1_000, 10_000, 100_000, 1_000_000],
+        Scale::Tiny => vec![100, 1_000],
+    }
+}
+
+/// Runs the Fig. 10 sweep.
+pub fn run(scale: Scale) {
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new("fig10", "Fig 10: time vs number of walkers (length 10)");
+    r.header(["Dataset", "Walkers", "DrunkardMob", "GraphWalker", "NosWalker"]);
+    for d in datasets::main_five(scale) {
+        for &w in &walker_points(scale) {
+            let mut cells = Vec::new();
+            for sys in [
+                SystemKind::DrunkardMob,
+                SystemKind::GraphWalker,
+                SystemKind::NosWalker,
+            ] {
+                let app = Arc::new(BasicRw::new(w, 10, d.csr.num_vertices()));
+                let out = run_system(sys, app, &d, budget, EngineOptions::default(), 21);
+                cells.push(crate::runner::secs(&out));
+            }
+            r.row([
+                d.name.to_string(),
+                w.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+        }
+    }
+    r.finish();
+}

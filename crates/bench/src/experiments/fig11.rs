@@ -1,0 +1,51 @@
+//! Fig. 11: basic random walk time vs. walk length (walkers fixed), five
+//! datasets × three systems.
+//!
+//! Shape to reproduce: all systems scale ~linearly in length on the large
+//! graphs, with NosWalker 30–95× below GraphWalker throughout; on graphs
+//! smaller than memory NosWalker still wins through walker management.
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use crate::runner::{run_system, SystemKind};
+use noswalker_apps::BasicRw;
+use noswalker_core::EngineOptions;
+use std::sync::Arc;
+
+/// Walk lengths, the paper's 2^2…2^9.
+pub const LENGTHS: [u32; 8] = [4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Runs the Fig. 11 sweep.
+pub fn run(scale: Scale) {
+    let budget = datasets::default_budget(scale);
+    // Paper fixes 10^6 walkers; scaled to 10^4.
+    let walkers = scale.walkers(10_000);
+    let lengths: &[u32] = match scale {
+        Scale::Default => &LENGTHS,
+        Scale::Tiny => &LENGTHS[..3],
+    };
+    let mut r = Report::new("fig11", "Fig 11: time vs walk length (10^4 walkers)");
+    r.header(["Dataset", "Length", "DrunkardMob", "GraphWalker", "NosWalker"]);
+    for d in datasets::main_five(scale) {
+        for &len in lengths {
+            let mut cells = Vec::new();
+            for sys in [
+                SystemKind::DrunkardMob,
+                SystemKind::GraphWalker,
+                SystemKind::NosWalker,
+            ] {
+                let app = Arc::new(BasicRw::new(walkers, len, d.csr.num_vertices()));
+                let out = run_system(sys, app, &d, budget, EngineOptions::default(), 23);
+                cells.push(crate::runner::secs(&out));
+            }
+            r.row([
+                d.name.to_string(),
+                len.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+        }
+    }
+    r.finish();
+}

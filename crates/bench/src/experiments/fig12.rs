@@ -1,0 +1,111 @@
+//! Fig. 12: (a) NosWalker's speedup over GraphWalker under different
+//! memory budgets and walker counts on k30; (b)/(c) both systems on a
+//! RAID-0 of SATA SSDs (high bandwidth, low IOPS).
+//!
+//! Shapes to reproduce: (a) the speedup jumps between the 10 % and 20 %
+//! budgets (little room for pre-sample buffers at 10 %) and grows with the
+//! walker count when memory allows; (b)/(c) the low-IOPS array costs
+//! NosWalker some of its fine-grained advantage but it stays an order of
+//! magnitude ahead.
+
+use crate::datasets::{self, Scale};
+use crate::report::{speedup, Report};
+use crate::runner::{env_with_device, run_system, run_system_in, SystemKind};
+use noswalker_apps::BasicRw;
+use noswalker_core::EngineOptions;
+use noswalker_storage::{Raid0, SsdProfile};
+use std::sync::Arc;
+
+/// Runs Fig. 12(a): budget sweep.
+pub fn run_12a(scale: Scale) {
+    let d = datasets::get("k30", scale);
+    let mut r = Report::new(
+        "fig12a",
+        "Fig 12a: NosWalker speedup over GraphWalker vs memory budget (k30)",
+    );
+    r.header(["Budget%", "Walkers", "GraphWalker(s)", "NosWalker(s)", "Speedup"]);
+    // Paper: 0.5B/1B/2B/4B walkers; scaled by 10^4.
+    let walker_points: Vec<u64> = [50_000u64, 100_000, 200_000, 400_000]
+        .iter()
+        .map(|&w| scale.walkers(w).max(100))
+        .collect();
+    for pct in [10u64, 20, 30, 40, 50] {
+        let budget = d.edge_bytes() * pct / 100;
+        for &w in &walker_points {
+            let mut secs = [f64::NAN; 2];
+            for (i, sys) in [SystemKind::GraphWalker, SystemKind::NosWalker]
+                .iter()
+                .enumerate()
+            {
+                let app = Arc::new(BasicRw::new(w, 10, d.csr.num_vertices()));
+                if let Ok(m) = run_system(*sys, app, &d, budget, EngineOptions::default(), 31) {
+                    secs[i] = m.sim_secs();
+                }
+            }
+            r.row([
+                pct.to_string(),
+                w.to_string(),
+                format!("{:.3}", secs[0]),
+                format!("{:.3}", secs[1]),
+                speedup(secs[0], secs[1]),
+            ]);
+        }
+    }
+    r.finish();
+}
+
+/// One member of the paper's 7-disk S4610 array: the aggregate reaches
+/// ~3.4 GiB/s sequential but only ~150 k IOPS.
+fn s4610_member() -> SsdProfile {
+    SsdProfile {
+        bandwidth_bytes_per_sec: (3.4 * 1024.0 * 1024.0 * 1024.0) as u64 / 7,
+        iops: 150_000 / 7,
+    }
+}
+
+/// Runs Fig. 12(b)/(c): RAID-0 walker-count and walk-length sweeps.
+pub fn run_12bc(scale: Scale) {
+    let d = datasets::get("k30", scale);
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new(
+        "fig12bc",
+        "Fig 12b/c: GraphWalker vs NosWalker on RAID-0 (7x S4610)",
+    );
+    r.header(["Sweep", "X", "GraphWalker(s)", "NosWalker(s)", "Speedup"]);
+
+    let cell = |sweep: &str, x: String, walkers: u64, len: u32, r: &mut Report| {
+        let mut secs = [f64::NAN; 2];
+        for (i, sys) in [SystemKind::GraphWalker, SystemKind::NosWalker]
+            .iter()
+            .enumerate()
+        {
+            let raid = Arc::new(Raid0::new(7, s4610_member(), 256 << 10));
+            let e = env_with_device(&d, budget, raid);
+            let app = Arc::new(BasicRw::new(walkers, len, d.csr.num_vertices()));
+            if let Ok(m) = run_system_in(*sys, app, &e, EngineOptions::default(), 33) {
+                secs[i] = m.sim_secs();
+            }
+        }
+        r.row([
+            sweep.to_string(),
+            x,
+            format!("{:.3}", secs[0]),
+            format!("{:.3}", secs[1]),
+            speedup(secs[0], secs[1]),
+        ]);
+    };
+
+    // (b): walker sweep at length 10 (paper: 10^3 … 10^9).
+    for &w in &crate::experiments::fig10::walker_points(scale) {
+        cell("walkers", w.to_string(), w, 10, &mut r);
+    }
+    // (c): length sweep at 10^4 walkers (paper: 2^4 … 2^8 at 10^6).
+    let lens: &[u32] = match scale {
+        Scale::Default => &[16, 64, 256],
+        Scale::Tiny => &[16],
+    };
+    for &len in lens {
+        cell("length", len.to_string(), scale.walkers(10_000), len, &mut r);
+    }
+    r.finish();
+}

@@ -1,0 +1,95 @@
+//! Fig. 13: sensitivity to graph structure — GraphWalker vs NosWalker on
+//! the power-law k30 and the two flat graphs (g12, α2.7), across Basic-RW,
+//! RWD, GC, PPR and SR.
+//!
+//! Shape to reproduce: NosWalker's speedup shrinks on the flat graphs
+//! (pre-sampling buys less when the average degree is low) but stays
+//! clearly above 1 (the long-tail/shrink-block win survives).
+
+use crate::datasets::{self, Dataset, Scale};
+use crate::report::{speedup, Report};
+use crate::runner::{run_system, Outcome, SystemKind};
+use noswalker_apps::{BasicRw, GraphletConcentration, Ppr, RandomWalkDomination, SimRank};
+use noswalker_core::EngineOptions;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn run_app(app: &str, sys: SystemKind, d: &Dataset, budget: u64, scale: Scale) -> Outcome {
+    let n = d.csr.num_vertices();
+    let opts = EngineOptions::default();
+    let mut rng = SmallRng::seed_from_u64(0xF13);
+    match app {
+        // Paper: 1 B walkers × length 10 → scaled 10^5.
+        "Basic-RW" => run_system(
+            sys,
+            Arc::new(BasicRw::new(scale.walkers(100_000), 10, n)),
+            d,
+            budget,
+            opts,
+            41,
+        ),
+        "RWD" => run_system(sys, Arc::new(RandomWalkDomination::new(n, 6)), d, budget, opts, 43),
+        "GC" => run_system(
+            sys,
+            Arc::new(GraphletConcentration::paper_scale(n)),
+            d,
+            budget,
+            opts,
+            45,
+        ),
+        "PPR" => {
+            let sources: Vec<u32> = (0..50).map(|_| rng.gen_range(0..n as u32)).collect();
+            run_system(
+                sys,
+                Arc::new(Ppr::new(sources, scale.walkers(200).max(1), 10, n)),
+                d,
+                budget,
+                opts,
+                47,
+            )
+        }
+        "SR" => {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            run_system(
+                sys,
+                Arc::new(SimRank::new(a, b, scale.walkers(1000).max(1), 11)),
+                d,
+                budget,
+                opts,
+                49,
+            )
+        }
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Runs the Fig. 13 matrix.
+pub fn run(scale: Scale) {
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new("fig13", "Fig 13: sensitivity to graph structure (GW vs NW)");
+    r.header(["App", "Dataset", "GraphWalker(s)", "NosWalker(s)", "Speedup"]);
+    for app in ["Basic-RW", "RWD", "GC", "PPR", "SR"] {
+        for name in ["k30", "g12", "a27"] {
+            let d = datasets::get(name, scale);
+            let mut secs = [f64::NAN; 2];
+            for (i, sys) in [SystemKind::GraphWalker, SystemKind::NosWalker]
+                .iter()
+                .enumerate()
+            {
+                if let Ok(m) = run_app(app, *sys, &d, budget, scale) {
+                    secs[i] = m.sim_secs();
+                }
+            }
+            r.row([
+                app.to_string(),
+                name.to_string(),
+                format!("{:.3}", secs[0]),
+                format!("{:.3}", secs[1]),
+                speedup(secs[0], secs[1]),
+            ]);
+        }
+    }
+    r.finish();
+}

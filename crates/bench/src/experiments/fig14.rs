@@ -1,0 +1,165 @@
+//! Fig. 14: effectiveness of the three optimizations, added one by one to
+//! the base implementation — normalized time (bars) and normalized total
+//! I/O (lines) per workload.
+//!
+//! Shape to reproduce (paper §4.4): walker management pays off most with
+//! many walkers (4B10); shrink-block pays off most with few walkers (GC,
+//! PPR, SR); pre-sampling gives the final large cut everywhere, biggest on
+//! the weighted graph (K30W) and smaller on the flat graphs (G12, α2.7).
+
+use crate::datasets::{self, Dataset, Scale};
+use crate::report::Report;
+use crate::runner::{run_system, Outcome, SystemKind};
+use noswalker_apps::{BasicRw, GraphletConcentration, Ppr, RandomWalkDomination, SimRank, WeightedRw};
+use noswalker_core::{EngineOptions, RunMetrics};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The four cumulative configurations of Fig. 14.
+pub fn ladder() -> [(&'static str, EngineOptions); 4] {
+    [
+        ("Base", EngineOptions::base()),
+        ("+WalkerMgmt", EngineOptions::with_walker_management()),
+        ("+ShrinkBlock", EngineOptions::with_shrink_block()),
+        ("+PreSample", EngineOptions::full()),
+    ]
+}
+
+fn workload(name: &str, d: &Dataset, scale: Scale, opts: EngineOptions, budget: u64) -> Outcome {
+    let n = d.csr.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(0xF14);
+    let app_seed = 51;
+    match name {
+        "1B10" | "G12" | "a2.7" => run_system(
+            SystemKind::NosWalker,
+            Arc::new(BasicRw::new(scale.walkers(100_000), 10, n)),
+            d,
+            budget,
+            opts,
+            app_seed,
+        ),
+        "1B80" => run_system(
+            SystemKind::NosWalker,
+            Arc::new(BasicRw::new(scale.walkers(100_000), 80, n)),
+            d,
+            budget,
+            opts,
+            app_seed,
+        ),
+        "4B10" => run_system(
+            SystemKind::NosWalker,
+            Arc::new(BasicRw::new(scale.walkers(400_000), 10, n)),
+            d,
+            budget,
+            opts,
+            app_seed,
+        ),
+        "K30W" => run_system(
+            SystemKind::NosWalker,
+            Arc::new(WeightedRw::new(scale.walkers(100_000), 80, n)),
+            d,
+            budget,
+            opts,
+            app_seed,
+        ),
+        "RWD" => run_system(
+            SystemKind::NosWalker,
+            Arc::new(RandomWalkDomination::new(n, 6)),
+            d,
+            budget,
+            opts,
+            app_seed,
+        ),
+        "GC" => run_system(
+            SystemKind::NosWalker,
+            Arc::new(GraphletConcentration::paper_scale(n)),
+            d,
+            budget,
+            opts,
+            app_seed,
+        ),
+        "PPR" => {
+            let sources: Vec<u32> = (0..50).map(|_| rng.gen_range(0..n as u32)).collect();
+            run_system(
+                SystemKind::NosWalker,
+                Arc::new(Ppr::new(sources, scale.walkers(200).max(1), 10, n)),
+                d,
+                budget,
+                opts,
+                app_seed,
+            )
+        }
+        "SR" => {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            run_system(
+                SystemKind::NosWalker,
+                Arc::new(SimRank::new(a, b, scale.walkers(1000).max(1), 11)),
+                d,
+                budget,
+                opts,
+                app_seed,
+            )
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// The Fig. 14 workload list: `(label, dataset)`.
+pub fn workloads() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("1B10", "k30"),
+        ("1B80", "k30"),
+        ("4B10", "k30"),
+        ("K30W", "k30w"),
+        ("RWD", "k30"),
+        ("GC", "k30"),
+        ("PPR", "k30"),
+        ("SR", "k30"),
+        ("G12", "g12"),
+        ("a2.7", "a27"),
+    ]
+}
+
+/// Runs the Fig. 14 breakdown.
+pub fn run(scale: Scale) {
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new(
+        "fig14",
+        "Fig 14: optimization breakdown (normalized time / normalized I/O vs Base)",
+    );
+    r.header(["Workload", "Config", "SimSecs", "NormTime", "IO(MiB)", "NormIO"]);
+    for (wl, ds) in workloads() {
+        let d = datasets::get(ds, scale);
+        let mut base: Option<RunMetrics> = None;
+        for (label, opts) in ladder() {
+            match workload(wl, &d, scale, opts, budget) {
+                Ok(m) => {
+                    let (nt, nio) = match &base {
+                        Some(b) => (
+                            m.sim_ns as f64 / b.sim_ns.max(1) as f64,
+                            m.total_io_bytes() as f64 / b.total_io_bytes().max(1) as f64,
+                        ),
+                        None => (1.0, 1.0),
+                    };
+                    if base.is_none() {
+                        base = Some(m.clone());
+                    }
+                    r.row([
+                        wl.to_string(),
+                        label.to_string(),
+                        format!("{:.3}", m.sim_secs()),
+                        format!("{:.2}", nt),
+                        format!("{:.1}", m.total_io_bytes() as f64 / (1 << 20) as f64),
+                        format!("{:.2}", nio),
+                    ]);
+                }
+                Err(e) => {
+                    r.row([wl.to_string(), label.to_string(), "-".into(), "-".into(), "-".into(), e]);
+                }
+            }
+        }
+    }
+    r.finish();
+}

@@ -1,0 +1,51 @@
+//! Fig. 15: second-order random walk (Node2Vec generation) — GraSorw vs
+//! NosWalker on tw/yh/k30/k31, converted to undirected graphs.
+//!
+//! Paper settings: 10 walkers per vertex, p = 2, q = 0.5, length 10.
+//! Shape to reproduce: ~3× on the in-memory-sized tw, 10–49× on the
+//! out-of-core graphs.
+
+use crate::datasets::{self, Scale};
+use crate::report::{speedup, Report};
+use crate::runner::{run_grasorw, run_noswalker_2nd};
+use noswalker_apps::Node2Vec;
+use noswalker_core::EngineOptions;
+use std::sync::Arc;
+
+/// Runs the Fig. 15 comparison.
+pub fn run(scale: Scale) {
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new("fig15", "Fig 15: Node2Vec — GraSorw vs NosWalker");
+    r.header(["Dataset", "Walkers", "GraSorw(s)", "NosWalker(s)", "Speedup"]);
+    for name in ["tw", "yh", "k30", "k31"] {
+        let d = datasets::get_undirected(name, scale);
+        let n = d.csr.num_vertices();
+        // Paper: 10 walks/vertex; scaled down for the larger graphs to
+        // keep the harness fast while preserving walkers ≫ pool.
+        let per_vertex: u32 = match scale {
+            Scale::Default => {
+                if n <= (1 << 15) {
+                    10
+                } else {
+                    2
+                }
+            }
+            Scale::Tiny => 2,
+        };
+        let mk = || Arc::new(Node2Vec::new(n, per_vertex, 10, 2.0, 0.5));
+        let gs = run_grasorw(mk(), &d, budget, EngineOptions::default(), 61);
+        let nw = run_noswalker_2nd(mk(), &d, budget, EngineOptions::default(), 61);
+        let (gss, nws) = (
+            gs.as_ref().map(|m| m.sim_secs()).unwrap_or(f64::NAN),
+            nw.as_ref().map(|m| m.sim_secs()).unwrap_or(f64::NAN),
+        );
+        r.row([
+            name.to_string(),
+            ((n as u64) * per_vertex as u64).to_string(),
+            crate::runner::secs(&gs),
+            crate::runner::secs(&nw),
+            speedup(gss, nws),
+        ]);
+    }
+    r.finish();
+}

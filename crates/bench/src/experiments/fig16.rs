@@ -1,0 +1,41 @@
+//! Fig. 16: Graphene vs NosWalker on k30, walker-count sweep at length 10.
+//!
+//! Shape to reproduce: up to ~80× — Graphene's on-demand I/O helps, but
+//! its disk-order scan cannot follow walker hotness.
+
+use crate::datasets::{self, Scale};
+use crate::report::{speedup, Report};
+use crate::runner::{run_system, SystemKind};
+use noswalker_apps::BasicRw;
+use noswalker_core::EngineOptions;
+use std::sync::Arc;
+
+/// Runs the Fig. 16 sweep.
+pub fn run(scale: Scale) {
+    let d = datasets::get("k30", scale);
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new("fig16", "Fig 16: Graphene vs NosWalker (k30, length 10)");
+    r.header(["Walkers", "Graphene(s)", "NosWalker(s)", "Speedup"]);
+    for &w in &crate::experiments::fig10::walker_points(scale) {
+        let mut secs = [f64::NAN; 2];
+        let mut cells = Vec::new();
+        for (i, sys) in [SystemKind::Graphene, SystemKind::NosWalker]
+            .iter()
+            .enumerate()
+        {
+            let app = Arc::new(BasicRw::new(w, 10, d.csr.num_vertices()));
+            let out = run_system(*sys, app, &d, budget, EngineOptions::default(), 71);
+            if let Ok(m) = &out {
+                secs[i] = m.sim_secs();
+            }
+            cells.push(crate::runner::secs(&out));
+        }
+        r.row([
+            w.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            speedup(secs[0], secs[1]),
+        ]);
+    }
+    r.finish();
+}

@@ -1,0 +1,100 @@
+//! Fig. 17: NosWalker vs an in-memory engine (ThunderRW-like, on k30) and
+//! a distributed 4-node cluster (KnightKing-like, on tw/yh), separating
+//! *walk time* from *total time* (including graph loading).
+//!
+//! Shape to reproduce: the in-memory engine walks faster (~1.5×) but its
+//! total time loses to NosWalker (~75 % of its time is loading);
+//! KnightKing's compute is comparable while its total time is ~5× worse.
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use crate::runner::{run_distributed, run_in_memory, run_system, SystemKind};
+use noswalker_apps::BasicRw;
+use noswalker_core::EngineOptions;
+use std::sync::Arc;
+
+/// Runs the Fig. 17 comparison.
+pub fn run(scale: Scale) {
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new(
+        "fig17",
+        "Fig 17: NosWalker vs ThunderRW (k30) and KnightKing (tw, yh): walk vs total time",
+    );
+    r.header(["Comparison", "System", "Walk(s)", "Total(s)"]);
+
+    // (a) ThunderRW on k30: paper issues 1B walkers × length 10.
+    {
+        let d = datasets::get("k30", scale);
+        let n = d.csr.num_vertices();
+        // Chosen so steps : edges matches the paper's 10B steps on 32B
+        // edges (≈ 0.3 steps per edge), the regime where loading dominates
+        // the in-memory engine's end-to-end time.
+        let walkers = scale.walkers(100_000);
+        let thunder = run_in_memory(
+            Arc::new(BasicRw::new(walkers, 10, n)),
+            &d,
+            EngineOptions::default(),
+            81,
+        );
+        r.row([
+            "k30".to_string(),
+            "ThunderRW".to_string(),
+            format!("{:.3}", (thunder.sim_ns - thunder.stall_ns) as f64 / 1e9),
+            format!("{:.3}", thunder.sim_secs()),
+        ]);
+        let nw = run_system(
+            SystemKind::NosWalker,
+            Arc::new(BasicRw::new(walkers, 10, n)),
+            &d,
+            budget,
+            EngineOptions::default(),
+            81,
+        )
+        .expect("NosWalker run");
+        r.row([
+            "k30".to_string(),
+            "NosWalker".to_string(),
+            format!("{:.3}", nw.sim_secs()),
+            format!("{:.3}", nw.sim_secs()),
+        ]);
+    }
+
+    // (b) KnightKing on tw (10^8 → scaled 10^5) and yh (10^9 → 10^6);
+    // the paper notes 8 nodes bring its compute level with NosWalker's.
+    for (name, walkers) in [("tw", 100_000u64), ("yh", 1_000_000u64)] {
+        let d = datasets::get(name, scale);
+        let n = d.csr.num_vertices();
+        let w = scale.walkers(walkers);
+        for nodes in [4u32, 8] {
+            let kk = run_distributed(
+                Arc::new(BasicRw::new(w, 10, n)),
+                &d,
+                EngineOptions::default(),
+                nodes,
+                83,
+            );
+            r.row([
+                name.to_string(),
+                format!("KnightKing({nodes}n)"),
+                format!("{:.3}", (kk.sim_ns - kk.stall_ns) as f64 / 1e9),
+                format!("{:.3}", kk.sim_secs()),
+            ]);
+        }
+        let nw = run_system(
+            SystemKind::NosWalker,
+            Arc::new(BasicRw::new(w, 10, n)),
+            &d,
+            budget,
+            EngineOptions::default(),
+            83,
+        )
+        .expect("NosWalker run");
+        r.row([
+            name.to_string(),
+            "NosWalker".to_string(),
+            format!("{:.3}", nw.sim_secs()),
+            format!("{:.3}", nw.sim_secs()),
+        ]);
+    }
+    r.finish();
+}

@@ -1,0 +1,47 @@
+//! Fig. 2: (a) average edges read per step and (b) average step rate, for
+//! DrunkardMob / GraphWalker / NosWalker on a Kron30-class workload.
+//!
+//! Paper values: 32 / 23 / 6.4 edges per step; 0.5 / 5.6 / 84.7 M steps/s.
+//! The shape to reproduce: DM > GW ≫ NW on edges/step, the reverse (by
+//! orders of magnitude) on step rate.
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use crate::runner::{run_system, SystemKind};
+use noswalker_apps::BasicRw;
+use noswalker_core::EngineOptions;
+use std::sync::Arc;
+
+/// Runs the Fig. 2 measurement.
+pub fn run(scale: Scale) {
+    let d = datasets::get("k30", scale);
+    let budget = datasets::default_budget(scale);
+    let walkers = scale.walkers(100_000);
+    let mut r = Report::new(
+        "fig2",
+        "Fig 2: avg edges read per step (a) and step rate (b), Basic-RW on k30",
+    );
+    r.header(["System", "EdgesPerStep", "MSteps/s", "SimSecs", "TotalIO(MiB)"]);
+    for sys in [
+        SystemKind::DrunkardMob,
+        SystemKind::GraphWalker,
+        SystemKind::NosWalker,
+    ] {
+        let app = Arc::new(BasicRw::new(walkers, 10, d.csr.num_vertices()));
+        match run_system(sys, app, &d, budget, EngineOptions::default(), 42) {
+            Ok(m) => {
+                r.row([
+                    sys.label().to_string(),
+                    format!("{:.1}", m.edges_per_step()),
+                    format!("{:.2}", m.steps_per_sec() / 1e6),
+                    format!("{:.3}", m.sim_secs()),
+                    format!("{:.1}", m.total_io_bytes() as f64 / (1 << 20) as f64),
+                ]);
+            }
+            Err(e) => {
+                r.row([sys.label().to_string(), "-".into(), "-".into(), "-".into(), e]);
+            }
+        }
+    }
+    r.finish();
+}

@@ -1,0 +1,123 @@
+//! Fig. 9: the four real-world applications (PPR, SimRank, RWD, Graphlet
+//! Concentration) on the five main datasets × {DrunkardMob, GraphWalker,
+//! NosWalker}.
+//!
+//! Shape to reproduce (paper §4.2): NosWalker 3.6–7.9× over GraphWalker on
+//! the small graphs (tw, yh) and 6–64× on the large ones (k30, k31, cw);
+//! DrunkardMob cannot process the largest graphs.
+
+use crate::datasets::{self, Dataset, Scale};
+use crate::report::{speedup, Report};
+use crate::runner::{run_system, Outcome, SystemKind};
+use noswalker_apps::{GraphletConcentration, Ppr, RandomWalkDomination, SimRank};
+use noswalker_core::EngineOptions;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const SYSTEMS: [SystemKind; 3] = [
+    SystemKind::DrunkardMob,
+    SystemKind::GraphWalker,
+    SystemKind::NosWalker,
+];
+
+/// Runs one (app, dataset, system) cell; apps are rebuilt per cell because
+/// they accumulate results internally.
+fn run_app(app_name: &str, sys: SystemKind, d: &Dataset, budget: u64, scale: Scale) -> Outcome {
+    let n = d.csr.num_vertices();
+    let opts = EngineOptions::default();
+    let mut rng = SmallRng::seed_from_u64(0xF19);
+    match app_name {
+        // Paper: 2000 walks × length 10 from each of 1000 sources.
+        // Scaled: 200 walks from each of 50 sources.
+        "PPR" => {
+            let sources: Vec<u32> = (0..50).map(|_| rng.gen_range(0..n as u32)).collect();
+            let walks = scale.walkers(200).max(1);
+            run_system(sys, Arc::new(Ppr::new(sources, walks, 10, n)), d, budget, opts, 9)
+        }
+        // Paper: 2000 walk pairs × length 11 for each of 1000 query pairs.
+        // Scaled: 200 pairs for each of 5 query pairs; times summed.
+        "SR" => {
+            let mut total = noswalker_core::RunMetrics::default();
+            for q in 0..5 {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                let app = Arc::new(SimRank::new(a, b, scale.walkers(200).max(1), 11));
+                match run_system(sys, app, d, budget, opts.clone(), 100 + q) {
+                    Ok(m) => {
+                        total.sim_ns += m.sim_ns;
+                        total.steps += m.steps;
+                        total.edge_bytes_loaded += m.edge_bytes_loaded;
+                        total.walkers_finished += m.walkers_finished;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(total)
+        }
+        // Paper: one length-6 walker per vertex.
+        "RWD" => run_system(
+            sys,
+            Arc::new(RandomWalkDomination::new(n, 6)),
+            d,
+            budget,
+            opts,
+            11,
+        ),
+        // Paper: |V|/100 walkers of length 3.
+        "GC" => run_system(
+            sys,
+            Arc::new(GraphletConcentration::paper_scale(n)),
+            d,
+            budget,
+            opts,
+            13,
+        ),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Runs the Fig. 9 matrix.
+pub fn run(scale: Scale) {
+    let budget = datasets::default_budget(scale);
+    let mut r = Report::new(
+        "fig9",
+        "Fig 9: real-world applications, time cost in simulated seconds",
+    );
+    r.header([
+        "App",
+        "Dataset",
+        "DrunkardMob",
+        "GraphWalker",
+        "NosWalker",
+        "NW/GW speedup",
+    ]);
+    for app_name in ["PPR", "SR", "RWD", "GC"] {
+        for d in datasets::main_five(scale) {
+            let mut cells = Vec::new();
+            let mut secs = [f64::NAN; 3];
+            for (i, sys) in SYSTEMS.iter().enumerate() {
+                let out = run_app(app_name, *sys, &d, budget, scale);
+                match &out {
+                    Ok(m) => secs[i] = m.sim_secs(),
+                    Err(_) => secs[i] = f64::NAN,
+                }
+                cells.push(crate::runner::secs(&out));
+            }
+            let sp = if secs[1].is_nan() || secs[2].is_nan() {
+                "-".to_string()
+            } else {
+                speedup(secs[1], secs[2])
+            };
+            r.row([
+                app_name.to_string(),
+                d.name.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                sp,
+            ]);
+        }
+    }
+    r.finish();
+}

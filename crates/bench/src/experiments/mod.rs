@@ -1,0 +1,54 @@
+//! One module per paper table/figure. Each exposes `run(scale)`, prints a
+//! table shaped like the figure's series and writes `results/<id>.tsv`.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig2;
+pub mod fig4;
+pub mod fig9;
+pub mod table1;
+
+use crate::datasets::Scale;
+
+/// All experiment ids in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12a", "fig12bc", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "ablation-alloc", "ablation-lowdeg", "ablation-ssds", "ablation-g25",
+];
+
+/// Dispatches an experiment by id. Returns `false` for unknown ids.
+pub fn dispatch(id: &str, scale: Scale) -> bool {
+    match id {
+        "table1" => table1::run(scale),
+        "fig2" => fig2::run(scale),
+        "fig4" => fig4::run(scale),
+        "fig9" => fig9::run(scale),
+        "fig10" => fig10::run(scale),
+        "fig11" => fig11::run(scale),
+        "fig12a" => fig12::run_12a(scale),
+        "fig12bc" => fig12::run_12bc(scale),
+        "fig13" => fig13::run(scale),
+        "fig14" => fig14::run(scale),
+        "fig15" => fig15::run(scale),
+        "fig16" => fig16::run(scale),
+        "fig17" => fig17::run(scale),
+        "ablation-alloc" => ablations::run_alloc(scale),
+        "ablation-lowdeg" => ablations::run_lowdeg(scale),
+        "ablation-ssds" => ablations::run_ssds(scale),
+        "ablation-g25" => ablations::run_g25(scale),
+        "all" => {
+            for id in ALL {
+                dispatch(id, scale);
+            }
+        }
+        _ => return false,
+    }
+    true
+}

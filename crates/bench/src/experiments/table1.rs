@@ -1,0 +1,72 @@
+//! Table 1: statistics of the (scaled) datasets.
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use noswalker_graph::stats::DegreeStats;
+
+/// Prints the scaled Table 1.
+pub fn run(scale: Scale) {
+    let mut r = Report::new("table1", "Table 1: Statistics of Datasets (scaled)");
+    r.header([
+        "Dataset",
+        "Stands for",
+        "|V|",
+        "|E|",
+        "CSR Size",
+        "AvgDeg",
+        "MaxDeg",
+        "Gini",
+    ]);
+    for d in datasets::all(scale) {
+        let s = DegreeStats::of(&d.csr);
+        r.row([
+            d.name.to_string(),
+            d.paper_name.to_string(),
+            human(s.num_vertices as u64),
+            human(s.num_edges),
+            bytes(d.csr.csr_bytes()),
+            format!("{:.1}", s.avg_degree),
+            s.max_degree.to_string(),
+            format!("{:.2}", s.gini),
+        ]);
+    }
+    r.finish();
+}
+
+/// Human-readable count (K/M suffixes).
+pub fn human(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Human-readable byte size.
+pub fn bytes(n: u64) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1}MiB", n as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1}KiB", n as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_counts() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(66_000), "66K");
+        assert_eq!(human(12_600_000), "12.6M");
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(bytes(512), "0.5KiB");
+        assert_eq!(bytes(3 << 20), "3.0MiB");
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§4 and §5) on the scaled datasets.
+//!
+//! Run an experiment with the CLI binary:
+//!
+//! ```text
+//! cargo run --release -p noswalker-bench -- fig9
+//! cargo run --release -p noswalker-bench -- all --scale tiny
+//! ```
+//!
+//! Each experiment prints a table matching the figure's series and writes
+//! the rows as TSV under `results/`. See `EXPERIMENTS.md` at the workspace
+//! root for paper-vs-measured summaries.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use datasets::{Dataset, Scale};
+pub use report::Report;
+pub use runner::{Outcome, SystemKind};

@@ -1,0 +1,141 @@
+//! Table printing + TSV output for the experiment harness.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple column-aligned report that also lands in `results/<name>.tsv`.
+#[derive(Debug)]
+pub struct Report {
+    name: String,
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report for experiment `name` with a human `title`.
+    pub fn new(name: &str, title: &str) -> Self {
+        Report {
+            name: name.to_string(),
+            title: title.to_string(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column header.
+    pub fn header<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cols: I) -> &mut Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cols: I) -> &mut Self {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table as a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(c.len());
+                } else {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<name>.tsv`. I/O errors on the
+    /// TSV are reported to stderr, not fatal.
+    pub fn finish(&self) {
+        println!("{}", self.render());
+        let dir = PathBuf::from("results");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.tsv", self.name));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&path)?;
+            if !self.header.is_empty() {
+                writeln!(f, "{}", self.header.join("\t"))?;
+            }
+            for row in &self.rows {
+                writeln!(f, "{}", row.join("\t"))?;
+            }
+            Ok(())
+        };
+        match write() {
+            Ok(()) => println!("(wrote {})\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Formats a ratio as `12.3x`.
+pub fn speedup(base_secs: f64, fast_secs: f64) -> String {
+    if fast_secs <= 0.0 {
+        "-".into()
+    } else {
+        format!("{:.1}x", base_secs / fast_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "Test");
+        r.header(["a", "longer"]);
+        r.row(["xxxxx", "1"]);
+        let s = r.render();
+        assert!(s.contains("== Test =="));
+        assert!(s.contains("xxxxx  1"));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn speedup_formats() {
+        assert_eq!(speedup(10.0, 2.0), "5.0x");
+        assert_eq!(speedup(10.0, 0.0), "-");
+    }
+}

@@ -1,0 +1,316 @@
+//! Implementations of the CLI subcommands.
+
+use noswalker_apps::{
+    BasicRw, DeepWalk, GraphletConcentration, Node2Vec, Ppr, RandomWalkDomination,
+    RandomWalkWithRestart,
+};
+use noswalker_baselines::{DrunkardMob, Graphene, GraphWalker, InMemory};
+use noswalker_core::parallel::ParallelRunner;
+use noswalker_core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, Walk};
+use noswalker_graph::io::{load_csr, read_edge_list, save_csr};
+use noswalker_graph::stats::DegreeStats;
+use noswalker_graph::{generators, Csr};
+use noswalker_storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+fn load_graph(path: &str) -> Result<Csr, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if path.ends_with(".csr") {
+        load_csr(BufReader::new(file)).map_err(err)
+    } else {
+        read_edge_list(BufReader::new(file)).map_err(err)
+    }
+}
+
+/// `noswalker convert <edges> <out.csr>`.
+pub fn convert(input: &str, output: &str) -> Result<String, String> {
+    let g = load_graph(input)?;
+    let out = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    save_csr(&g, BufWriter::new(out)).map_err(err)?;
+    Ok(format!(
+        "wrote {output}: {} vertices, {} edges{}",
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_weighted() { " (weighted)" } else { "" }
+    ))
+}
+
+/// `noswalker info <graph>`.
+pub fn info(path: &str) -> Result<String, String> {
+    let g = load_graph(path)?;
+    let s = DegreeStats::of(&g);
+    Ok(format!(
+        "{path}\n  vertices:          {}\n  edges:             {}\n  csr bytes:         {}\n  avg degree:        {:.2}\n  max degree:        {}\n  degree gini:       {:.3}\n  low-degree (≤4):   {:.1}% of vertices, {:.2}% of edges\n  weighted:          {}",
+        s.num_vertices,
+        s.num_edges,
+        g.csr_bytes(),
+        s.avg_degree,
+        s.max_degree,
+        s.gini,
+        s.low_degree_fraction * 100.0,
+        s.low_degree_edge_fraction * 100.0,
+        g.is_weighted(),
+    ))
+}
+
+/// `noswalker generate <family> --scale N --degree D <out.csr>`.
+pub fn generate(
+    family: &str,
+    scale: u32,
+    degree: u32,
+    output: &str,
+    seed: u64,
+) -> Result<String, String> {
+    let g = match family {
+        "rmat" => generators::rmat(scale, degree, generators::RmatParams::default(), seed),
+        "uniform" => generators::uniform_degree(1usize << scale, degree, seed),
+        "powerlaw" => {
+            generators::configuration_model(1usize << scale, 2.7, degree.max(1), 256, seed)
+        }
+        other => return Err(format!("unknown generator family {other:?}")),
+    };
+    let out = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    save_csr(&g, BufWriter::new(out)).map_err(err)?;
+    Ok(format!(
+        "generated {family} graph: {} vertices, {} edges → {output}",
+        g.num_vertices(),
+        g.num_edges()
+    ))
+}
+
+fn format_metrics(label: &str, m: &RunMetrics) -> String {
+    format!(
+        "{label}\n  walkers finished:  {}\n  steps:             {} (block {}, pre-sample {}, raw {})\n  edge I/O:          {} bytes in {} ops ({:.1} edges/step)\n  swap/aux I/O:      {} bytes\n  simulated time:    {:.4} s ({:.2} M steps/s)\n  wall time:         {:.4} s\n  peak memory:       {} bytes\n  fine mode:         {}",
+        m.walkers_finished,
+        m.steps,
+        m.steps_on_block,
+        m.steps_on_presample,
+        m.steps_on_raw,
+        m.edge_bytes_loaded,
+        m.io_ops,
+        m.edges_per_step(),
+        m.swap_bytes,
+        m.sim_secs(),
+        m.steps_per_sec() / 1e6,
+        m.wall_ns as f64 / 1e9,
+        m.peak_memory,
+        match m.fine_mode_at_step {
+            Some(s) => format!("engaged at step {s}"),
+            None => "not engaged".into(),
+        }
+    )
+}
+
+fn dispatch_engine<A: Walk + 'static>(
+    engine: &str,
+    app: Arc<A>,
+    csr: &Csr,
+    budget_bytes: u64,
+    seed: u64,
+) -> Result<RunMetrics, String> {
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let block_bytes = (csr.num_edges() * 4 / 32).max(4096);
+    let graph = Arc::new(OnDiskGraph::store(csr, device, block_bytes).map_err(err)?);
+    let budget = MemoryBudget::new(budget_bytes);
+    let opts = EngineOptions::default();
+    match engine {
+        "noswalker" => NosWalkerEngine::new(app, graph, opts, budget)
+            .run(seed)
+            .map_err(err),
+        "graphwalker" => GraphWalker::new(app, graph, opts, budget)
+            .run(seed)
+            .map_err(err),
+        "drunkardmob" => DrunkardMob::new(app, graph, opts, budget)
+            .run(seed)
+            .map_err(err),
+        "graphene" => Graphene::new(app, graph, opts, budget)
+            .run(seed)
+            .map_err(err),
+        "inmemory" => Ok(InMemory::new(
+            app,
+            Arc::new(csr.clone()),
+            opts,
+            SsdProfile::nvme_p4618(),
+        )
+        .run(seed)),
+        "parallel" => {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            ParallelRunner::new(app, graph, opts, budget)
+                .run(seed, workers)
+                .map_err(err)
+        }
+        other => Err(format!("unknown engine {other:?}")),
+    }
+}
+
+/// `noswalker run <graph> --app APP ...`.
+pub fn run_walk(
+    graph_path: &str,
+    app: &str,
+    engine: &str,
+    budget_pct: u32,
+    walkers: u64,
+    length: u32,
+    seed: u64,
+) -> Result<String, String> {
+    let csr = load_graph(graph_path)?;
+    let n = csr.num_vertices();
+    if n == 0 {
+        return Err("graph has no vertices".into());
+    }
+    let budget_bytes = (csr.edge_region_bytes() * budget_pct as u64 / 100).max(64 << 10);
+    let label = format!(
+        "{app} on {graph_path} via {engine} (budget {budget_pct}% = {budget_bytes} bytes)"
+    );
+
+    // App-specific defaults follow the paper's settings.
+    let m = match app {
+        "basic" => {
+            let w = if walkers == 0 { n as u64 } else { walkers };
+            dispatch_engine(engine, Arc::new(BasicRw::new(w, length, n)), &csr, budget_bytes, seed)?
+        }
+        "ppr" => {
+            let per = if walkers == 0 { 2000 } else { walkers };
+            let sources = vec![0u32, (n as u32) / 3, (n as u32) / 2];
+            dispatch_engine(
+                engine,
+                Arc::new(Ppr::new(sources, per, length, n)),
+                &csr,
+                budget_bytes,
+                seed,
+            )?
+        }
+        "rwr" => {
+            let per = if walkers == 0 { 2000 } else { walkers };
+            dispatch_engine(
+                engine,
+                Arc::new(RandomWalkWithRestart::new(vec![0], per, 0.15, length, n)),
+                &csr,
+                budget_bytes,
+                seed,
+            )?
+        }
+        "rwd" => dispatch_engine(
+            engine,
+            Arc::new(RandomWalkDomination::new(n, length.min(6))),
+            &csr,
+            budget_bytes,
+            seed,
+        )?,
+        "graphlet" => dispatch_engine(
+            engine,
+            Arc::new(GraphletConcentration::paper_scale(n)),
+            &csr,
+            budget_bytes,
+            seed,
+        )?,
+        "deepwalk" => {
+            let per = if walkers == 0 { 1 } else { walkers.min(u32::MAX as u64) as u32 };
+            dispatch_engine(
+                engine,
+                Arc::new(DeepWalk::new(n, per, length, 0)),
+                &csr,
+                budget_bytes,
+                seed,
+            )?
+        }
+        "node2vec" => {
+            if engine != "noswalker" {
+                return Err("node2vec (second order) runs on --engine noswalker only".into());
+            }
+            let und = csr.to_undirected();
+            let per = if walkers == 0 { 1 } else { walkers.min(u32::MAX as u64) as u32 };
+            let app = Arc::new(Node2Vec::new(und.num_vertices(), per, length, 2.0, 0.5));
+            let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+            let block_bytes = (und.num_edges() * 4 / 32).max(4096);
+            let graph = Arc::new(OnDiskGraph::store(&und, device, block_bytes).map_err(err)?);
+            NosWalkerEngine::new(
+                app,
+                graph,
+                EngineOptions::default(),
+                MemoryBudget::new(budget_bytes),
+            )
+            .run_second_order(seed)
+            .map_err(err)?
+        }
+        other => return Err(format!("unknown app {other:?}")),
+    };
+    Ok(format_metrics(&label, &m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("noswalker-cli-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_info_run_roundtrip() {
+        let path = tmp("g.csr");
+        let out = generate("rmat", 10, 8, &path, 5).unwrap();
+        assert!(out.contains("1024 vertices"));
+        let info = info(&path).unwrap();
+        assert!(info.contains("vertices:          1024"));
+        let report = run_walk(&path, "basic", "noswalker", 12, 500, 5, 3).unwrap();
+        assert!(report.contains("walkers finished:  500"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn convert_handles_edge_lists() {
+        let el = tmp("edges.txt");
+        std::fs::write(&el, "0 1\n1 2\n2 0\n").unwrap();
+        let out = tmp("conv.csr");
+        let msg = convert(&el, &out).unwrap();
+        assert!(msg.contains("3 vertices, 3 edges"));
+        let report = run_walk(&out, "basic", "inmemory", 50, 10, 4, 1).unwrap();
+        assert!(report.contains("walkers finished:  10"));
+        std::fs::remove_file(&el).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn run_every_engine_and_app_smoke() {
+        let path = tmp("smoke.csr");
+        generate("uniform", 9, 6, &path, 7).unwrap();
+        for engine in ["noswalker", "graphwalker", "drunkardmob", "graphene", "inmemory", "parallel"] {
+            let r = run_walk(&path, "basic", engine, 25, 200, 4, 2);
+            assert!(r.is_ok(), "{engine}: {r:?}");
+        }
+        for app in ["ppr", "rwr", "rwd", "graphlet", "deepwalk", "node2vec"] {
+            let r = run_walk(&path, app, "noswalker", 25, 50, 4, 2);
+            assert!(r.is_ok(), "{app}: {r:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_user_readable() {
+        assert!(info("/no/such/file.csr").unwrap_err().contains("cannot open"));
+        let path = tmp("err.csr");
+        generate("uniform", 8, 4, &path, 1).unwrap();
+        assert!(run_walk(&path, "nope", "noswalker", 12, 1, 1, 1)
+            .unwrap_err()
+            .contains("unknown app"));
+        assert!(run_walk(&path, "basic", "nope", 12, 1, 1, 1)
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(run_walk(&path, "node2vec", "graphwalker", 12, 1, 1, 1)
+            .unwrap_err()
+            .contains("second order"));
+        assert!(generate("nope", 8, 4, &path, 1).unwrap_err().contains("family"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! The deterministic pipeline clock shared by all engines.
+//!
+//! Engines interleave compute (walker steps, sampling) with device I/O. The
+//! clock models a single I/O pipeline: operations are serviced in issue
+//! order, each taking the service time the device reported; compute advances
+//! `now` directly. An engine that overlaps I/O with compute (NosWalker's
+//! background loader, §3.1) issues a load and keeps computing until it
+//! *needs* the data — [`PipelineClock::stall_until`] accounts any wait. An
+//! engine with synchronous buffered I/O (GraphChi-derived baselines, whose
+//! disk utilization the paper measures at 20–30 %) stalls immediately after
+//! every issue.
+
+/// Simulated-time bookkeeping for one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineClock {
+    now_ns: u64,
+    io_free_ns: u64,
+    stall_ns: u64,
+    compute_ns: u64,
+    io_busy_ns: u64,
+}
+
+impl PipelineClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Total time spent stalled waiting for I/O.
+    pub fn stall_ns(&self) -> u64 {
+        self.stall_ns
+    }
+
+    /// Total compute time charged.
+    pub fn compute_ns(&self) -> u64 {
+        self.compute_ns
+    }
+
+    /// Total device service time issued.
+    pub fn io_busy_ns(&self) -> u64 {
+        self.io_busy_ns
+    }
+
+    /// Fraction of elapsed time the device was busy (I/O utilization, the
+    /// quantity behind the paper's Fig. 4 discussion). 0 if no time passed.
+    pub fn io_utilization(&self) -> f64 {
+        if self.now_ns == 0 {
+            0.0
+        } else {
+            self.io_busy_ns as f64 / self.now_ns as f64
+        }
+    }
+
+    /// Charges `ns` of compute, advancing `now`.
+    pub fn advance_compute(&mut self, ns: u64) {
+        self.now_ns += ns;
+        self.compute_ns += ns;
+    }
+
+    /// Issues an asynchronous I/O of `service_ns`; returns its completion
+    /// time. The operation queues behind any in-flight I/O.
+    pub fn issue_io(&mut self, service_ns: u64) -> u64 {
+        let start = self.io_free_ns.max(self.now_ns);
+        self.io_free_ns = start + service_ns;
+        self.io_busy_ns += service_ns;
+        self.io_free_ns
+    }
+
+    /// Blocks until `t`: advances `now` and accounts the gap as stall time.
+    /// No-op if `t` has already passed.
+    pub fn stall_until(&mut self, t: u64) {
+        if t > self.now_ns {
+            self.stall_ns += t - self.now_ns;
+            self.now_ns = t;
+        }
+    }
+
+    /// Issues an I/O and immediately stalls until it completes (synchronous
+    /// buffered I/O — the GraphChi model). Returns the completion time.
+    pub fn sync_io(&mut self, service_ns: u64) -> u64 {
+        let done = self.issue_io(service_ns);
+        self.stall_until(done);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_advances_now() {
+        let mut c = PipelineClock::new();
+        c.advance_compute(100);
+        assert_eq!(c.now(), 100);
+        assert_eq!(c.compute_ns(), 100);
+        assert_eq!(c.stall_ns(), 0);
+    }
+
+    #[test]
+    fn overlapped_io_hides_behind_compute() {
+        let mut c = PipelineClock::new();
+        let done = c.issue_io(500);
+        assert_eq!(done, 500);
+        c.advance_compute(800); // compute covers the whole I/O
+        c.stall_until(done);
+        assert_eq!(c.stall_ns(), 0);
+        assert_eq!(c.now(), 800);
+    }
+
+    #[test]
+    fn stall_accounts_waiting() {
+        let mut c = PipelineClock::new();
+        let done = c.issue_io(500);
+        c.advance_compute(100);
+        c.stall_until(done);
+        assert_eq!(c.now(), 500);
+        assert_eq!(c.stall_ns(), 400);
+    }
+
+    #[test]
+    fn io_queues_behind_inflight_io() {
+        let mut c = PipelineClock::new();
+        let first = c.issue_io(300);
+        let second = c.issue_io(200);
+        assert_eq!(first, 300);
+        assert_eq!(second, 500);
+        assert_eq!(c.io_busy_ns(), 500);
+    }
+
+    #[test]
+    fn sync_io_always_stalls() {
+        let mut c = PipelineClock::new();
+        c.sync_io(250);
+        assert_eq!(c.now(), 250);
+        assert_eq!(c.stall_ns(), 250);
+        c.advance_compute(50);
+        c.sync_io(100);
+        assert_eq!(c.now(), 400);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_elapsed() {
+        let mut c = PipelineClock::new();
+        c.sync_io(100);
+        c.advance_compute(100);
+        assert!((c.io_utilization() - 0.5).abs() < 1e-9);
+    }
+}

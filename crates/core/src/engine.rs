@@ -1,0 +1,1280 @@
+//! The NosWalker engine: decoupled, walker-oriented scheduling
+//! (paper §3.1, Algorithms 1 and 3).
+//!
+//! Two workflows share one `Run` state:
+//!
+//! * **Pooled** (walker management on — the real NosWalker): a bounded
+//!   walker pool, pre-sample chasing between loads, hottest-block
+//!   asynchronous loading, adaptive fine-grained I/O.
+//! * **Epoch** (walker management off — the Fig. 14 "Base
+//!   Implementation"): every walker exists upfront, block-at-a-time
+//!   processing with walker-state swap I/O, still with asynchronous
+//!   double-buffered loads (the paper's base is faster than GraphWalker
+//!   precisely because of overlapped I/O).
+//!
+//! Time is simulated through [`PipelineClock`]: device service times come
+//! from the storage layer, compute is charged per step/sample, and stalls
+//! are whatever the pipeline exposes.
+
+use crate::block::{BlockCache, FineLoad, LoadedBlock};
+use crate::clock::PipelineClock;
+use crate::disk_graph::{LoadError, OnDiskGraph};
+use crate::metrics::RunMetrics;
+use crate::options::EngineOptions;
+use crate::presample::{plan_quotas, Peek, PreSampleBuffer};
+use crate::walk::{SecondOrderWalk, Walk, WalkRng};
+use noswalker_graph::layout::VertexEdges;
+use noswalker_graph::partition::BlockId;
+use noswalker_graph::VertexId;
+use noswalker_storage::{BudgetExceeded, MemoryBudget, Reservation};
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors an engine run can produce.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The memory budget cannot hold the engine's minimum working set
+    /// (e.g. a single block buffer) — the configuration is infeasible, the
+    /// same condition under which the paper's DrunkardMob "cannot process"
+    /// a graph.
+    Budget(BudgetExceeded),
+    /// A device operation failed.
+    Load(LoadError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Budget(e) => write!(f, "engine: {e}"),
+            EngineError::Load(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<BudgetExceeded> for EngineError {
+    fn from(e: BudgetExceeded) -> Self {
+        EngineError::Budget(e)
+    }
+}
+
+impl From<LoadError> for EngineError {
+    fn from(e: LoadError) -> Self {
+        match e {
+            LoadError::Budget(b) => EngineError::Budget(b),
+            other => EngineError::Load(other),
+        }
+    }
+}
+
+/// A source of decoded vertex edges (a coarse block or a fine load).
+trait EdgeSource {
+    fn edges<'a>(&'a self, graph: &OnDiskGraph, v: VertexId) -> Option<VertexEdges<'a>>;
+}
+
+impl EdgeSource for LoadedBlock {
+    fn edges<'a>(&'a self, graph: &OnDiskGraph, v: VertexId) -> Option<VertexEdges<'a>> {
+        self.vertex_edges(graph, v)
+    }
+}
+
+impl EdgeSource for FineLoad {
+    fn edges<'a>(&'a self, graph: &OnDiskGraph, v: VertexId) -> Option<VertexEdges<'a>> {
+        self.vertex_edges(graph, v)
+    }
+}
+
+/// The NosWalker engine.
+///
+/// Construction is cheap and the engine is reusable — every
+/// [`NosWalkerEngine::run`] is an independent deterministic simulation
+/// under its seed. See the crate-level docs for a complete example.
+#[derive(Debug)]
+pub struct NosWalkerEngine<A: Walk> {
+    app: Arc<A>,
+    graph: Arc<OnDiskGraph>,
+    opts: EngineOptions,
+    budget: Arc<MemoryBudget>,
+}
+
+impl<A: Walk> NosWalkerEngine<A> {
+    /// Creates an engine for `app` over `graph` under `budget`.
+    pub fn new(
+        app: Arc<A>,
+        graph: Arc<OnDiskGraph>,
+        opts: EngineOptions,
+        budget: Arc<MemoryBudget>,
+    ) -> Self {
+        NosWalkerEngine {
+            app,
+            graph,
+            opts,
+            budget,
+        }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Runs the first-order workflow (Algorithm 1) to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Budget`] if the budget cannot hold the minimum
+    /// working set; [`EngineError::Load`] on device failure.
+    pub fn run(&self, seed: u64) -> Result<RunMetrics, EngineError> {
+        let mut run = Run::new(self, seed)?;
+        if self.opts.enable_walker_management {
+            run.run_pooled()?;
+        } else {
+            run.run_epochs()?;
+        }
+        Ok(run.finish())
+    }
+}
+
+impl<A: SecondOrderWalk> NosWalkerEngine<A> {
+    /// Runs the second-order workflow (Algorithm 3): pre-samples provide
+    /// uniform candidates; rejection is processed when each candidate's
+    /// block is resident.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NosWalkerEngine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enable_walker_management` is off — the second-order
+    /// extension is defined on the full decoupled architecture.
+    pub fn run_second_order(&self, seed: u64) -> Result<RunMetrics, EngineError> {
+        assert!(
+            self.opts.enable_walker_management,
+            "second-order runs require walker management"
+        );
+        let mut run = Run::new(self, seed)?;
+        run.run_pooled_2nd()?;
+        Ok(run.finish())
+    }
+}
+
+/// A pending asynchronous load.
+enum Pending {
+    Coarse {
+        block: std::sync::Arc<LoadedBlock>,
+        ready_at: u64,
+    },
+    Fine {
+        load: FineLoad,
+        ready_at: u64,
+    },
+}
+
+impl Pending {
+    fn ready_at(&self) -> u64 {
+        match self {
+            Pending::Coarse { ready_at, .. } | Pending::Fine { ready_at, .. } => *ready_at,
+        }
+    }
+
+    fn block_id(&self) -> BlockId {
+        match self {
+            Pending::Coarse { block, .. } => block.info().id,
+            Pending::Fine { load, .. } => load.info().id,
+        }
+    }
+}
+
+/// A bucket entry: a walker slot plus the vertex whose edge data it is
+/// waiting for (its location; for second order with a pending candidate,
+/// the candidate).
+type Entry = (usize, VertexId);
+
+/// All mutable state of one engine run.
+struct Run<'e, A: Walk> {
+    app: &'e A,
+    graph: &'e OnDiskGraph,
+    opts: &'e EngineOptions,
+    budget: &'e Arc<MemoryBudget>,
+    rng: WalkRng,
+    clock: PipelineClock,
+    metrics: RunMetrics,
+    slab: Vec<Option<A::Walker>>,
+    free: Vec<usize>,
+    /// Walker entries bucketed by the block of their needed vertex.
+    buckets: Vec<Vec<Entry>>,
+    live: u64,
+    next_id: u64,
+    total: u64,
+    presample: Vec<Option<PreSampleBuffer>>,
+    pool_reservation: Option<Reservation>,
+    fine_mode: bool,
+    /// Page-cache stand-in for coarse blocks (the cgroups budget covers
+    /// the OS page cache for every system, §4.1).
+    cache: BlockCache,
+    /// Offset of the walker-state swap region on the device (epoch mode).
+    swap_base: u64,
+    /// Largest coarse block, for sizing fixed overhead.
+    max_block_bytes: u64,
+    started: Instant,
+}
+
+impl<'e, A: Walk> Run<'e, A> {
+    fn new(engine: &'e NosWalkerEngine<A>, seed: u64) -> Result<Self, EngineError> {
+        let num_blocks = engine.graph.num_blocks();
+        let total = engine.app.total_walkers();
+        // Pooled mode charges the pool; epoch mode charges only the fixed
+        // in-memory walker buffer (the remaining states live on disk and
+        // cost swap I/O instead, §2.4.2).
+        // Pool auto-sizing: walker pools may take at most a quarter of the
+        // budget; the rest stays available for block buffers and the
+        // pre-sample pool (Fig. 6's "Adjust").
+        let by_budget = engine.budget.limit() / 4 / engine.app.state_bytes().max(1) as u64;
+        let charged = (engine.opts.walker_pool_size as u64)
+            .min(total.max(1))
+            .min(by_budget.max(64));
+        let pool_bytes = charged * engine.app.state_bytes() as u64;
+        let pool_reservation = engine.budget.try_reserve(pool_bytes)?;
+        let max_block_bytes = engine
+            .graph
+            .partition()
+            .blocks()
+            .iter()
+            .map(|b| b.byte_len())
+            .max()
+            .unwrap_or(0);
+        Ok(Run {
+            app: &engine.app,
+            graph: &engine.graph,
+            opts: &engine.opts,
+            budget: &engine.budget,
+            rng: WalkRng::seed_from_u64(seed),
+            clock: PipelineClock::new(),
+            metrics: RunMetrics::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            buckets: vec![Vec::new(); num_blocks],
+            live: 0,
+            next_id: 0,
+            total,
+            presample: (0..num_blocks).map(|_| None).collect(),
+            pool_reservation: Some(pool_reservation),
+            fine_mode: false,
+            cache: BlockCache::new(num_blocks),
+            swap_base: engine.graph.edge_region_bytes(),
+            max_block_bytes,
+            started: Instant::now(),
+        })
+    }
+
+    fn finish(mut self) -> RunMetrics {
+        self.metrics.sim_ns = self.clock.now();
+        self.metrics.stall_ns = self.clock.stall_ns();
+        self.metrics.io_busy_ns = self.clock.io_busy_ns();
+        self.metrics.wall_ns = self.started.elapsed().as_nanos() as u64;
+        self.metrics.peak_memory = self.budget.peak();
+        let rec = self.graph.format().record_bytes() as u64;
+        self.metrics.edges_loaded = self.metrics.edge_bytes_loaded / rec;
+        self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Walker bookkeeping
+    // ------------------------------------------------------------------
+
+    fn remaining(&self) -> u64 {
+        self.total - self.metrics.walkers_finished
+    }
+
+    /// The effective walker pool capacity (see `EngineOptions::walker_pool_size`).
+    fn pool_cap(&self) -> u64 {
+        let by_budget = self.budget.limit() / 4 / self.app.state_bytes().max(1) as u64;
+        (self.opts.walker_pool_size as u64).min(by_budget.max(64))
+    }
+
+    fn done(&self) -> bool {
+        self.next_id >= self.total && self.live == 0
+    }
+
+    fn insert_walker(&mut self, w: A::Walker, needed: VertexId) -> usize {
+        let idx = if let Some(i) = self.free.pop() {
+            self.slab[i] = Some(w);
+            i
+        } else {
+            self.slab.push(Some(w));
+            self.slab.len() - 1
+        };
+        let b = self.graph.block_of(needed) as usize;
+        self.buckets[b].push((idx, needed));
+        self.live += 1;
+        idx
+    }
+
+    fn retire(&mut self, i: usize) {
+        let w = self.slab[i].take().expect("retiring a live walker");
+        self.app.on_terminate(&w);
+        self.free.push(i);
+        self.live -= 1;
+        self.metrics.walkers_finished += 1;
+    }
+
+    /// Re-buckets walker `i` by `needed`; no-op if it terminated.
+    fn rebucket(&mut self, i: usize, needed: impl Fn(&Self, &A::Walker) -> VertexId) {
+        if let Some(w) = &self.slab[i] {
+            let v = needed(self, w);
+            let b = self.graph.block_of(v) as usize;
+            self.buckets[b].push((i, v));
+        }
+    }
+
+    /// Generates walkers up to `cap` live, shrinking the pool reservation
+    /// once generation is exhausted (memory recycling, §3.3.3). `needed`
+    /// computes the bucket vertex for a fresh walker.
+    fn generate(&mut self, cap: u64, needed: impl Fn(&Self, &A::Walker) -> VertexId) {
+        while self.live < cap && self.next_id < self.total {
+            let w = self.app.generate(self.next_id, &mut self.rng);
+            self.next_id += 1;
+            if !self.app.is_active(&w) {
+                self.app.on_terminate(&w);
+                self.metrics.walkers_finished += 1;
+                continue;
+            }
+            let v = needed(self, &w);
+            self.insert_walker(w, v);
+        }
+        if self.next_id >= self.total {
+            let cap = self.pool_cap();
+            if let Some(r) = &mut self.pool_reservation {
+                let want = self.live.min(cap) * self.app.state_bytes() as u64;
+                if want < r.bytes() {
+                    r.shrink_to(want);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Moving
+    // ------------------------------------------------------------------
+
+    /// Takes one step for walker `i` to `dst`. Returns `(alive, consumed)`:
+    /// whether the walker survived, and whether it consumed the supplied
+    /// destination (the paper's `Action` return value, Algorithm 1 line
+    /// 17 — `false` means e.g. a restart hop that ignored the sample).
+    fn step_to(&mut self, i: usize, dst: VertexId) -> (bool, bool) {
+        let w = self.slab[i].as_mut().expect("live walker");
+        let consumed = self.app.action(w, dst, &mut self.rng);
+        self.clock.advance_compute(self.opts.step_cost());
+        self.metrics.steps += 1;
+        let alive = self.app.is_active(self.slab[i].as_ref().expect("live"));
+        if !alive {
+            self.retire(i);
+        }
+        (alive, consumed)
+    }
+
+    /// Moves walker `i` as far as possible on pre-sampled / raw slots
+    /// (the decoupled fast path). Returns steps taken.
+    fn chase_presamples(&mut self, i: usize) -> u64 {
+        let mut steps = 0u64;
+        loop {
+            let Some(w) = self.slab[i].as_ref() else {
+                break;
+            };
+            if !self.app.is_active(w) {
+                self.retire(i);
+                break;
+            }
+            let loc = self.app.location(w);
+            if self.graph.degree(loc) == 0 {
+                self.retire(i);
+                break;
+            }
+            let b = self.graph.block_of(loc) as usize;
+            let Some(buf) = &self.presample[b] else {
+                break;
+            };
+            match buf.peek(loc) {
+                Peek::Sampled(dst) => {
+                    self.metrics.steps_on_presample += 1;
+                    steps += 1;
+                    let (alive, consumed) = self.step_to(i, dst);
+                    if consumed {
+                        // Pop only when Action consumed the sample
+                        // (Algorithm 1, lines 17-18).
+                        self.presample[b].as_mut().expect("checked").consume(loc);
+                        self.metrics.presamples_consumed += 1;
+                    }
+                    if !alive {
+                        break;
+                    }
+                }
+                Peek::Raw(view) => {
+                    let dst = self.app.sample(&view, &mut self.rng);
+                    self.clock.advance_compute(self.opts.sample_cost());
+                    self.presample[b].as_mut().expect("checked").consume(loc);
+                    self.metrics.steps_on_raw += 1;
+                    steps += 1;
+                    if !self.step_to(i, dst).0 {
+                        break;
+                    }
+                }
+                Peek::Empty => {
+                    self.presample[b]
+                        .as_mut()
+                        .expect("checked")
+                        .record_stall(loc);
+                    break;
+                }
+            }
+        }
+        steps
+    }
+
+    /// Moves walker `i` as far as possible inside edge source `src`
+    /// (GraphWalker-style re-entry; "use loaded edges as pre-sampled
+    /// edges", §3.3.5), then keeps going on pre-samples. Returns steps.
+    fn chase_block(&mut self, i: usize, src: &dyn EdgeSource) -> u64 {
+        let mut steps = 0u64;
+        loop {
+            let Some(w) = self.slab[i].as_ref() else {
+                break;
+            };
+            if !self.app.is_active(w) {
+                self.retire(i);
+                break;
+            }
+            let loc = self.app.location(w);
+            if self.graph.degree(loc) == 0 {
+                self.retire(i);
+                break;
+            }
+            let Some(view) = src.edges(self.graph, loc) else {
+                steps += self.chase_presamples(i);
+                break;
+            };
+            let dst = self.app.sample(&view, &mut self.rng);
+            self.clock.advance_compute(self.opts.sample_cost());
+            self.metrics.steps_on_block += 1;
+            steps += 1;
+            if !self.step_to(i, dst).0 {
+                break;
+            }
+        }
+        steps
+    }
+
+    // ------------------------------------------------------------------
+    // Loading and pre-sampling
+    // ------------------------------------------------------------------
+
+    /// Evicts pre-sample buffers (largest first) until `bytes` fit in the
+    /// budget. Errors if they cannot fit even with everything evicted.
+    fn make_room(&mut self, bytes: u64) -> Result<(), BudgetExceeded> {
+        while self.budget.available() < bytes {
+            // Cached blocks are the cheapest to give back (they can be
+            // reloaded); reserved pre-samples go next.
+            if self.cache.evict_one() {
+                continue;
+            }
+            let victim = (0..self.presample.len())
+                .filter(|&b| self.presample[b].is_some())
+                .max_by_key(|&b| self.presample[b].as_ref().map_or(0, |p| p.memory_bytes()));
+            match victim {
+                Some(b) => self.presample[b] = None,
+                None => {
+                    return Err(BudgetExceeded {
+                        requested: bytes,
+                        in_use: self.budget.in_use(),
+                        limit: self.budget.limit(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The block with the most waiting walkers, excluding `skip`.
+    fn hottest_block(&self, skip: Option<BlockId>) -> Option<BlockId> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(i, b)| Some(i as BlockId) != skip && !b.is_empty())
+            .max_by_key(|(_, b)| b.len())
+            .map(|(i, _)| i as BlockId)
+    }
+
+    /// Fine-mode switch `α·|Wa|·4KiB < S_G` (§3.3.1); sticky once taken.
+    fn check_fine_mode(&mut self) {
+        if self.fine_mode || !self.opts.enable_shrink_block {
+            return;
+        }
+        let lhs = self.opts.alpha * self.remaining() * noswalker_graph::FINE_PAGE_BYTES;
+        if lhs < self.graph.edge_region_bytes() {
+            self.fine_mode = true;
+            self.metrics.fine_mode_at_step = Some(self.metrics.steps);
+        }
+    }
+
+    /// Like [`Run::issue_load`], but tolerates a tight budget by skipping
+    /// the prefetch (used while the previous block buffer is still alive).
+    fn try_prefetch(&mut self, skip: Option<BlockId>) -> Result<Option<Pending>, EngineError> {
+        match self.issue_load(skip) {
+            Ok(p) => Ok(p),
+            Err(EngineError::Budget(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Issues the next load (hottest block; fine-grained in fine mode),
+    /// or `None` if no walker is waiting for anything.
+    fn issue_load(&mut self, skip: Option<BlockId>) -> Result<Option<Pending>, EngineError> {
+        let Some(b) = self.hottest_block(skip) else {
+            return Ok(None);
+        };
+        self.check_fine_mode();
+        if self.fine_mode {
+            let mut verts: Vec<VertexId> =
+                self.buckets[b as usize].iter().map(|&(_, v)| v).collect();
+            verts.sort_unstable();
+            verts.dedup();
+            // Bound the batch so its pages fit comfortably in memory; the
+            // remaining stalled vertices are served by later batches.
+            let cap = (self.budget.limit() / 4).max(noswalker_graph::FINE_PAGE_BYTES * 4);
+            let mut estimate = 0u64;
+            let mut keep = verts.len();
+            for (i, &v) in verts.iter().enumerate() {
+                let r = self.graph.vertex_byte_range(v);
+                estimate += (r.end - r.start) + 2 * noswalker_graph::FINE_PAGE_BYTES;
+                if estimate > cap {
+                    keep = i.max(1);
+                    break;
+                }
+            }
+            verts.truncate(keep);
+            self.make_room(estimate.min(cap))?;
+            let (load, ns) = self.graph.load_fine(b, &verts, self.budget)?;
+            let ready_at = self.clock.issue_io(ns);
+            self.metrics.fine_loads += 1;
+            self.metrics.io_ops += load.num_runs() as u64;
+            self.metrics.edge_bytes_loaded += load.loaded_bytes();
+            Ok(Some(Pending::Fine { load, ready_at }))
+        } else {
+            self.issue_coarse(b).map(Some)
+        }
+    }
+
+    fn issue_coarse(&mut self, b: BlockId) -> Result<Pending, EngineError> {
+        let info = *self.graph.partition().block(b);
+        if self.budget.available() < info.byte_len() {
+            self.make_room(info.byte_len())?;
+        }
+        let (block, ns, hit) = self
+            .cache
+            .load(self.graph, b, self.budget)
+            .map_err(EngineError::from)?;
+        let ready_at = self.clock.issue_io(ns);
+        if !hit {
+            self.metrics.coarse_loads += 1;
+            self.metrics.io_ops += 1;
+            self.metrics.edge_bytes_loaded += info.byte_len();
+        }
+        Ok(Pending::Coarse { block, ready_at })
+    }
+
+    /// Rebuilds block `b`'s pre-sample buffer from a loaded source
+    /// (§3.3.2): drop the old generation, reallocate slots proportional to
+    /// carried visit counters, refill by sampling. `only` restricts slots
+    /// to the vertices actually covered by a fine load.
+    fn rebuild_presamples(&mut self, b: BlockId, src: &dyn EdgeSource, only: Option<&[VertexId]>) {
+        if !self.opts.enable_presample {
+            return;
+        }
+        // Regenerating a buffer discards its unconsumed slots (the compact
+        // CSR layout cannot be appended to, §3.3.2); only do so once the
+        // current generation is mostly drained, so reserved samples are not
+        // wasted on every reload of a hot block.
+        if let Some(buf) = &self.presample[b as usize] {
+            let cap = buf.sampled_capacity();
+            if cap > 0 && buf.remaining_sampled() * 4 > cap {
+                return;
+            }
+        }
+        let info = *self.graph.partition().block(b);
+        let nv = info.num_vertices() as usize;
+        if nv == 0 {
+            return;
+        }
+        let old = self.presample[b as usize].take();
+        let weights: Vec<u32> = if self.opts.uniform_presample_alloc {
+            vec![0; nv] // zero weights → the planner falls back to uniform
+        } else {
+            match &old {
+                Some(buf) => buf.visit_weights().to_vec(),
+                None => vec![0; nv],
+            }
+        };
+        drop(old); // release the old generation's memory first
+        let degrees: Vec<u64> = (0..nv)
+            .map(|i| {
+                let v = info.vertex_start + i as VertexId;
+                let covered = match only {
+                    Some(list) => list.binary_search(&v).is_ok(),
+                    None => true,
+                };
+                if covered && src.edges(self.graph, v).is_some() {
+                    self.graph.degree(v)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let weighted = self.graph.format() != noswalker_graph::EdgeFormat::Unweighted;
+        // Sampled slots are 4 B regardless of edge format — the succinct
+        // representation that makes pre-sampling shine on weighted data.
+        let slot_bytes: u64 = 4;
+        let meta_bytes = nv as u64 * 9 + 4;
+        // Fair share: the pre-sample pool as a whole gets a fraction of the
+        // budget left after the fixed working set (two block buffers + the
+        // walker pool), split evenly across blocks. This is what lets the
+        // reserved samples cover the *entire* graph at a few slots per
+        // vertex — the succinct-representation effect of §2.4.1 — instead
+        // of a handful of blocks hoarding deep sample queues.
+        let fixed = 2 * self.max_block_bytes
+            + self.pool_reservation.as_ref().map_or(0, |r| r.bytes());
+        let pool_budget = (self.budget.limit().saturating_sub(fixed) as f64
+            * self.opts.presample_budget_fraction) as u64;
+        let fair = pool_budget / self.graph.num_blocks().max(1) as u64;
+        let avail = self.budget.available();
+        let cap_bytes = fair.min(avail);
+        if cap_bytes <= meta_bytes {
+            return;
+        }
+        let mut capacity_slots = (cap_bytes - meta_bytes) / slot_bytes;
+        let (plan, reservation) = loop {
+            let plan = plan_quotas(
+                &degrees,
+                &weights,
+                capacity_slots,
+                self.opts.low_degree_threshold,
+                self.opts.presample_cap_per_vertex,
+            );
+            if plan.total_slots == 0 {
+                return;
+            }
+            match self
+                .budget
+                .try_reserve(PreSampleBuffer::planned_bytes(&plan, weighted))
+            {
+                Ok(r) => break (plan, r),
+                Err(_) if capacity_slots > 64 => capacity_slots /= 2,
+                Err(_) => return, // budget too tight right now; retry later
+            }
+        };
+        let app = self.app;
+        let graph = self.graph;
+        let rng = &mut self.rng;
+        let (mut buf, draws) = PreSampleBuffer::build(
+            info.vertex_start,
+            &plan,
+            weighted,
+            |v| {
+                let view = src.edges(graph, v).expect("planned vertices are covered");
+                app.sample(&view, rng)
+            },
+            |v, edges, mut wts| {
+                let view = src.edges(graph, v).expect("planned vertices are covered");
+                for i in 0..view.degree() {
+                    edges.push(view.target(i));
+                    if let Some(w) = wts.as_deref_mut() {
+                        w.push(view.weight(i).unwrap_or(1.0));
+                    }
+                }
+            },
+        );
+        buf.set_reservation(reservation);
+        self.clock.advance_compute(draws * self.opts.sample_cost());
+        self.metrics.presamples_filled += draws;
+        self.presample[b as usize] = Some(buf);
+    }
+
+    // ------------------------------------------------------------------
+    // First-order pooled workflow (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    fn run_pooled(&mut self) -> Result<(), EngineError> {
+        let cap = self.pool_cap();
+        let by_loc = |run: &Self, w: &A::Walker| run.app.location(w);
+        self.generate(cap, by_loc);
+        let mut pending: Option<Pending> = None;
+        loop {
+            if self.done() {
+                break;
+            }
+            // Integrate a completed load; issue the next one first so the
+            // loader never idles (background I/O thread, Algorithm 1).
+            if pending
+                .as_ref()
+                .is_some_and(|p| p.ready_at() <= self.clock.now())
+            {
+                let p = pending.take().expect("checked");
+                pending = self.try_prefetch(Some(p.block_id()))?;
+                self.integrate_first_order(p);
+                self.generate(cap, by_loc);
+            }
+            // Keep walkers moving on reserved pre-samples meanwhile.
+            let moved = self.presample_pass();
+            self.generate(cap, by_loc);
+            if self.done() {
+                break;
+            }
+            if pending.is_none() {
+                pending = self.issue_load(None)?;
+            }
+            if moved == 0 {
+                match &pending {
+                    Some(p) => {
+                        let t = p.ready_at();
+                        self.clock.stall_until(t);
+                    }
+                    None => {
+                        debug_assert!(self.done(), "walkers remain but nothing to load");
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One pass over all waiting walkers, chasing pre-samples. Returns
+    /// total steps moved.
+    fn presample_pass(&mut self) -> u64 {
+        if !self.opts.enable_presample {
+            return 0;
+        }
+        let mut moved = 0u64;
+        for b in 0..self.buckets.len() {
+            if self.presample[b].is_none() || self.buckets[b].is_empty() {
+                continue;
+            }
+            let bucket = std::mem::take(&mut self.buckets[b]);
+            for (i, _) in bucket {
+                moved += self.chase_presamples(i);
+                self.rebucket(i, |run, w| run.app.location(w));
+            }
+        }
+        moved
+    }
+
+    fn integrate_first_order(&mut self, p: Pending) {
+        let b = p.block_id();
+        let src: &dyn EdgeSource = match &p {
+            Pending::Coarse { block, .. } => &**block,
+            Pending::Fine { load, .. } => load,
+        };
+        let mut served: Vec<VertexId> = Vec::new();
+        // Process the waiting walkers, then adaptively generate more
+        // (Fig. 6 ②): fresh walkers whose start vertex lies in the
+        // resident block are drained immediately while the data is hot,
+        // freeing their pool slots for yet more generation. Iterate until
+        // the block has no runnable walker left or the pool is pinned by
+        // walkers stuck elsewhere.
+        let cap = self.pool_cap();
+        loop {
+            let progress_mark = self.metrics.steps + self.metrics.walkers_finished + self.next_id;
+            let bucket = std::mem::take(&mut self.buckets[b as usize]);
+            if bucket.is_empty() {
+                self.generate(cap, |run, w| run.app.location(w));
+                if self.next_id + self.metrics.walkers_finished == progress_mark
+                    || self.buckets[b as usize].is_empty()
+                {
+                    break;
+                }
+                continue;
+            }
+            for (i, needed) in bucket {
+                if matches!(p, Pending::Fine { .. }) {
+                    served.push(needed);
+                }
+                self.chase_block(i, src);
+                self.rebucket(i, |run, w| run.app.location(w));
+            }
+            if self.metrics.steps + self.metrics.walkers_finished + self.next_id == progress_mark {
+                break; // remaining walkers cannot move on this load
+            }
+        }
+        served.sort_unstable();
+        served.dedup();
+        match &p {
+            Pending::Coarse { block, .. } => self.rebuild_presamples(b, &**block, None),
+            Pending::Fine { load, .. } => self.rebuild_presamples(b, load, Some(&served)),
+        }
+        // `p` drops here; the coarse buffer stays alive in the cache.
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch workflow (walker management off — Fig. 14 base)
+    // ------------------------------------------------------------------
+
+    fn run_epochs(&mut self) -> Result<(), EngineError> {
+        let by_loc = |run: &Self, w: &A::Walker| run.app.location(w);
+        self.generate(u64::MAX, by_loc);
+        let mut pending: Option<Pending> = None;
+        while !self.done() {
+            if pending.is_none() {
+                pending = self.issue_load(None)?;
+                if pending.is_none() {
+                    break;
+                }
+            }
+            let p = pending.take().expect("issued above");
+            self.clock.stall_until(p.ready_at());
+            let b = p.block_id();
+            // Walker-state swap (GraphWalker's fixed walker buffer,
+            // §2.4.2): the block's walker states are read from and written
+            // back to a swap region on the same device.
+            let in_block = self.buckets[b as usize].len() as u64;
+            self.charge_swap(in_block)?;
+            // Prefetch the next-hottest block while processing (skipped
+            // when the budget cannot hold two block buffers).
+            if let Some(nb) = self.hottest_block(Some(b)) {
+                match self.issue_coarse(nb) {
+                    Ok(p) => pending = Some(p),
+                    Err(EngineError::Budget(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            let Pending::Coarse { block, .. } = p else {
+                unreachable!("epoch mode issues only coarse loads");
+            };
+            let bucket = std::mem::take(&mut self.buckets[b as usize]);
+            for (i, _) in bucket {
+                self.chase_block(i, &*block);
+                self.rebucket(i, by_loc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs the swap-region I/O for `n` walker states: write back, then
+    /// read in — real device operations so the cost model and stats agree.
+    fn charge_swap(&mut self, n: u64) -> Result<(), EngineError> {
+        let bytes = n * self.opts.swap_record_bytes;
+        if bytes == 0 {
+            return Ok(());
+        }
+        const CHUNK: u64 = 16 << 20;
+        let mut left = bytes;
+        let buf_len = left.min(CHUNK) as usize;
+        let mut buf = vec![0u8; buf_len];
+        let device = self.graph.device();
+        while left > 0 {
+            let n = left.min(CHUNK) as usize;
+            let wns = device
+                .write(self.swap_base, &buf[..n])
+                .map_err(|e| EngineError::Load(LoadError::Device(e)))?;
+            let rns = device
+                .read(self.swap_base, &mut buf[..n])
+                .map_err(|e| EngineError::Load(LoadError::Device(e)))?;
+            self.clock.sync_io(wns + rns);
+            left -= n as u64;
+        }
+        self.metrics.swap_bytes += 2 * bytes;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Second-order pooled workflow (Algorithm 3)
+// ----------------------------------------------------------------------
+
+impl<'e, A: SecondOrderWalk> Run<'e, A> {
+    /// The vertex whose edges this walker needs next: the pending
+    /// candidate (for rejection) or the current location (for sampling).
+    fn needed_vertex(&self, w: &A::Walker) -> VertexId {
+        self.app.candidate(w).unwrap_or_else(|| self.app.location(w))
+    }
+
+    fn run_pooled_2nd(&mut self) -> Result<(), EngineError> {
+        let cap = self.pool_cap();
+        let by_need = |run: &Self, w: &A::Walker| run.needed_vertex(w);
+        self.generate(cap, by_need);
+        let mut pending: Option<Pending> = None;
+        loop {
+            if self.done() {
+                break;
+            }
+            if pending
+                .as_ref()
+                .is_some_and(|p| p.ready_at() <= self.clock.now())
+            {
+                let p = pending.take().expect("checked");
+                pending = self.try_prefetch(Some(p.block_id()))?;
+                self.integrate_2nd(p);
+                self.generate(cap, by_need);
+            }
+            let moved = self.candidate_pass();
+            self.generate(cap, by_need);
+            if self.done() {
+                break;
+            }
+            if pending.is_none() {
+                pending = self.issue_load(None)?;
+            }
+            if moved == 0 {
+                match &pending {
+                    Some(p) => {
+                        let t = p.ready_at();
+                        self.clock.stall_until(t);
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Hands candidates to candidate-less walkers from pre-samples
+    /// (steps 1–2 of the rejection method, Appendix A.2).
+    fn candidate_pass(&mut self) -> u64 {
+        if !self.opts.enable_presample {
+            return 0;
+        }
+        let mut progress = 0u64;
+        for b in 0..self.buckets.len() {
+            if self.presample[b].is_none() || self.buckets[b].is_empty() {
+                continue;
+            }
+            let bucket = std::mem::take(&mut self.buckets[b]);
+            for (i, _) in bucket {
+                progress += self.acquire_candidate(i);
+                self.rebucket(i, |run, w| run.needed_vertex(w));
+            }
+        }
+        progress
+    }
+
+    fn acquire_candidate(&mut self, i: usize) -> u64 {
+        let Some(w) = self.slab[i].as_ref() else {
+            return 0;
+        };
+        if !self.app.is_active(w) {
+            self.retire(i);
+            return 0;
+        }
+        if self.app.candidate(w).is_some() {
+            return 0; // waiting for rejection, not for a sample
+        }
+        let loc = self.app.location(w);
+        if self.graph.degree(loc) == 0 {
+            self.retire(i);
+            return 0;
+        }
+        let b = self.graph.block_of(loc) as usize;
+        let Some(buf) = &self.presample[b] else {
+            return 0;
+        };
+        match buf.peek(loc) {
+            Peek::Sampled(dst) => {
+                let w = self.slab[i].as_mut().expect("live");
+                let consumed = self.app.action(w, dst, &mut self.rng);
+                self.clock.advance_compute(self.opts.step_cost());
+                if consumed {
+                    self.presample[b].as_mut().expect("checked").consume(loc);
+                    self.metrics.presamples_consumed += 1;
+                }
+                1
+            }
+            Peek::Raw(view) => {
+                let dst = self.app.sample(&view, &mut self.rng);
+                self.clock.advance_compute(self.opts.sample_cost());
+                let w = self.slab[i].as_mut().expect("live");
+                self.app.action(w, dst, &mut self.rng);
+                self.presample[b].as_mut().expect("checked").consume(loc);
+                1
+            }
+            Peek::Empty => {
+                self.presample[b]
+                    .as_mut()
+                    .expect("checked")
+                    .record_stall(loc);
+                0
+            }
+        }
+    }
+
+    /// Integrates a load for second order: RejectionProcess for walkers
+    /// whose candidate lives here, then in-block candidate + rejection
+    /// chaining (Algorithm 3).
+    fn integrate_2nd(&mut self, p: Pending) {
+        let b = p.block_id();
+        let src: &dyn EdgeSource = match &p {
+            Pending::Coarse { block, .. } => &**block,
+            Pending::Fine { load, .. } => load,
+        };
+        let bucket = std::mem::take(&mut self.buckets[b as usize]);
+        let mut served: Vec<VertexId> = Vec::new();
+        for (i, needed) in bucket {
+            if matches!(p, Pending::Fine { .. }) {
+                served.push(needed);
+            }
+            loop {
+                let Some(w) = self.slab[i].as_ref() else {
+                    break;
+                };
+                if !self.app.is_active(w) {
+                    self.retire(i);
+                    break;
+                }
+                if let Some(c) = self.app.candidate(w) {
+                    let Some(cedges) = src.edges(self.graph, c) else {
+                        break; // candidate's pages not in this load
+                    };
+                    let before = self.app.location(w);
+                    let wm = self.slab[i].as_mut().expect("live");
+                    self.app.rejection(wm, &cedges, &mut self.rng);
+                    self.clock.advance_compute(self.opts.step_cost());
+                    let w = self.slab[i].as_ref().expect("live");
+                    if self.app.location(w) != before {
+                        self.metrics.accepts += 1;
+                        self.metrics.steps += 1;
+                        self.metrics.steps_on_block += 1;
+                    } else {
+                        self.metrics.rejects += 1;
+                    }
+                    continue;
+                }
+                let loc = self.app.location(w);
+                if self.graph.degree(loc) == 0 {
+                    self.retire(i);
+                    break;
+                }
+                let Some(view) = src.edges(self.graph, loc) else {
+                    break;
+                };
+                let dst = self.app.sample(&view, &mut self.rng);
+                self.clock.advance_compute(self.opts.sample_cost());
+                let wm = self.slab[i].as_mut().expect("live");
+                self.app.action(wm, dst, &mut self.rng);
+            }
+            self.rebucket(i, |run, w| run.needed_vertex(w));
+        }
+        served.sort_unstable();
+        served.dedup();
+        match &p {
+            Pending::Coarse { block, .. } => self.rebuild_presamples(b, &**block, None),
+            Pending::Fine { load, .. } => self.rebuild_presamples(b, load, Some(&served)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::uniform_sample;
+    use noswalker_graph::generators;
+    use noswalker_storage::{SimSsd, SsdProfile};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A basic fixed-length uniform walk that counts visits.
+    #[derive(Debug)]
+    struct Basic {
+        walkers: u64,
+        length: u32,
+        start_mod: u32,
+        visits: Vec<AtomicU64>,
+    }
+
+    impl Basic {
+        fn new(walkers: u64, length: u32, n: usize) -> Self {
+            Basic {
+                walkers,
+                length,
+                start_mod: n as u32,
+                visits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct BasicWalker {
+        at: VertexId,
+        step: u32,
+    }
+
+    impl Walk for Basic {
+        type Walker = BasicWalker;
+        fn total_walkers(&self) -> u64 {
+            self.walkers
+        }
+        fn generate(&self, n: u64, _rng: &mut WalkRng) -> BasicWalker {
+            BasicWalker {
+                at: (n % self.start_mod as u64) as u32,
+                step: 0,
+            }
+        }
+        fn location(&self, w: &BasicWalker) -> VertexId {
+            w.at
+        }
+        fn is_active(&self, w: &BasicWalker) -> bool {
+            w.step < self.length
+        }
+        fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+            uniform_sample(v, rng)
+        }
+        fn action(&self, w: &mut BasicWalker, next: VertexId, _rng: &mut WalkRng) -> bool {
+            self.visits[next as usize].fetch_add(1, Ordering::Relaxed);
+            w.at = next;
+            w.step += 1;
+            true
+        }
+    }
+
+    fn small_setup(
+        opts: EngineOptions,
+        budget_bytes: u64,
+    ) -> (Arc<Basic>, NosWalkerEngine<Basic>) {
+        let csr = generators::rmat(10, 8, generators::RmatParams::default(), 11);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let app = Arc::new(Basic::new(500, 10, csr.num_vertices()));
+        let budget = MemoryBudget::new(budget_bytes);
+        let engine = NosWalkerEngine::new(Arc::clone(&app), graph, opts, budget);
+        (app, engine)
+    }
+
+    #[test]
+    fn full_engine_completes_all_steps() {
+        let (app, engine) = small_setup(EngineOptions::default(), 64 << 10);
+        let m = engine.run(7).unwrap();
+        assert_eq!(m.walkers_finished, 500);
+        // Every step lands on a vertex; walkers at dead ends terminate
+        // early, so steps <= walkers * length.
+        assert!(m.steps <= 500 * 10);
+        assert!(m.steps > 0);
+        let visited: u64 = app.visits.iter().map(|v| v.load(Ordering::Relaxed)).sum();
+        assert_eq!(visited, m.steps);
+        assert!(m.sim_ns > 0);
+    }
+
+    #[test]
+    fn base_mode_completes_with_swap_traffic() {
+        let (_, engine) = small_setup(EngineOptions::base(), 64 << 10);
+        let m = engine.run(7).unwrap();
+        assert_eq!(m.walkers_finished, 500);
+        assert!(m.swap_bytes > 0, "epoch mode must charge swap I/O");
+        assert_eq!(m.steps_on_presample, 0);
+        assert!(m.fine_mode_at_step.is_none());
+    }
+
+    #[test]
+    fn presample_knob_reduces_io() {
+        // An out-of-core regime: the graph (~128 KiB) far exceeds the
+        // budget (24 KiB), so the block cache cannot mask reloads and the
+        // pre-sample pool is what saves I/O.
+        let mk = |opts: EngineOptions| {
+            let csr = generators::rmat(12, 8, generators::RmatParams::default(), 11);
+            let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+            let graph = Arc::new(OnDiskGraph::store(&csr, device, 4096).unwrap());
+            let app = Arc::new(Basic::new(2000, 10, csr.num_vertices()));
+            NosWalkerEngine::new(app, graph, opts, MemoryBudget::new(24 << 10))
+        };
+        let m_no = mk(EngineOptions::with_shrink_block()).run(3).unwrap();
+        let m_ps = mk(EngineOptions::full()).run(3).unwrap();
+        assert!(m_ps.steps_on_presample > 0);
+        assert!(
+            m_ps.edge_bytes_loaded < m_no.edge_bytes_loaded,
+            "pre-sampling should reduce edge I/O: {} vs {}",
+            m_ps.edge_bytes_loaded,
+            m_no.edge_bytes_loaded
+        );
+    }
+
+    #[test]
+    fn fine_mode_engages_for_sparse_walkers() {
+        let mut opts = EngineOptions::full();
+        opts.walker_pool_size = 64;
+        let csr = generators::rmat(15, 16, generators::RmatParams::default(), 5);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 64 << 10).unwrap());
+        let app = Arc::new(Basic::new(50, 10, csr.num_vertices()));
+        let budget = MemoryBudget::new(512 << 10);
+        let engine = NosWalkerEngine::new(Arc::clone(&app), graph, opts, budget);
+        let m = engine.run(9).unwrap();
+        assert_eq!(m.walkers_finished, 50);
+        // α·|Wa|·4KiB = 4·50·4096 ≈ 0.8 MB < S_G = 512k edges · 4 B = 2 MB:
+        // fine mode should engage immediately.
+        assert!(m.fine_mode_at_step.is_some());
+        assert!(m.fine_loads > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (_, e1) = small_setup(EngineOptions::default(), 64 << 10);
+        let (_, e2) = small_setup(EngineOptions::default(), 64 << 10);
+        let m1 = e1.run(42).unwrap();
+        let m2 = e2.run(42).unwrap();
+        assert_eq!(m1.steps, m2.steps);
+        assert_eq!(m1.sim_ns, m2.sim_ns);
+        assert_eq!(m1.edge_bytes_loaded, m2.edge_bytes_loaded);
+    }
+
+    #[test]
+    fn budget_too_small_for_block_fails() {
+        let (_, engine) = small_setup(EngineOptions::default(), 1024);
+        assert!(matches!(engine.run(1), Err(EngineError::Budget(_))));
+    }
+
+    #[test]
+    fn zero_walkers_is_a_noop() {
+        let csr = generators::uniform_degree(32, 4, 2);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 1024).unwrap());
+        let app = Arc::new(Basic::new(0, 10, 32));
+        let engine = NosWalkerEngine::new(app, graph, EngineOptions::default(), MemoryBudget::new(1 << 20));
+        let m = engine.run(0).unwrap();
+        assert_eq!(m.steps, 0);
+        assert_eq!(m.walkers_finished, 0);
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        let budget = MemoryBudget::new(10);
+        let e: EngineError = budget.try_reserve(100).unwrap_err().into();
+        let msg = e.to_string();
+        assert!(msg.contains("engine:"), "{msg}");
+        assert!(msg.contains("memory budget exceeded"), "{msg}");
+        let le: EngineError = crate::disk_graph::LoadError::Device(
+            noswalker_storage::DeviceError::Io("disk on fire".into()),
+        )
+        .into();
+        assert!(le.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn load_error_budget_converts_to_engine_budget() {
+        let budget = MemoryBudget::new(10);
+        let le = crate::disk_graph::LoadError::Budget(budget.try_reserve(100).unwrap_err());
+        assert!(matches!(EngineError::from(le), EngineError::Budget(_)));
+    }
+
+    #[test]
+    fn walkers_on_dead_end_vertices_terminate() {
+        use noswalker_graph::CsrBuilder;
+        // Vertex 1 is a sink.
+        let csr = CsrBuilder::new(2).edge(0, 1).build();
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 1024).unwrap());
+        let app = Arc::new(Basic::new(10, 5, 2));
+        let engine = NosWalkerEngine::new(app, graph, EngineOptions::default(), MemoryBudget::new(1 << 20));
+        let m = engine.run(3).unwrap();
+        assert_eq!(m.walkers_finished, 10);
+        // Walkers starting at 0 take one step to 1 then die; walkers
+        // starting at 1 die immediately.
+        assert_eq!(m.steps, 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Run metrics shared by every engine.
+
+/// Everything a run reports: the raw material for every figure in the
+//  paper's evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// End-to-end simulated time in nanoseconds (compute + exposed I/O
+    /// stalls under the engine's pipeline model).
+    pub sim_ns: u64,
+    /// Wall-clock time the simulation itself took (host seconds, for
+    /// curiosity only).
+    pub wall_ns: u64,
+    /// Time spent stalled on I/O.
+    pub stall_ns: u64,
+    /// Total device service time consumed.
+    pub io_busy_ns: u64,
+    /// Total walker steps moved.
+    pub steps: u64,
+    /// Steps taken directly on a loaded block buffer (§3.3.5).
+    pub steps_on_block: u64,
+    /// Steps taken from reserved pre-samples after the block was evicted.
+    pub steps_on_presample: u64,
+    /// Steps taken on raw retained low-degree edges (§3.3.4).
+    pub steps_on_raw: u64,
+    /// Bytes of edge data read from the device.
+    pub edge_bytes_loaded: u64,
+    /// Edge records loaded (bytes / record size).
+    pub edges_loaded: u64,
+    /// Device read operations issued for edge data.
+    pub io_ops: u64,
+    /// Bytes of walker-state swap traffic (engines without in-memory
+    /// walker management, §2.4.2).
+    pub swap_bytes: u64,
+    /// Coarse block loads performed.
+    pub coarse_loads: u64,
+    /// Fine-grained load batches performed.
+    pub fine_loads: u64,
+    /// Walkers that finished.
+    pub walkers_finished: u64,
+    /// Step count at which the engine switched to fine-grained mode
+    /// (`None` = never switched).
+    pub fine_mode_at_step: Option<u64>,
+    /// Pre-sample slots drawn while refilling buffers.
+    pub presamples_filled: u64,
+    /// Pre-sampled slots consumed by moves.
+    pub presamples_consumed: u64,
+    /// Second-order candidates accepted.
+    pub accepts: u64,
+    /// Second-order candidates rejected.
+    pub rejects: u64,
+    /// Peak memory-budget usage in bytes.
+    pub peak_memory: u64,
+}
+
+impl RunMetrics {
+    /// Average edge records loaded per step — the paper's Fig. 2(a) metric.
+    pub fn edges_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.edges_loaded as f64 / self.steps as f64
+        }
+    }
+
+    /// Steps per simulated second — the paper's Fig. 2(b) metric.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            self.steps as f64 * 1e9 / self.sim_ns as f64
+        }
+    }
+
+    /// Simulated seconds.
+    pub fn sim_secs(&self) -> f64 {
+        self.sim_ns as f64 / 1e9
+    }
+
+    /// Total device bytes moved (edges + swap).
+    pub fn total_io_bytes(&self) -> u64 {
+        self.edge_bytes_loaded + self.swap_bytes
+    }
+
+    /// Fraction of elapsed time spent with the device busy.
+    pub fn io_utilization(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            (self.io_busy_ns as f64 / self.sim_ns as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let m = RunMetrics {
+            sim_ns: 2_000_000_000,
+            steps: 1000,
+            edges_loaded: 32_000,
+            edge_bytes_loaded: 128_000,
+            swap_bytes: 64_000,
+            io_busy_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        assert_eq!(m.edges_per_step(), 32.0);
+        assert_eq!(m.steps_per_sec(), 500.0);
+        assert_eq!(m.sim_secs(), 2.0);
+        assert_eq!(m.total_io_bytes(), 192_000);
+        assert!((m.io_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_run_is_safe() {
+        let m = RunMetrics::default();
+        assert_eq!(m.edges_per_step(), 0.0);
+        assert_eq!(m.steps_per_sec(), 0.0);
+        assert_eq!(m.io_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Engine configuration, including the ablation knobs of Fig. 14.
+
+/// Configuration for [`crate::NosWalkerEngine`].
+///
+/// The three `enable_*` knobs reproduce the paper's optimization breakdown
+/// (§4.4): the *base implementation* (all off) behaves like GraphWalker but
+/// with asynchronous, overlapped I/O; the optimizations are then added one
+/// by one — walker management, shrink block size, pre-sample edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOptions {
+    /// Upper bound on live walkers held in the pool. The effective pool is
+    /// additionally capped at a quarter of the memory budget (walker pools
+    /// and pre-sample buffers share memory and are adjusted against each
+    /// other — the "Adjust" arrow of the paper's Fig. 6).
+    pub walker_pool_size: usize,
+    /// Dynamic in-memory walker generation (§2.4.2). When off, all walkers
+    /// conceptually exist from the start and moving a block's walkers
+    /// charges swap I/O for their states, like GraphWalker's fixed-length
+    /// walker buffer.
+    pub enable_walker_management: bool,
+    /// Adaptive coarse→fine block granularity (§3.3.1).
+    pub enable_shrink_block: bool,
+    /// Pre-sampled edge buffers (§2.4.1, §3.3.2–3.3.5).
+    pub enable_presample: bool,
+    /// Unevenness factor α in the fine-mode switch condition
+    /// `α·|Wa|·4KiB < S_G` (default 4, §3.3.1).
+    pub alpha: u64,
+    /// Retain raw edges instead of samples for vertices with degree ≤ this
+    /// (§3.3.4; the paper uses 1–4 depending on graph size).
+    pub low_degree_threshold: u32,
+    /// Hard cap of pre-sample slots per vertex per refill.
+    pub presample_cap_per_vertex: u32,
+    /// Fraction of the *remaining* memory budget (after block buffers)
+    /// given to pre-sample buffers.
+    pub presample_budget_fraction: f64,
+    /// Simulated compute cost per walker step in nanoseconds (divided by
+    /// `threads`).
+    pub step_ns: u64,
+    /// Simulated compute cost per pre-sample draw in nanoseconds (divided
+    /// by `threads`).
+    pub sample_ns: u64,
+    /// Degree of walker-processing parallelism the compute model assumes.
+    pub threads: u64,
+    /// Per-walker swap record bytes when walker management is off (walker
+    /// state as serialized by GraphWalker-style buffers).
+    pub swap_record_bytes: u64,
+    /// Ablation: allocate pre-sample slots uniformly instead of
+    /// proportionally to the carried visit counters (§3.3.2). Off by
+    /// default (the paper's design).
+    pub uniform_presample_alloc: bool,
+    /// Service-time multiplier for the *buffered, synchronous* I/O path of
+    /// the GraphChi-derived baselines. The paper measures their disk
+    /// utilization at 20–30 % against NosWalker's 70–90 % (§4.4); a 3.5×
+    /// de-rate reproduces that measured gap. NosWalker itself never uses
+    /// this (its asynchronous pipeline model yields utilization directly).
+    pub buffered_io_penalty: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            walker_pool_size: 1 << 20,
+            enable_walker_management: true,
+            enable_shrink_block: true,
+            enable_presample: true,
+            alpha: 4,
+            low_degree_threshold: 4,
+            presample_cap_per_vertex: 512,
+            presample_budget_fraction: 0.7,
+            step_ns: 120,
+            sample_ns: 40,
+            threads: 16,
+            swap_record_bytes: 24,
+            uniform_presample_alloc: false,
+            buffered_io_penalty: 3.5,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The paper's "Base Implementation" (Fig. 14): GraphWalker-like
+    /// workflow, but with NosWalker's asynchronous overlapped I/O.
+    pub fn base() -> Self {
+        EngineOptions {
+            enable_walker_management: false,
+            enable_shrink_block: false,
+            enable_presample: false,
+            ..Self::default()
+        }
+    }
+
+    /// Base + in-memory walker management (Fig. 14, second bar).
+    pub fn with_walker_management() -> Self {
+        EngineOptions {
+            enable_walker_management: true,
+            ..Self::base()
+        }
+    }
+
+    /// Base + walker management + shrink block size (Fig. 14, third bar).
+    pub fn with_shrink_block() -> Self {
+        EngineOptions {
+            enable_shrink_block: true,
+            ..Self::with_walker_management()
+        }
+    }
+
+    /// All optimizations (Fig. 14, fourth bar) — same as `default()`.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Effective compute nanoseconds for one step.
+    pub fn step_cost(&self) -> u64 {
+        (self.step_ns / self.threads.max(1)).max(1)
+    }
+
+    /// Effective compute nanoseconds for one pre-sample draw (also charged
+    /// for direct on-block sampling).
+    pub fn sample_cost(&self) -> u64 {
+        (self.sample_ns / self.threads.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_ladder_is_cumulative() {
+        let base = EngineOptions::base();
+        assert!(!base.enable_walker_management);
+        assert!(!base.enable_shrink_block);
+        assert!(!base.enable_presample);
+        let wm = EngineOptions::with_walker_management();
+        assert!(wm.enable_walker_management && !wm.enable_shrink_block);
+        let sb = EngineOptions::with_shrink_block();
+        assert!(sb.enable_walker_management && sb.enable_shrink_block && !sb.enable_presample);
+        let full = EngineOptions::full();
+        assert!(full.enable_presample && full.enable_shrink_block);
+    }
+
+    #[test]
+    fn costs_divide_by_threads() {
+        let o = EngineOptions {
+            step_ns: 160,
+            threads: 16,
+            ..Default::default()
+        };
+        assert_eq!(o.step_cost(), 10);
+        let single = EngineOptions {
+            step_ns: 160,
+            threads: 1,
+            ..Default::default()
+        };
+        assert_eq!(single.step_cost(), 160);
+    }
+
+    #[test]
+    fn zero_threads_does_not_divide_by_zero() {
+        let o = EngineOptions {
+            threads: 0,
+            ..Default::default()
+        };
+        assert!(o.step_cost() >= 1);
+    }
+}

@@ -1,0 +1,586 @@
+//! A real multithreaded NosWalker runner.
+//!
+//! The simulation engine ([`crate::NosWalkerEngine`]) models the paper's
+//! concurrency deterministically through the pipeline clock. This module is
+//! the *actual* concurrent implementation for running against real storage
+//! (e.g. a [`noswalker_storage::FileDevice`]): a background loader thread
+//! services hottest-block requests while a pool of worker threads moves
+//! walkers over loaded blocks and the shared pre-sample pool.
+//!
+//! The division of labour mirrors the paper's Fig. 6:
+//!
+//! * **coordinator** (caller thread): walker generation ②, bucket
+//!   bookkeeping, hottest-block scheduling, pre-sample refills ④;
+//! * **loader thread** ①: block reads, double-buffered;
+//! * **workers** ③: move batches of walkers on the resident block, then
+//!   chase the lock-sharded pre-sample pool.
+//!
+//! Wall-clock results depend on the host (including how many CPUs it
+//! actually grants); use the simulation engine for reproducible numbers.
+//! Walk *semantics* are identical (same `Walk` contract), which the tests
+//! check against the sequential engine.
+
+use crate::block::LoadedBlock;
+use crate::disk_graph::OnDiskGraph;
+use crate::engine::EngineError;
+use crate::metrics::RunMetrics;
+use crate::options::EngineOptions;
+use crate::presample::{plan_quotas, Peek, PreSampleBuffer};
+use crate::threaded::BackgroundLoader;
+use crate::walk::{Walk, WalkRng};
+use noswalker_graph::partition::BlockId;
+use noswalker_graph::VertexId;
+use noswalker_storage::MemoryBudget;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared per-run counters.
+#[derive(Debug, Default)]
+struct SharedMetrics {
+    steps: AtomicU64,
+    steps_on_block: AtomicU64,
+    steps_on_presample: AtomicU64,
+    steps_on_raw: AtomicU64,
+    presamples_consumed: AtomicU64,
+    finished: AtomicU64,
+}
+
+/// The lock-sharded pre-sample pool.
+#[derive(Debug)]
+struct SharedPool {
+    buffers: Vec<Mutex<Option<PreSampleBuffer>>>,
+}
+
+/// A real-thread NosWalker runner for first-order walks.
+#[derive(Debug)]
+pub struct ParallelRunner<A: Walk> {
+    app: Arc<A>,
+    graph: Arc<OnDiskGraph>,
+    opts: EngineOptions,
+    budget: Arc<MemoryBudget>,
+}
+
+impl<A: Walk + 'static> ParallelRunner<A> {
+    /// Creates a runner.
+    pub fn new(
+        app: Arc<A>,
+        graph: Arc<OnDiskGraph>,
+        opts: EngineOptions,
+        budget: Arc<MemoryBudget>,
+    ) -> Self {
+        ParallelRunner {
+            app,
+            graph,
+            opts,
+            budget,
+        }
+    }
+
+    /// Runs to completion with `workers` walker-processing threads (plus
+    /// the background loader thread).
+    ///
+    /// The returned metrics report wall-clock time in both `sim_ns` and
+    /// `wall_ns` (there is no simulated clock here).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Budget`] / [`EngineError::Load`] as for the
+    /// sequential engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn run(&self, seed: u64, workers: usize) -> Result<RunMetrics, EngineError> {
+        assert!(workers > 0, "need at least one worker");
+        let started = Instant::now();
+        let num_blocks = self.graph.num_blocks();
+        let total = self.app.total_walkers();
+        let shared = Arc::new(SharedMetrics::default());
+        let pool = Arc::new(SharedPool {
+            buffers: (0..num_blocks).map(|_| Mutex::new(None)).collect(),
+        });
+        let mut metrics = RunMetrics::default();
+
+        // Budget: the walker pool's share (see EngineOptions docs).
+        let state = self.app.state_bytes().max(1) as u64;
+        let cap = (self.opts.walker_pool_size as u64)
+            .min(total.max(1))
+            .min((self.budget.limit() / 4 / state).max(64));
+        let _pool_hold = self.budget.try_reserve(cap * state)?;
+
+        let loader = BackgroundLoader::spawn(Arc::clone(&self.graph), Arc::clone(&self.budget), 2);
+
+        // Persistent worker threads. Walk jobs carry an Arc of the
+        // resident block plus an owned chunk of walkers and report
+        // survivors back; refill jobs regenerate a block's pre-sample
+        // buffer asynchronously (the paper's background pre-sampling ④).
+        enum Job<W> {
+            Walk(Arc<LoadedBlock>, Vec<W>),
+            Refill(Arc<LoadedBlock>),
+        }
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<A::Walker>>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<Vec<A::Walker>>();
+        let mut worker_handles = Vec::with_capacity(workers);
+        for wi in 0..workers {
+            let app = Arc::clone(&self.app);
+            let graph = Arc::clone(&self.graph);
+            let pool = Arc::clone(&pool);
+            let shared = Arc::clone(&shared);
+            let budget = Arc::clone(&self.budget);
+            let opts = self.opts.clone();
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("noswalker-worker-{wi}"))
+                    .spawn(move || {
+                        let mut wrng =
+                            WalkRng::seed_from_u64(seed ^ (wi as u64 + 1).wrapping_mul(0x9E37_79B9));
+                        while let Ok(job) = job_rx.recv() {
+                            match job {
+                                Job::Walk(block, walkers) => {
+                                    let mut out = Vec::new();
+                                    let mut local = LocalCounters::default();
+                                    for w in walkers {
+                                        if let Some(w) = drive_walker(
+                                            &*app, &graph, &block, &pool, &mut local, &opts, w,
+                                            &mut wrng,
+                                        ) {
+                                            out.push(w);
+                                        }
+                                    }
+                                    local.flush(&shared);
+                                    if res_tx.send(out).is_err() {
+                                        break;
+                                    }
+                                }
+                                Job::Refill(block) => {
+                                    refill_block(
+                                        &*app, &graph, &pool, &budget, &opts, &block, &mut wrng,
+                                    );
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawning a worker thread"),
+            );
+        }
+        drop(job_rx);
+        drop(res_tx);
+
+        // Coordinator-owned state.
+        let mut rng = WalkRng::seed_from_u64(seed);
+        let mut buckets: Vec<Vec<A::Walker>> = vec![Vec::new(); num_blocks];
+        let mut live = 0u64;
+        let mut next_id = 0u64;
+        let mut pending: Option<BlockId> = None;
+
+        let bucket_of = |app: &A, w: &A::Walker, graph: &OnDiskGraph| -> usize {
+            graph.block_of(app.location(w)) as usize
+        };
+
+        // Inline generation into the coordinator loop.
+        macro_rules! generate {
+            () => {
+                while live < cap && next_id < total {
+                    let w = self.app.generate(next_id, &mut rng);
+                    next_id += 1;
+                    if !self.app.is_active(&w) {
+                        self.app.on_terminate(&w);
+                        shared.finished.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let b = bucket_of(&self.app, &w, &self.graph);
+                    buckets[b].push(w);
+                    live += 1;
+                }
+            };
+        }
+
+        generate!();
+        while live > 0 || next_id < total {
+            // Schedule the hottest block.
+            let target = match pending.take() {
+                Some(b) => b,
+                None => {
+                    let Some((b, _)) = buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| !v.is_empty())
+                        .max_by_key(|(_, v)| v.len())
+                    else {
+                        break;
+                    };
+                    loader.request(b as BlockId).map_err(loader_err)?;
+                    b as BlockId
+                }
+            };
+            let loaded = loader.recv().map_err(loader_err)?;
+            let block = Arc::new(loaded.block);
+            debug_assert_eq!(block.info().id, target);
+            metrics.coarse_loads += 1;
+            metrics.io_ops += 1;
+            metrics.edge_bytes_loaded += block.info().byte_len();
+
+            // Prefetch the next-hottest other block while workers process.
+            if let Some((nb, _)) = buckets
+                .iter()
+                .enumerate()
+                .filter(|&(i, v)| i != target as usize && !v.is_empty())
+                .max_by_key(|(_, v)| v.len())
+            {
+                if loader.request(nb as BlockId).is_ok() {
+                    pending = Some(nb as BlockId);
+                }
+            }
+
+            // Fan the block's walkers out to the persistent workers. Chunks
+            // are kept coarse (at most one per worker) so per-job overhead
+            // stays negligible next to the walking itself.
+            let batch = std::mem::take(&mut buckets[target as usize]);
+            let batch_len = batch.len() as u64;
+            let mut jobs = 0;
+            if !batch.is_empty() {
+                let chunk = batch.len().div_ceil(workers).max(64);
+                let mut batch = batch;
+                while !batch.is_empty() {
+                    let tail = batch.split_off(batch.len().saturating_sub(chunk));
+                    job_tx
+                        .send(Job::Walk(Arc::clone(&block), tail))
+                        .expect("workers alive while coordinator runs");
+                    jobs += 1;
+                }
+            }
+            let mut survivors = Vec::new();
+            for _ in 0..jobs {
+                survivors.extend(res_rx.recv().expect("workers alive"));
+            }
+            let finished_now = batch_len - survivors.len() as u64;
+            live -= finished_now;
+            for w in survivors {
+                let b = bucket_of(&self.app, &w, &self.graph);
+                buckets[b].push(w);
+            }
+
+            // Refill the block's pre-sample buffer (④) asynchronously;
+            // the block Arc keeps the buffer alive until the refill runs.
+            if self.opts.enable_presample {
+                job_tx
+                    .send(Job::Refill(Arc::clone(&block)))
+                    .expect("workers alive while coordinator runs");
+            }
+            drop(block);
+            generate!();
+        }
+
+        drop(job_tx);
+        for h in worker_handles {
+            let _ = h.join();
+        }
+
+        metrics.steps = shared.steps.load(Ordering::Relaxed);
+        metrics.steps_on_block = shared.steps_on_block.load(Ordering::Relaxed);
+        metrics.steps_on_presample = shared.steps_on_presample.load(Ordering::Relaxed);
+        metrics.steps_on_raw = shared.steps_on_raw.load(Ordering::Relaxed);
+        metrics.presamples_consumed = shared.presamples_consumed.load(Ordering::Relaxed);
+        metrics.walkers_finished = shared.finished.load(Ordering::Relaxed);
+        metrics.peak_memory = self.budget.peak();
+        metrics.edges_loaded =
+            metrics.edge_bytes_loaded / self.graph.format().record_bytes() as u64;
+        metrics.wall_ns = started.elapsed().as_nanos() as u64;
+        metrics.sim_ns = metrics.wall_ns;
+        Ok(metrics)
+    }
+
+}
+
+/// Rebuilds a block's pre-sample buffer from the resident block (run on a
+/// worker thread; the pool slot's mutex serializes concurrent refills).
+fn refill_block<A: Walk>(
+    app: &A,
+    graph: &OnDiskGraph,
+    pool: &SharedPool,
+    budget: &Arc<MemoryBudget>,
+    opts: &EngineOptions,
+    block: &LoadedBlock,
+    rng: &mut WalkRng,
+) {
+    let info = *block.info();
+    let b = info.id;
+    let nv = info.num_vertices() as usize;
+    if nv == 0 {
+        return;
+    }
+    let mut slot = pool.buffers[b as usize].lock();
+    if let Some(buf) = &*slot {
+        let cap = buf.sampled_capacity();
+        if cap > 0 && buf.remaining_sampled() * 4 > cap {
+            return; // still mostly full
+        }
+    }
+    let weights: Vec<u32> = match &*slot {
+        Some(buf) => buf.visit_weights().to_vec(),
+        None => vec![0; nv],
+    };
+    *slot = None; // release the old generation's memory
+    let degrees: Vec<u64> = (0..nv)
+        .map(|i| graph.degree(info.vertex_start + i as VertexId))
+        .collect();
+    let avail = (budget.available() as f64 * opts.presample_budget_fraction) as u64
+        / graph.num_blocks().max(1) as u64;
+    let meta = nv as u64 * 9 + 4;
+    if avail <= meta {
+        return;
+    }
+    let plan = plan_quotas(
+        &degrees,
+        &weights,
+        (avail - meta) / 4,
+        opts.low_degree_threshold,
+        opts.presample_cap_per_vertex,
+    );
+    if plan.total_slots == 0 {
+        return;
+    }
+    let Ok(reservation) = budget.try_reserve(PreSampleBuffer::planned_bytes(&plan, false)) else {
+        return;
+    };
+    let (mut buf, _) = PreSampleBuffer::build(
+        info.vertex_start,
+        &plan,
+        false,
+        |v| {
+            let view = block.vertex_edges(graph, v).expect("vertex in block");
+            app.sample(&view, rng)
+        },
+        |v, edges, _| {
+            let view = block.vertex_edges(graph, v).expect("vertex in block");
+            for i in 0..view.degree() {
+                edges.push(view.target(i));
+            }
+        },
+    );
+    buf.set_reservation(reservation);
+    *slot = Some(buf);
+}
+
+fn loader_err(e: crate::threaded::LoaderError) -> EngineError {
+    match e {
+        crate::threaded::LoaderError::Load(l) => EngineError::Load(l),
+        crate::threaded::LoaderError::Disconnected => EngineError::Load(
+            crate::disk_graph::LoadError::Device(noswalker_storage::DeviceError::Io(
+                "background loader disconnected".into(),
+            )),
+        ),
+    }
+}
+
+/// Per-worker counter accumulation: flushed into [`SharedMetrics`] once
+/// per job so the hot loop never touches shared cache lines.
+#[derive(Debug, Default)]
+struct LocalCounters {
+    steps: u64,
+    steps_on_block: u64,
+    steps_on_presample: u64,
+    steps_on_raw: u64,
+    presamples_consumed: u64,
+    finished: u64,
+}
+
+impl LocalCounters {
+    fn flush(&self, shared: &SharedMetrics) {
+        shared.steps.fetch_add(self.steps, Ordering::Relaxed);
+        shared
+            .steps_on_block
+            .fetch_add(self.steps_on_block, Ordering::Relaxed);
+        shared
+            .steps_on_presample
+            .fetch_add(self.steps_on_presample, Ordering::Relaxed);
+        shared
+            .steps_on_raw
+            .fetch_add(self.steps_on_raw, Ordering::Relaxed);
+        shared
+            .presamples_consumed
+            .fetch_add(self.presamples_consumed, Ordering::Relaxed);
+        shared.finished.fetch_add(self.finished, Ordering::Relaxed);
+    }
+}
+
+/// Moves one walker as far as possible: within the resident block, then on
+/// the shared pre-sample pool. Returns the walker if it is still alive (it
+/// left the block and found no pre-samples), `None` if it terminated.
+#[allow(clippy::too_many_arguments)]
+fn drive_walker<A: Walk>(
+    app: &A,
+    graph: &OnDiskGraph,
+    block: &LoadedBlock,
+    pool: &SharedPool,
+    local: &mut LocalCounters,
+    _opts: &EngineOptions,
+    mut w: A::Walker,
+    rng: &mut WalkRng,
+) -> Option<A::Walker> {
+    loop {
+        if !app.is_active(&w) {
+            app.on_terminate(&w);
+            local.finished += 1;
+            return None;
+        }
+        let loc = app.location(&w);
+        if graph.degree(loc) == 0 {
+            app.on_terminate(&w);
+            local.finished += 1;
+            return None;
+        }
+        if let Some(view) = block.vertex_edges(graph, loc) {
+            let dst = app.sample(&view, rng);
+            app.action(&mut w, dst, rng);
+            local.steps += 1;
+            local.steps_on_block += 1;
+            continue;
+        }
+        // Outside the block: try the pre-sample pool.
+        let b = graph.block_of(loc) as usize;
+        let mut guard = pool.buffers[b].lock();
+        let Some(buf) = guard.as_mut() else {
+            return Some(w);
+        };
+        match buf.peek(loc) {
+            Peek::Sampled(dst) => {
+                let consumed = app.action(&mut w, dst, rng);
+                if consumed {
+                    buf.consume(loc);
+                    local.presamples_consumed += 1;
+                }
+                local.steps += 1;
+                local.steps_on_presample += 1;
+            }
+            Peek::Raw(view) => {
+                let dst = app.sample(&view, rng);
+                buf.consume(loc);
+                app.action(&mut w, dst, rng);
+                local.steps += 1;
+                local.steps_on_raw += 1;
+            }
+            Peek::Empty => {
+                buf.record_stall(loc);
+                return Some(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noswalker_graph::generators;
+    use noswalker_storage::{SimSsd, SsdProfile};
+    use std::sync::atomic::AtomicU64 as A64;
+
+    #[derive(Debug)]
+    struct Basic {
+        walkers: u64,
+        length: u32,
+        n: u32,
+        visits: A64,
+    }
+    #[derive(Debug, Clone)]
+    struct W {
+        at: u32,
+        step: u32,
+    }
+    impl Walk for Basic {
+        type Walker = W;
+        fn total_walkers(&self) -> u64 {
+            self.walkers
+        }
+        fn generate(&self, i: u64, _r: &mut WalkRng) -> W {
+            W {
+                at: (i % self.n as u64) as u32,
+                step: 0,
+            }
+        }
+        fn location(&self, w: &W) -> u32 {
+            w.at
+        }
+        fn is_active(&self, w: &W) -> bool {
+            w.step < self.length
+        }
+        fn sample(&self, v: &noswalker_graph::layout::VertexEdges<'_>, r: &mut WalkRng) -> u32 {
+            crate::walk::uniform_sample(v, r)
+        }
+        fn action(&self, w: &mut W, next: u32, _r: &mut WalkRng) -> bool {
+            self.visits.fetch_add(1, Ordering::Relaxed);
+            w.at = next;
+            w.step += 1;
+            true
+        }
+    }
+
+    fn runner(walkers: u64) -> (Arc<Basic>, ParallelRunner<Basic>) {
+        let csr = generators::uniform_degree(512, 8, 7);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let app = Arc::new(Basic {
+            walkers,
+            length: 9,
+            n: 512,
+            visits: A64::new(0),
+        });
+        let r = ParallelRunner::new(
+            Arc::clone(&app),
+            graph,
+            EngineOptions::default(),
+            MemoryBudget::new(1 << 20),
+        );
+        (app, r)
+    }
+
+    #[test]
+    fn completes_all_walkers_with_multiple_threads() {
+        let (app, r) = runner(5000);
+        let m = r.run(3, 4).unwrap();
+        assert_eq!(m.walkers_finished, 5000);
+        // Uniform graph, no dead ends: exact step count.
+        assert_eq!(m.steps, 5000 * 9);
+        assert_eq!(app.visits.load(Ordering::Relaxed), m.steps);
+        assert!(m.wall_ns > 0);
+    }
+
+    #[test]
+    fn single_thread_matches_semantics() {
+        let (app, r) = runner(800);
+        let m = r.run(5, 1).unwrap();
+        assert_eq!(m.walkers_finished, 800);
+        assert_eq!(m.steps, 800 * 9);
+        assert_eq!(app.visits.load(Ordering::Relaxed), m.steps);
+    }
+
+    #[test]
+    fn presamples_are_used() {
+        let (_, r) = runner(20_000);
+        let m = r.run(7, 4).unwrap();
+        assert!(
+            m.steps_on_presample + m.steps_on_raw > 0,
+            "the shared pre-sample pool should serve some steps"
+        );
+    }
+
+    #[test]
+    fn budget_violation_is_reported() {
+        let csr = generators::uniform_degree(512, 8, 7);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let app = Arc::new(Basic {
+            walkers: 100,
+            length: 3,
+            n: 512,
+            visits: A64::new(0),
+        });
+        let r = ParallelRunner::new(app, graph, EngineOptions::default(), MemoryBudget::new(64));
+        assert!(r.run(1, 2).is_err());
+    }
+}

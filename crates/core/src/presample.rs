@@ -1,0 +1,453 @@
+//! The pre-sampled edge buffers — the center of the decoupled architecture
+//! (paper §3.3.2, Fig. 8).
+//!
+//! One buffer covers one coarse block's worth of consecutive vertices. It is
+//! a compact CSR-like structure: an `idx` prefix array gives each vertex's
+//! slot range in a flat `edges` array, and a per-vertex `cnt` tracks both
+//! consumption *and* stalled visits — so `cnt` doubles as the popularity
+//! estimate that drives proportional reallocation at the next refill.
+//!
+//! Low-degree vertices (§3.3.4) get their *raw edges* retained instead of
+//! samples: the slots never deplete, since the full edge set can be sampled
+//! from forever.
+
+use noswalker_graph::layout::VertexEdges;
+use noswalker_graph::VertexId;
+use noswalker_storage::Reservation;
+
+/// What a vertex's pre-sample slots currently offer.
+#[derive(Debug, Clone, Copy)]
+pub enum Peek<'a> {
+    /// A reserved pre-sampled destination, ready to consume.
+    Sampled(VertexId),
+    /// The vertex's raw retained edges (low-degree retention): sample from
+    /// this view, it never depletes.
+    Raw(VertexEdges<'a>),
+    /// No usable slots: the walker stalls here.
+    Empty,
+}
+
+/// Per-vertex slot quota plan for one buffer build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotaPlan {
+    /// Slots per vertex (local index within the block).
+    pub quotas: Vec<u32>,
+    /// Whether each vertex's slots hold raw edges rather than samples.
+    pub raw: Vec<bool>,
+    /// Total slots planned.
+    pub total_slots: u64,
+}
+
+/// Computes the slot allocation for a buffer rebuild.
+///
+/// `visit_weights[i]` is the carried `cnt` of local vertex `i` from the
+/// previous buffer generation (0 on first build). Vertices with degree 0
+/// get nothing; degree ≤ `low_degree_threshold` get raw retention (quota =
+/// degree); the rest split `capacity_slots` proportionally to their visit
+/// weight (uniformly if no vertex has been visited yet), clamped to
+/// `cap_per_vertex`.
+pub fn plan_quotas(
+    degrees: &[u64],
+    visit_weights: &[u32],
+    capacity_slots: u64,
+    low_degree_threshold: u32,
+    cap_per_vertex: u32,
+) -> QuotaPlan {
+    assert_eq!(degrees.len(), visit_weights.len());
+    let n = degrees.len();
+    let mut quotas = vec![0u32; n];
+    let mut raw = vec![false; n];
+    let mut raw_slots = 0u64;
+    for i in 0..n {
+        if degrees[i] > 0 && degrees[i] <= low_degree_threshold as u64 {
+            raw[i] = true;
+            quotas[i] = degrees[i] as u32;
+            raw_slots += degrees[i];
+        }
+    }
+    let budget = capacity_slots.saturating_sub(raw_slots);
+    let eligible: Vec<usize> = (0..n)
+        .filter(|&i| degrees[i] > low_degree_threshold as u64)
+        .collect();
+    if !eligible.is_empty() && budget > 0 {
+        let sum_w: u64 = eligible.iter().map(|&i| visit_weights[i] as u64).sum();
+        if sum_w == 0 {
+            // First fill, no visit history yet: weight by degree — the
+            // stationary visit probability of a random walk concentrates on
+            // high-degree vertices, so they are the best prediction of the
+            // future hot region (§3.1: "the distribution of reserved
+            // samples can represent our prediction of ... future hot
+            // regions").
+            let sum_d: u64 = eligible.iter().map(|&i| degrees[i]).sum();
+            for &i in &eligible {
+                let share = (budget * degrees[i] / sum_d.max(1))
+                    .max(1)
+                    .min(cap_per_vertex as u64);
+                quotas[i] = share as u32;
+            }
+        } else {
+            for &i in &eligible {
+                let w = visit_weights[i] as u64;
+                if w == 0 {
+                    continue;
+                }
+                let share = (budget * w)
+                    .checked_div(sum_w)
+                    .unwrap_or(0)
+                    .max(1)
+                    .min(cap_per_vertex as u64);
+                quotas[i] = share as u32;
+            }
+        }
+    }
+    let total_slots = quotas.iter().map(|&q| q as u64).sum();
+    QuotaPlan {
+        quotas,
+        raw,
+        total_slots,
+    }
+}
+
+/// A pre-sampled edge buffer for one block of consecutive vertices.
+#[derive(Debug)]
+pub struct PreSampleBuffer {
+    vertex_start: VertexId,
+    /// Prefix of slot positions: vertex `i`'s slots are
+    /// `edges[idx[i] .. idx[i + 1]]`.
+    idx: Vec<u32>,
+    /// Consumed-or-stalled counter per vertex (the paper's `cnt`).
+    cnt: Vec<u32>,
+    raw: Vec<bool>,
+    edges: Vec<VertexId>,
+    /// Parallel raw-edge weights (only populated for raw vertices of
+    /// weighted graphs).
+    weights: Option<Vec<f32>>,
+    /// Budget reservation covering this buffer, if the owner charges one.
+    reservation: Option<Reservation>,
+}
+
+impl PreSampleBuffer {
+    /// Builds a buffer from a quota plan, filling slots through callbacks:
+    ///
+    /// * `sample` draws one pre-sampled destination for a vertex (called
+    ///   `quota` times per non-raw vertex);
+    /// * `raw_edges` appends the raw targets (and weights, when `weighted`)
+    ///   of a low-degree vertex.
+    ///
+    /// Returns the buffer plus the number of sample draws performed (the
+    /// engine charges compute per draw).
+    pub fn build(
+        vertex_start: VertexId,
+        plan: &QuotaPlan,
+        weighted: bool,
+        mut sample: impl FnMut(VertexId) -> VertexId,
+        mut raw_edges: impl FnMut(VertexId, &mut Vec<VertexId>, Option<&mut Vec<f32>>),
+    ) -> (Self, u64) {
+        let n = plan.quotas.len();
+        let mut idx = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(plan.total_slots as usize);
+        let mut weights = weighted.then(Vec::new);
+        let mut draws = 0u64;
+        idx.push(0u32);
+        for i in 0..n {
+            let v = vertex_start + i as VertexId;
+            if plan.raw[i] {
+                let before = edges.len();
+                raw_edges(v, &mut edges, weights.as_mut());
+                debug_assert_eq!(edges.len() - before, plan.quotas[i] as usize);
+                if let Some(w) = &mut weights {
+                    w.resize(edges.len(), 1.0);
+                }
+            } else {
+                for _ in 0..plan.quotas[i] {
+                    edges.push(sample(v));
+                    draws += 1;
+                }
+                if let Some(w) = &mut weights {
+                    w.resize(edges.len(), 1.0);
+                }
+            }
+            idx.push(edges.len() as u32);
+        }
+        (
+            PreSampleBuffer {
+                vertex_start,
+                idx,
+                cnt: vec![0; n],
+                raw: plan.raw.clone(),
+                edges,
+                weights,
+                reservation: None,
+            },
+            draws,
+        )
+    }
+
+    /// Attaches the budget reservation covering this buffer.
+    pub fn set_reservation(&mut self, r: Reservation) {
+        self.reservation = Some(r);
+    }
+
+    /// First vertex covered.
+    pub fn vertex_start(&self) -> VertexId {
+        self.vertex_start
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.cnt.len()
+    }
+
+    /// Actual memory footprint in bytes (slots + metadata).
+    ///
+    /// A *sampled* slot is 4 B regardless of the graph's edge format —
+    /// that size reduction is the whole point of pre-sampling on weighted
+    /// graphs (§4.4: "the pre-sampled edges stored in memory are notably
+    /// smaller than the entire graph with edge properties"). Raw-retained
+    /// slots of weighted graphs pay 4 B extra for their weight.
+    pub fn memory_bytes(&self) -> u64 {
+        let sampled = self.edges.len() as u64 * 4;
+        let raw_weights = if self.weights.is_some() {
+            (0..self.cnt.len())
+                .filter(|&i| self.raw[i])
+                .map(|i| (self.idx[i + 1] - self.idx[i]) as u64 * 4)
+                .sum()
+        } else {
+            0
+        };
+        let meta = (self.idx.len() + self.cnt.len()) as u64 * 4 + self.raw.len() as u64;
+        sampled + raw_weights + meta
+    }
+
+    /// Estimated memory for a planned buffer (before building).
+    pub fn planned_bytes(plan: &QuotaPlan, weighted: bool) -> u64 {
+        let raw_slots: u64 = (0..plan.quotas.len())
+            .filter(|&i| plan.raw[i])
+            .map(|i| plan.quotas[i] as u64)
+            .sum();
+        let extra = if weighted { raw_slots * 4 } else { 0 };
+        plan.total_slots * 4 + extra + (plan.quotas.len() as u64) * 9 + 4
+    }
+
+    fn local(&self, v: VertexId) -> usize {
+        debug_assert!(
+            v >= self.vertex_start && ((v - self.vertex_start) as usize) < self.cnt.len(),
+            "vertex {v} outside buffer"
+        );
+        (v - self.vertex_start) as usize
+    }
+
+    /// What's available for vertex `v` right now.
+    pub fn peek(&self, v: VertexId) -> Peek<'_> {
+        let i = self.local(v);
+        let (s, e) = (self.idx[i] as usize, self.idx[i + 1] as usize);
+        if self.raw[i] {
+            if s == e {
+                return Peek::Empty;
+            }
+            return Peek::Raw(VertexEdges::Mem {
+                targets: &self.edges[s..e],
+                weights: self.weights.as_ref().map(|w| &w[s..e]),
+                alias: None,
+            });
+        }
+        let used = self.cnt[i] as usize;
+        if s + used < e {
+            Peek::Sampled(self.edges[s + used])
+        } else {
+            Peek::Empty
+        }
+    }
+
+    /// Consumes one slot (after a successful move): bumps `cnt`, which for
+    /// sampled vertices pops the slot and for raw vertices just records the
+    /// visit.
+    pub fn consume(&mut self, v: VertexId) {
+        let i = self.local(v);
+        self.cnt[i] = self.cnt[i].saturating_add(1);
+    }
+
+    /// Records a stalled visit at `v` (pre-samples exhausted): bumps `cnt`
+    /// so the next refill allocates this vertex more slots (§3.3.2).
+    pub fn record_stall(&mut self, v: VertexId) {
+        self.consume(v);
+    }
+
+    /// The carried visit counters, fed to [`plan_quotas`] at refill time.
+    pub fn visit_weights(&self) -> &[u32] {
+        &self.cnt
+    }
+
+    /// Total sampled slot capacity (raw slots excluded).
+    pub fn sampled_capacity(&self) -> u64 {
+        (0..self.cnt.len())
+            .filter(|&i| !self.raw[i])
+            .map(|i| (self.idx[i + 1] - self.idx[i]) as u64)
+            .sum()
+    }
+
+    /// Remaining unconsumed sampled slots (raw slots excluded — they never
+    /// deplete).
+    pub fn remaining_sampled(&self) -> u64 {
+        (0..self.cnt.len())
+            .filter(|&i| !self.raw[i])
+            .map(|i| {
+                let quota = self.idx[i + 1] - self.idx[i];
+                quota.saturating_sub(self.cnt[i]) as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_plan() -> QuotaPlan {
+        // 4 vertices: deg 0, deg 2 (raw), deg 10, deg 20
+        plan_quotas(&[0, 2, 10, 20], &[0, 0, 0, 0], 12, 2, 64)
+    }
+
+    #[test]
+    fn plan_respects_degree_classes() {
+        let p = simple_plan();
+        assert_eq!(p.quotas[0], 0);
+        assert!(p.raw[1]);
+        assert_eq!(p.quotas[1], 2);
+        assert!(!p.raw[2] && !p.raw[3]);
+        // First fill: the (12 - 2) = 10 budget splits by degree (10 vs 20).
+        assert_eq!(p.quotas[2], 3);
+        assert_eq!(p.quotas[3], 6);
+    }
+
+    #[test]
+    fn plan_weights_proportionally_after_visits() {
+        let p = plan_quotas(&[10, 10], &[30, 10], 40, 0, 64);
+        assert_eq!(p.quotas[0], 30);
+        assert_eq!(p.quotas[1], 10);
+    }
+
+    #[test]
+    fn plan_unvisited_vertices_get_nothing_once_weights_exist() {
+        let p = plan_quotas(&[10, 10, 10], &[8, 0, 2], 100, 0, 64);
+        assert!(p.quotas[0] > p.quotas[2]);
+        assert_eq!(p.quotas[1], 0);
+    }
+
+    #[test]
+    fn plan_caps_per_vertex() {
+        let p = plan_quotas(&[100], &[50], 1000, 0, 16);
+        assert_eq!(p.quotas[0], 16);
+    }
+
+    #[test]
+    fn plan_visited_vertex_gets_at_least_one_slot() {
+        // Vertex 1 has tiny weight; proportional share rounds to 0 but it
+        // must still receive one slot.
+        let p = plan_quotas(&[10, 10], &[1000, 1], 10, 0, 64);
+        assert!(p.quotas[1] >= 1);
+    }
+
+    fn build_simple() -> PreSampleBuffer {
+        let plan = simple_plan();
+        let mut next = 100u32;
+        let (buf, draws) = PreSampleBuffer::build(
+            0,
+            &plan,
+            false,
+            |_v| {
+                next += 1;
+                next
+            },
+            |_v, edges, _w| {
+                edges.push(7);
+                edges.push(8);
+            },
+        );
+        assert_eq!(draws, 9);
+        buf
+    }
+
+    #[test]
+    fn consume_pops_in_order_then_empties() {
+        let mut buf = build_simple();
+        // Vertex 2 has 3 sampled slots: 101..=103.
+        for expect in 101..=103u32 {
+            match buf.peek(2) {
+                Peek::Sampled(d) => assert_eq!(d, expect),
+                other => panic!("expected sampled, got {other:?}"),
+            }
+            buf.consume(2);
+        }
+        assert!(matches!(buf.peek(2), Peek::Empty));
+        buf.record_stall(2);
+        assert_eq!(buf.visit_weights()[2], 4);
+    }
+
+    #[test]
+    fn raw_vertex_never_depletes() {
+        let mut buf = build_simple();
+        for _ in 0..10 {
+            match buf.peek(1) {
+                Peek::Raw(view) => {
+                    assert_eq!(view.degree(), 2);
+                    assert_eq!(view.target(0), 7);
+                }
+                other => panic!("expected raw, got {other:?}"),
+            }
+            buf.consume(1);
+        }
+        assert_eq!(buf.visit_weights()[1], 10);
+    }
+
+    #[test]
+    fn zero_degree_vertex_is_empty() {
+        let buf = build_simple();
+        assert!(matches!(buf.peek(0), Peek::Empty));
+    }
+
+    #[test]
+    fn remaining_sampled_counts_only_samples() {
+        let mut buf = build_simple();
+        assert_eq!(buf.remaining_sampled(), 9);
+        assert_eq!(buf.sampled_capacity(), 9);
+        buf.consume(2);
+        buf.consume(1); // raw consume: no effect on remaining
+        assert_eq!(buf.remaining_sampled(), 8);
+        assert_eq!(buf.sampled_capacity(), 9);
+    }
+
+    #[test]
+    fn memory_bytes_counts_slots_and_meta() {
+        let buf = build_simple();
+        // 11 slots * 4 + (5 + 4) * 4 + 4 raw flags
+        assert_eq!(buf.memory_bytes(), 44 + 36 + 4);
+        let plan = simple_plan();
+        assert!(PreSampleBuffer::planned_bytes(&plan, false) >= buf.memory_bytes());
+    }
+
+    #[test]
+    fn weighted_raw_edges_keep_weights() {
+        let plan = plan_quotas(&[2], &[0], 10, 2, 8);
+        let (buf, _) = PreSampleBuffer::build(
+            0,
+            &plan,
+            true,
+            |_v| 0,
+            |_v, edges, weights| {
+                edges.push(5);
+                edges.push(6);
+                let w = weights.expect("weighted build passes weight vec");
+                w.push(2.0);
+                w.push(3.0);
+            },
+        );
+        match buf.peek(0) {
+            Peek::Raw(view) => {
+                assert_eq!(view.weight(0), Some(2.0));
+                assert_eq!(view.weight(1), Some(3.0));
+            }
+            other => panic!("expected raw, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Alias tables for O(1) weighted sampling (Walker/Vose method).
+//!
+//! The paper's weighted dataset `K30W` ships a pre-generated alias table per
+//! vertex instead of a plain adjacency list (§4.1), as do KnightKing,
+//! ThunderRW and FlashMob. An alias table turns "sample an edge proportional
+//! to weight" into two uniform draws.
+
+/// A Vose alias table over `n` weighted slots.
+///
+/// # Example
+///
+/// ```
+/// use noswalker_graph::AliasTable;
+///
+/// let t = AliasTable::new(&[1.0, 3.0]);
+/// // Slot sampling: draw a slot uniformly, then keep it with `prob(slot)`
+/// // or redirect to `alias(slot)`.
+/// let kept = t.pick(0, 0.9); // prob(0) = 0.5 under these weights
+/// assert_eq!(kept, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let sum: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w as f64
+            })
+            .sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+
+        // Scaled weights: average 1.0 per slot.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * n as f64 / sum).collect();
+        let mut prob = vec![1.0f32; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize] as f32;
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (numerical dust) keep prob = 1.0.
+        AliasTable { prob, alias }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no slots (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Keep-probability of slot `i`.
+    pub fn prob(&self, i: usize) -> f32 {
+        self.prob[i]
+    }
+
+    /// Alias (redirect slot) of slot `i`.
+    pub fn alias(&self, i: usize) -> u32 {
+        self.alias[i]
+    }
+
+    /// Resolves a draw: given a uniformly chosen `slot` and a uniform
+    /// `u ∈ [0, 1)`, returns the sampled slot index.
+    pub fn pick(&self, slot: usize, u: f32) -> u32 {
+        if u < self.prob[slot] {
+            slot as u32
+        } else {
+            self.alias[slot]
+        }
+    }
+
+    /// Consumes the table returning the raw `(prob, alias)` arrays, used to
+    /// flatten per-vertex tables into CSR-parallel arrays.
+    pub fn into_parts(self) -> (Vec<f32>, Vec<u32>) {
+        (self.prob, self.alias)
+    }
+}
+
+/// Resolves an alias draw from raw `(prob, alias)` slices, the form the
+/// engines see after loading edge records from disk.
+///
+/// # Panics
+///
+/// Panics if `slot` is out of range.
+pub fn pick_from_slices(prob: &[f32], alias: &[u32], slot: usize, u: f32) -> u32 {
+    if u < prob[slot] {
+        slot as u32
+    } else {
+        alias[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn empirical(weights: &[f32], draws: usize, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            let slot = rng.gen_range(0..weights.len());
+            let u: f32 = rng.gen();
+            counts[t.pick(slot, u) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 40_000, 7);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.02, "freq {f} too far from 0.25");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let freq = empirical(&w, 100_000, 11);
+        let total: f32 = w.iter().sum();
+        for (f, &wi) in freq.iter().zip(&w) {
+            let expect = (wi / total) as f64;
+            assert!((f - expect).abs() < 0.02, "freq {f} vs expect {expect}");
+        }
+    }
+
+    #[test]
+    fn single_slot() {
+        let t = AliasTable::new(&[5.0]);
+        assert_eq!(t.pick(0, 0.999), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn zero_weight_slot_never_sampled() {
+        let freq = empirical(&[0.0, 1.0], 20_000, 3);
+        assert!(freq[0] < 1e-9);
+        assert!((freq[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn pick_from_slices_matches_table() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0]);
+        let (p, a) = t.clone().into_parts();
+        for slot in 0..3 {
+            for u in [0.0f32, 0.3, 0.6, 0.99] {
+                assert_eq!(t.pick(slot, u), pick_from_slices(&p, &a, slot, u));
+            }
+        }
+    }
+}

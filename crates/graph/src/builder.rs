@@ -1,0 +1,197 @@
+//! Incremental CSR construction from edge lists.
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// Builds a [`Csr`] from an unordered edge list.
+///
+/// Edges are sorted by `(src, dst)`; neighbor lists therefore end up sorted,
+/// which [`Csr::has_edge`] relies on. Self-loops and parallel edges are kept
+/// (random walk semantics permit both; the paper's toy example in Fig. 3 has
+/// a self-loop `v0 → v0`).
+///
+/// # Example
+///
+/// ```
+/// use noswalker_graph::CsrBuilder;
+///
+/// let g = CsrBuilder::new(2).edge(1, 0).edge(0, 1).edge(0, 0).build();
+/// assert_eq!(g.neighbors(0), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    dedup: bool,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        CsrBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            dedup: false,
+        }
+    }
+
+    /// Adds a directed edge. Returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn edge(mut self, src: VertexId, dst: VertexId) -> Self {
+        self.push_edge(src, dst);
+        self
+    }
+
+    /// Adds a directed edge through a mutable reference (for loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn push_edge(&mut self, src: VertexId, dst: VertexId) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src}, {dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        self.edges.push((src, dst));
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        for (s, d) in iter {
+            self.push_edge(s, d);
+        }
+    }
+
+    /// Removes duplicate `(src, dst)` pairs at build time.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR.
+    pub fn build(self) -> Csr {
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        if self.dedup {
+            edges.dedup();
+        }
+        from_sorted(self.num_vertices, edges)
+    }
+}
+
+/// Builds a CSR from an already-sorted edge list (no dedup).
+pub(crate) fn from_sorted(num_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Csr {
+    let mut offsets = vec![0u64; num_vertices + 1];
+    for &(s, _) in &edges {
+        offsets[s as usize + 1] += 1;
+    }
+    for i in 0..num_vertices {
+        offsets[i + 1] += offsets[i];
+    }
+    let targets = edges.into_iter().map(|(_, d)| d).collect();
+    Csr {
+        offsets,
+        targets,
+        weights: None,
+        alias: None,
+    }
+}
+
+/// Builds a CSR directly from validated parts (used by binary loading).
+///
+/// Callers must guarantee `offsets` is a monotone prefix-sum ending at
+/// `targets.len()` and all targets are in range.
+pub(crate) fn from_parts(offsets: Vec<u64>, targets: Vec<crate::VertexId>) -> Csr {
+    debug_assert_eq!(*offsets.last().expect("non-empty") as usize, targets.len());
+    Csr {
+        offsets,
+        targets,
+        weights: None,
+        alias: None,
+    }
+}
+
+/// Sorts, dedups and builds (used by [`Csr::to_undirected`]).
+pub(crate) fn from_sorted_dedup(num_vertices: usize, mut edges: Vec<(VertexId, VertexId)>) -> Csr {
+    edges.sort_unstable();
+    edges.dedup();
+    from_sorted(num_vertices, edges)
+}
+
+impl FromIterator<(VertexId, VertexId)> for CsrBuilder {
+    /// Collects edges into a builder sized to the largest endpoint + 1.
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
+        let edges: Vec<_> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(s, d)| s.max(d) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = CsrBuilder::new(n);
+        b.edges = edges;
+        b
+    }
+}
+
+impl Extend<(VertexId, VertexId)> for CsrBuilder {
+    fn extend<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        self.extend_edges(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_neighbors() {
+        let g = CsrBuilder::new(3).edge(0, 2).edge(0, 1).edge(2, 0).build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn keeps_parallel_edges_by_default() {
+        let g = CsrBuilder::new(2).edge(0, 1).edge(0, 1).build();
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let g = CsrBuilder::new(2)
+            .edge(0, 1)
+            .edge(0, 1)
+            .dedup(true)
+            .build();
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = CsrBuilder::new(2).edge(0, 2);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_vertex() {
+        let b: CsrBuilder = vec![(0u32, 5u32), (3, 1)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn extend_adds_edges() {
+        let mut b = CsrBuilder::new(4);
+        b.extend(vec![(0u32, 1u32), (1, 2)]);
+        assert_eq!(b.edge_count(), 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic synthetic graph generators.
+//!
+//! These stand in for the paper's datasets (Table 1): the `kron*` family
+//! (Graph500 Kronecker, strongly power-law), the real web/social graphs
+//! (also power-law — we substitute RMAT at matched average degree), the
+//! uniform `G12` graph and the flat power-law `α2.7` configuration-model
+//! graph. All generators are fully determined by their `seed`.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT quadrant probabilities.
+///
+/// The default `(0.57, 0.19, 0.19, 0.05)` matches Graph500's Kronecker
+/// generator, producing the highly skewed degree distribution of the
+/// paper's Kron30/Kron31 datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability (`1 - a - b - c`).
+    pub d: f64,
+    /// Per-level probability noise, which smooths the degree staircase.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generates an RMAT (recursive-matrix / Kronecker-like) graph with
+/// `2^scale` vertices and `avg_degree × 2^scale` directed edges.
+///
+/// # Panics
+///
+/// Panics if `scale` is 0 or greater than 31, or `avg_degree` is 0.
+///
+/// # Example
+///
+/// ```
+/// use noswalker_graph::generators::{rmat, RmatParams};
+///
+/// let g = rmat(8, 4, RmatParams::default(), 1);
+/// assert_eq!(g.num_vertices(), 256);
+/// assert_eq!(g.num_edges(), 1024);
+/// ```
+pub fn rmat(scale: u32, avg_degree: u32, params: RmatParams, seed: u64) -> Csr {
+    assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+    assert!(avg_degree > 0, "avg_degree must be positive");
+    let n = 1usize << scale;
+    let m = n as u64 * avg_degree as u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n);
+    for _ in 0..m {
+        let (src, dst) = rmat_edge(scale, &params, &mut rng);
+        b.push_edge(src, dst);
+    }
+    b.build()
+}
+
+fn rmat_edge(scale: u32, p: &RmatParams, rng: &mut SmallRng) -> (VertexId, VertexId) {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for _ in 0..scale {
+        // Jitter quadrant probabilities per level (standard Graph500 trick).
+        let mut jitter = |x: f64| x * (1.0 - p.noise / 2.0 + p.noise * rng.gen::<f64>());
+        let (a, b, c, d) = (jitter(p.a), jitter(p.b), jitter(p.c), jitter(p.d));
+        let sum = a + b + c + d;
+        let r = rng.gen::<f64>() * sum;
+        let (sbit, dbit) = if r < a {
+            (0, 0)
+        } else if r < a + b {
+            (0, 1)
+        } else if r < a + b + c {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        src = (src << 1) | sbit;
+        dst = (dst << 1) | dbit;
+    }
+    (src, dst)
+}
+
+/// Generates a graph where every vertex has exactly `degree` out-edges to
+/// uniformly random destinations — the paper's `G12` dataset shape (§4.1).
+///
+/// # Panics
+///
+/// Panics if `n` or `degree` is zero.
+pub fn uniform_degree(n: usize, degree: u32, seed: u64) -> Csr {
+    assert!(n > 0 && degree > 0, "n and degree must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n);
+    for v in 0..n as VertexId {
+        for _ in 0..degree {
+            b.push_edge(v, rng.gen_range(0..n as VertexId));
+        }
+    }
+    b.build()
+}
+
+/// Generates a configuration-model graph with a power-law degree
+/// distribution `P(deg = k) ∝ k^(-alpha)` for `k ∈ [min_degree,
+/// max_degree]` — the paper's `α2.7` dataset (§4.1) uses `alpha = 2.7`,
+/// much flatter than natural graphs (α ≈ 2).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `alpha <= 1.0`, or `min_degree > max_degree` or
+/// `min_degree == 0`.
+pub fn configuration_model(
+    n: usize,
+    alpha: f64,
+    min_degree: u32,
+    max_degree: u32,
+    seed: u64,
+) -> Csr {
+    assert!(n > 0, "n must be positive");
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    assert!(
+        min_degree >= 1 && min_degree <= max_degree,
+        "need 1 <= min_degree <= max_degree"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Inverse-CDF sampling of the truncated discrete power law.
+    let weights: Vec<f64> = (min_degree..=max_degree)
+        .map(|k| (k as f64).powf(-alpha))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut b = CsrBuilder::new(n);
+    for v in 0..n as VertexId {
+        let u: f64 = rng.gen();
+        let idx = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+        let deg = min_degree + idx as u32;
+        for _ in 0..deg {
+            b.push_edge(v, rng.gen_range(0..n as VertexId));
+        }
+    }
+    b.build()
+}
+
+/// Generates an Erdős–Rényi `G(n, m)` graph with `m` uniformly random
+/// directed edges.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn erdos_renyi(n: usize, m: u64, seed: u64) -> Csr {
+    assert!(n > 0, "n must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n);
+    for _ in 0..m {
+        b.push_edge(
+            rng.gen_range(0..n as VertexId),
+            rng.gen_range(0..n as VertexId),
+        );
+    }
+    b.build()
+}
+
+/// Attaches uniformly random edge weights in `[0.5, 2.0)` and pre-builds
+/// alias tables — how the paper constructs the weighted `K30W` dataset
+/// ("randomly generate the weight property for each edge in K30", §4.1).
+pub fn with_random_weights(csr: Csr, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = csr.num_edges() as usize;
+    let weights: Vec<f32> = (0..m).map(|_| rng.gen_range(0.5f32..2.0)).collect();
+    csr.with_weights(weights).build_alias_tables()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(8, 4, RmatParams::default(), 9);
+        let b = rmat(8, 4, RmatParams::default(), 9);
+        assert_eq!(a, b);
+        let c = rmat(8, 4, RmatParams::default(), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 8, RmatParams::default(), 3);
+        let s = DegreeStats::of(&g);
+        // Power-law: max degree far above average.
+        assert!(s.max_degree > 8 * s.avg_degree as u64);
+    }
+
+    #[test]
+    fn uniform_degree_is_exact() {
+        let g = uniform_degree(500, 12, 4);
+        for v in 0..500u32 {
+            assert_eq!(g.degree(v), 12);
+        }
+        assert_eq!(g.num_edges(), 6000);
+    }
+
+    #[test]
+    fn configuration_model_respects_bounds() {
+        let g = configuration_model(2000, 2.7, 1, 64, 5);
+        for v in 0..2000u32 {
+            assert!((1..=64).contains(&g.degree(v)));
+        }
+    }
+
+    #[test]
+    fn configuration_model_is_flatter_than_rmat() {
+        let a27 = configuration_model(1 << 12, 2.7, 1, 256, 6);
+        let kron = rmat(12, (a27.num_edges() / (1 << 12)) as u32 + 1, RmatParams::default(), 6);
+        let sa = DegreeStats::of(&a27);
+        let sk = DegreeStats::of(&kron);
+        assert!(
+            sa.max_degree as f64 / sa.avg_degree < sk.max_degree as f64 / sk.avg_degree,
+            "a27 should be flatter: {sa:?} vs {sk:?}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count() {
+        let g = erdos_renyi(100, 1234, 7);
+        assert_eq!(g.num_edges(), 1234);
+    }
+
+    #[test]
+    fn random_weights_build_alias() {
+        let g = with_random_weights(rmat(6, 4, RmatParams::default(), 8), 8);
+        assert!(g.is_weighted());
+        assert!(g.has_alias_tables());
+        for w in g.weights().unwrap() {
+            assert!((0.5..2.0).contains(w));
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Reading and writing graphs: text edge lists and a binary CSR format.
+//!
+//! Real deployments ingest graphs from edge-list files (the format the
+//! paper's datasets are distributed in) and keep a converted binary CSR on
+//! disk. Both directions are provided here:
+//!
+//! * [`read_edge_list`] / [`write_edge_list`] — whitespace-separated
+//!   `src dst [weight]` lines, `#`/`%` comments.
+//! * [`save_csr`] / [`load_csr`] — a little-endian binary container with a
+//!   magic header, suitable for memory-mapped or streamed loading.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::VertexId;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from graph I/O.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line or field in a text edge list.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A malformed binary container.
+    Format(String),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "graph I/O failed: {e}"),
+            GraphIoError::Parse { line, message } => {
+                write!(f, "edge list parse error at line {line}: {message}")
+            }
+            GraphIoError::Format(m) => write!(f, "bad binary graph container: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Parses a text edge list: one `src dst [weight]` triple per line,
+/// whitespace-separated; empty lines and lines starting with `#` or `%`
+/// are skipped. The vertex count is `max endpoint + 1` (or 0 for an empty
+/// input). If *any* edge carries a weight, missing weights default to 1.0.
+///
+/// Note that a `mut` reference to a reader also implements [`Read`], so
+/// `read_edge_list(&mut file)` works when the file is reused afterwards.
+///
+/// # Errors
+///
+/// [`GraphIoError::Parse`] on malformed fields; [`GraphIoError::Io`] on
+/// read failures.
+///
+/// # Example
+///
+/// ```
+/// use noswalker_graph::io::read_edge_list;
+///
+/// let text = "# a comment\n0 1\n1 2 0.5\n2 0\n";
+/// let g = read_edge_list(text.as_bytes())?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert!(g.is_weighted());
+/// # Ok::<(), noswalker_graph::io::GraphIoError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Csr, GraphIoError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut any_weight = false;
+    let buf = BufReader::new(reader);
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let parse_v = |s: Option<&str>, what: &str| -> Result<VertexId, GraphIoError> {
+            let s = s.ok_or_else(|| GraphIoError::Parse {
+                line: i + 1,
+                message: format!("missing {what}"),
+            })?;
+            s.parse().map_err(|_| GraphIoError::Parse {
+                line: i + 1,
+                message: format!("invalid {what} {s:?}"),
+            })
+        };
+        let src = parse_v(fields.next(), "source vertex")?;
+        let dst = parse_v(fields.next(), "destination vertex")?;
+        let w = match fields.next() {
+            Some(s) => {
+                any_weight = true;
+                s.parse::<f32>().map_err(|_| GraphIoError::Parse {
+                    line: i + 1,
+                    message: format!("invalid weight {s:?}"),
+                })?
+            }
+            None => 1.0,
+        };
+        if let Some(extra) = fields.next() {
+            return Err(GraphIoError::Parse {
+                line: i + 1,
+                message: format!("unexpected trailing field {extra:?}"),
+            });
+        }
+        edges.push((src, dst));
+        weights.push(w);
+    }
+    let n = edges
+        .iter()
+        .map(|&(s, d)| s.max(d) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut b = CsrBuilder::new(n);
+    if any_weight {
+        // Sort edges and weights together so weights stay aligned.
+        let mut zipped: Vec<((VertexId, VertexId), f32)> =
+            edges.into_iter().zip(weights).collect();
+        zipped.sort_by_key(|&(e, _)| e);
+        for &(e, _) in &zipped {
+            b.push_edge(e.0, e.1);
+        }
+        Ok(b.build()
+            .with_weights(zipped.into_iter().map(|(_, w)| w).collect()))
+    } else {
+        b.extend_edges(edges);
+        Ok(b.build())
+    }
+}
+
+/// Writes a graph as a text edge list (weights included when present).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_edge_list<W: Write>(csr: &Csr, mut writer: W) -> Result<(), GraphIoError> {
+    for v in 0..csr.num_vertices() as VertexId {
+        let targets = csr.neighbors(v);
+        let weights = csr.edge_weights(v);
+        for (i, &t) in targets.iter().enumerate() {
+            match weights {
+                Some(w) => writeln!(writer, "{v} {t} {}", w[i])?,
+                None => writeln!(writer, "{v} {t}")?,
+            }
+        }
+    }
+    Ok(())
+}
+
+const MAGIC: &[u8; 8] = b"NOSWCSR1";
+
+/// Serializes a CSR (offsets, targets, optional weights) into a binary
+/// container. Alias tables are not stored — they are cheap to rebuild
+/// with [`Csr::build_alias_tables`].
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn save_csr<W: Write>(csr: &Csr, mut writer: W) -> Result<(), GraphIoError> {
+    writer.write_all(MAGIC)?;
+    let flags: u32 = u32::from(csr.is_weighted());
+    writer.write_all(&flags.to_le_bytes())?;
+    writer.write_all(&(csr.num_vertices() as u64).to_le_bytes())?;
+    writer.write_all(&csr.num_edges().to_le_bytes())?;
+    for &o in csr.offsets() {
+        writer.write_all(&o.to_le_bytes())?;
+    }
+    for &t in csr.targets() {
+        writer.write_all(&t.to_le_bytes())?;
+    }
+    if let Some(w) = csr.weights() {
+        for &x in w {
+            writer.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a CSR previously written by [`save_csr`].
+///
+/// # Errors
+///
+/// [`GraphIoError::Format`] for bad magic/inconsistent counts,
+/// [`GraphIoError::Io`] on truncated input.
+pub fn load_csr<R: Read>(mut reader: R) -> Result<Csr, GraphIoError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphIoError::Format(format!(
+            "bad magic {:?}",
+            String::from_utf8_lossy(&magic)
+        )));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    reader.read_exact(&mut u32buf)?;
+    let flags = u32::from_le_bytes(u32buf);
+    if flags > 1 {
+        return Err(GraphIoError::Format(format!("unknown flags {flags:#x}")));
+    }
+    reader.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    reader.read_exact(&mut u64buf)?;
+    let m = u64::from_le_bytes(u64buf);
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        reader.read_exact(&mut u64buf)?;
+        offsets.push(u64::from_le_bytes(u64buf));
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+        return Err(GraphIoError::Format(
+            "offset array inconsistent with edge count".into(),
+        ));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphIoError::Format("offsets not monotone".into()));
+    }
+    let mut targets = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        reader.read_exact(&mut u32buf)?;
+        let t = u32::from_le_bytes(u32buf);
+        if t as usize >= n.max(1) {
+            return Err(GraphIoError::Format(format!(
+                "target {t} out of range for {n} vertices"
+            )));
+        }
+        targets.push(t);
+    }
+    let csr = crate::builder::from_parts(offsets, targets);
+    if flags & 1 != 0 {
+        let mut weights = Vec::with_capacity(m as usize);
+        for _ in 0..m {
+            reader.read_exact(&mut u32buf)?;
+            weights.push(f32::from_le_bytes(u32buf));
+        }
+        Ok(csr.with_weights(weights))
+    } else {
+        Ok(csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_roundtrip_unweighted() {
+        let g = generators::rmat(8, 4, generators::RmatParams::default(), 5);
+        let mut text = Vec::new();
+        write_edge_list(&g, &mut text).unwrap();
+        let g2 = read_edge_list(text.as_slice()).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        // Trailing isolated vertices are not representable in an edge
+        // list; everything up to the last endpoint round-trips.
+        for v in 0..g2.num_vertices() as u32 {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+        for v in g2.num_vertices()..g.num_vertices() {
+            assert_eq!(g.degree(v as u32), 0);
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip_weighted() {
+        let g = generators::with_random_weights(
+            generators::rmat(7, 4, generators::RmatParams::default(), 6),
+            6,
+        );
+        let mut text = Vec::new();
+        write_edge_list(&g, &mut text).unwrap();
+        let g2 = read_edge_list(text.as_slice()).unwrap();
+        assert!(g2.is_weighted());
+        for v in 0..g2.num_vertices() as u32 {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+            // Weights survive (sorted identically since builder sorts by
+            // (src, dst) and parallel edges keep file order).
+            let a: Vec<f32> = g.edge_weights(v).unwrap().to_vec();
+            let b: Vec<f32> = g2.edge_weights(v).unwrap().to_vec();
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            a2.sort_by(f32::total_cmp);
+            b2.sort_by(f32::total_cmp);
+            assert_eq!(a2, b2);
+        }
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let g = read_edge_list("\n# c\n% c\n0 1\n\n1 0\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing destination"));
+        let err = read_edge_list("0 1 2 3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        let err = read_edge_list("0 1 notafloat\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn empty_edge_list_is_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip_unweighted() {
+        let g = generators::rmat(9, 6, generators::RmatParams::default(), 7);
+        let mut bytes = Vec::new();
+        save_csr(&g, &mut bytes).unwrap();
+        let g2 = load_csr(bytes.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted() {
+        let g = generators::with_random_weights(
+            generators::rmat(8, 4, generators::RmatParams::default(), 8),
+            8,
+        );
+        let mut bytes = Vec::new();
+        save_csr(&g, &mut bytes).unwrap();
+        let g2 = load_csr(bytes.as_slice()).unwrap();
+        assert_eq!(g.offsets(), g2.offsets());
+        assert_eq!(g.targets(), g2.targets());
+        assert_eq!(g.weights(), g2.weights());
+        // Alias tables are not stored but can be rebuilt.
+        assert!(!g2.has_alias_tables());
+        assert!(g2.build_alias_tables().has_alias_tables());
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = generators::rmat(6, 4, generators::RmatParams::default(), 9);
+        let mut bytes = Vec::new();
+        save_csr(&g, &mut bytes).unwrap();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            load_csr(bad.as_slice()),
+            Err(GraphIoError::Format(_))
+        ));
+        // Truncation.
+        assert!(load_csr(&bytes[..bytes.len() / 2]).is_err());
+        // Out-of-range target.
+        let header = 8 + 4 + 8 + 8 + (g.num_vertices() + 1) * 8;
+        let mut bad = bytes.clone();
+        bad[header..header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            load_csr(bad.as_slice()),
+            Err(GraphIoError::Format(_))
+        ));
+    }
+}

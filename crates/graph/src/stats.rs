@@ -1,0 +1,162 @@
+//! Degree statistics used by the structure-sensitivity experiments (§4.3)
+//! and by NosWalker's low-degree heuristics (§3.3.4).
+
+use crate::csr::Csr;
+
+/// Summary statistics over a graph's out-degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: u64,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: u64,
+    /// Fraction of vertices with out-degree ≤ 4 (the paper's low-degree
+    /// band, §3.3.4: "about 9 % of vertices with a degree of 1 in Kron30").
+    pub low_degree_fraction: f64,
+    /// Fraction of all edges owned by those low-degree vertices (paper:
+    /// "these vertices have only about 0.3 % of the edges").
+    pub low_degree_edge_fraction: f64,
+    /// Gini coefficient of the degree distribution (0 = perfectly uniform,
+    /// → 1 = extremely skewed); a scalar proxy for "power-law-ness".
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics for `csr`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use noswalker_graph::{generators, stats::DegreeStats};
+    ///
+    /// let g = generators::uniform_degree(1000, 12, 1);
+    /// let s = DegreeStats::of(&g);
+    /// assert_eq!(s.avg_degree, 12.0);
+    /// assert!(s.gini < 0.01);
+    /// ```
+    pub fn of(csr: &Csr) -> Self {
+        let n = csr.num_vertices();
+        let m = csr.num_edges();
+        let mut degrees: Vec<u64> = (0..n).map(|v| csr.degree(v as u32)).collect();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let low_n = degrees.iter().filter(|&&d| d > 0 && d <= 4).count();
+        let low_e: u64 = degrees.iter().filter(|&&d| d > 0 && d <= 4).sum();
+        degrees.sort_unstable();
+        let gini = gini_sorted(&degrees);
+        DegreeStats {
+            num_vertices: n,
+            num_edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_degree,
+            low_degree_fraction: if n == 0 { 0.0 } else { low_n as f64 / n as f64 },
+            low_degree_edge_fraction: if m == 0 { 0.0 } else { low_e as f64 / m as f64 },
+            gini,
+        }
+    }
+}
+
+/// Gini coefficient of a sorted non-negative sample.
+fn gini_sorted(sorted: &[u64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: u128 = sorted.iter().map(|&d| d as u128).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut weighted: u128 = 0;
+    for (i, &d) in sorted.iter().enumerate() {
+        weighted += (i as u128 + 1) * d as u128;
+    }
+    let n = n as f64;
+    (2.0 * weighted as f64 / (n * total as f64)) - (n + 1.0) / n
+}
+
+/// A degree histogram in powers of two, used to print Table-1-style dataset
+/// characterizations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// `buckets[i]` counts vertices with degree in `[2^i, 2^(i+1))`;
+    /// `buckets[0]` additionally counts degree-0 vertices in `zero`.
+    pub buckets: Vec<u64>,
+    /// Number of zero-degree vertices.
+    pub zero: u64,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram for `csr`.
+    pub fn of(csr: &Csr) -> Self {
+        let mut buckets = vec![0u64; 33];
+        let mut zero = 0;
+        for v in 0..csr.num_vertices() {
+            let d = csr.degree(v as u32);
+            if d == 0 {
+                zero += 1;
+            } else {
+                buckets[(63 - d.leading_zeros()) as usize] += 1;
+            }
+        }
+        while buckets.last() == Some(&0) && buckets.len() > 1 {
+            buckets.pop();
+        }
+        DegreeHistogram { buckets, zero }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::CsrBuilder;
+
+    #[test]
+    fn uniform_graph_has_zero_gini() {
+        let g = generators::uniform_degree(200, 8, 2);
+        let s = DegreeStats::of(&g);
+        assert!(s.gini.abs() < 1e-9);
+        assert_eq!(s.max_degree, 8);
+        assert_eq!(s.low_degree_fraction, 0.0);
+    }
+
+    #[test]
+    fn skewed_graph_has_high_gini() {
+        // One hub with 100 edges, 100 vertices with 1 edge.
+        let mut b = CsrBuilder::new(101);
+        for i in 1..=100u32 {
+            b.push_edge(0, i);
+            b.push_edge(i, 0);
+        }
+        let s = DegreeStats::of(&b.build());
+        assert!(s.gini > 0.4, "gini = {}", s.gini);
+        assert!(s.low_degree_fraction > 0.9);
+        assert!(s.low_degree_edge_fraction < 0.6);
+    }
+
+    #[test]
+    fn rmat_gini_exceeds_configuration_model() {
+        let kron = generators::rmat(12, 16, generators::RmatParams::default(), 1);
+        let flat = generators::configuration_model(1 << 12, 2.7, 4, 64, 1);
+        assert!(DegreeStats::of(&kron).gini > DegreeStats::of(&flat).gini);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let g = generators::rmat(10, 8, generators::RmatParams::default(), 3);
+        let h = DegreeHistogram::of(&g);
+        let total: u64 = h.buckets.iter().sum::<u64>() + h.zero;
+        assert_eq!(total, g.num_vertices() as u64);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::Csr::empty(0);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.gini, 0.0);
+    }
+}

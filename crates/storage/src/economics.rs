@@ -1,0 +1,89 @@
+//! The storage-cost arithmetic that motivates out-of-core processing
+//! (paper §2.2): DRAM at ~9.9 $/GB vs NVMe flash at ~0.13 $/GB means a
+//! system that needs only 10 % of the graph in memory cuts storage cost
+//! by `9.9 / (0.99 + 0.13) ≈ 8.8×`.
+
+/// Per-gigabyte prices of the two tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoragePrices {
+    /// DRAM price in $/GB.
+    pub dram_per_gb: f64,
+    /// SSD price in $/GB.
+    pub ssd_per_gb: f64,
+}
+
+impl StoragePrices {
+    /// The paper's 2023 figures (§2.2): ECC DRAM ≈ 9.9 $/GB, NVMe ≈ 0.13.
+    pub fn paper_2023() -> Self {
+        StoragePrices {
+            dram_per_gb: 9.9,
+            ssd_per_gb: 0.13,
+        }
+    }
+
+    /// Cost in dollars of holding `graph_gb` with `memory_fraction` of it
+    /// in DRAM and the whole graph on SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_fraction` is not in `[0, 1]` or `graph_gb` is
+    /// negative.
+    pub fn out_of_core_cost(&self, graph_gb: f64, memory_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&memory_fraction),
+            "memory fraction must be in [0, 1]"
+        );
+        assert!(graph_gb >= 0.0, "graph size must be non-negative");
+        graph_gb * (memory_fraction * self.dram_per_gb + self.ssd_per_gb)
+    }
+
+    /// Cost of the all-in-memory alternative (ignoring the cluster,
+    /// network and management overheads the paper notes on top).
+    pub fn in_memory_cost(&self, graph_gb: f64) -> f64 {
+        assert!(graph_gb >= 0.0, "graph size must be non-negative");
+        graph_gb * self.dram_per_gb
+    }
+
+    /// The cost-reduction factor of running out-of-core at
+    /// `memory_fraction` (the paper's headline 8.8× at 10 %).
+    pub fn savings_factor(&self, memory_fraction: f64) -> f64 {
+        self.in_memory_cost(1.0) / self.out_of_core_cost(1.0, memory_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_8_8x() {
+        let p = StoragePrices::paper_2023();
+        let f = p.savings_factor(0.10);
+        assert!((f - 8.8).abs() < 0.1, "savings factor {f}");
+    }
+
+    #[test]
+    fn more_memory_less_savings() {
+        let p = StoragePrices::paper_2023();
+        assert!(p.savings_factor(0.5) < p.savings_factor(0.1));
+        assert!(p.savings_factor(1.0) < 1.0 + 1e-9 + 1.0); // still ≥ ~1
+        // At 100 % memory the SSD copy makes it slightly worse than pure
+        // DRAM.
+        assert!(p.savings_factor(1.0) < 1.0);
+    }
+
+    #[test]
+    fn costs_scale_linearly_with_size() {
+        let p = StoragePrices::paper_2023();
+        let one = p.out_of_core_cost(1.0, 0.12);
+        let ten = p.out_of_core_cost(10.0, 0.12);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+        assert_eq!(p.out_of_core_cost(0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory fraction")]
+    fn rejects_bad_fraction() {
+        let _ = StoragePrices::paper_2023().out_of_core_cost(1.0, 1.5);
+    }
+}

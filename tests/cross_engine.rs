@@ -1,0 +1,216 @@
+//! Cross-engine correctness: the same application must produce
+//! *statistically equivalent* results on every engine — scheduling policy
+//! must never change walk semantics.
+
+use noswalker::apps::{BasicRw, GraphletConcentration, Node2Vec, Ppr};
+use noswalker::baselines::{DrunkardMob, GraSorw, Graphene, GraphWalker, InMemory};
+use noswalker::core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, Walk};
+use noswalker::graph::generators::{self, RmatParams};
+use noswalker::graph::Csr;
+use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::sync::Arc;
+
+fn graph() -> Csr {
+    generators::rmat(11, 12, RmatParams::default(), 77)
+}
+
+fn on_device(csr: &Csr) -> Arc<OnDiskGraph> {
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    Arc::new(OnDiskGraph::store(csr, device, csr.edge_region_bytes() / 16).unwrap())
+}
+
+fn budget() -> Arc<MemoryBudget> {
+    MemoryBudget::new(1 << 20)
+}
+
+/// Runs `app` on engine `name`, returning its metrics.
+fn run_engine<A: Walk + 'static>(name: &str, app: Arc<A>, csr: &Csr) -> RunMetrics {
+    let opts = EngineOptions::default();
+    match name {
+        "noswalker" => NosWalkerEngine::new(app, on_device(csr), opts, budget())
+            .run(5)
+            .unwrap(),
+        "drunkardmob" => DrunkardMob::new(app, on_device(csr), opts, budget())
+            .run(5)
+            .unwrap(),
+        "graphwalker" => GraphWalker::new(app, on_device(csr), opts, budget())
+            .run(5)
+            .unwrap(),
+        "graphene" => Graphene::new(app, on_device(csr), opts, budget())
+            .run(5)
+            .unwrap(),
+        "inmemory" => {
+            InMemory::new(app, Arc::new(csr.clone()), opts, SsdProfile::nvme_p4618()).run(5)
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+const ENGINES: [&str; 5] = [
+    "noswalker",
+    "drunkardmob",
+    "graphwalker",
+    "graphene",
+    "inmemory",
+];
+
+#[test]
+fn every_engine_finishes_every_walker() {
+    let csr = graph();
+    for name in ENGINES {
+        let app = Arc::new(BasicRw::new(3000, 8, csr.num_vertices()));
+        let m = run_engine(name, Arc::clone(&app), &csr);
+        assert_eq!(m.walkers_finished, 3000, "{name}");
+        assert!(m.steps > 0, "{name}");
+        assert_eq!(m.steps, app.steps_taken(), "{name}: metrics vs app");
+    }
+}
+
+#[test]
+fn steps_conserved_on_dead_end_free_graph() {
+    // Uniform graph: every vertex has out-degree 6, so every walker takes
+    // exactly its full length.
+    let csr = generators::uniform_degree(1 << 11, 6, 13);
+    for name in ENGINES {
+        let app = Arc::new(BasicRw::new(2000, 7, csr.num_vertices()));
+        let m = run_engine(name, app, &csr);
+        assert_eq!(m.steps, 2000 * 7, "{name}");
+    }
+}
+
+/// L1 distance between two normalized visit distributions.
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[test]
+fn ppr_distribution_agrees_between_noswalker_and_in_memory() {
+    let csr = graph();
+    let sources = vec![1u32, 17, 99];
+    let make = || Arc::new(Ppr::new(sources.clone(), 800, 10, csr.num_vertices()));
+
+    let nw_app = make();
+    run_engine("noswalker", Arc::clone(&nw_app), &csr);
+    let mem_app = make();
+    run_engine("inmemory", Arc::clone(&mem_app), &csr);
+
+    let d = l1(&nw_app.estimate(), &mem_app.estimate());
+    // Two independent Monte-Carlo estimates of the same distribution;
+    // with 24k walk-steps each the L1 gap stays well below a constant.
+    assert!(d < 0.25, "L1 distance too large: {d}");
+
+    // The heaviest hub must agree.
+    assert_eq!(nw_app.top_k(1)[0].0, mem_app.top_k(1)[0].0);
+}
+
+#[test]
+fn graphlet_concentration_agrees_across_engines() {
+    let csr = generators::rmat(11, 16, RmatParams::default(), 3);
+    let mut estimates = Vec::new();
+    for name in ["noswalker", "graphwalker", "inmemory"] {
+        let app = Arc::new(GraphletConcentration::new(20_000, csr.num_vertices()));
+        run_engine(name, Arc::clone(&app), &csr);
+        assert_eq!(app.completed(), app.completed());
+        estimates.push((name, app.concentration()));
+    }
+    let (_, base) = estimates[0];
+    for &(name, c) in &estimates[1..] {
+        assert!(
+            (c - base).abs() < 0.05,
+            "{name} concentration {c} vs noswalker {base}"
+        );
+    }
+}
+
+#[test]
+fn node2vec_agrees_between_noswalker_and_grasorw() {
+    let csr = generators::rmat(10, 8, RmatParams::default(), 21).to_undirected();
+    let make = || Arc::new(Node2Vec::new(csr.num_vertices(), 2, 8, 2.0, 0.5));
+
+    let nw_app = make();
+    let nw = NosWalkerEngine::new(
+        Arc::clone(&nw_app),
+        on_device(&csr),
+        EngineOptions::default(),
+        budget(),
+    )
+    .run_second_order(5)
+    .unwrap();
+    let gs_app = make();
+    let gs = GraSorw::new(
+        Arc::clone(&gs_app),
+        on_device(&csr),
+        EngineOptions::default(),
+        budget(),
+    )
+    .run(5)
+    .unwrap();
+
+    assert_eq!(nw.walkers_finished, gs.walkers_finished);
+    // Both implement the same rejection sampling: the acceptance *rate*
+    // is a property of (graph, p, q), not of the engine.
+    let rate = |a: &Node2Vec| a.accepts() as f64 / (a.accepts() + a.rejects()).max(1) as f64;
+    let (rn, rg) = (rate(&nw_app), rate(&gs_app));
+    assert!((rn - rg).abs() < 0.03, "acceptance rates differ: {rn} vs {rg}");
+}
+
+#[test]
+fn engines_report_distinct_io_economics() {
+    // The whole point of the paper: on an out-of-core power-law workload
+    // NosWalker moves fewer bytes per step than the block-centric systems.
+    let csr = generators::rmat(13, 16, RmatParams::default(), 31);
+    // The paper's regime: memory holds ~12 % of the graph. DrunkardMob is
+    // granted twice that (it must pin all walker states in memory; extra
+    // memory only helps it, so beating it is still conclusive).
+    let budget_bytes = csr.edge_region_bytes() / 8;
+    let mut eps = std::collections::HashMap::new();
+    for name in ["noswalker", "graphwalker", "drunkardmob"] {
+        let app = Arc::new(BasicRw::new(10_000, 10, csr.num_vertices()));
+        let opts = EngineOptions::default();
+        let m = match name {
+            "noswalker" => NosWalkerEngine::new(
+                app,
+                on_device(&csr),
+                opts,
+                MemoryBudget::new(budget_bytes),
+            )
+            .run(5)
+            .unwrap(),
+            "graphwalker" => GraphWalker::new(
+                app,
+                on_device(&csr),
+                opts,
+                MemoryBudget::new(budget_bytes),
+            )
+            .run(5)
+            .unwrap(),
+            _ => DrunkardMob::new(
+                app,
+                on_device(&csr),
+                opts,
+                MemoryBudget::new(budget_bytes * 2),
+            )
+            .run(5)
+            .unwrap(),
+        };
+        eps.insert(name, (m.edges_per_step(), m.sim_secs()));
+    }
+    // The paper's ordering on out-of-core workloads: NosWalker finishes
+    // fastest, GraphWalker next, DrunkardMob last (Figs. 2, 9–11).
+    assert!(
+        eps["noswalker"].1 < eps["graphwalker"].1,
+        "NW {:?} vs GW {:?}",
+        eps["noswalker"],
+        eps["graphwalker"]
+    );
+    assert!(
+        eps["graphwalker"].1 < eps["drunkardmob"].1,
+        "GW {:?} vs DM {:?}",
+        eps["graphwalker"],
+        eps["drunkardmob"]
+    );
+    // (Per-byte metrics are not asserted here: at integration-test scale
+    // the page-cache stand-in serves most re-reads for the block-centric
+    // systems for free, which skews edges-per-step; the bench harness
+    // measures that metric at the paper's out-of-core scale instead.)
+}

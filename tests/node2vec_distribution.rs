@@ -1,0 +1,144 @@
+//! Statistical validation of the second-order engine: the empirical
+//! Node2Vec transition distribution produced by NosWalker's decoupled
+//! candidate/rejection pipeline must match the exact α-weights of the
+//! model (paper Eq. 1 / Appendix A) — rejection sampling through
+//! pre-sample buffers and deferred block loads must not bias the walk.
+
+use noswalker::apps::Node2Vec;
+use noswalker::core::{EngineOptions, NosWalkerEngine, OnDiskGraph};
+use noswalker::graph::{Csr, CsrBuilder};
+use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A small undirected graph with triangles, squares and pendants so all
+/// three distance classes (d = 0, 1, 2) occur.
+fn test_graph() -> Csr {
+    let edges = [
+        (0u32, 1u32),
+        (1, 2),
+        (2, 0), // triangle 0-1-2
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 2), // square 2-3-4-5
+        (1, 6), // pendant
+        (4, 7), // pendant
+        (0, 8),
+        (8, 9),
+        (9, 0), // second triangle 0-8-9
+    ];
+    let mut b = CsrBuilder::new(10);
+    for (u, v) in edges {
+        b.push_edge(u, v);
+    }
+    b.build().to_undirected()
+}
+
+/// Exact Node2Vec transition probabilities from `cur`, given `prev`.
+fn exact_transition(g: &Csr, prev: u32, cur: u32, p: f64, q: f64) -> HashMap<u32, f64> {
+    let mut weights = HashMap::new();
+    for &x in g.neighbors(cur) {
+        let w = if x == prev {
+            1.0 / p
+        } else if g.has_edge(x, prev) {
+            1.0
+        } else {
+            1.0 / q
+        };
+        *weights.entry(x).or_insert(0.0) += w;
+    }
+    let total: f64 = weights.values().sum();
+    weights.into_iter().map(|(k, v)| (k, v / total)).collect()
+}
+
+#[test]
+fn second_order_transitions_match_exact_node2vec_law() {
+    let g = test_graph();
+    let (p, q) = (2.0f32, 0.5f32);
+    // Many short (length 2) walks from every vertex; collect all paths.
+    let walks_per_vertex = 40_000u32;
+    let app = Arc::new(
+        Node2Vec::new(g.num_vertices(), walks_per_vertex, 2, p, q)
+            .collecting((g.num_vertices() as u32 * walks_per_vertex) as usize),
+    );
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    // Small blocks + tight budget force the decoupled machinery (block
+    // evictions, pre-sample candidates, deferred rejection) to be used.
+    let graph = Arc::new(OnDiskGraph::store(&g, device, 64).unwrap());
+    let budget = MemoryBudget::new(8 << 10);
+    let engine = NosWalkerEngine::new(Arc::clone(&app), graph, EngineOptions::default(), budget);
+    let m = engine.run_second_order(1234).unwrap();
+    assert_eq!(
+        m.walkers_finished,
+        g.num_vertices() as u64 * walks_per_vertex as u64
+    );
+
+    // Conditional empirical distribution of the 2nd hop given (v0, v1).
+    let mut counts: HashMap<(u32, u32), HashMap<u32, u64>> = HashMap::new();
+    for path in app.take_corpus() {
+        if path.len() == 3 {
+            *counts
+                .entry((path[0], path[1]))
+                .or_default()
+                .entry(path[2])
+                .or_insert(0) += 1;
+        }
+    }
+    assert!(!counts.is_empty(), "no completed 2-step walks collected");
+
+    let mut checked = 0;
+    for ((v0, v1), dist) in counts {
+        let n: u64 = dist.values().sum();
+        if n < 3000 {
+            continue; // not enough samples for a tight check
+        }
+        let exact = exact_transition(&g, v0, v1, p as f64, q as f64);
+        for (&x, &c) in &dist {
+            let emp = c as f64 / n as f64;
+            let want = exact.get(&x).copied().unwrap_or(0.0);
+            assert!(
+                (emp - want).abs() < 0.02,
+                "transition ({v0}->{v1}->{x}): empirical {emp:.4} vs exact {want:.4} (n={n})"
+            );
+            checked += 1;
+        }
+        // No mass outside the exact support.
+        for (&x, &w) in &exact {
+            if w > 0.03 {
+                assert!(dist.contains_key(&x), "({v0}->{v1}) never reached {x}");
+            }
+        }
+    }
+    assert!(checked > 20, "too few transitions checked: {checked}");
+}
+
+#[test]
+fn first_hop_is_uniform() {
+    let g = test_graph();
+    let app = Arc::new(Node2Vec::new(g.num_vertices(), 30_000, 1, 2.0, 0.5).collecting(400_000));
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let graph = Arc::new(OnDiskGraph::store(&g, device, 64).unwrap());
+    let engine = NosWalkerEngine::new(
+        Arc::clone(&app),
+        graph,
+        EngineOptions::default(),
+        MemoryBudget::new(8 << 10),
+    );
+    engine.run_second_order(99).unwrap();
+    // Vertex 2 has 4 undirected neighbors (0, 1, 3, 5): each ~25 %.
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut total = 0u64;
+    for path in app.take_corpus() {
+        if path.len() == 2 && path[0] == 2 {
+            *counts.entry(path[1]).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    assert!(total > 5000, "not enough first hops from vertex 2: {total}");
+    assert_eq!(counts.len(), 4, "first hop support wrong: {counts:?}");
+    for (&x, &c) in &counts {
+        let f = c as f64 / total as f64;
+        assert!((f - 0.25).abs() < 0.02, "hop 2->{x}: {f}");
+    }
+}

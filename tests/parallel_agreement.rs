@@ -1,0 +1,97 @@
+//! The real concurrent runner must produce the same walk *semantics* as
+//! the deterministic simulation engine — thread interleavings may permute
+//! RNG draws, but conservation laws and stationary statistics must agree.
+
+use noswalker::apps::{BasicRw, Ppr};
+use noswalker::core::parallel::ParallelRunner;
+use noswalker::core::{EngineOptions, NosWalkerEngine, OnDiskGraph};
+use noswalker::graph::generators::{self, RmatParams};
+use noswalker::graph::Csr;
+use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::sync::Arc;
+
+fn graph() -> Csr {
+    generators::rmat(12, 12, RmatParams::default(), 55)
+}
+
+fn on_device(csr: &Csr) -> Arc<OnDiskGraph> {
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    Arc::new(OnDiskGraph::store(csr, device, csr.edge_region_bytes() / 24).unwrap())
+}
+
+#[test]
+fn step_conservation_matches_sequential_engine() {
+    // Uniform graph → exact step counts on both execution modes.
+    let csr = generators::uniform_degree(1 << 11, 6, 9);
+    let app = Arc::new(BasicRw::new(4000, 7, csr.num_vertices()));
+    let m_par = ParallelRunner::new(
+        Arc::clone(&app),
+        on_device(&csr),
+        EngineOptions::default(),
+        MemoryBudget::new(1 << 20),
+    )
+    .run(3, 4)
+    .unwrap();
+    let app2 = Arc::new(BasicRw::new(4000, 7, csr.num_vertices()));
+    let m_seq = NosWalkerEngine::new(
+        Arc::clone(&app2),
+        on_device(&csr),
+        EngineOptions::default(),
+        MemoryBudget::new(1 << 20),
+    )
+    .run(3)
+    .unwrap();
+    assert_eq!(m_par.steps, 4000 * 7);
+    assert_eq!(m_seq.steps, 4000 * 7);
+    assert_eq!(m_par.walkers_finished, m_seq.walkers_finished);
+}
+
+#[test]
+fn ppr_statistics_agree_with_sequential_engine() {
+    let csr = graph();
+    let sources = vec![2u32, 33, 444];
+    let make = || Arc::new(Ppr::new(sources.clone(), 3000, 10, csr.num_vertices()));
+
+    let par_app = make();
+    ParallelRunner::new(
+        Arc::clone(&par_app),
+        on_device(&csr),
+        EngineOptions::default(),
+        MemoryBudget::new(1 << 20),
+    )
+    .run(7, 4)
+    .unwrap();
+
+    let seq_app = make();
+    NosWalkerEngine::new(
+        Arc::clone(&seq_app),
+        on_device(&csr),
+        EngineOptions::default(),
+        MemoryBudget::new(1 << 20),
+    )
+    .run(7)
+    .unwrap();
+
+    let (pe, se) = (par_app.estimate(), seq_app.estimate());
+    let l1: f64 = pe.iter().zip(&se).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 < 0.25, "L1 distance {l1} between parallel and sequential");
+    assert_eq!(par_app.top_k(1)[0].0, seq_app.top_k(1)[0].0, "top hub differs");
+}
+
+#[test]
+fn worker_count_does_not_change_conservation() {
+    let csr = generators::uniform_degree(1 << 10, 4, 5);
+    for workers in [1usize, 2, 3, 8] {
+        let app = Arc::new(BasicRw::new(1500, 5, csr.num_vertices()));
+        let m = ParallelRunner::new(
+            app,
+            on_device(&csr),
+            EngineOptions::default(),
+            MemoryBudget::new(1 << 20),
+        )
+        .run(1, workers)
+        .unwrap();
+        assert_eq!(m.steps, 1500 * 5, "workers = {workers}");
+        assert_eq!(m.walkers_finished, 1500, "workers = {workers}");
+    }
+}

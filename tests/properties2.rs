@@ -1,0 +1,127 @@
+//! Second wave of property tests: storage composition, graph I/O, the
+//! second-order engine, and restart semantics.
+
+use noswalker::apps::{Node2Vec, RandomWalkWithRestart};
+use noswalker::core::{EngineOptions, NosWalkerEngine, OnDiskGraph};
+use noswalker::graph::io::{load_csr, read_edge_list, save_csr, write_edge_list};
+use noswalker::graph::{generators, CsrBuilder};
+use noswalker::storage::{Device, MemoryBudget, Raid0, SimSsd, SsdProfile};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_graph(max_v: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_v).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 1..(n * 4));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn raid0_reads_match_writes(
+        members in 1usize..6,
+        stripe in 1u64..200,
+        writes in prop::collection::vec((0u64..2000, prop::collection::vec(any::<u8>(), 1..300)), 1..12),
+    ) {
+        let raid = Raid0::new(members, SsdProfile::nvme_p4618(), stripe);
+        // A shadow flat buffer is the reference model.
+        let mut shadow = vec![0u8; 4096];
+        for (off, data) in &writes {
+            let end = *off as usize + data.len();
+            if shadow.len() < end {
+                shadow.resize(end, 0);
+            }
+            shadow[*off as usize..end].copy_from_slice(data);
+            raid.write(*off, data).unwrap();
+        }
+        for (off, data) in &writes {
+            let mut buf = vec![0u8; data.len()];
+            raid.read(*off, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &shadow[*off as usize..*off as usize + data.len()]);
+        }
+    }
+
+    #[test]
+    fn binary_csr_roundtrips_arbitrary_graphs((n, edges) in arb_graph(64)) {
+        let mut b = CsrBuilder::new(n);
+        for &(s, d) in &edges {
+            b.push_edge(s, d);
+        }
+        let g = b.build();
+        let mut bytes = Vec::new();
+        save_csr(&g, &mut bytes).unwrap();
+        let g2 = load_csr(bytes.as_slice()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_roundtrips_arbitrary_graphs((n, edges) in arb_graph(48)) {
+        let mut b = CsrBuilder::new(n);
+        for &(s, d) in &edges {
+            b.push_edge(s, d);
+        }
+        let g = b.build();
+        let mut text = Vec::new();
+        write_edge_list(&g, &mut text).unwrap();
+        let g2 = read_edge_list(text.as_slice()).unwrap();
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for v in 0..g2.num_vertices() as u32 {
+            prop_assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn second_order_engine_terminates_and_is_deterministic(
+        scale in 5u32..8,
+        walks_per_vertex in 1u32..3,
+        length in 1u32..6,
+        seed in 0u64..500,
+    ) {
+        let csr = generators::rmat(scale, 4, generators::RmatParams::default(), 13).to_undirected();
+        let n = csr.num_vertices();
+        let run = || {
+            let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+            let graph = Arc::new(OnDiskGraph::store(&csr, device, 256).unwrap());
+            let app = Arc::new(Node2Vec::new(n, walks_per_vertex, length, 2.0, 0.5));
+            NosWalkerEngine::new(app, graph, EngineOptions::default(), MemoryBudget::new(1 << 20))
+                .run_second_order(seed)
+                .unwrap()
+        };
+        let (mut a, mut b) = (run(), run());
+        prop_assert_eq!(a.walkers_finished, (n as u64) * walks_per_vertex as u64);
+        prop_assert!(a.steps <= a.walkers_finished * length as u64);
+        prop_assert_eq!(a.steps, a.accepts);
+        a.wall_ns = 0;
+        b.wall_ns = 0;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restart_walks_complete_under_any_restart_probability(
+        c in 0.0f32..0.95,
+        walkers in 1u64..80,
+        seed in 0u64..200,
+    ) {
+        let csr = generators::uniform_degree(128, 4, 3);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 512).unwrap());
+        let sources = vec![0u32, 7, 99];
+        let app = Arc::new(RandomWalkWithRestart::new(sources, walkers, c, 12, 128));
+        let engine = NosWalkerEngine::new(
+            Arc::clone(&app),
+            graph,
+            EngineOptions::default(),
+            MemoryBudget::new(1 << 20),
+        );
+        let m = engine.run(seed).unwrap();
+        prop_assert_eq!(m.walkers_finished, 3 * walkers);
+        // Uniform graph, no dead ends: every hop (restart or move) counts.
+        prop_assert_eq!(m.steps, 3 * walkers * 12);
+        prop_assert!(app.restarts() <= m.steps);
+        if c == 0.0 {
+            prop_assert_eq!(app.restarts(), 0);
+        }
+    }
+}

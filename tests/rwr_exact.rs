@@ -1,0 +1,94 @@
+//! Validates the Random-Walk-with-Restart application against the exact
+//! stationary solution computed by power iteration: the Monte-Carlo
+//! estimate produced through the full out-of-core engine must converge to
+//! the analytic personalized PageRank vector.
+
+use noswalker::apps::RandomWalkWithRestart;
+use noswalker::core::{EngineOptions, NosWalkerEngine, OnDiskGraph};
+use noswalker::graph::{generators, Csr};
+use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::sync::Arc;
+
+/// Exact RWR/PPR vector by power iteration on the uniform random walk
+/// with restart probability `c` to `source`.
+fn exact_rwr(g: &Csr, source: u32, c: f64, iters: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut p = vec![0.0; n];
+    p[source as usize] = 1.0;
+    for _ in 0..iters {
+        let mut next = vec![0.0; n];
+        // Teleport mass (restart) goes back to the source.
+        let mut teleport = 0.0;
+        for v in 0..n {
+            if p[v] == 0.0 {
+                continue;
+            }
+            teleport += c * p[v];
+            let deg = g.degree(v as u32) as f64;
+            if deg == 0.0 {
+                // Dead ends hold their (non-teleport) mass; the engines
+                // terminate such walkers, so exclude them by construction:
+                // the test graph has no dead ends.
+                next[v] += (1.0 - c) * p[v];
+                continue;
+            }
+            let share = (1.0 - c) * p[v] / deg;
+            for &u in g.neighbors(v as u32) {
+                next[u as usize] += share;
+            }
+        }
+        next[source as usize] += teleport;
+        p = next;
+    }
+    p
+}
+
+#[test]
+fn rwr_estimate_converges_to_power_iteration() {
+    // A dead-end-free graph so the analytic chain matches the walk.
+    let g = generators::uniform_degree(256, 6, 17);
+    let source = 13u32;
+    let c = 0.2f32;
+
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let graph = Arc::new(OnDiskGraph::store(&g, device, 1024).unwrap());
+    // Long walks approximate the stationary distribution; 40k walks × 30
+    // hops = 1.2M samples.
+    let app = Arc::new(RandomWalkWithRestart::new(
+        vec![source],
+        40_000,
+        c,
+        30,
+        g.num_vertices(),
+    ));
+    let engine = NosWalkerEngine::new(
+        Arc::clone(&app),
+        graph,
+        EngineOptions::default(),
+        MemoryBudget::new(1 << 20),
+    );
+    let m = engine.run(2024).unwrap();
+    assert_eq!(m.walkers_finished, 40_000);
+
+    let exact = exact_rwr(&g, source, c as f64, 200);
+    let est = app.estimate();
+    // The MC estimate averages over the walk *trajectory* rather than the
+    // stationary tail, so early-step transients bias it slightly; an L1
+    // bound plus agreement on the heavy entries is the right check.
+    let l1: f64 = est.iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 < 0.15, "L1 distance to exact RWR vector: {l1}");
+
+    // The source must be the heaviest vertex in both.
+    let argmax = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    };
+    assert_eq!(argmax(&est), source as usize);
+    assert_eq!(argmax(&exact), source as usize);
+    // And the source mass itself must agree closely.
+    let (es, xs) = (est[source as usize], exact[source as usize]);
+    assert!((es - xs).abs() < 0.03, "source mass {es} vs exact {xs}");
+}
