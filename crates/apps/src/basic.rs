@@ -56,12 +56,7 @@ impl BasicRw {
     /// # Panics
     ///
     /// Panics if `num_vertices` is zero.
-    pub fn with_start(
-        walkers: u64,
-        length: u32,
-        num_vertices: usize,
-        start: StartPolicy,
-    ) -> Self {
+    pub fn with_start(walkers: u64, length: u32, num_vertices: usize, start: StartPolicy) -> Self {
         assert!(num_vertices > 0, "graph must have vertices");
         BasicRw {
             walkers,

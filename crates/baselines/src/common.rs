@@ -1,9 +1,9 @@
 //! Shared walker bookkeeping for the baseline engines.
 
+use noswalker_core::OnDiskGraph;
 use noswalker_core::{Walk, WalkRng};
 use noswalker_graph::partition::BlockId;
 use noswalker_graph::VertexId;
-use noswalker_core::OnDiskGraph;
 
 /// A slab of live walkers bucketed by the block of their current location,
 /// shared by the block-centric baselines.
@@ -131,7 +131,7 @@ mod tests {
     use noswalker_core::apps_prelude::*;
     use noswalker_core::OnDiskGraph;
     use noswalker_graph::generators;
-    use noswalker_storage::{MemDevice};
+    use noswalker_storage::MemDevice;
     use rand::SeedableRng;
     use std::sync::Arc;
 

@@ -7,6 +7,7 @@
 //! nodes on 10 Gb/s Ethernet. Compute parallelizes across nodes; loading
 //! does too (each node reads its own slice from its own SSD).
 
+use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{EngineOptions, RunMetrics, Walk, WalkRng};
 use noswalker_graph::layout::VertexEdges;
 use noswalker_graph::{Csr, VertexId};
@@ -106,6 +107,27 @@ impl<A: Walk> DistributedSim<A> {
     /// load; `sim_ns` additionally includes parallel compute and network
     /// time, so *walk time* = `sim_ns - stall_ns`.
     pub fn run(&self, seed: u64) -> RunMetrics {
+        self.run_with_sink(seed, None)
+    }
+
+    /// Like [`DistributedSim::run`], recording structured [`TraceEvent`]s
+    /// into `sink` when one is supplied. In debug builds the metrics are
+    /// checked against the engine conservation laws (there is no memory
+    /// budget here, so the budget-floor law is vacuous).
+    pub fn run_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> RunMetrics {
+        let audit = RunAudit::with_floor(self.app.total_walkers(), 0);
+        let metrics = self.run_inner(seed, Trace::from_option(sink));
+        if cfg!(debug_assertions) {
+            audit.verify_metrics(&metrics).assert_clean();
+        }
+        metrics
+    }
+
+    fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> RunMetrics {
         let started = Instant::now();
         let mut metrics = RunMetrics::default();
         let mut rng = WalkRng::seed_from_u64(seed);
@@ -116,7 +138,21 @@ impl<A: Walk> DistributedSim<A> {
         metrics.stall_ns = load_ns;
         metrics.io_busy_ns = load_ns;
         metrics.edge_bytes_loaded = self.csr.csr_bytes();
+        // Each node's parallel ingest of its own slice counts as one load.
+        metrics.coarse_loads = self.nodes as u64;
         metrics.io_ops = self.nodes as u64;
+        let total_bytes = self.csr.csr_bytes();
+        trace.emit(|| TraceEvent::CoarseLoad {
+            block: 0,
+            bytes: total_bytes,
+            cache_hit: false,
+            at_ns: 0,
+        });
+        trace.emit(|| TraceEvent::Stall {
+            waiting_for: None,
+            from_ns: 0,
+            until_ns: load_ns,
+        });
 
         let mut cross_messages = 0u64;
         let mut compute_ns_serial = 0u64;
@@ -138,6 +174,7 @@ impl<A: Walk> DistributedSim<A> {
                 self.app.action(&mut w, dst, &mut rng);
                 compute_ns_serial += self.opts.step_ns + self.opts.sample_ns;
                 metrics.steps += 1;
+                metrics.steps_on_block += 1;
             }
             self.app.on_terminate(&w);
             metrics.walkers_finished += 1;
@@ -155,6 +192,20 @@ impl<A: Walk> DistributedSim<A> {
         metrics.swap_bytes = msg_bytes; // repurposed: bytes over the wire
         metrics.sim_ns = load_ns + compute_ns + network_ns;
         metrics.edges_loaded = self.csr.num_edges();
+        if msg_bytes > 0 {
+            let end_at = metrics.sim_ns;
+            trace.emit(|| TraceEvent::Swap {
+                bytes: msg_bytes,
+                at_ns: end_at,
+            });
+        }
+        let (steps, walkers_finished, end_at) =
+            (metrics.steps, metrics.walkers_finished, metrics.sim_ns);
+        trace.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: end_at,
+        });
         metrics.wall_ns = started.elapsed().as_nanos() as u64;
         metrics
     }

@@ -11,6 +11,7 @@
 //!   one step** (synchronized iterations).
 
 use crate::common::WalkerSet;
+use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
     BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, Walk, WalkRng,
 };
@@ -73,6 +74,30 @@ impl<A: Walk> DrunkardMob<A> {
     /// — the condition under which the paper reports "DrunkardMob cannot
     /// process" a workload; [`EngineError::Load`] on device failure.
     pub fn run(&self, seed: u64) -> Result<RunMetrics, EngineError> {
+        self.run_with_sink(seed, None)
+    }
+
+    /// Like [`DrunkardMob::run`], recording structured
+    /// [`TraceEvent`]s into `sink` when one is supplied. In debug builds
+    /// the metrics are checked against the engine conservation laws.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DrunkardMob::run`].
+    pub fn run_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<RunMetrics, EngineError> {
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let metrics = self.run_inner(seed, Trace::from_option(sink))?;
+        if cfg!(debug_assertions) {
+            audit.verify(&metrics, &self.budget).assert_clean();
+        }
+        Ok(metrics)
+    }
+
+    fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> Result<RunMetrics, EngineError> {
         let started = Instant::now();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
@@ -99,6 +124,7 @@ impl<A: Walk> DrunkardMob<A> {
             // if it is cold (GraphChi's iteration model).
             let info = *self.graph.partition().block(b);
             if info.byte_len() > 0 && !set.buckets[b as usize].is_empty() {
+                let load_at = clock.now();
                 let (block, ns, hit) = cache.load(&self.graph, b, &self.budget)?;
                 clock.sync_io(penalty(ns)); // buffered I/O: no overlap
                 if !hit {
@@ -106,22 +132,38 @@ impl<A: Walk> DrunkardMob<A> {
                     metrics.io_ops += 1;
                     metrics.edge_bytes_loaded += info.byte_len();
                 }
+                trace.emit(|| TraceEvent::CoarseLoad {
+                    block: b,
+                    bytes: if hit { 0 } else { info.byte_len() },
+                    cache_hit: hit,
+                    at_ns: load_at,
+                });
                 // GraphChi's parallel sliding windows write every processed
                 // shard back to disk (edge values are mutable in its model),
                 // a cost DrunkardMob inherits. The write goes to a scratch
                 // region past the edge data: same cost, graph untouched.
                 let wb = vec![0u8; info.byte_len() as usize];
                 let scratch = self.graph.edge_region_bytes() + info.byte_start;
-                let wns = self
-                    .graph
-                    .device()
-                    .write(scratch, &wb)
-                    .map_err(|e| {
-                        EngineError::Load(noswalker_core::disk_graph::LoadError::Device(e))
-                    })?;
+                let wns = self.graph.device().write(scratch, &wb).map_err(|e| {
+                    EngineError::Load(noswalker_core::disk_graph::LoadError::Device(e))
+                })?;
                 clock.sync_io(penalty(wns));
                 metrics.swap_bytes += info.byte_len();
                 metrics.io_ops += 1;
+                let stall_until = clock.now();
+                trace.emit(|| TraceEvent::Swap {
+                    bytes: info.byte_len(),
+                    at_ns: stall_until,
+                });
+                // Synchronous buffered I/O: the whole service time is a
+                // stall, attributed to the block being streamed.
+                if stall_until > load_at {
+                    trace.emit(|| TraceEvent::Stall {
+                        waiting_for: Some(b),
+                        from_ns: load_at,
+                        until_ns: stall_until,
+                    });
+                }
 
                 let bucket = std::mem::take(&mut set.buckets[b as usize]);
                 for i in bucket {
@@ -157,6 +199,13 @@ impl<A: Walk> DrunkardMob<A> {
         }
 
         metrics.walkers_finished = set.finished();
+        let (steps, walkers_finished, end_at) =
+            (metrics.steps, metrics.walkers_finished, clock.now());
+        trace.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: end_at,
+        });
         metrics.sim_ns = clock.now();
         metrics.stall_ns = clock.stall_ns();
         metrics.io_busy_ns = clock.io_busy_ns();

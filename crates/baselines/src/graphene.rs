@@ -10,6 +10,7 @@
 //! walks.
 
 use crate::common::WalkerSet;
+use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
     EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, Walk, WalkRng,
 };
@@ -69,6 +70,30 @@ impl<A: Walk> Graphene<A> {
     ///
     /// [`EngineError::Budget`] / [`EngineError::Load`] as usual.
     pub fn run(&self, seed: u64) -> Result<RunMetrics, EngineError> {
+        self.run_with_sink(seed, None)
+    }
+
+    /// Like [`Graphene::run`], recording structured [`TraceEvent`]s into
+    /// `sink` when one is supplied. In debug builds the metrics are
+    /// checked against the engine conservation laws.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Graphene::run`].
+    pub fn run_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<RunMetrics, EngineError> {
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let metrics = self.run_inner(seed, Trace::from_option(sink))?;
+        if cfg!(debug_assertions) {
+            audit.verify(&metrics, &self.budget).assert_clean();
+        }
+        Ok(metrics)
+    }
+
+    fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> Result<RunMetrics, EngineError> {
         let started = Instant::now();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
@@ -76,7 +101,9 @@ impl<A: Walk> Graphene<A> {
         let penalty = |ns: u64| (ns as f64 * self.opts.buffered_io_penalty) as u64;
 
         let state_bytes = self.app.total_walkers() * self.app.state_bytes() as u64;
-        let _states = self.budget.try_reserve(state_bytes.min(self.budget.limit() / 4))?;
+        let _states = self
+            .budget
+            .try_reserve(state_bytes.min(self.budget.limit() / 4))?;
 
         let mut set: WalkerSet<A> = WalkerSet::new(self.graph.num_blocks());
         set.generate_all(&self.app, &self.graph, &mut rng);
@@ -91,11 +118,33 @@ impl<A: Walk> Graphene<A> {
             }
             // On-demand I/O: only the pages covering current walkers.
             let wanted = set.locations_in(&self.app, b);
+            let load_at = clock.now();
             let (load, ns) = self.graph.load_fine(b, &wanted, &self.budget)?;
             clock.sync_io(penalty(ns));
             metrics.fine_loads += 1;
             metrics.io_ops += load.num_runs() as u64;
             metrics.edge_bytes_loaded += load.loaded_bytes();
+            let stall_until = clock.now();
+            let (vertices, runs, bytes) = (
+                wanted.len() as u64,
+                load.num_runs() as u64,
+                load.loaded_bytes(),
+            );
+            trace.emit(|| TraceEvent::FineLoad {
+                block: b,
+                vertices,
+                runs,
+                bytes,
+                at_ns: load_at,
+            });
+            // Synchronous I/O: the whole service time is a stall.
+            if stall_until > load_at {
+                trace.emit(|| TraceEvent::Stall {
+                    waiting_for: Some(b),
+                    from_ns: load_at,
+                    until_ns: stall_until,
+                });
+            }
 
             let bucket = std::mem::take(&mut set.buckets[b as usize]);
             for i in bucket {
@@ -127,6 +176,13 @@ impl<A: Walk> Graphene<A> {
         }
 
         metrics.walkers_finished = set.finished();
+        let (steps, walkers_finished, end_at) =
+            (metrics.steps, metrics.walkers_finished, clock.now());
+        trace.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: end_at,
+        });
         metrics.sim_ns = clock.now();
         metrics.stall_ns = clock.stall_ns();
         metrics.io_busy_ns = clock.io_busy_ns();

@@ -18,6 +18,7 @@
 //! block actually accessed (in 4 KiB page granularity).
 
 use crate::common::WalkerSet;
+use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
     BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, Walk, WalkRng,
 };
@@ -103,7 +104,31 @@ impl<A: Walk> GraphWalker<A> {
     /// [`EngineError::Budget`] if a block buffer cannot fit;
     /// [`EngineError::Load`] on device failure.
     pub fn run(&self, seed: u64) -> Result<RunMetrics, EngineError> {
-        Ok(self.run_traced(seed)?.metrics)
+        self.run_with_sink(seed, None)
+    }
+
+    /// Like [`GraphWalker::run`], recording structured [`TraceEvent`]s
+    /// into `sink` when one is supplied (distinct from the Fig. 4
+    /// [`TracePoint`] trace of [`GraphWalker::run_traced`]). In debug
+    /// builds the metrics are checked against the engine conservation
+    /// laws.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GraphWalker::run`].
+    pub fn run_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<RunMetrics, EngineError> {
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let metrics = self
+            .run_traced_inner(seed, Trace::from_option(sink))?
+            .metrics;
+        if cfg!(debug_assertions) {
+            audit.verify(&metrics, &self.budget).assert_clean();
+        }
+        Ok(metrics)
     }
 
     /// Runs to completion, additionally recording the Fig. 4 trace.
@@ -112,6 +137,15 @@ impl<A: Walk> GraphWalker<A> {
     ///
     /// As for [`GraphWalker::run`].
     pub fn run_traced(&self, seed: u64) -> Result<TracedRun, EngineError> {
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let traced = self.run_traced_inner(seed, Trace::off())?;
+        if cfg!(debug_assertions) {
+            audit.verify(&traced.metrics, &self.budget).assert_clean();
+        }
+        Ok(traced)
+    }
+
+    fn run_traced_inner(&self, seed: u64, mut tr: Trace<'_>) -> Result<TracedRun, EngineError> {
         let started = Instant::now();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
@@ -141,6 +175,7 @@ impl<A: Walk> GraphWalker<A> {
             epoch += 1;
             let Some(b) = set.hottest_block() else { break };
             let info = *self.graph.partition().block(b);
+            let load_at = clock.now();
             let (block, ns, hit) = cache.load(&self.graph, b, &self.budget)?;
             clock.sync_io(penalty(ns)); // buffered I/O: no overlap
             if !hit {
@@ -148,6 +183,12 @@ impl<A: Walk> GraphWalker<A> {
                 metrics.io_ops += 1;
                 metrics.edge_bytes_loaded += info.byte_len();
             }
+            tr.emit(|| TraceEvent::CoarseLoad {
+                block: b,
+                bytes: if hit { 0 } else { info.byte_len() },
+                cache_hit: hit,
+                at_ns: load_at,
+            });
 
             // Swap in this block's walker states beyond the buffer, and
             // write back the previously resident ones (real device I/O on a
@@ -178,6 +219,21 @@ impl<A: Walk> GraphWalker<A> {
                     left -= n as u64;
                 }
                 metrics.swap_bytes += swap_bytes;
+                let at = clock.now();
+                tr.emit(|| TraceEvent::Swap {
+                    bytes: swap_bytes,
+                    at_ns: at,
+                });
+            }
+            // Synchronous buffered I/O: the whole load+swap service time
+            // is a stall, attributed to the block being processed.
+            let stall_until = clock.now();
+            if stall_until > load_at {
+                tr.emit(|| TraceEvent::Stall {
+                    waiting_for: Some(b),
+                    from_ns: load_at,
+                    until_ns: stall_until,
+                });
             }
 
             // Re-entry: move each walker as far as it stays in the block,
@@ -231,6 +287,13 @@ impl<A: Walk> GraphWalker<A> {
         }
 
         metrics.walkers_finished = set.finished();
+        let (steps, walkers_finished, end_at) =
+            (metrics.steps, metrics.walkers_finished, clock.now());
+        tr.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: end_at,
+        });
         metrics.sim_ns = clock.now();
         metrics.stall_ns = clock.stall_ns();
         metrics.io_busy_ns = clock.io_busy_ns();

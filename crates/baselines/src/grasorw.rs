@@ -10,6 +10,7 @@
 //! buckets on disk, charged here as swap I/O, and I/O is synchronous and
 //! buffered like its GraphWalker-based walk engine.
 
+use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
     BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics,
     SecondOrderWalk, WalkRng,
@@ -52,6 +53,30 @@ impl<A: SecondOrderWalk> GraSorw<A> {
     /// [`EngineError::Budget`] if two block buffers cannot fit;
     /// [`EngineError::Load`] on device failure.
     pub fn run(&self, seed: u64) -> Result<RunMetrics, EngineError> {
+        self.run_with_sink(seed, None)
+    }
+
+    /// Like [`GraSorw::run`], recording structured [`TraceEvent`]s into
+    /// `sink` when one is supplied. In debug builds the metrics are
+    /// checked against the engine conservation laws.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GraSorw::run`].
+    pub fn run_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<RunMetrics, EngineError> {
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let metrics = self.run_inner(seed, Trace::from_option(sink))?;
+        if cfg!(debug_assertions) {
+            audit.verify(&metrics, &self.budget).assert_clean();
+        }
+        Ok(metrics)
+    }
+
+    fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> Result<RunMetrics, EngineError> {
         let started = Instant::now();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
@@ -106,11 +131,15 @@ impl<A: SecondOrderWalk> GraSorw<A> {
 
         while live > 0 {
             // Hottest pair.
-            let Some(k) = (0..pairs.len()).filter(|&k| !pairs[k].is_empty()).max_by_key(|&k| pairs[k].len()) else {
+            let Some(k) = (0..pairs.len())
+                .filter(|&k| !pairs[k].is_empty())
+                .max_by_key(|&k| pairs[k].len())
+            else {
                 break;
             };
             let (bi, bj) = ((k / nb) as BlockId, (k % nb) as BlockId);
             // Load the pair (one load if diagonal).
+            let pair_at = clock.now();
             let (block_i, ns_i, hit_i) = cache.load(&self.graph, bi, &self.budget)?;
             clock.sync_io(penalty(ns_i));
             if !hit_i {
@@ -118,7 +147,15 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                 metrics.io_ops += 1;
                 metrics.edge_bytes_loaded += block_i.info().byte_len();
             }
+            let bi_bytes = block_i.info().byte_len();
+            trace.emit(|| TraceEvent::CoarseLoad {
+                block: bi,
+                bytes: if hit_i { 0 } else { bi_bytes },
+                cache_hit: hit_i,
+                at_ns: pair_at,
+            });
             let block_j = if bi != bj {
+                let at = clock.now();
                 let (b, ns, hit) = cache.load(&self.graph, bj, &self.budget)?;
                 clock.sync_io(penalty(ns));
                 if !hit {
@@ -126,14 +163,23 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                     metrics.io_ops += 1;
                     metrics.edge_bytes_loaded += b.info().byte_len();
                 }
+                let bytes = b.info().byte_len();
+                trace.emit(|| TraceEvent::CoarseLoad {
+                    block: bj,
+                    bytes: if hit { 0 } else { bytes },
+                    cache_hit: hit,
+                    at_ns: at,
+                });
                 Some(b)
             } else {
                 None
             };
             let lookup = |v| {
-                block_i
-                    .vertex_edges(&self.graph, v)
-                    .or_else(|| block_j.as_ref().and_then(|b| b.vertex_edges(&self.graph, v)))
+                block_i.vertex_edges(&self.graph, v).or_else(|| {
+                    block_j
+                        .as_ref()
+                        .and_then(|b| b.vertex_edges(&self.graph, v))
+                })
             };
 
             // Bucket-based walker management: the pair's bucket is read
@@ -156,6 +202,21 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                     left -= n as u64;
                 }
                 metrics.swap_bytes += swap_bytes;
+                let at = clock.now();
+                trace.emit(|| TraceEvent::Swap {
+                    bytes: swap_bytes,
+                    at_ns: at,
+                });
+            }
+            // Synchronous buffered I/O: the pair's load+swap service time
+            // is a stall, attributed to the first block of the pair.
+            let stall_until = clock.now();
+            if stall_until > pair_at {
+                trace.emit(|| TraceEvent::Stall {
+                    waiting_for: Some(bi),
+                    from_ns: pair_at,
+                    until_ns: stall_until,
+                });
             }
 
             for i in bucket {
@@ -207,6 +268,13 @@ impl<A: SecondOrderWalk> GraSorw<A> {
             }
         }
 
+        let (steps, walkers_finished, end_at) =
+            (metrics.steps, metrics.walkers_finished, clock.now());
+        trace.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: end_at,
+        });
         metrics.sim_ns = clock.now();
         metrics.stall_ns = clock.stall_ns();
         metrics.io_busy_ns = clock.io_busy_ns();

@@ -6,6 +6,7 @@
 //! graph load, where NosWalker's pipelining wins — the paper measures ~75 %
 //! of ThunderRW's time as graph loading).
 
+use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{EngineOptions, RunMetrics, Walk, WalkRng};
 use noswalker_graph::layout::VertexEdges;
 use noswalker_graph::Csr;
@@ -68,6 +69,27 @@ impl<A: Walk> InMemory<A> {
     /// Runs to completion. In the returned metrics, `stall_ns` is exactly
     /// the initial graph load (so *walk time* = `sim_ns - stall_ns`).
     pub fn run(&self, seed: u64) -> RunMetrics {
+        self.run_with_sink(seed, None)
+    }
+
+    /// Like [`InMemory::run`], recording structured [`TraceEvent`]s into
+    /// `sink` when one is supplied. In debug builds the metrics are
+    /// checked against the engine conservation laws (there is no memory
+    /// budget here, so the budget-floor law is vacuous).
+    pub fn run_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> RunMetrics {
+        let audit = RunAudit::with_floor(self.app.total_walkers(), 0);
+        let metrics = self.run_inner(seed, Trace::from_option(sink));
+        if cfg!(debug_assertions) {
+            audit.verify_metrics(&metrics).assert_clean();
+        }
+        metrics
+    }
+
+    fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> RunMetrics {
         let started = Instant::now();
         let mut metrics = RunMetrics::default();
         let mut rng = WalkRng::seed_from_u64(seed);
@@ -76,9 +98,21 @@ impl<A: Walk> InMemory<A> {
         let load_bytes = self.csr.csr_bytes();
         let load_ns = (self.profile.service_ns(load_bytes) as f64 * self.ingest_factor) as u64;
         metrics.edge_bytes_loaded = load_bytes;
+        metrics.coarse_loads = 1; // the one sequential ingest scan
         metrics.io_ops = 1;
         metrics.io_busy_ns = load_ns;
         metrics.stall_ns = load_ns;
+        trace.emit(|| TraceEvent::CoarseLoad {
+            block: 0,
+            bytes: load_bytes,
+            cache_hit: false,
+            at_ns: 0,
+        });
+        trace.emit(|| TraceEvent::Stall {
+            waiting_for: Some(0),
+            from_ns: 0,
+            until_ns: load_ns,
+        });
 
         let mut compute_ns = 0u64;
         let total = self.app.total_walkers();
@@ -97,6 +131,7 @@ impl<A: Walk> InMemory<A> {
                 self.app.action(&mut w, dst, &mut rng);
                 compute_ns += self.opts.step_cost() + self.opts.sample_cost();
                 metrics.steps += 1;
+                metrics.steps_on_block += 1;
             }
             self.app.on_terminate(&w);
             metrics.walkers_finished += 1;
@@ -104,6 +139,13 @@ impl<A: Walk> InMemory<A> {
 
         metrics.sim_ns = load_ns + compute_ns;
         metrics.edges_loaded = self.csr.num_edges();
+        let (steps, walkers_finished, end_at) =
+            (metrics.steps, metrics.walkers_finished, metrics.sim_ns);
+        trace.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: end_at,
+        });
         metrics.wall_ns = started.elapsed().as_nanos() as u64;
         metrics
     }

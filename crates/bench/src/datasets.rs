@@ -66,15 +66,30 @@ fn build(name: &str, scale: Scale) -> Dataset {
     };
     let (paper_name, csr): (&'static str, Csr) = match name {
         // Twitter: 61.6M v / 1.5B e, avg degree ~24.
-        "tw" => ("Twitter (TW)", generators::rmat(e(14, 9), 24, RmatParams::default(), 101)),
+        "tw" => (
+            "Twitter (TW)",
+            generators::rmat(e(14, 9), 24, RmatParams::default(), 101),
+        ),
         // YahooWeb: 1.4B v / 6.6B e, avg degree ~4.7 (vertex-heavy).
-        "yh" => ("YahooWeb (YH)", generators::rmat(e(16, 10), 5, RmatParams::default(), 102)),
+        "yh" => (
+            "YahooWeb (YH)",
+            generators::rmat(e(16, 10), 5, RmatParams::default(), 102),
+        ),
         // Kron30: 1B v / 32B e, avg degree 32, strongly power-law.
-        "k30" => ("Kron30 (K30)", generators::rmat(e(16, 10), 32, RmatParams::default(), 103)),
+        "k30" => (
+            "Kron30 (K30)",
+            generators::rmat(e(16, 10), 32, RmatParams::default(), 103),
+        ),
         // Kron31: 2B v / 64B e.
-        "k31" => ("Kron31 (K31)", generators::rmat(e(17, 11), 32, RmatParams::default(), 104)),
+        "k31" => (
+            "Kron31 (K31)",
+            generators::rmat(e(17, 11), 32, RmatParams::default(), 104),
+        ),
         // CrawlWeb: 3.5B v / 128B e, avg degree ~36 — the largest graph.
-        "cw" => ("CrawlWeb (CW)", generators::rmat(e(17, 11), 36, RmatParams::default(), 105)),
+        "cw" => (
+            "CrawlWeb (CW)",
+            generators::rmat(e(17, 11), 36, RmatParams::default(), 105),
+        ),
         // Weighted Kron30 with pre-built alias tables (12 B/edge on disk).
         "k30w" => (
             "Weighted Kron30 (K30W)",

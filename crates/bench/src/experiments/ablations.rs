@@ -140,7 +140,13 @@ pub fn run_lowdeg(scale: Scale) {
         "ablation_lowdeg",
         "Ablation: low-degree retention threshold (Basic-RW on α2.7)",
     );
-    r.header(["Threshold", "SimSecs", "IO(MiB)", "RawSteps", "PresampleSteps"]);
+    r.header([
+        "Threshold",
+        "SimSecs",
+        "IO(MiB)",
+        "RawSteps",
+        "PresampleSteps",
+    ]);
     for thresh in [0u32, 1, 2, 4, 8] {
         let opts = EngineOptions {
             low_degree_threshold: thresh,

@@ -25,7 +25,13 @@ pub fn walker_points(scale: Scale) -> Vec<u64> {
 pub fn run(scale: Scale) {
     let budget = datasets::default_budget(scale);
     let mut r = Report::new("fig10", "Fig 10: time vs number of walkers (length 10)");
-    r.header(["Dataset", "Walkers", "DrunkardMob", "GraphWalker", "NosWalker"]);
+    r.header([
+        "Dataset",
+        "Walkers",
+        "DrunkardMob",
+        "GraphWalker",
+        "NosWalker",
+    ]);
     for d in datasets::main_five(scale) {
         for &w in &walker_points(scale) {
             let mut cells = Vec::new();

@@ -25,7 +25,13 @@ pub fn run(scale: Scale) {
         Scale::Tiny => &LENGTHS[..3],
     };
     let mut r = Report::new("fig11", "Fig 11: time vs walk length (10^4 walkers)");
-    r.header(["Dataset", "Length", "DrunkardMob", "GraphWalker", "NosWalker"]);
+    r.header([
+        "Dataset",
+        "Length",
+        "DrunkardMob",
+        "GraphWalker",
+        "NosWalker",
+    ]);
     for d in datasets::main_five(scale) {
         for &len in lengths {
             let mut cells = Vec::new();

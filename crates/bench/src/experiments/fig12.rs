@@ -23,7 +23,13 @@ pub fn run_12a(scale: Scale) {
         "fig12a",
         "Fig 12a: NosWalker speedup over GraphWalker vs memory budget (k30)",
     );
-    r.header(["Budget%", "Walkers", "GraphWalker(s)", "NosWalker(s)", "Speedup"]);
+    r.header([
+        "Budget%",
+        "Walkers",
+        "GraphWalker(s)",
+        "NosWalker(s)",
+        "Speedup",
+    ]);
     // Paper: 0.5B/1B/2B/4B walkers; scaled by 10^4.
     let walker_points: Vec<u64> = [50_000u64, 100_000, 200_000, 400_000]
         .iter()
@@ -105,7 +111,13 @@ pub fn run_12bc(scale: Scale) {
         Scale::Tiny => &[16],
     };
     for &len in lens {
-        cell("length", len.to_string(), scale.walkers(10_000), len, &mut r);
+        cell(
+            "length",
+            len.to_string(),
+            scale.walkers(10_000),
+            len,
+            &mut r,
+        );
     }
     r.finish();
 }

@@ -29,7 +29,14 @@ fn run_app(app: &str, sys: SystemKind, d: &Dataset, budget: u64, scale: Scale) -
             opts,
             41,
         ),
-        "RWD" => run_system(sys, Arc::new(RandomWalkDomination::new(n, 6)), d, budget, opts, 43),
+        "RWD" => run_system(
+            sys,
+            Arc::new(RandomWalkDomination::new(n, 6)),
+            d,
+            budget,
+            opts,
+            43,
+        ),
         "GC" => run_system(
             sys,
             Arc::new(GraphletConcentration::paper_scale(n)),
@@ -69,7 +76,13 @@ fn run_app(app: &str, sys: SystemKind, d: &Dataset, budget: u64, scale: Scale) -
 pub fn run(scale: Scale) {
     let budget = datasets::default_budget(scale);
     let mut r = Report::new("fig13", "Fig 13: sensitivity to graph structure (GW vs NW)");
-    r.header(["App", "Dataset", "GraphWalker(s)", "NosWalker(s)", "Speedup"]);
+    r.header([
+        "App",
+        "Dataset",
+        "GraphWalker(s)",
+        "NosWalker(s)",
+        "Speedup",
+    ]);
     for app in ["Basic-RW", "RWD", "GC", "PPR", "SR"] {
         for name in ["k30", "g12", "a27"] {
             let d = datasets::get(name, scale);

@@ -10,7 +10,9 @@
 use crate::datasets::{self, Dataset, Scale};
 use crate::report::Report;
 use crate::runner::{run_system, Outcome, SystemKind};
-use noswalker_apps::{BasicRw, GraphletConcentration, Ppr, RandomWalkDomination, SimRank, WeightedRw};
+use noswalker_apps::{
+    BasicRw, GraphletConcentration, Ppr, RandomWalkDomination, SimRank, WeightedRw,
+};
 use noswalker_core::{EngineOptions, RunMetrics};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -129,7 +131,9 @@ pub fn run(scale: Scale) {
         "fig14",
         "Fig 14: optimization breakdown (normalized time / normalized I/O vs Base)",
     );
-    r.header(["Workload", "Config", "SimSecs", "NormTime", "IO(MiB)", "NormIO"]);
+    r.header([
+        "Workload", "Config", "SimSecs", "NormTime", "IO(MiB)", "NormIO",
+    ]);
     for (wl, ds) in workloads() {
         let d = datasets::get(ds, scale);
         let mut base: Option<RunMetrics> = None;
@@ -156,7 +160,14 @@ pub fn run(scale: Scale) {
                     ]);
                 }
                 Err(e) => {
-                    r.row([wl.to_string(), label.to_string(), "-".into(), "-".into(), "-".into(), e]);
+                    r.row([
+                        wl.to_string(),
+                        label.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        e,
+                    ]);
                 }
             }
         }

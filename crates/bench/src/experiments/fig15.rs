@@ -16,7 +16,13 @@ use std::sync::Arc;
 pub fn run(scale: Scale) {
     let budget = datasets::default_budget(scale);
     let mut r = Report::new("fig15", "Fig 15: Node2Vec — GraSorw vs NosWalker");
-    r.header(["Dataset", "Walkers", "GraSorw(s)", "NosWalker(s)", "Speedup"]);
+    r.header([
+        "Dataset",
+        "Walkers",
+        "GraSorw(s)",
+        "NosWalker(s)",
+        "Speedup",
+    ]);
     for name in ["tw", "yh", "k30", "k31"] {
         let d = datasets::get_undirected(name, scale);
         let n = d.csr.num_vertices();

@@ -21,7 +21,13 @@ pub fn run(scale: Scale) {
         "fig2",
         "Fig 2: avg edges read per step (a) and step rate (b), Basic-RW on k30",
     );
-    r.header(["System", "EdgesPerStep", "MSteps/s", "SimSecs", "TotalIO(MiB)"]);
+    r.header([
+        "System",
+        "EdgesPerStep",
+        "MSteps/s",
+        "SimSecs",
+        "TotalIO(MiB)",
+    ]);
     for sys in [
         SystemKind::DrunkardMob,
         SystemKind::GraphWalker,
@@ -39,7 +45,13 @@ pub fn run(scale: Scale) {
                 ]);
             }
             Err(e) => {
-                r.row([sys.label().to_string(), "-".into(), "-".into(), "-".into(), e]);
+                r.row([
+                    sys.label().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    e,
+                ]);
             }
         }
     }

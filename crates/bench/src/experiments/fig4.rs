@@ -8,9 +8,9 @@
 
 use crate::datasets::{self, Scale};
 use crate::report::Report;
+use noswalker_apps::BasicRw;
 use noswalker_baselines::GraphWalker;
 use noswalker_core::EngineOptions;
-use noswalker_apps::BasicRw;
 use std::sync::Arc;
 
 /// Runs the Fig. 4 trace on `k30` and `k31`.
@@ -29,7 +29,12 @@ pub fn run(scale: Scale) {
             10,
             d.csr.num_vertices(),
         ));
-        let gw = GraphWalker::new(app, Arc::clone(&e.graph), EngineOptions::default(), e.budget);
+        let gw = GraphWalker::new(
+            app,
+            Arc::clone(&e.graph),
+            EngineOptions::default(),
+            e.budget,
+        );
         let traced = gw.run_traced(4).expect("GraphWalker run");
         // Sample at most ~40 points per dataset, keeping first and last.
         let n = traced.trace.len();

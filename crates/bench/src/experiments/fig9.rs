@@ -33,7 +33,14 @@ fn run_app(app_name: &str, sys: SystemKind, d: &Dataset, budget: u64, scale: Sca
         "PPR" => {
             let sources: Vec<u32> = (0..50).map(|_| rng.gen_range(0..n as u32)).collect();
             let walks = scale.walkers(200).max(1);
-            run_system(sys, Arc::new(Ppr::new(sources, walks, 10, n)), d, budget, opts, 9)
+            run_system(
+                sys,
+                Arc::new(Ppr::new(sources, walks, 10, n)),
+                d,
+                budget,
+                opts,
+                9,
+            )
         }
         // Paper: 2000 walk pairs × length 11 for each of 1000 query pairs.
         // Scaled: 200 pairs for each of 5 query pairs; times summed.

@@ -19,8 +19,23 @@ use crate::datasets::Scale;
 
 /// All experiment ids in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12a", "fig12bc", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "ablation-alloc", "ablation-lowdeg", "ablation-ssds", "ablation-g25",
+    "table1",
+    "fig2",
+    "fig4",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12a",
+    "fig12bc",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "ablation-alloc",
+    "ablation-lowdeg",
+    "ablation-ssds",
+    "ablation-g25",
 ];
 
 /// Dispatches an experiment by id. Returns `false` for unknown ids.

@@ -1,8 +1,11 @@
 //! Shared machinery for running (system × app × dataset) cells.
 
 use crate::datasets::{default_block_bytes, Dataset};
-use noswalker_baselines::{DistributedSim, DrunkardMob, Graphene, GraphWalker, GraSorw, InMemory};
-use noswalker_core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, SecondOrderWalk, Walk};
+use noswalker_baselines::{DistributedSim, DrunkardMob, GraSorw, GraphWalker, Graphene, InMemory};
+use noswalker_core::audit::MemorySink;
+use noswalker_core::{
+    EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, SecondOrderWalk, Walk,
+};
 use noswalker_storage::{Device, MemoryBudget, SimSsd, SsdProfile};
 use std::sync::Arc;
 
@@ -104,8 +107,10 @@ pub fn run_system_in<A: Walk + 'static>(
             // GraphChi vertex value array: 16 B per vertex held in memory.
             let vertex_values = e.budget.try_reserve(e.graph.num_vertices() as u64 * 16);
             match vertex_values {
-                Ok(_hold) => DrunkardMob::new(app, Arc::clone(&e.graph), opts, Arc::clone(&e.budget))
-                    .run(seed),
+                Ok(_hold) => {
+                    DrunkardMob::new(app, Arc::clone(&e.graph), opts, Arc::clone(&e.budget))
+                        .run(seed)
+                }
                 Err(err) => return Err(format!("OOM: {err}")),
             }
         }
@@ -120,6 +125,69 @@ pub fn run_system_in<A: Walk + 'static>(
         }
     };
     res.map_err(|err| format!("{err}"))
+}
+
+/// As [`run_system_in`], but recording a structured trace of the run.
+/// Returns the outcome together with the recorded events, ready for
+/// [`stall_table`] or `MemorySink::to_json`/`to_tsv` export.
+pub fn run_system_traced<A: Walk + 'static>(
+    system: SystemKind,
+    app: Arc<A>,
+    e: &Env,
+    opts: EngineOptions,
+    seed: u64,
+) -> (Outcome, MemorySink) {
+    let mut sink = MemorySink::new();
+    let res = match system {
+        SystemKind::DrunkardMob => {
+            let vertex_values = e.budget.try_reserve(e.graph.num_vertices() as u64 * 16);
+            match vertex_values {
+                Ok(_hold) => {
+                    DrunkardMob::new(app, Arc::clone(&e.graph), opts, Arc::clone(&e.budget))
+                        .run_with_sink(seed, Some(&mut sink))
+                        .map_err(|err| format!("{err}"))
+                }
+                Err(err) => Err(format!("OOM: {err}")),
+            }
+        }
+        SystemKind::GraphWalker => {
+            GraphWalker::new(app, Arc::clone(&e.graph), opts, Arc::clone(&e.budget))
+                .run_with_sink(seed, Some(&mut sink))
+                .map_err(|err| format!("{err}"))
+        }
+        SystemKind::NosWalker => {
+            NosWalkerEngine::new(app, Arc::clone(&e.graph), opts, Arc::clone(&e.budget))
+                .run_with_sink(seed, Some(&mut sink))
+                .map_err(|err| format!("{err}"))
+        }
+        SystemKind::Graphene => {
+            Graphene::new(app, Arc::clone(&e.graph), opts, Arc::clone(&e.budget))
+                .run_with_sink(seed, Some(&mut sink))
+                .map_err(|err| format!("{err}"))
+        }
+    };
+    (res, sink)
+}
+
+/// Formats the stall attribution of a recorded trace as TSV rows
+/// (`block<TAB>stall_ns<TAB>share`), worst offender first — the "which
+/// block was the pipeline waiting on" breakdown for bench reports.
+pub fn stall_table(sink: &MemorySink) -> String {
+    let total = sink.total_stall_ns();
+    let mut out = String::from("block\tstall_ns\tshare\n");
+    for (block, ns) in sink.stall_by_block() {
+        let who = match block {
+            Some(b) => b.to_string(),
+            None => "-".to_string(),
+        };
+        let share = if total > 0 {
+            ns as f64 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("{who}\t{ns}\t{share:.3}\n"));
+    }
+    out
 }
 
 /// Runs a second-order app on NosWalker.
@@ -157,7 +225,13 @@ pub fn run_in_memory<A: Walk + 'static>(
     opts: EngineOptions,
     seed: u64,
 ) -> RunMetrics {
-    InMemory::new(app, Arc::clone(&dataset.csr), opts, SsdProfile::nvme_p4618()).run(seed)
+    InMemory::new(
+        app,
+        Arc::clone(&dataset.csr),
+        opts,
+        SsdProfile::nvme_p4618(),
+    )
+    .run(seed)
 }
 
 /// Runs the simulated distributed (KnightKing-like) engine.
@@ -219,6 +293,28 @@ mod tests {
             let m = out.unwrap_or_else(|e| panic!("{} failed: {e}", sys.label()));
             assert_eq!(m.walkers_finished, 100, "{}", sys.label());
         }
+    }
+
+    #[test]
+    fn traced_run_attributes_stalls_to_blocks() {
+        let d = datasets::get("k30", Scale::Tiny);
+        let budget = datasets::default_budget(Scale::Tiny);
+        let e = env(&d, budget);
+        let app = Arc::new(BasicRw::new(100, 5, d.csr.num_vertices()));
+        let (out, sink) = run_system_traced(
+            SystemKind::DrunkardMob,
+            app,
+            &e,
+            EngineOptions::default(),
+            7,
+        );
+        let m = out.unwrap();
+        assert_eq!(m.walkers_finished, 100);
+        assert!(!sink.events.is_empty(), "trace recorded");
+        assert!(sink.total_stall_ns() > 0, "synchronous baseline stalls");
+        let table = stall_table(&sink);
+        assert!(table.starts_with("block\tstall_ns\tshare\n"), "{table}");
+        assert!(table.lines().count() > 1, "{table}");
     }
 
     #[test]

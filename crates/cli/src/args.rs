@@ -55,6 +55,8 @@ pub enum Command {
         length: u32,
         /// RNG seed.
         seed: u64,
+        /// Optional path for a structured run trace (`.json` or `.tsv`).
+        trace_out: Option<String>,
     },
 }
 
@@ -80,6 +82,7 @@ USAGE:
   noswalker generate <rmat|uniform|powerlaw> --scale N --degree D [--seed S] <out.csr>
   noswalker run      <graph> --app APP [--engine ENGINE] [--walkers N]
                      [--length L] [--budget-pct P] [--seed S]
+                     [--trace-out run.json|run.tsv]
 
 APPS:     basic ppr rwr rwd graphlet deepwalk node2vec
 ENGINES:  noswalker (default) graphwalker drunkardmob graphene inmemory parallel
@@ -144,6 +147,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
             let mut walkers = 0u64;
             let mut length = 10u32;
             let mut seed = 42u64;
+            let mut trace_out = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--app" => app = it.next(),
@@ -154,6 +158,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                     "--walkers" => walkers = parse_num("--walkers", it.next())?,
                     "--length" => length = parse_num("--length", it.next())?,
                     "--seed" => seed = parse_num("--seed", it.next())?,
+                    "--trace-out" => {
+                        trace_out = Some(it.next().ok_or_else(|| bad("--trace-out needs a path"))?)
+                    }
                     other => return Err(bad(format!("unknown flag {other}"))),
                 }
             }
@@ -165,6 +172,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                 walkers,
                 length,
                 seed,
+                trace_out,
             }
         }
         "--help" | "-h" | "help" => return Err(bad(USAGE)),
@@ -216,22 +224,46 @@ mod tests {
                 engine,
                 budget_pct,
                 length,
+                trace_out,
                 ..
             } => {
                 assert_eq!(engine, "noswalker");
                 assert_eq!(budget_pct, 12);
                 assert_eq!(length, 10);
+                assert_eq!(trace_out, None);
             }
             other => panic!("wrong command {other:?}"),
         }
     }
 
     #[test]
+    fn parses_trace_out() {
+        let cli = p("run g.csr --app basic --trace-out run.json").unwrap();
+        match cli.command {
+            Command::Run { trace_out, .. } => assert_eq!(trace_out.as_deref(), Some("run.json")),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p("run g.csr --app basic --trace-out")
+            .unwrap_err()
+            .0
+            .contains("--trace-out"));
+    }
+
+    #[test]
     fn rejects_missing_values_and_unknown_flags() {
         assert!(p("run g.csr").unwrap_err().0.contains("--app"));
-        assert!(p("generate rmat --scale").unwrap_err().0.contains("--scale"));
-        assert!(p("run g.csr --app basic --frob 1").unwrap_err().0.contains("unknown flag"));
-        assert!(p("frobnicate").unwrap_err().0.contains("unknown subcommand"));
+        assert!(p("generate rmat --scale")
+            .unwrap_err()
+            .0
+            .contains("--scale"));
+        assert!(p("run g.csr --app basic --frob 1")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+        assert!(p("frobnicate")
+            .unwrap_err()
+            .0
+            .contains("unknown subcommand"));
         assert!(p("run g.csr --app basic --walkers abc")
             .unwrap_err()
             .0

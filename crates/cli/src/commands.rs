@@ -4,7 +4,8 @@ use noswalker_apps::{
     BasicRw, DeepWalk, GraphletConcentration, Node2Vec, Ppr, RandomWalkDomination,
     RandomWalkWithRestart,
 };
-use noswalker_baselines::{DrunkardMob, Graphene, GraphWalker, InMemory};
+use noswalker_baselines::{DrunkardMob, GraphWalker, Graphene, InMemory};
+use noswalker_core::audit::{MemorySink, TraceSink};
 use noswalker_core::parallel::ParallelRunner;
 use noswalker_core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, Walk};
 use noswalker_graph::io::{load_csr, read_edge_list, save_csr};
@@ -107,12 +108,20 @@ fn format_metrics(label: &str, m: &RunMetrics) -> String {
     )
 }
 
+/// Reborrows a sink with a fresh (shorter) trait-object lifetime, so it
+/// can be handed to an engine constructed as a temporary in the same
+/// statement.
+fn reborrow<'a>(s: &'a mut Option<&mut dyn TraceSink>) -> Option<&'a mut dyn TraceSink> {
+    s.as_deref_mut().map(|x| x as &mut dyn TraceSink)
+}
+
 fn dispatch_engine<A: Walk + 'static>(
     engine: &str,
     app: Arc<A>,
     csr: &Csr,
     budget_bytes: u64,
     seed: u64,
+    mut sink: Option<&mut dyn TraceSink>,
 ) -> Result<RunMetrics, String> {
     let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
     let block_bytes = (csr.num_edges() * 4 / 32).max(4096);
@@ -121,37 +130,70 @@ fn dispatch_engine<A: Walk + 'static>(
     let opts = EngineOptions::default();
     match engine {
         "noswalker" => NosWalkerEngine::new(app, graph, opts, budget)
-            .run(seed)
+            .run_with_sink(seed, reborrow(&mut sink))
             .map_err(err),
         "graphwalker" => GraphWalker::new(app, graph, opts, budget)
-            .run(seed)
+            .run_with_sink(seed, reborrow(&mut sink))
             .map_err(err),
         "drunkardmob" => DrunkardMob::new(app, graph, opts, budget)
-            .run(seed)
+            .run_with_sink(seed, reborrow(&mut sink))
             .map_err(err),
         "graphene" => Graphene::new(app, graph, opts, budget)
-            .run(seed)
+            .run_with_sink(seed, reborrow(&mut sink))
             .map_err(err),
-        "inmemory" => Ok(InMemory::new(
-            app,
-            Arc::new(csr.clone()),
-            opts,
-            SsdProfile::nvme_p4618(),
-        )
-        .run(seed)),
+        "inmemory" => Ok(
+            InMemory::new(app, Arc::new(csr.clone()), opts, SsdProfile::nvme_p4618())
+                .run_with_sink(seed, reborrow(&mut sink)),
+        ),
         "parallel" => {
             let workers = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1);
             ParallelRunner::new(app, graph, opts, budget)
-                .run(seed, workers)
+                .run_with_sink(seed, workers, reborrow(&mut sink))
                 .map_err(err)
         }
         other => Err(format!("unknown engine {other:?}")),
     }
 }
 
-/// `noswalker run <graph> --app APP ...`.
+/// Serializes a recorded trace to `path` (JSON unless the extension is
+/// `.tsv`) and returns report lines summarizing it, including stall
+/// attribution (which block the engine was waiting on, worst first).
+fn write_trace(path: &str, sink: &MemorySink) -> Result<String, String> {
+    let body = if path.ends_with(".tsv") {
+        sink.to_tsv()
+    } else {
+        sink.to_json()
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let mut note = format!(
+        "\n  trace:             {} events → {path}",
+        sink.events.len()
+    );
+    let total = sink.total_stall_ns();
+    if total > 0 {
+        note.push_str(&format!(
+            "\n  stall attribution: {:.4} s total",
+            total as f64 / 1e9
+        ));
+        for (block, ns) in sink.stall_by_block().into_iter().take(3) {
+            let who = match block {
+                Some(b) => format!("block {b}"),
+                None => "unattributed".into(),
+            };
+            note.push_str(&format!(
+                "\n    {who}: {:.4} s ({:.1}%)",
+                ns as f64 / 1e9,
+                ns as f64 * 100.0 / total as f64
+            ));
+        }
+    }
+    Ok(note)
+}
+
+/// `noswalker run <graph> --app APP ... [--trace-out PATH]`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_walk(
     graph_path: &str,
     app: &str,
@@ -160,6 +202,7 @@ pub fn run_walk(
     walkers: u64,
     length: u32,
     seed: u64,
+    trace_out: Option<&str>,
 ) -> Result<String, String> {
     let csr = load_graph(graph_path)?;
     let n = csr.num_vertices();
@@ -167,15 +210,26 @@ pub fn run_walk(
         return Err("graph has no vertices".into());
     }
     let budget_bytes = (csr.edge_region_bytes() * budget_pct as u64 / 100).max(64 << 10);
-    let label = format!(
-        "{app} on {graph_path} via {engine} (budget {budget_pct}% = {budget_bytes} bytes)"
-    );
+    let label =
+        format!("{app} on {graph_path} via {engine} (budget {budget_pct}% = {budget_bytes} bytes)");
+
+    let mut sink: Option<MemorySink> = trace_out.map(|_| MemorySink::new());
+    fn as_dyn(s: &mut Option<MemorySink>) -> Option<&mut dyn TraceSink> {
+        s.as_mut().map(|m| m as &mut dyn TraceSink)
+    }
 
     // App-specific defaults follow the paper's settings.
     let m = match app {
         "basic" => {
             let w = if walkers == 0 { n as u64 } else { walkers };
-            dispatch_engine(engine, Arc::new(BasicRw::new(w, length, n)), &csr, budget_bytes, seed)?
+            dispatch_engine(
+                engine,
+                Arc::new(BasicRw::new(w, length, n)),
+                &csr,
+                budget_bytes,
+                seed,
+                as_dyn(&mut sink),
+            )?
         }
         "ppr" => {
             let per = if walkers == 0 { 2000 } else { walkers };
@@ -186,6 +240,7 @@ pub fn run_walk(
                 &csr,
                 budget_bytes,
                 seed,
+                as_dyn(&mut sink),
             )?
         }
         "rwr" => {
@@ -196,6 +251,7 @@ pub fn run_walk(
                 &csr,
                 budget_bytes,
                 seed,
+                as_dyn(&mut sink),
             )?
         }
         "rwd" => dispatch_engine(
@@ -204,6 +260,7 @@ pub fn run_walk(
             &csr,
             budget_bytes,
             seed,
+            as_dyn(&mut sink),
         )?,
         "graphlet" => dispatch_engine(
             engine,
@@ -211,15 +268,21 @@ pub fn run_walk(
             &csr,
             budget_bytes,
             seed,
+            as_dyn(&mut sink),
         )?,
         "deepwalk" => {
-            let per = if walkers == 0 { 1 } else { walkers.min(u32::MAX as u64) as u32 };
+            let per = if walkers == 0 {
+                1
+            } else {
+                walkers.min(u32::MAX as u64) as u32
+            };
             dispatch_engine(
                 engine,
                 Arc::new(DeepWalk::new(n, per, length, 0)),
                 &csr,
                 budget_bytes,
                 seed,
+                as_dyn(&mut sink),
             )?
         }
         "node2vec" => {
@@ -227,7 +290,11 @@ pub fn run_walk(
                 return Err("node2vec (second order) runs on --engine noswalker only".into());
             }
             let und = csr.to_undirected();
-            let per = if walkers == 0 { 1 } else { walkers.min(u32::MAX as u64) as u32 };
+            let per = if walkers == 0 {
+                1
+            } else {
+                walkers.min(u32::MAX as u64) as u32
+            };
             let app = Arc::new(Node2Vec::new(und.num_vertices(), per, length, 2.0, 0.5));
             let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
             let block_bytes = (und.num_edges() * 4 / 32).max(4096);
@@ -238,12 +305,16 @@ pub fn run_walk(
                 EngineOptions::default(),
                 MemoryBudget::new(budget_bytes),
             )
-            .run_second_order(seed)
+            .run_second_order_with_sink(seed, as_dyn(&mut sink))
             .map_err(err)?
         }
         other => return Err(format!("unknown app {other:?}")),
     };
-    Ok(format_metrics(&label, &m))
+    let mut report = format_metrics(&label, &m);
+    if let (Some(path), Some(sink)) = (trace_out, sink.as_ref()) {
+        report.push_str(&write_trace(path, sink)?);
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -263,7 +334,7 @@ mod tests {
         assert!(out.contains("1024 vertices"));
         let info = info(&path).unwrap();
         assert!(info.contains("vertices:          1024"));
-        let report = run_walk(&path, "basic", "noswalker", 12, 500, 5, 3).unwrap();
+        let report = run_walk(&path, "basic", "noswalker", 12, 500, 5, 3, None).unwrap();
         assert!(report.contains("walkers finished:  500"));
         std::fs::remove_file(&path).ok();
     }
@@ -275,7 +346,7 @@ mod tests {
         let out = tmp("conv.csr");
         let msg = convert(&el, &out).unwrap();
         assert!(msg.contains("3 vertices, 3 edges"));
-        let report = run_walk(&out, "basic", "inmemory", 50, 10, 4, 1).unwrap();
+        let report = run_walk(&out, "basic", "inmemory", 50, 10, 4, 1, None).unwrap();
         assert!(report.contains("walkers finished:  10"));
         std::fs::remove_file(&el).ok();
         std::fs::remove_file(&out).ok();
@@ -285,32 +356,84 @@ mod tests {
     fn run_every_engine_and_app_smoke() {
         let path = tmp("smoke.csr");
         generate("uniform", 9, 6, &path, 7).unwrap();
-        for engine in ["noswalker", "graphwalker", "drunkardmob", "graphene", "inmemory", "parallel"] {
-            let r = run_walk(&path, "basic", engine, 25, 200, 4, 2);
+        for engine in [
+            "noswalker",
+            "graphwalker",
+            "drunkardmob",
+            "graphene",
+            "inmemory",
+            "parallel",
+        ] {
+            let r = run_walk(&path, "basic", engine, 25, 200, 4, 2, None);
             assert!(r.is_ok(), "{engine}: {r:?}");
         }
         for app in ["ppr", "rwr", "rwd", "graphlet", "deepwalk", "node2vec"] {
-            let r = run_walk(&path, app, "noswalker", 25, 50, 4, 2);
+            let r = run_walk(&path, app, "noswalker", 25, 50, 4, 2, None);
             assert!(r.is_ok(), "{app}: {r:?}");
         }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn trace_out_writes_parseable_trace_with_stall_attribution() {
+        let path = tmp("traced.csr");
+        generate("uniform", 9, 6, &path, 7).unwrap();
+
+        let json_path = tmp("run.json");
+        let report =
+            run_walk(&path, "basic", "noswalker", 25, 200, 4, 2, Some(&json_path)).unwrap();
+        assert!(report.contains("trace:"), "{report}");
+        let body = std::fs::read_to_string(&json_path).unwrap();
+        assert!(body.trim_start().starts_with('['), "JSON array: {body}");
+        assert!(body.contains("\"event\":\"run_end\""), "{body}");
+        assert!(body.contains("\"event\":\"coarse_load\""), "{body}");
+        // Stalls carry attribution: the block the engine waited on.
+        if body.contains("\"event\":\"stall\"") {
+            assert!(body.contains("\"waiting_for\""), "{body}");
+            assert!(report.contains("stall attribution"), "{report}");
+        }
+
+        let tsv_path = tmp("run.tsv");
+        run_walk(
+            &path,
+            "basic",
+            "drunkardmob",
+            25,
+            200,
+            4,
+            2,
+            Some(&tsv_path),
+        )
+        .unwrap();
+        let tsv = std::fs::read_to_string(&tsv_path).unwrap();
+        assert!(tsv.lines().any(|l| l.starts_with("run_end\t")), "{tsv}");
+
+        for f in [&path, &json_path, &tsv_path] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
     fn errors_are_user_readable() {
-        assert!(info("/no/such/file.csr").unwrap_err().contains("cannot open"));
+        assert!(info("/no/such/file.csr")
+            .unwrap_err()
+            .contains("cannot open"));
         let path = tmp("err.csr");
         generate("uniform", 8, 4, &path, 1).unwrap();
-        assert!(run_walk(&path, "nope", "noswalker", 12, 1, 1, 1)
+        assert!(run_walk(&path, "nope", "noswalker", 12, 1, 1, 1, None)
             .unwrap_err()
             .contains("unknown app"));
-        assert!(run_walk(&path, "basic", "nope", 12, 1, 1, 1)
+        assert!(run_walk(&path, "basic", "nope", 12, 1, 1, 1, None)
             .unwrap_err()
             .contains("unknown engine"));
-        assert!(run_walk(&path, "node2vec", "graphwalker", 12, 1, 1, 1)
+        assert!(
+            run_walk(&path, "node2vec", "graphwalker", 12, 1, 1, 1, None)
+                .unwrap_err()
+                .contains("second order")
+        );
+        assert!(generate("nope", 8, 4, &path, 1)
             .unwrap_err()
-            .contains("second order"));
-        assert!(generate("nope", 8, 4, &path, 1).unwrap_err().contains("family"));
+            .contains("family"));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -45,6 +45,16 @@ pub fn run(cli: Cli) -> Result<String, String> {
             walkers,
             length,
             seed,
-        } => commands::run_walk(&graph, &app, &engine, budget_pct, walkers, length, seed),
+            trace_out,
+        } => commands::run_walk(
+            &graph,
+            &app,
+            &engine,
+            budget_pct,
+            walkers,
+            length,
+            seed,
+            trace_out.as_deref(),
+        ),
     }
 }

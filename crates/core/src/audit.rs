@@ -1,0 +1,752 @@
+//! Run auditing and structured per-run tracing.
+//!
+//! Two complementary observability tools for every engine in the workspace:
+//!
+//! * [`TraceSink`] — a cheap event stream. Engines emit [`TraceEvent`]s at
+//!   their I/O and scheduling decision points (block loads, pre-sample
+//!   refills and evictions, stalls with the block being waited on, swap
+//!   traffic, the fine-grained mode switch). The default is no sink at all:
+//!   emission goes through [`Trace`], which holds `Option<&mut dyn
+//!   TraceSink>` and takes the event as a closure, so a disabled trace
+//!   never constructs the event — the cost is one branch per site.
+//! * [`RunAudit`] — an invariant checker asserting the engine
+//!   *conservation laws* over the final [`RunMetrics`]: every step must be
+//!   attributed to exactly one data source, every walker must finish,
+//!   pre-sample consumption cannot exceed production, the memory budget
+//!   must return to its pre-run floor, and byte counters must be
+//!   consistent with the load counters that produced them.
+//!
+//! The laws are what the paper's evaluation implicitly relies on: a run
+//! whose step attribution doesn't sum, or whose budget leaks, produces
+//! figures that *look* fine but measure nothing. Test builds run every
+//! engine through [`RunAudit::assert_clean`](AuditReport::assert_clean).
+
+use crate::metrics::RunMetrics;
+use noswalker_graph::partition::BlockId;
+use noswalker_storage::MemoryBudget;
+
+/// A structured event emitted by an engine during a run.
+///
+/// All timestamps are simulated nanoseconds from the run's
+/// [`PipelineClock`](crate::PipelineClock) (baselines without a pipeline
+/// clock report their own simulated time base).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A coarse (whole-block) load was issued to the device.
+    CoarseLoad {
+        /// Block that was loaded.
+        block: BlockId,
+        /// Bytes read from the device (0 on a cache hit).
+        bytes: u64,
+        /// True when the block was already resident and no I/O happened.
+        cache_hit: bool,
+        /// Simulated time the load was issued.
+        at_ns: u64,
+    },
+    /// A fine-grained (4 KiB-page) load batch was issued (§3.3.1).
+    FineLoad {
+        /// Block the target vertices live in.
+        block: BlockId,
+        /// Stalled vertices served by this batch.
+        vertices: u64,
+        /// Contiguous device runs (individual read ops) issued.
+        runs: u64,
+        /// Bytes read from the device.
+        bytes: u64,
+        /// Simulated time the load was issued.
+        at_ns: u64,
+    },
+    /// Pre-sample buffers were (re)filled from a resident block (§2.4.1).
+    PresampleRefill {
+        /// Block whose vertices were pre-sampled.
+        block: BlockId,
+        /// Vertices that received reserved samples.
+        slots: u64,
+        /// Total samples drawn.
+        draws: u64,
+        /// Simulated time of the refill.
+        at_ns: u64,
+    },
+    /// A pre-sample buffer was evicted to free budget.
+    PresampleEvict {
+        /// Block whose buffer was dropped.
+        block: BlockId,
+        /// Budget bytes reclaimed.
+        bytes: u64,
+        /// Simulated time of the eviction.
+        at_ns: u64,
+    },
+    /// A cached block buffer was evicted to free budget.
+    CacheEvict {
+        /// Simulated time of the eviction.
+        at_ns: u64,
+    },
+    /// The engine stalled waiting for I/O.
+    Stall {
+        /// Block the engine was waiting on (`None` when the stall is not
+        /// attributable to a single block, e.g. a swap drain).
+        waiting_for: Option<BlockId>,
+        /// Simulated time the stall began.
+        from_ns: u64,
+        /// Simulated time the stall ended.
+        until_ns: u64,
+    },
+    /// Walker-state swap traffic (engines without walker management).
+    Swap {
+        /// Bytes moved (write + read-back).
+        bytes: u64,
+        /// Simulated time of the swap.
+        at_ns: u64,
+    },
+    /// The engine switched to fine-grained I/O mode (§3.3.1).
+    FineModeSwitch {
+        /// Global step count at the switch.
+        at_step: u64,
+        /// Simulated time of the switch.
+        at_ns: u64,
+    },
+    /// The run finished.
+    RunEnd {
+        /// Total steps moved.
+        steps: u64,
+        /// Walkers that finished.
+        walkers_finished: u64,
+        /// Simulated end time.
+        at_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase name of the event kind (JSON/TSV `event` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::CoarseLoad { .. } => "coarse_load",
+            TraceEvent::FineLoad { .. } => "fine_load",
+            TraceEvent::PresampleRefill { .. } => "presample_refill",
+            TraceEvent::PresampleEvict { .. } => "presample_evict",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::Swap { .. } => "swap",
+            TraceEvent::FineModeSwitch { .. } => "fine_mode_switch",
+            TraceEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The event's payload as `(key, JSON-ready value)` pairs. Values are
+    /// already valid JSON scalars (numbers, `true`/`false`, `null`), so
+    /// both exporters share this without an escaping pass.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        fn opt(v: Option<BlockId>) -> String {
+            v.map_or_else(|| "null".to_string(), |b| b.to_string())
+        }
+        match self {
+            TraceEvent::CoarseLoad {
+                block,
+                bytes,
+                cache_hit,
+                at_ns,
+            } => vec![
+                ("block", block.to_string()),
+                ("bytes", bytes.to_string()),
+                ("cache_hit", cache_hit.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::FineLoad {
+                block,
+                vertices,
+                runs,
+                bytes,
+                at_ns,
+            } => vec![
+                ("block", block.to_string()),
+                ("vertices", vertices.to_string()),
+                ("runs", runs.to_string()),
+                ("bytes", bytes.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::PresampleRefill {
+                block,
+                slots,
+                draws,
+                at_ns,
+            } => vec![
+                ("block", block.to_string()),
+                ("slots", slots.to_string()),
+                ("draws", draws.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::PresampleEvict {
+                block,
+                bytes,
+                at_ns,
+            } => vec![
+                ("block", block.to_string()),
+                ("bytes", bytes.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::CacheEvict { at_ns } => vec![("at_ns", at_ns.to_string())],
+            TraceEvent::Stall {
+                waiting_for,
+                from_ns,
+                until_ns,
+            } => vec![
+                ("waiting_for", opt(*waiting_for)),
+                ("from_ns", from_ns.to_string()),
+                ("until_ns", until_ns.to_string()),
+            ],
+            TraceEvent::Swap { bytes, at_ns } => {
+                vec![("bytes", bytes.to_string()), ("at_ns", at_ns.to_string())]
+            }
+            TraceEvent::FineModeSwitch { at_step, at_ns } => vec![
+                ("at_step", at_step.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::RunEnd {
+                steps,
+                walkers_finished,
+                at_ns,
+            } => vec![
+                ("steps", steps.to_string()),
+                ("walkers_finished", walkers_finished.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+        }
+    }
+}
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// Sinks are driven from the engine's coordinating thread only; worker
+/// threads in [`ParallelRunner`](crate::parallel::ParallelRunner) do not
+/// emit (the sink is `&mut`, not shared).
+pub trait TraceSink {
+    /// Records one event. Called in run order.
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// A sink that discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// A sink that buffers events in memory and exports them as JSON or TSV.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The recorded events, in run order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the events as a JSON array of objects, one per event, each
+    /// with an `"event"` kind plus the event's fields.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str("  {\"event\":\"");
+            out.push_str(ev.kind());
+            out.push('"');
+            for (k, v) in ev.fields() {
+                out.push_str(",\"");
+                out.push_str(k);
+                out.push_str("\":");
+                out.push_str(&v);
+            }
+            out.push('}');
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Renders the events as TSV: `kind<TAB>key=value<TAB>...`, one event
+    /// per line — greppable and `cut`-able without a JSON parser.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(ev.kind());
+            for (k, v) in ev.fields() {
+                out.push('\t');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(&v);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total stalled nanoseconds across all [`TraceEvent::Stall`] events.
+    pub fn total_stall_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Stall {
+                    from_ns, until_ns, ..
+                } => Some(until_ns.saturating_sub(*from_ns)),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Stall time attributed per block, worst offender first. `None` keys
+    /// collect stalls not attributable to a single block.
+    pub fn stall_by_block(&self) -> Vec<(Option<BlockId>, u64)> {
+        let mut agg: Vec<(Option<BlockId>, u64)> = Vec::new();
+        for ev in &self.events {
+            if let TraceEvent::Stall {
+                waiting_for,
+                from_ns,
+                until_ns,
+            } = ev
+            {
+                let ns = until_ns.saturating_sub(*from_ns);
+                match agg.iter_mut().find(|(k, _)| k == waiting_for) {
+                    Some((_, total)) => *total += ns,
+                    None => agg.push((*waiting_for, ns)),
+                }
+            }
+        }
+        agg.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        agg
+    }
+}
+
+/// A handle engines thread through their run loops: either disabled (the
+/// default — one branch per site, the event is never constructed) or
+/// pointing at a caller-owned [`TraceSink`].
+pub struct Trace<'a> {
+    sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Trace<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Default for Trace<'_> {
+    fn default() -> Self {
+        Trace::off()
+    }
+}
+
+impl<'a> Trace<'a> {
+    /// A disabled trace: `emit` is a single `None` check.
+    pub fn off() -> Self {
+        Trace { sink: None }
+    }
+
+    /// A trace recording into `sink`.
+    pub fn on(sink: &'a mut dyn TraceSink) -> Self {
+        Trace { sink: Some(sink) }
+    }
+
+    /// Wraps an optional sink (the shape engine entry points take).
+    pub fn from_option(sink: Option<&'a mut dyn TraceSink>) -> Self {
+        Trace { sink }
+    }
+
+    /// Whether events will be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event built by `f` — only calling `f` when a sink is
+    /// attached, so disabled tracing never pays for event construction.
+    #[inline]
+    pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let ev = f();
+            sink.record(&ev);
+        }
+    }
+}
+
+/// One violated conservation law.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable short name of the law (e.g. `step-attribution`).
+    pub law: &'static str,
+    /// Human-readable account of the mismatch, with both sides' values.
+    pub detail: String,
+}
+
+/// The outcome of a [`RunAudit`] check.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Every violated law, in check order. Empty means the run conserved.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// True when no law was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with every violation listed unless the report is clean.
+    /// Intended for test builds and debug assertions.
+    pub fn assert_clean(&self) {
+        if !self.is_clean() {
+            let mut msg = String::from("run audit failed:\n");
+            for v in &self.violations {
+                msg.push_str("  [");
+                msg.push_str(v.law);
+                msg.push_str("] ");
+                msg.push_str(&v.detail);
+                msg.push('\n');
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Checks the engine conservation laws over a finished run.
+///
+/// Construct it *before* the run with [`RunAudit::begin`] (capturing the
+/// memory budget's pre-run floor), then call [`RunAudit::verify`] on the
+/// returned metrics:
+///
+/// ```
+/// # use noswalker_core::audit::RunAudit;
+/// # use noswalker_core::RunMetrics;
+/// # use noswalker_storage::MemoryBudget;
+/// let budget = MemoryBudget::new(1 << 20);
+/// let audit = RunAudit::begin(10, &budget);
+/// let mut m = RunMetrics::default();
+/// m.steps = 50;
+/// m.steps_on_block = 50;
+/// m.walkers_finished = 10;
+/// audit.verify(&m, &budget).assert_clean();
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunAudit {
+    total_walkers: u64,
+    budget_floor: u64,
+}
+
+impl RunAudit {
+    /// Starts an audit: `total_walkers` is the number the app will
+    /// generate; the budget's current `in_use` becomes the floor the run
+    /// must return to.
+    pub fn begin(total_walkers: u64, budget: &MemoryBudget) -> Self {
+        RunAudit {
+            total_walkers,
+            budget_floor: budget.in_use(),
+        }
+    }
+
+    /// Starts an audit with an explicit budget floor (for callers without
+    /// a budget handle, or replaying recorded runs).
+    pub fn with_floor(total_walkers: u64, budget_floor: u64) -> Self {
+        RunAudit {
+            total_walkers,
+            budget_floor,
+        }
+    }
+
+    /// Checks the metrics-only laws plus the budget-floor law.
+    pub fn verify(&self, m: &RunMetrics, budget: &MemoryBudget) -> AuditReport {
+        let mut report = self.verify_metrics(m);
+        let in_use = budget.in_use();
+        if in_use != self.budget_floor {
+            report.violations.push(Violation {
+                law: "budget-floor",
+                detail: format!(
+                    "budget in_use {} != pre-run floor {} (reservation leak)",
+                    in_use, self.budget_floor
+                ),
+            });
+        }
+        report
+    }
+
+    /// Checks every law derivable from the metrics alone:
+    ///
+    /// 1. **step-attribution** — `steps == steps_on_block +
+    ///    steps_on_presample + steps_on_raw`: every step came from exactly
+    ///    one data source.
+    /// 2. **walker-completion** — `walkers_finished == total_walkers`.
+    /// 3. **presample-balance** — `presamples_consumed <=
+    ///    presamples_filled`: consumption cannot outrun production.
+    /// 4. **load-byte-consistency** — bytes were loaded iff loads (and
+    ///    I/O ops) were issued, in both directions.
+    /// 5. **clock-sanity** — `stall_ns <= sim_ns`.
+    pub fn verify_metrics(&self, m: &RunMetrics) -> AuditReport {
+        let mut violations = Vec::new();
+        let mut fail = |law: &'static str, detail: String| {
+            violations.push(Violation { law, detail });
+        };
+
+        let attributed = m.steps_on_block + m.steps_on_presample + m.steps_on_raw;
+        if m.steps != attributed {
+            fail(
+                "step-attribution",
+                format!(
+                    "steps {} != on_block {} + on_presample {} + on_raw {} (= {})",
+                    m.steps, m.steps_on_block, m.steps_on_presample, m.steps_on_raw, attributed
+                ),
+            );
+        }
+        if m.walkers_finished != self.total_walkers {
+            fail(
+                "walker-completion",
+                format!(
+                    "walkers_finished {} != total_walkers {}",
+                    m.walkers_finished, self.total_walkers
+                ),
+            );
+        }
+        if m.presamples_consumed > m.presamples_filled {
+            fail(
+                "presample-balance",
+                format!(
+                    "presamples_consumed {} > presamples_filled {}",
+                    m.presamples_consumed, m.presamples_filled
+                ),
+            );
+        }
+        let loads = m.coarse_loads + m.fine_loads;
+        if m.edge_bytes_loaded > 0 && (loads == 0 || m.io_ops == 0) {
+            fail(
+                "load-byte-consistency",
+                format!(
+                    "edge_bytes_loaded {} with coarse_loads {} + fine_loads {} and io_ops {}",
+                    m.edge_bytes_loaded, m.coarse_loads, m.fine_loads, m.io_ops
+                ),
+            );
+        }
+        if loads > 0 && m.edge_bytes_loaded == 0 {
+            fail(
+                "load-byte-consistency",
+                format!(
+                    "{} loads issued ({} coarse, {} fine) but edge_bytes_loaded == 0",
+                    loads, m.coarse_loads, m.fine_loads
+                ),
+            );
+        }
+        if m.stall_ns > m.sim_ns {
+            fail(
+                "clock-sanity",
+                format!("stall_ns {} > sim_ns {}", m.stall_ns, m.sim_ns),
+            );
+        }
+
+        AuditReport { violations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conserving_metrics() -> RunMetrics {
+        RunMetrics {
+            sim_ns: 1_000,
+            stall_ns: 200,
+            steps: 100,
+            steps_on_block: 60,
+            steps_on_presample: 30,
+            steps_on_raw: 10,
+            walkers_finished: 10,
+            presamples_filled: 50,
+            presamples_consumed: 30,
+            edge_bytes_loaded: 4096,
+            coarse_loads: 2,
+            io_ops: 2,
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_passes_every_law() {
+        let audit = RunAudit::with_floor(10, 0);
+        let report = audit.verify_metrics(&conserving_metrics());
+        assert!(report.is_clean(), "{:?}", report.violations);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn each_law_trips_independently() {
+        let audit = RunAudit::with_floor(10, 0);
+
+        let mut m = conserving_metrics();
+        m.steps_on_raw = 0;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "step-attribution"
+        );
+
+        let mut m = conserving_metrics();
+        m.walkers_finished = 9;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "walker-completion"
+        );
+
+        let mut m = conserving_metrics();
+        m.presamples_consumed = m.presamples_filled + 1;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "presample-balance"
+        );
+
+        let mut m = conserving_metrics();
+        m.coarse_loads = 0;
+        m.io_ops = 0;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "load-byte-consistency"
+        );
+
+        let mut m = conserving_metrics();
+        m.edge_bytes_loaded = 0;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "load-byte-consistency"
+        );
+
+        let mut m = conserving_metrics();
+        m.stall_ns = m.sim_ns + 1;
+        assert_eq!(audit.verify_metrics(&m).violations[0].law, "clock-sanity");
+    }
+
+    #[test]
+    fn budget_floor_law_detects_leaks() {
+        let budget = MemoryBudget::new(1 << 20);
+        let audit = RunAudit::begin(10, &budget);
+        let r = budget.try_reserve(512).unwrap();
+        let report = audit.verify(&conserving_metrics(), &budget);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].law, "budget-floor");
+        drop(r);
+        audit.verify(&conserving_metrics(), &budget).assert_clean();
+    }
+
+    #[test]
+    #[should_panic(expected = "walker-completion")]
+    fn assert_clean_panics_with_law_name() {
+        let audit = RunAudit::with_floor(11, 0);
+        audit.verify_metrics(&conserving_metrics()).assert_clean();
+    }
+
+    #[test]
+    fn disabled_trace_skips_event_construction() {
+        let mut trace = Trace::off();
+        let mut built = false;
+        trace.emit(|| {
+            built = true;
+            TraceEvent::CacheEvict { at_ns: 0 }
+        });
+        assert!(!built);
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::on(&mut sink);
+            assert!(trace.is_enabled());
+            trace.emit(|| TraceEvent::CoarseLoad {
+                block: 3,
+                bytes: 4096,
+                cache_hit: false,
+                at_ns: 10,
+            });
+            trace.emit(|| TraceEvent::Stall {
+                waiting_for: Some(3),
+                from_ns: 10,
+                until_ns: 60,
+            });
+            trace.emit(|| TraceEvent::RunEnd {
+                steps: 1,
+                walkers_finished: 1,
+                at_ns: 60,
+            });
+        }
+        assert_eq!(sink.events.len(), 3);
+        assert_eq!(sink.events[0].kind(), "coarse_load");
+        assert_eq!(sink.total_stall_ns(), 50);
+    }
+
+    #[test]
+    fn stall_attribution_aggregates_and_sorts() {
+        let mut sink = MemorySink::new();
+        let stalls = [
+            (Some(1), 0, 10),
+            (Some(2), 10, 40),
+            (Some(1), 40, 45),
+            (None, 45, 46),
+        ];
+        for (b, f, u) in stalls {
+            sink.record(&TraceEvent::Stall {
+                waiting_for: b,
+                from_ns: f,
+                until_ns: u,
+            });
+        }
+        let by_block = sink.stall_by_block();
+        assert_eq!(by_block, vec![(Some(2), 30), (Some(1), 15), (None, 1)]);
+    }
+
+    #[test]
+    fn json_export_is_parseable_shape() {
+        let mut sink = MemorySink::new();
+        sink.record(&TraceEvent::CoarseLoad {
+            block: 7,
+            bytes: 2048,
+            cache_hit: true,
+            at_ns: 5,
+        });
+        sink.record(&TraceEvent::Stall {
+            waiting_for: None,
+            from_ns: 5,
+            until_ns: 9,
+        });
+        let json = sink.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("{\"event\":\"coarse_load\",\"block\":7,\"bytes\":2048,\"cache_hit\":true,\"at_ns\":5},"));
+        assert!(json.contains("\"waiting_for\":null"));
+    }
+
+    #[test]
+    fn tsv_export_one_line_per_event() {
+        let mut sink = MemorySink::new();
+        sink.record(&TraceEvent::Swap {
+            bytes: 48,
+            at_ns: 7,
+        });
+        sink.record(&TraceEvent::FineModeSwitch {
+            at_step: 900,
+            at_ns: 12,
+        });
+        let tsv = sink.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "swap\tbytes=48\tat_ns=7");
+        assert_eq!(lines[1], "fine_mode_switch\tat_step=900\tat_ns=12");
+    }
+}

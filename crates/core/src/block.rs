@@ -55,7 +55,11 @@ pub struct FineLoad {
 }
 
 impl FineLoad {
-    pub(crate) fn new(info: BlockInfo, runs: Vec<(u64, Vec<u8>)>, reservation: Reservation) -> Self {
+    pub(crate) fn new(
+        info: BlockInfo,
+        runs: Vec<(u64, Vec<u8>)>,
+        reservation: Reservation,
+    ) -> Self {
         debug_assert!(runs.windows(2).all(|w| w[0].0 < w[1].0), "runs sorted");
         FineLoad {
             info,

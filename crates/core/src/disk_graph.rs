@@ -205,7 +205,6 @@ impl OnDiskGraph {
         }
         Ok((FineLoad::new(info, loaded, reservation), total_ns))
     }
-
 }
 
 /// Errors from block/page loading.

@@ -16,6 +16,7 @@
 //! from the storage layer, compute is charged per step/sample, and stalls
 //! are whatever the pipeline exposes.
 
+use crate::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use crate::block::{BlockCache, FineLoad, LoadedBlock};
 use crate::clock::PipelineClock;
 use crate::disk_graph::{LoadError, OnDiskGraph};
@@ -127,13 +128,36 @@ impl<A: Walk> NosWalkerEngine<A> {
     /// [`EngineError::Budget`] if the budget cannot hold the minimum
     /// working set; [`EngineError::Load`] on device failure.
     pub fn run(&self, seed: u64) -> Result<RunMetrics, EngineError> {
-        let mut run = Run::new(self, seed)?;
+        self.run_with_sink(seed, None)
+    }
+
+    /// Like [`NosWalkerEngine::run`], recording structured
+    /// [`TraceEvent`]s into `sink` when one is supplied. With `None` the
+    /// cost is one branch per emission site.
+    ///
+    /// In debug builds the returned metrics are additionally checked
+    /// against the [`RunAudit`] conservation laws.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NosWalkerEngine::run`].
+    pub fn run_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<RunMetrics, EngineError> {
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let mut run = Run::new(self, seed, Trace::from_option(sink))?;
         if self.opts.enable_walker_management {
             run.run_pooled()?;
         } else {
             run.run_epochs()?;
         }
-        Ok(run.finish())
+        let metrics = run.finish();
+        if cfg!(debug_assertions) {
+            audit.verify(&metrics, &self.budget).assert_clean();
+        }
+        Ok(metrics)
     }
 }
 
@@ -151,13 +175,36 @@ impl<A: SecondOrderWalk> NosWalkerEngine<A> {
     /// Panics if `enable_walker_management` is off — the second-order
     /// extension is defined on the full decoupled architecture.
     pub fn run_second_order(&self, seed: u64) -> Result<RunMetrics, EngineError> {
+        self.run_second_order_with_sink(seed, None)
+    }
+
+    /// Like [`NosWalkerEngine::run_second_order`], recording structured
+    /// [`TraceEvent`]s into `sink` when one is supplied.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NosWalkerEngine::run`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`NosWalkerEngine::run_second_order`].
+    pub fn run_second_order_with_sink<'a>(
+        &'a self,
+        seed: u64,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<RunMetrics, EngineError> {
         assert!(
             self.opts.enable_walker_management,
             "second-order runs require walker management"
         );
-        let mut run = Run::new(self, seed)?;
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let mut run = Run::new(self, seed, Trace::from_option(sink))?;
         run.run_pooled_2nd()?;
-        Ok(run.finish())
+        let metrics = run.finish();
+        if cfg!(debug_assertions) {
+            audit.verify(&metrics, &self.budget).assert_clean();
+        }
+        Ok(metrics)
     }
 }
 
@@ -219,23 +266,25 @@ struct Run<'e, A: Walk> {
     swap_base: u64,
     /// Largest coarse block, for sizing fixed overhead.
     max_block_bytes: u64,
+    trace: Trace<'e>,
     started: Instant,
 }
 
 impl<'e, A: Walk> Run<'e, A> {
-    fn new(engine: &'e NosWalkerEngine<A>, seed: u64) -> Result<Self, EngineError> {
+    fn new(
+        engine: &'e NosWalkerEngine<A>,
+        seed: u64,
+        trace: Trace<'e>,
+    ) -> Result<Self, EngineError> {
         let num_blocks = engine.graph.num_blocks();
         let total = engine.app.total_walkers();
         // Pooled mode charges the pool; epoch mode charges only the fixed
         // in-memory walker buffer (the remaining states live on disk and
         // cost swap I/O instead, §2.4.2).
-        // Pool auto-sizing: walker pools may take at most a quarter of the
-        // budget; the rest stays available for block buffers and the
-        // pre-sample pool (Fig. 6's "Adjust").
-        let by_budget = engine.budget.limit() / 4 / engine.app.state_bytes().max(1) as u64;
-        let charged = (engine.opts.walker_pool_size as u64)
-            .min(total.max(1))
-            .min(by_budget.max(64));
+        let charged =
+            engine
+                .opts
+                .walker_pool_quota(&engine.budget, engine.app.state_bytes(), total);
         let pool_bytes = charged * engine.app.state_bytes() as u64;
         let pool_reservation = engine.budget.try_reserve(pool_bytes)?;
         let max_block_bytes = engine
@@ -266,11 +315,20 @@ impl<'e, A: Walk> Run<'e, A> {
             cache: BlockCache::new(num_blocks),
             swap_base: engine.graph.edge_region_bytes(),
             max_block_bytes,
+            trace,
             started: Instant::now(),
         })
     }
 
     fn finish(mut self) -> RunMetrics {
+        let at = self.clock.now();
+        let steps = self.metrics.steps;
+        let walkers_finished = self.metrics.walkers_finished;
+        self.trace.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: at,
+        });
         self.metrics.sim_ns = self.clock.now();
         self.metrics.stall_ns = self.clock.stall_ns();
         self.metrics.io_busy_ns = self.clock.io_busy_ns();
@@ -289,10 +347,11 @@ impl<'e, A: Walk> Run<'e, A> {
         self.total - self.metrics.walkers_finished
     }
 
-    /// The effective walker pool capacity (see `EngineOptions::walker_pool_size`).
+    /// The effective walker pool capacity (see
+    /// [`EngineOptions::walker_pool_quota`]).
     fn pool_cap(&self) -> u64 {
-        let by_budget = self.budget.limit() / 4 / self.app.state_bytes().max(1) as u64;
-        (self.opts.walker_pool_size as u64).min(by_budget.max(64))
+        self.opts
+            .walker_pool_quota(self.budget, self.app.state_bytes(), self.total)
     }
 
     fn done(&self) -> bool {
@@ -415,6 +474,12 @@ impl<'e, A: Walk> Run<'e, A> {
                 Peek::Raw(view) => {
                     let dst = self.app.sample(&view, &mut self.rng);
                     self.clock.advance_compute(self.opts.sample_cost());
+                    // Unlike the `Sampled` arm, `consume` here is
+                    // unconditional: raw retained slots never deplete
+                    // (`PreSampleBuffer::consume` only bumps the visit
+                    // counter that steers the next generation's quotas),
+                    // so an `Action` that ignores the destination loses
+                    // nothing — there is no reserved sample to waste.
                     self.presample[b].as_mut().expect("checked").consume(loc);
                     self.metrics.steps_on_raw += 1;
                     steps += 1;
@@ -478,13 +543,24 @@ impl<'e, A: Walk> Run<'e, A> {
             // Cached blocks are the cheapest to give back (they can be
             // reloaded); reserved pre-samples go next.
             if self.cache.evict_one() {
+                let at = self.clock.now();
+                self.trace.emit(|| TraceEvent::CacheEvict { at_ns: at });
                 continue;
             }
             let victim = (0..self.presample.len())
                 .filter(|&b| self.presample[b].is_some())
                 .max_by_key(|&b| self.presample[b].as_ref().map_or(0, |p| p.memory_bytes()));
             match victim {
-                Some(b) => self.presample[b] = None,
+                Some(b) => {
+                    let at = self.clock.now();
+                    let freed = self.presample[b].as_ref().map_or(0, |p| p.memory_bytes());
+                    self.trace.emit(|| TraceEvent::PresampleEvict {
+                        block: b as BlockId,
+                        bytes: freed,
+                        at_ns: at,
+                    });
+                    self.presample[b] = None;
+                }
                 None => {
                     return Err(BudgetExceeded {
                         requested: bytes,
@@ -516,6 +592,10 @@ impl<'e, A: Walk> Run<'e, A> {
         if lhs < self.graph.edge_region_bytes() {
             self.fine_mode = true;
             self.metrics.fine_mode_at_step = Some(self.metrics.steps);
+            let at_step = self.metrics.steps;
+            let at = self.clock.now();
+            self.trace
+                .emit(|| TraceEvent::FineModeSwitch { at_step, at_ns: at });
         }
     }
 
@@ -557,10 +637,23 @@ impl<'e, A: Walk> Run<'e, A> {
             verts.truncate(keep);
             self.make_room(estimate.min(cap))?;
             let (load, ns) = self.graph.load_fine(b, &verts, self.budget)?;
+            let at = self.clock.now();
             let ready_at = self.clock.issue_io(ns);
             self.metrics.fine_loads += 1;
             self.metrics.io_ops += load.num_runs() as u64;
             self.metrics.edge_bytes_loaded += load.loaded_bytes();
+            let (vertices, runs, bytes) = (
+                verts.len() as u64,
+                load.num_runs() as u64,
+                load.loaded_bytes(),
+            );
+            self.trace.emit(|| TraceEvent::FineLoad {
+                block: b,
+                vertices,
+                runs,
+                bytes,
+                at_ns: at,
+            });
             Ok(Some(Pending::Fine { load, ready_at }))
         } else {
             self.issue_coarse(b).map(Some)
@@ -576,12 +669,22 @@ impl<'e, A: Walk> Run<'e, A> {
             .cache
             .load(self.graph, b, self.budget)
             .map_err(EngineError::from)?;
+        let at = self.clock.now();
         let ready_at = self.clock.issue_io(ns);
-        if !hit {
+        // An empty block (only zero-degree vertices) is a zero-byte no-op
+        // read, not an I/O op — counting it would break the audit's
+        // load-byte-consistency law (loads issued ⇔ bytes moved).
+        if !hit && info.byte_len() > 0 {
             self.metrics.coarse_loads += 1;
             self.metrics.io_ops += 1;
             self.metrics.edge_bytes_loaded += info.byte_len();
         }
+        self.trace.emit(|| TraceEvent::CoarseLoad {
+            block: b,
+            bytes: if hit { 0 } else { info.byte_len() },
+            cache_hit: hit,
+            at_ns: at,
+        });
         Ok(Pending::Coarse { block, ready_at })
     }
 
@@ -643,8 +746,8 @@ impl<'e, A: Walk> Run<'e, A> {
         // reserved samples cover the *entire* graph at a few slots per
         // vertex — the succinct-representation effect of §2.4.1 — instead
         // of a handful of blocks hoarding deep sample queues.
-        let fixed = 2 * self.max_block_bytes
-            + self.pool_reservation.as_ref().map_or(0, |r| r.bytes());
+        let fixed =
+            2 * self.max_block_bytes + self.pool_reservation.as_ref().map_or(0, |r| r.bytes());
         let pool_budget = (self.budget.limit().saturating_sub(fixed) as f64
             * self.opts.presample_budget_fraction) as u64;
         let fair = pool_budget / self.graph.num_blocks().max(1) as u64;
@@ -698,6 +801,14 @@ impl<'e, A: Walk> Run<'e, A> {
         buf.set_reservation(reservation);
         self.clock.advance_compute(draws * self.opts.sample_cost());
         self.metrics.presamples_filled += draws;
+        let at = self.clock.now();
+        let slots = plan.total_slots;
+        self.trace.emit(|| TraceEvent::PresampleRefill {
+            block: b,
+            slots,
+            draws,
+            at_ns: at,
+        });
         self.presample[b as usize] = Some(buf);
     }
 
@@ -738,7 +849,7 @@ impl<'e, A: Walk> Run<'e, A> {
                 match &pending {
                     Some(p) => {
                         let t = p.ready_at();
-                        self.clock.stall_until(t);
+                        self.stall_on(Some(p.block_id()), t);
                     }
                     None => {
                         debug_assert!(self.done(), "walkers remain but nothing to load");
@@ -832,7 +943,7 @@ impl<'e, A: Walk> Run<'e, A> {
                 }
             }
             let p = pending.take().expect("issued above");
-            self.clock.stall_until(p.ready_at());
+            self.stall_on(Some(p.block_id()), p.ready_at());
             let b = p.block_id();
             // Walker-state swap (GraphWalker's fixed walker buffer,
             // §2.4.2): the block's walker states are read from and written
@@ -860,6 +971,20 @@ impl<'e, A: Walk> Run<'e, A> {
         Ok(())
     }
 
+    /// Stalls the clock until `t`, attributing the wait to `block` in the
+    /// trace (no event when `t` is already past).
+    fn stall_on(&mut self, block: Option<BlockId>, t: u64) {
+        let from = self.clock.now();
+        self.clock.stall_until(t);
+        if t > from {
+            self.trace.emit(|| TraceEvent::Stall {
+                waiting_for: block,
+                from_ns: from,
+                until_ns: t,
+            });
+        }
+    }
+
     /// Performs the swap-region I/O for `n` walker states: write back, then
     /// read in — real device operations so the cost model and stats agree.
     fn charge_swap(&mut self, n: u64) -> Result<(), EngineError> {
@@ -884,6 +1009,11 @@ impl<'e, A: Walk> Run<'e, A> {
             left -= n as u64;
         }
         self.metrics.swap_bytes += 2 * bytes;
+        let at = self.clock.now();
+        self.trace.emit(|| TraceEvent::Swap {
+            bytes: 2 * bytes,
+            at_ns: at,
+        });
         Ok(())
     }
 }
@@ -896,7 +1026,9 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
     /// The vertex whose edges this walker needs next: the pending
     /// candidate (for rejection) or the current location (for sampling).
     fn needed_vertex(&self, w: &A::Walker) -> VertexId {
-        self.app.candidate(w).unwrap_or_else(|| self.app.location(w))
+        self.app
+            .candidate(w)
+            .unwrap_or_else(|| self.app.location(w))
     }
 
     fn run_pooled_2nd(&mut self) -> Result<(), EngineError> {
@@ -929,7 +1061,7 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
                 match &pending {
                     Some(p) => {
                         let t = p.ready_at();
-                        self.clock.stall_until(t);
+                        self.stall_on(Some(p.block_id()), t);
                     }
                     None => break,
                 }
@@ -994,6 +1126,9 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
                 self.clock.advance_compute(self.opts.sample_cost());
                 let w = self.slab[i].as_mut().expect("live");
                 self.app.action(w, dst, &mut self.rng);
+                // Unconditional on purpose: raw slots never deplete, so
+                // `consume` is a visit-popularity tick, not a pop (see
+                // `chase_presamples`).
                 self.presample[b].as_mut().expect("checked").consume(loc);
                 1
             }
@@ -1134,10 +1269,7 @@ mod tests {
         }
     }
 
-    fn small_setup(
-        opts: EngineOptions,
-        budget_bytes: u64,
-    ) -> (Arc<Basic>, NosWalkerEngine<Basic>) {
+    fn small_setup(opts: EngineOptions, budget_bytes: u64) -> (Arc<Basic>, NosWalkerEngine<Basic>) {
         let csr = generators::rmat(10, 8, generators::RmatParams::default(), 11);
         let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
         let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
@@ -1145,6 +1277,57 @@ mod tests {
         let budget = MemoryBudget::new(budget_bytes);
         let engine = NosWalkerEngine::new(Arc::clone(&app), graph, opts, budget);
         (app, engine)
+    }
+
+    /// `Basic` with a deliberately huge declared walker state, to pin the
+    /// pool-sizing byte clamp.
+    #[derive(Debug)]
+    struct FatState(Basic);
+
+    impl Walk for FatState {
+        type Walker = BasicWalker;
+        fn total_walkers(&self) -> u64 {
+            self.0.total_walkers()
+        }
+        fn generate(&self, n: u64, rng: &mut WalkRng) -> BasicWalker {
+            self.0.generate(n, rng)
+        }
+        fn location(&self, w: &BasicWalker) -> VertexId {
+            self.0.location(w)
+        }
+        fn is_active(&self, w: &BasicWalker) -> bool {
+            self.0.is_active(w)
+        }
+        fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+            self.0.sample(v, rng)
+        }
+        fn action(&self, w: &mut BasicWalker, next: VertexId, rng: &mut WalkRng) -> bool {
+            self.0.action(w, next, rng)
+        }
+        fn state_bytes(&self) -> usize {
+            4096
+        }
+    }
+
+    #[test]
+    fn pool_sizing_respects_tiny_budgets_with_fat_walker_state() {
+        // 4096-byte walker states under a 64 KiB budget: the former
+        // 64-walker pool floor would have demanded 256 KiB up front and
+        // errored. The byte clamp caps the pool so the run completes.
+        let csr = generators::rmat(10, 8, generators::RmatParams::default(), 11);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let app = Arc::new(FatState(Basic::new(200, 6, csr.num_vertices())));
+        let engine = NosWalkerEngine::new(
+            app,
+            graph,
+            EngineOptions::default(),
+            MemoryBudget::new(64 << 10),
+        );
+        let m = engine
+            .run(7)
+            .expect("byte-clamped pool must fit the budget");
+        assert_eq!(m.walkers_finished, 200);
     }
 
     #[test]
@@ -1235,7 +1418,12 @@ mod tests {
         let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
         let graph = Arc::new(OnDiskGraph::store(&csr, device, 1024).unwrap());
         let app = Arc::new(Basic::new(0, 10, 32));
-        let engine = NosWalkerEngine::new(app, graph, EngineOptions::default(), MemoryBudget::new(1 << 20));
+        let engine = NosWalkerEngine::new(
+            app,
+            graph,
+            EngineOptions::default(),
+            MemoryBudget::new(1 << 20),
+        );
         let m = engine.run(0).unwrap();
         assert_eq!(m.steps, 0);
         assert_eq!(m.walkers_finished, 0);
@@ -1270,7 +1458,12 @@ mod tests {
         let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
         let graph = Arc::new(OnDiskGraph::store(&csr, device, 1024).unwrap());
         let app = Arc::new(Basic::new(10, 5, 2));
-        let engine = NosWalkerEngine::new(app, graph, EngineOptions::default(), MemoryBudget::new(1 << 20));
+        let engine = NosWalkerEngine::new(
+            app,
+            graph,
+            EngineOptions::default(),
+            MemoryBudget::new(1 << 20),
+        );
         let m = engine.run(3).unwrap();
         assert_eq!(m.walkers_finished, 10);
         // Walkers starting at 0 take one step to 1 then die; walkers

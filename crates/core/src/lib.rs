@@ -78,6 +78,7 @@
 // body, so clippy's `while let` suggestion does not compile there.
 #![allow(clippy::while_let_loop)]
 
+pub mod audit;
 pub mod block;
 pub mod clock;
 pub mod disk_graph;
@@ -89,6 +90,7 @@ pub mod presample;
 pub mod threaded;
 pub mod walk;
 
+pub use audit::{AuditReport, MemorySink, RunAudit, Trace, TraceEvent, TraceSink};
 pub use block::{BlockCache, FineLoad, LoadedBlock};
 pub use clock::PipelineClock;
 pub use disk_graph::OnDiskGraph;

@@ -1,7 +1,7 @@
 //! Run metrics shared by every engine.
 
 /// Everything a run reports: the raw material for every figure in the
-//  paper's evaluation.
+/// paper's evaluation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// End-to-end simulated time in nanoseconds (compute + exposed I/O

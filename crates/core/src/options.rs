@@ -1,5 +1,7 @@
 //! Engine configuration, including the ablation knobs of Fig. 14.
 
+use noswalker_storage::MemoryBudget;
+
 /// Configuration for [`crate::NosWalkerEngine`].
 ///
 /// The three `enable_*` knobs reproduce the paper's optimization breakdown
@@ -110,6 +112,30 @@ impl EngineOptions {
         Self::default()
     }
 
+    /// The number of walkers a pool may hold for an app whose state takes
+    /// `state_bytes` per walker, out of `total` walkers overall.
+    ///
+    /// Pool auto-sizing (Fig. 6's "Adjust"): walker pools may take at most
+    /// a quarter of the budget, leaving the rest for block buffers and the
+    /// pre-sample pool. A floor of 64 walkers keeps tiny budgets from
+    /// serializing walk execution — but the floor is itself clamped so the
+    /// pool's *bytes* never exceed half the budget, otherwise a large
+    /// per-walker state under a small budget would make the reservation
+    /// overshoot the limit outright.
+    ///
+    /// This is the single sizing rule shared by the sequential engine, its
+    /// pool-capacity check and the parallel runner — it must not be
+    /// re-derived at call sites.
+    pub fn walker_pool_quota(&self, budget: &MemoryBudget, state_bytes: usize, total: u64) -> u64 {
+        let state = state_bytes.max(1) as u64;
+        let by_budget = budget.limit() / 4 / state;
+        let hard_cap = (budget.limit() / 2 / state).max(1);
+        (self.walker_pool_size as u64)
+            .min(total.max(1))
+            .min(by_budget.max(64))
+            .min(hard_cap)
+    }
+
     /// Effective compute nanoseconds for one step.
     pub fn step_cost(&self) -> u64 {
         (self.step_ns / self.threads.max(1)).max(1)
@@ -154,6 +180,22 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(single.step_cost(), 160);
+    }
+
+    #[test]
+    fn pool_quota_respects_budget_even_with_large_state() {
+        let o = EngineOptions::default();
+        let budget = MemoryBudget::new(64 << 10);
+        // A 4 KiB walker state: the 64-walker floor alone would want
+        // 256 KiB — four times the whole budget.
+        let q = o.walker_pool_quota(&budget, 4096, 1_000);
+        assert!(q >= 1);
+        assert!(q * 4096 <= budget.limit() / 2);
+        // Small states still enjoy the 64-walker floor.
+        let q = o.walker_pool_quota(&budget, 16, 1_000);
+        assert!(q >= 64);
+        // Never more walkers than the app will ever generate.
+        assert_eq!(o.walker_pool_quota(&budget, 16, 5), 5);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! Walk *semantics* are identical (same `Walk` contract), which the tests
 //! check against the sequential engine.
 
+use crate::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use crate::block::LoadedBlock;
 use crate::disk_graph::OnDiskGraph;
 use crate::engine::EngineError;
@@ -44,6 +45,7 @@ struct SharedMetrics {
     steps_on_block: AtomicU64,
     steps_on_presample: AtomicU64,
     steps_on_raw: AtomicU64,
+    presamples_filled: AtomicU64,
     presamples_consumed: AtomicU64,
     finished: AtomicU64,
 }
@@ -94,6 +96,44 @@ impl<A: Walk + 'static> ParallelRunner<A> {
     ///
     /// Panics if `workers` is zero.
     pub fn run(&self, seed: u64, workers: usize) -> Result<RunMetrics, EngineError> {
+        self.run_with_sink(seed, workers, None)
+    }
+
+    /// Like [`ParallelRunner::run`], recording [`TraceEvent`]s into `sink`.
+    ///
+    /// Only the coordinator thread emits (loads, load stalls, run end);
+    /// worker threads never touch the sink, so tracing adds no
+    /// synchronization to the walking hot path. Timestamps are wall-clock
+    /// nanoseconds since the run started (there is no simulated clock
+    /// here).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ParallelRunner::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn run_with_sink(
+        &self,
+        seed: u64,
+        workers: usize,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<RunMetrics, EngineError> {
+        let audit = RunAudit::begin(self.app.total_walkers(), &self.budget);
+        let metrics = self.run_inner(seed, workers, Trace::from_option(sink))?;
+        if cfg!(debug_assertions) {
+            audit.verify(&metrics, &self.budget).assert_clean();
+        }
+        Ok(metrics)
+    }
+
+    fn run_inner(
+        &self,
+        seed: u64,
+        workers: usize,
+        mut trace: Trace<'_>,
+    ) -> Result<RunMetrics, EngineError> {
         assert!(workers > 0, "need at least one worker");
         let started = Instant::now();
         let num_blocks = self.graph.num_blocks();
@@ -104,11 +144,12 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         });
         let mut metrics = RunMetrics::default();
 
-        // Budget: the walker pool's share (see EngineOptions docs).
+        // Budget: the walker pool's share (see
+        // `EngineOptions::walker_pool_quota`).
         let state = self.app.state_bytes().max(1) as u64;
-        let cap = (self.opts.walker_pool_size as u64)
-            .min(total.max(1))
-            .min((self.budget.limit() / 4 / state).max(64));
+        let cap = self
+            .opts
+            .walker_pool_quota(&self.budget, self.app.state_bytes(), total);
         let _pool_hold = self.budget.try_reserve(cap * state)?;
 
         let loader = BackgroundLoader::spawn(Arc::clone(&self.graph), Arc::clone(&self.budget), 2);
@@ -137,8 +178,9 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                 std::thread::Builder::new()
                     .name(format!("noswalker-worker-{wi}"))
                     .spawn(move || {
-                        let mut wrng =
-                            WalkRng::seed_from_u64(seed ^ (wi as u64 + 1).wrapping_mul(0x9E37_79B9));
+                        let mut wrng = WalkRng::seed_from_u64(
+                            seed ^ (wi as u64 + 1).wrapping_mul(0x9E37_79B9),
+                        );
                         while let Ok(job) = job_rx.recv() {
                             match job {
                                 Job::Walk(block, walkers) => {
@@ -158,9 +200,10 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                                     }
                                 }
                                 Job::Refill(block) => {
-                                    refill_block(
+                                    let draws = refill_block(
                                         &*app, &graph, &pool, &budget, &opts, &block, &mut wrng,
                                     );
+                                    shared.presamples_filled.fetch_add(draws, Ordering::Relaxed);
                                 }
                             }
                         }
@@ -218,12 +261,28 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                     b as BlockId
                 }
             };
+            let wait_from = started.elapsed().as_nanos() as u64;
             let loaded = loader.recv().map_err(loader_err)?;
+            let wait_until = started.elapsed().as_nanos() as u64;
+            if wait_until > wait_from {
+                trace.emit(|| TraceEvent::Stall {
+                    waiting_for: Some(target),
+                    from_ns: wait_from,
+                    until_ns: wait_until,
+                });
+            }
             let block = Arc::new(loaded.block);
             debug_assert_eq!(block.info().id, target);
             metrics.coarse_loads += 1;
             metrics.io_ops += 1;
             metrics.edge_bytes_loaded += block.info().byte_len();
+            let bytes = block.info().byte_len();
+            trace.emit(|| TraceEvent::CoarseLoad {
+                block: target,
+                bytes,
+                cache_hit: false,
+                at_ns: wait_until,
+            });
 
             // Prefetch the next-hottest other block while workers process.
             if let Some((nb, _)) = buckets
@@ -285,6 +344,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         metrics.steps_on_block = shared.steps_on_block.load(Ordering::Relaxed);
         metrics.steps_on_presample = shared.steps_on_presample.load(Ordering::Relaxed);
         metrics.steps_on_raw = shared.steps_on_raw.load(Ordering::Relaxed);
+        metrics.presamples_filled = shared.presamples_filled.load(Ordering::Relaxed);
         metrics.presamples_consumed = shared.presamples_consumed.load(Ordering::Relaxed);
         metrics.walkers_finished = shared.finished.load(Ordering::Relaxed);
         metrics.peak_memory = self.budget.peak();
@@ -292,13 +352,20 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             metrics.edge_bytes_loaded / self.graph.format().record_bytes() as u64;
         metrics.wall_ns = started.elapsed().as_nanos() as u64;
         metrics.sim_ns = metrics.wall_ns;
+        let (steps, walkers_finished, at) =
+            (metrics.steps, metrics.walkers_finished, metrics.wall_ns);
+        trace.emit(|| TraceEvent::RunEnd {
+            steps,
+            walkers_finished,
+            at_ns: at,
+        });
         Ok(metrics)
     }
-
 }
 
 /// Rebuilds a block's pre-sample buffer from the resident block (run on a
 /// worker thread; the pool slot's mutex serializes concurrent refills).
+/// Returns the number of samples drawn, for `presamples_filled`.
 fn refill_block<A: Walk>(
     app: &A,
     graph: &OnDiskGraph,
@@ -307,18 +374,18 @@ fn refill_block<A: Walk>(
     opts: &EngineOptions,
     block: &LoadedBlock,
     rng: &mut WalkRng,
-) {
+) -> u64 {
     let info = *block.info();
     let b = info.id;
     let nv = info.num_vertices() as usize;
     if nv == 0 {
-        return;
+        return 0;
     }
     let mut slot = pool.buffers[b as usize].lock();
     if let Some(buf) = &*slot {
         let cap = buf.sampled_capacity();
         if cap > 0 && buf.remaining_sampled() * 4 > cap {
-            return; // still mostly full
+            return 0; // still mostly full
         }
     }
     let weights: Vec<u32> = match &*slot {
@@ -333,7 +400,7 @@ fn refill_block<A: Walk>(
         / graph.num_blocks().max(1) as u64;
     let meta = nv as u64 * 9 + 4;
     if avail <= meta {
-        return;
+        return 0;
     }
     let plan = plan_quotas(
         &degrees,
@@ -343,12 +410,12 @@ fn refill_block<A: Walk>(
         opts.presample_cap_per_vertex,
     );
     if plan.total_slots == 0 {
-        return;
+        return 0;
     }
     let Ok(reservation) = budget.try_reserve(PreSampleBuffer::planned_bytes(&plan, false)) else {
-        return;
+        return 0;
     };
-    let (mut buf, _) = PreSampleBuffer::build(
+    let (mut buf, draws) = PreSampleBuffer::build(
         info.vertex_start,
         &plan,
         false,
@@ -365,16 +432,17 @@ fn refill_block<A: Walk>(
     );
     buf.set_reservation(reservation);
     *slot = Some(buf);
+    draws
 }
 
 fn loader_err(e: crate::threaded::LoaderError) -> EngineError {
     match e {
         crate::threaded::LoaderError::Load(l) => EngineError::Load(l),
-        crate::threaded::LoaderError::Disconnected => EngineError::Load(
-            crate::disk_graph::LoadError::Device(noswalker_storage::DeviceError::Io(
-                "background loader disconnected".into(),
-            )),
-        ),
+        crate::threaded::LoaderError::Disconnected => {
+            EngineError::Load(crate::disk_graph::LoadError::Device(
+                noswalker_storage::DeviceError::Io("background loader disconnected".into()),
+            ))
+        }
     }
 }
 
@@ -460,6 +528,8 @@ fn drive_walker<A: Walk>(
             }
             Peek::Raw(view) => {
                 let dst = app.sample(&view, rng);
+                // Unconditional: raw slots never deplete; `consume` only
+                // ticks the visit counter (see `Run::chase_presamples`).
                 buf.consume(loc);
                 app.action(&mut w, dst, rng);
                 local.steps += 1;

@@ -139,9 +139,7 @@ impl BackgroundLoader {
             Ok(Ok(l)) => Ok(Some(l)),
             Ok(Err(e)) => Err(LoaderError::Load(e)),
             Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Err(LoaderError::Disconnected)
-            }
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(LoaderError::Disconnected),
         }
     }
 }
@@ -240,7 +238,9 @@ mod tests {
         }
         assert!(acc > 0);
         let loaded = loader.recv().unwrap();
-        let view = loaded.block.vertex_edges(&graph, loaded.block.info().vertex_start);
+        let view = loaded
+            .block
+            .vertex_edges(&graph, loaded.block.info().vertex_start);
         assert!(view.is_some());
     }
 }

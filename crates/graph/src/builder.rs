@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn dedup_removes_parallel_edges() {
-        let g = CsrBuilder::new(2)
-            .edge(0, 1)
-            .edge(0, 1)
-            .dedup(true)
-            .build();
+        let g = CsrBuilder::new(2).edge(0, 1).edge(0, 1).dedup(true).build();
         assert_eq!(g.degree(0), 1);
     }
 

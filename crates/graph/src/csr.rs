@@ -88,9 +88,7 @@ impl Csr {
     /// Alias-table slices `(prob, alias)` for `v`, if built.
     pub fn alias_slices(&self, v: VertexId) -> Option<(&[f32], &[u32])> {
         let (s, e) = self.edge_range(v);
-        self.alias
-            .as_ref()
-            .map(|a| (&a.prob[s..e], &a.alias[s..e]))
+        self.alias.as_ref().map(|a| (&a.prob[s..e], &a.alias[s..e]))
     }
 
     fn edge_range(&self, v: VertexId) -> (usize, usize) {
@@ -334,11 +332,7 @@ mod tests {
 
     #[test]
     fn has_edge_binary_search() {
-        let g = CsrBuilder::new(5)
-            .edge(0, 4)
-            .edge(0, 2)
-            .edge(0, 1)
-            .build();
+        let g = CsrBuilder::new(5).edge(0, 4).edge(0, 2).edge(0, 1).build();
         assert!(g.has_edge(0, 2));
         assert!(!g.has_edge(0, 3));
         assert!(!g.has_edge(1, 0));

@@ -232,7 +232,12 @@ mod tests {
     #[test]
     fn configuration_model_is_flatter_than_rmat() {
         let a27 = configuration_model(1 << 12, 2.7, 1, 256, 6);
-        let kron = rmat(12, (a27.num_edges() / (1 << 12)) as u32 + 1, RmatParams::default(), 6);
+        let kron = rmat(
+            12,
+            (a27.num_edges() / (1 << 12)) as u32 + 1,
+            RmatParams::default(),
+            6,
+        );
         let sa = DegreeStats::of(&a27);
         let sk = DegreeStats::of(&kron);
         assert!(

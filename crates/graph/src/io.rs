@@ -127,8 +127,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Csr, GraphIoError> {
     let mut b = CsrBuilder::new(n);
     if any_weight {
         // Sort edges and weights together so weights stay aligned.
-        let mut zipped: Vec<((VertexId, VertexId), f32)> =
-            edges.into_iter().zip(weights).collect();
+        let mut zipped: Vec<((VertexId, VertexId), f32)> = edges.into_iter().zip(weights).collect();
         zipped.sort_by_key(|&(e, _)| e);
         for &(e, _) in &zipped {
             b.push_edge(e.0, e.1);

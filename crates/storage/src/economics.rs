@@ -67,8 +67,8 @@ mod tests {
         let p = StoragePrices::paper_2023();
         assert!(p.savings_factor(0.5) < p.savings_factor(0.1));
         assert!(p.savings_factor(1.0) < 1.0 + 1e-9 + 1.0); // still ≥ ~1
-        // At 100 % memory the SSD copy makes it slightly worse than pure
-        // DRAM.
+                                                           // At 100 % memory the SSD copy makes it slightly worse than pure
+                                                           // DRAM.
         assert!(p.savings_factor(1.0) < 1.0);
     }
 

@@ -32,8 +32,8 @@ pub mod raid;
 pub mod sim;
 
 pub use budget::{BudgetExceeded, MemoryBudget, Reservation};
-pub use economics::StoragePrices;
 pub use device::{Device, DeviceError, IoStats, IoStatsSnapshot, MemDevice};
+pub use economics::StoragePrices;
 pub use file::FileDevice;
 pub use raid::Raid0;
 pub use sim::{SimSsd, SsdProfile};

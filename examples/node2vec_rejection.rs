@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // NosWalker: candidates from pre-samples, rejection on block residency.
     let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
-    let graph = Arc::new(OnDiskGraph::store(&csr, device, csr.edge_region_bytes() / 32)?);
+    let graph = Arc::new(OnDiskGraph::store(
+        &csr,
+        device,
+        csr.edge_region_bytes() / 32,
+    )?);
     let app = make_app();
     let nw = NosWalkerEngine::new(
         Arc::clone(&app),
@@ -50,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // GraSorw: triangular bi-block scheduling.
     let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
-    let graph = Arc::new(OnDiskGraph::store(&csr, device, csr.edge_region_bytes() / 32)?);
+    let graph = Arc::new(OnDiskGraph::store(
+        &csr,
+        device,
+        csr.edge_region_bytes() / 32,
+    )?);
     let gs = GraSorw::new(
         make_app(),
         graph,

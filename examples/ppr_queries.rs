@@ -14,7 +14,11 @@ use std::sync::Arc;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let csr = generators::rmat(15, 32, RmatParams::default(), 11);
     let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
-    let graph = Arc::new(OnDiskGraph::store(&csr, device, csr.edge_region_bytes() / 32)?);
+    let graph = Arc::new(OnDiskGraph::store(
+        &csr,
+        device,
+        csr.edge_region_bytes() / 32,
+    )?);
     let budget = MemoryBudget::new(csr.edge_region_bytes() / 8);
 
     // The paper's setting, scaled: 2000 walks of length 10 per source.

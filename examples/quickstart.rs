@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  on raw low-degree:  {}", m.steps_on_raw);
     println!("edge data loaded:     {} MiB", m.edge_bytes_loaded >> 20);
     println!("avg edges read/step:  {:.1}", m.edges_per_step());
-    println!("step rate:            {:.1} M steps/s (simulated)", m.steps_per_sec() / 1e6);
+    println!(
+        "step rate:            {:.1} M steps/s (simulated)",
+        m.steps_per_sec() / 1e6
+    );
     println!("simulated time:       {:.3} s", m.sim_secs());
     println!("I/O utilization:      {:.0} %", m.io_utilization() * 100.0);
     println!(

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("storing edge region in {}", path.display());
 
     let device = Arc::new(FileDevice::create(&path)?);
-    let graph = Arc::new(OnDiskGraph::store(&csr, device, csr.edge_region_bytes() / 32)?);
+    let graph = Arc::new(OnDiskGraph::store(
+        &csr,
+        device,
+        csr.edge_region_bytes() / 32,
+    )?);
     let budget = MemoryBudget::new(csr.edge_region_bytes() / 8);
     let app = Arc::new(BasicRw::new(50_000, 10, csr.num_vertices()));
 
@@ -59,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let loaded = loader.recv()?;
         prefetched += loaded.block.info().byte_len();
     }
-    println!("background loader prefetched {} KiB over 4 blocks", prefetched >> 10);
+    println!(
+        "background loader prefetched {} KiB over 4 blocks",
+        prefetched >> 10
+    );
     std::fs::remove_file(&path).ok();
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! scheduling policy — the property the system comparison rests on.
 
 use noswalker::apps::BasicRw;
-use noswalker::baselines::{DrunkardMob, Graphene, GraphWalker};
+use noswalker::baselines::{DrunkardMob, GraphWalker, Graphene};
 use noswalker::core::{EngineOptions, NosWalkerEngine, OnDiskGraph};
 use noswalker::graph::generators::{self, RmatParams};
 use noswalker::graph::CsrBuilder;
@@ -143,15 +143,17 @@ fn noswalker_fine_mode_loads_pages_not_blocks() {
 
 #[test]
 fn weighted_alias_graph_runs_end_to_end_on_noswalker() {
-    let csr = generators::with_random_weights(
-        generators::rmat(11, 8, RmatParams::default(), 13),
-        13,
-    );
+    let csr =
+        generators::with_random_weights(generators::rmat(11, 8, RmatParams::default(), 13), 13);
     assert!(csr.has_alias_tables());
     let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
     let graph = Arc::new(OnDiskGraph::store(&csr, device, 4096).unwrap());
     assert_eq!(graph.format().record_bytes(), 12);
-    let app = Arc::new(noswalker::apps::WeightedRw::new(2000, 8, csr.num_vertices()));
+    let app = Arc::new(noswalker::apps::WeightedRw::new(
+        2000,
+        8,
+        csr.num_vertices(),
+    ));
     let m = NosWalkerEngine::new(
         app,
         graph,

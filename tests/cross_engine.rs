@@ -3,7 +3,7 @@
 //! must never change walk semantics.
 
 use noswalker::apps::{BasicRw, GraphletConcentration, Node2Vec, Ppr};
-use noswalker::baselines::{DrunkardMob, GraSorw, Graphene, GraphWalker, InMemory};
+use noswalker::baselines::{DrunkardMob, GraSorw, GraphWalker, Graphene, InMemory};
 use noswalker::core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, Walk};
 use noswalker::graph::generators::{self, RmatParams};
 use noswalker::graph::Csr;
@@ -151,7 +151,10 @@ fn node2vec_agrees_between_noswalker_and_grasorw() {
     // is a property of (graph, p, q), not of the engine.
     let rate = |a: &Node2Vec| a.accepts() as f64 / (a.accepts() + a.rejects()).max(1) as f64;
     let (rn, rg) = (rate(&nw_app), rate(&gs_app));
-    assert!((rn - rg).abs() < 0.03, "acceptance rates differ: {rn} vs {rg}");
+    assert!(
+        (rn - rg).abs() < 0.03,
+        "acceptance rates differ: {rn} vs {rg}"
+    );
 }
 
 #[test]
@@ -168,22 +171,16 @@ fn engines_report_distinct_io_economics() {
         let app = Arc::new(BasicRw::new(10_000, 10, csr.num_vertices()));
         let opts = EngineOptions::default();
         let m = match name {
-            "noswalker" => NosWalkerEngine::new(
-                app,
-                on_device(&csr),
-                opts,
-                MemoryBudget::new(budget_bytes),
-            )
-            .run(5)
-            .unwrap(),
-            "graphwalker" => GraphWalker::new(
-                app,
-                on_device(&csr),
-                opts,
-                MemoryBudget::new(budget_bytes),
-            )
-            .run(5)
-            .unwrap(),
+            "noswalker" => {
+                NosWalkerEngine::new(app, on_device(&csr), opts, MemoryBudget::new(budget_bytes))
+                    .run(5)
+                    .unwrap()
+            }
+            "graphwalker" => {
+                GraphWalker::new(app, on_device(&csr), opts, MemoryBudget::new(budget_bytes))
+                    .run(5)
+                    .unwrap()
+            }
             _ => DrunkardMob::new(
                 app,
                 on_device(&csr),

@@ -74,8 +74,15 @@ fn ppr_statistics_agree_with_sequential_engine() {
 
     let (pe, se) = (par_app.estimate(), seq_app.estimate());
     let l1: f64 = pe.iter().zip(&se).map(|(a, b)| (a - b).abs()).sum();
-    assert!(l1 < 0.25, "L1 distance {l1} between parallel and sequential");
-    assert_eq!(par_app.top_k(1)[0].0, seq_app.top_k(1)[0].0, "top hub differs");
+    assert!(
+        l1 < 0.25,
+        "L1 distance {l1} between parallel and sequential"
+    );
+    assert_eq!(
+        par_app.top_k(1)[0].0,
+        seq_app.top_k(1)[0].0,
+        "top hub differs"
+    );
 }
 
 #[test]

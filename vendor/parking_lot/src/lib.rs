@@ -1,0 +1,177 @@
+//! A self-contained stand-in for the parts of `parking_lot` this workspace
+//! uses: [`Mutex`], [`RwLock`] and [`Condvar`] with the non-poisoning API,
+//! implemented over `std::sync`. Poisoned locks are recovered transparently
+//! (matching `parking_lot`'s no-poisoning semantics).
+
+#![warn(missing_docs)]
+
+use std::sync;
+
+/// Guard types are the `std` guards; `parking_lot`'s expose the same
+/// `Deref`/`DerefMut` surface.
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Shared read guard.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive write guard.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual exclusion primitive (non-poisoning `lock()` API).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock (non-poisoning `read()`/`write()` API).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A condition variable compatible with [`Mutex`] guards.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks the current thread until notified. Unlike `std`, takes the
+    /// guard by `&mut` (the `parking_lot` signature).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY-free rebind dance is impossible over std's API without
+        // moving the guard; emulate by wait-through-replace.
+        replace_with(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wakes one blocked thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all blocked threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Replaces `*slot` with `f(old)`, aborting on panic in `f` (guards cannot
+/// be duplicated, so a panic mid-swap would be unsound to unwind from).
+fn replace_with<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    struct AbortOnDrop;
+    impl Drop for AbortOnDrop {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    let bomb = AbortOnDrop;
+    unsafe {
+        let old = std::ptr::read(slot);
+        let new = f(old);
+        std::ptr::write(slot, new);
+    }
+    std::mem::forget(bomb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

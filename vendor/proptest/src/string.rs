@@ -1,0 +1,241 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax: literal characters, `\`-escapes, character classes
+//! `[a-z0-9./=-]` (ranges plus literals; a trailing `-` is literal),
+//! groups with alternation `(foo|ba[rz])`, and repetition `{m}`, `{m,n}`,
+//! `?`, `*`, `+` (the unbounded forms cap at 8). Anything else panics —
+//! loudly, so an unsupported test pattern is caught immediately.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+    Group(Vec<Vec<(Atom, Rep)>>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rep {
+    min: u32,
+    max: u32, // inclusive
+}
+
+const ONCE: Rep = Rep { min: 1, max: 1 };
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let seq = parse_seq(&mut chars, pattern, false);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced ')' in string strategy pattern {pattern:?}"
+    );
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_seq(chars: &mut Chars<'_>, pattern: &str, in_group: bool) -> Vec<(Atom, Rep)> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if in_group && (c == '|' || c == ')') {
+            break;
+        }
+        chars.next();
+        let atom = match c {
+            '[' => parse_class(chars, pattern),
+            '(' => parse_group(chars, pattern),
+            '\\' => Atom::Lit(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '.' => Atom::Class(('a'..='z').chain('0'..='9').collect()),
+            ']' | ')' | '|' | '{' | '}' | '*' | '+' | '?' => {
+                panic!("unsupported regex syntax {c:?} in string strategy pattern {pattern:?}")
+            }
+            _ => Atom::Lit(c),
+        };
+        let rep = parse_rep(chars, pattern);
+        seq.push((atom, rep));
+    }
+    seq
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Atom {
+    let mut members = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated '[' in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '^' if prev.is_none() && members.is_empty() => {
+                panic!("negated classes are unsupported in string strategy pattern {pattern:?}")
+            }
+            '-' => {
+                // Range if both endpoints exist and '-' is not trailing.
+                match (prev.take(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        assert!(
+                            lo <= hi,
+                            "inverted class range {lo}-{hi} in pattern {pattern:?}"
+                        );
+                        members.extend(lo..=hi);
+                    }
+                    _ => members.push('-'),
+                }
+            }
+            '\\' => {
+                if let Some(p) = prev.take() {
+                    members.push(p);
+                }
+                prev = Some(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+                );
+            }
+            _ => {
+                if let Some(p) = prev.take() {
+                    members.push(p);
+                }
+                prev = Some(c);
+            }
+        }
+    }
+    if let Some(p) = prev {
+        members.push(p);
+    }
+    assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+    Atom::Class(members)
+}
+
+fn parse_group(chars: &mut Chars<'_>, pattern: &str) -> Atom {
+    let mut alts = Vec::new();
+    loop {
+        alts.push(parse_seq(chars, pattern, true));
+        match chars.next() {
+            Some('|') => continue,
+            Some(')') => break,
+            _ => panic!("unterminated '(' in pattern {pattern:?}"),
+        }
+    }
+    Atom::Group(alts)
+}
+
+fn parse_rep(chars: &mut Chars<'_>, pattern: &str) -> Rep {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => panic!("unterminated '{{' in pattern {pattern:?}"),
+                }
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {body:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => Rep {
+                    min: parse(lo),
+                    max: parse(hi),
+                },
+                None => {
+                    let n = parse(&body);
+                    Rep { min: n, max: n }
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            Rep { min: 0, max: 1 }
+        }
+        Some('*') => {
+            chars.next();
+            Rep { min: 0, max: 8 }
+        }
+        Some('+') => {
+            chars.next();
+            Rep { min: 1, max: 8 }
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit_seq(seq: &[(Atom, Rep)], rng: &mut TestRng, out: &mut String) {
+    for (atom, rep) in seq {
+        let n = rng.gen_range(rep.min..=rep.max);
+        for _ in 0..n {
+            emit_atom(atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Class(members) => out.push(members[rng.gen_range(0..members.len())]),
+        Atom::Group(alts) => {
+            let alt = &alts[rng.gen_range(0..alts.len())];
+            emit_seq(alt, rng, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_case_rng;
+
+    #[test]
+    fn class_with_ranges_and_trailing_dash() {
+        let mut rng = new_case_rng(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9./=-]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "./=-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn alternation_groups() {
+        let mut rng = new_case_rng(2);
+        for _ in 0..200 {
+            let s = generate_from_pattern("(--[a-z]{1,8}|[a-z0-9]{1,6})", &mut rng);
+            if let Some(rest) = s.strip_prefix("--") {
+                assert!((1..=8).contains(&rest.len()));
+                assert!(rest.chars().all(|c| c.is_ascii_lowercase()));
+            } else {
+                assert!((1..=6).contains(&s.len()));
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_literals() {
+        let mut rng = new_case_rng(3);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+        assert_eq!(generate_from_pattern("a\\.b", &mut rng), "a.b");
+    }
+}

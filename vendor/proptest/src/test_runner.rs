@@ -1,0 +1,44 @@
+//! The runner-facing types: configuration, the per-case RNG, and the
+//! error type `prop_assert!` / `prop_assume!` return.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (only the `cases` knob is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG strategies draw from. Deterministic per case index so reruns
+/// reproduce the same inputs.
+pub type TestRng = SmallRng;
+
+/// Builds the deterministic generator for case number `case` (used by the
+/// `proptest!` expansion).
+pub fn new_case_rng(case: u64) -> TestRng {
+    SmallRng::seed_from_u64(0x5eed_0000_0000_0000 ^ case)
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case hit a failed `prop_assert!`.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` (retried, not counted).
+    Reject(String),
+}
