@@ -15,8 +15,7 @@
 //! | [`weighted`] | Weighted random walk over alias-table edge data (K30W) |
 //! | [`node2vec`] | Node2Vec second-order walk via rejection sampling (Appendix A) |
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod basic;
 pub mod community;

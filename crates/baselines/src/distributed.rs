@@ -8,13 +8,12 @@
 //! does too (each node reads its own slice from its own SSD).
 
 use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
-use noswalker_core::{EngineOptions, RunMetrics, Walk, WalkRng};
+use noswalker_core::{EngineOptions, RunMetrics, StepSource, Walk, WalkRng, WallTimer};
 use noswalker_graph::layout::VertexEdges;
 use noswalker_graph::{Csr, VertexId};
 use noswalker_storage::SsdProfile;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Interconnect cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,19 +127,15 @@ impl<A: Walk> DistributedSim<A> {
     }
 
     fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> RunMetrics {
-        let started = Instant::now();
+        let wall = WallTimer::start();
         let mut metrics = RunMetrics::default();
         let mut rng = WalkRng::seed_from_u64(seed);
 
         // Parallel load: each node streams its partition slice.
         let slice = self.csr.csr_bytes() / self.nodes as u64;
         let load_ns = self.storage.service_ns(slice.max(1));
-        metrics.stall_ns = load_ns;
-        metrics.io_busy_ns = load_ns;
-        metrics.edge_bytes_loaded = self.csr.csr_bytes();
         // Each node's parallel ingest of its own slice counts as one load.
-        metrics.coarse_loads = self.nodes as u64;
-        metrics.io_ops = self.nodes as u64;
+        metrics.record_coarse_loads(self.nodes as u64, self.csr.csr_bytes());
         let total_bytes = self.csr.csr_bytes();
         trace.emit(|| TraceEvent::CoarseLoad {
             block: 0,
@@ -173,11 +168,10 @@ impl<A: Walk> DistributedSim<A> {
                 }
                 self.app.action(&mut w, dst, &mut rng);
                 compute_ns_serial += self.opts.step_ns + self.opts.sample_ns;
-                metrics.steps += 1;
-                metrics.steps_on_block += 1;
+                metrics.record_step(StepSource::Block);
             }
             self.app.on_terminate(&w);
-            metrics.walkers_finished += 1;
+            metrics.record_walker_finished();
         }
 
         // Compute parallelizes over nodes × threads; network traffic is
@@ -189,9 +183,9 @@ impl<A: Walk> DistributedSim<A> {
             / (self.network.bandwidth_bytes_per_sec.max(1) * self.nodes as u64);
         let overhead_ns = cross_messages * self.network.per_message_ns / self.nodes as u64;
         let network_ns = wire_ns + overhead_ns;
-        metrics.swap_bytes = msg_bytes; // repurposed: bytes over the wire
-        metrics.sim_ns = load_ns + compute_ns + network_ns;
-        metrics.edges_loaded = self.csr.num_edges();
+        metrics.record_swap(msg_bytes, 0); // repurposed: bytes over the wire
+        metrics.set_sim_times(load_ns + compute_ns + network_ns, load_ns, load_ns);
+        metrics.set_edges_loaded(self.csr.num_edges());
         if msg_bytes > 0 {
             let end_at = metrics.sim_ns;
             trace.emit(|| TraceEvent::Swap {
@@ -206,7 +200,7 @@ impl<A: Walk> DistributedSim<A> {
             walkers_finished,
             at_ns: end_at,
         });
-        metrics.wall_ns = started.elapsed().as_nanos() as u64;
+        metrics.finalize_wall(&wall);
         metrics
     }
 }

@@ -13,13 +13,13 @@
 use crate::common::WalkerSet;
 use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
-    BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, Walk, WalkRng,
+    BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, StepSource,
+    Walk, WalkRng, WallTimer,
 };
 use noswalker_graph::partition::BlockId;
 use noswalker_storage::MemoryBudget;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The DrunkardMob baseline engine.
 ///
@@ -98,7 +98,7 @@ impl<A: Walk> DrunkardMob<A> {
     }
 
     fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> Result<RunMetrics, EngineError> {
-        let started = Instant::now();
+        let wall = WallTimer::start();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
         let mut rng = WalkRng::seed_from_u64(seed);
@@ -112,7 +112,7 @@ impl<A: Walk> DrunkardMob<A> {
 
         let mut set: WalkerSet<A> = WalkerSet::new(self.graph.num_blocks());
         set.generate_all(&self.app, &self.graph, &mut rng);
-        metrics.walkers_finished = set.finished();
+        metrics.set_walkers_finished(set.finished());
         // Page-cache stand-in: the cgroups budget covers the OS page cache,
         // so re-reads of cached blocks are free (§4.1).
         let mut cache = BlockCache::new(self.graph.num_blocks());
@@ -128,9 +128,7 @@ impl<A: Walk> DrunkardMob<A> {
                 let (block, ns, hit) = cache.load(&self.graph, b, &self.budget)?;
                 clock.sync_io(penalty(ns)); // buffered I/O: no overlap
                 if !hit {
-                    metrics.coarse_loads += 1;
-                    metrics.io_ops += 1;
-                    metrics.edge_bytes_loaded += info.byte_len();
+                    metrics.record_coarse_load(info.byte_len());
                 }
                 trace.emit(|| TraceEvent::CoarseLoad {
                     block: b,
@@ -148,8 +146,7 @@ impl<A: Walk> DrunkardMob<A> {
                     EngineError::Load(noswalker_core::disk_graph::LoadError::Device(e))
                 })?;
                 clock.sync_io(penalty(wns));
-                metrics.swap_bytes += info.byte_len();
-                metrics.io_ops += 1;
+                metrics.record_swap(info.byte_len(), 1);
                 let stall_until = clock.now();
                 trace.emit(|| TraceEvent::Swap {
                     bytes: info.byte_len(),
@@ -185,8 +182,7 @@ impl<A: Walk> DrunkardMob<A> {
                     let w = set.get_mut(i).expect("live");
                     self.app.action(w, dst, &mut rng);
                     clock.advance_compute(self.opts.step_cost());
-                    metrics.steps += 1;
-                    metrics.steps_on_block += 1;
+                    metrics.record_step(StepSource::Block);
                     let w = set.get(i).expect("live");
                     if !self.app.is_active(w) {
                         set.retire(&self.app, i);
@@ -198,7 +194,7 @@ impl<A: Walk> DrunkardMob<A> {
             b = (b + 1) % num_blocks;
         }
 
-        metrics.walkers_finished = set.finished();
+        metrics.set_walkers_finished(set.finished());
         let (steps, walkers_finished, end_at) =
             (metrics.steps, metrics.walkers_finished, clock.now());
         trace.emit(|| TraceEvent::RunEnd {
@@ -206,13 +202,10 @@ impl<A: Walk> DrunkardMob<A> {
             walkers_finished,
             at_ns: end_at,
         });
-        metrics.sim_ns = clock.now();
-        metrics.stall_ns = clock.stall_ns();
-        metrics.io_busy_ns = clock.io_busy_ns();
-        metrics.wall_ns = started.elapsed().as_nanos() as u64;
-        metrics.peak_memory = self.budget.peak();
-        metrics.edges_loaded =
-            metrics.edge_bytes_loaded / self.graph.format().record_bytes() as u64;
+        metrics.finalize_clock(&clock);
+        metrics.finalize_wall(&wall);
+        metrics.set_peak_memory(self.budget.peak());
+        metrics.derive_edges_loaded(self.graph.format().record_bytes() as u64);
         Ok(metrics)
     }
 }

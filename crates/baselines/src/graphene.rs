@@ -12,13 +12,13 @@
 use crate::common::WalkerSet;
 use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
-    EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, Walk, WalkRng,
+    EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, StepSource, Walk, WalkRng,
+    WallTimer,
 };
 use noswalker_graph::partition::BlockId;
 use noswalker_storage::MemoryBudget;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The Graphene baseline engine.
 ///
@@ -94,7 +94,7 @@ impl<A: Walk> Graphene<A> {
     }
 
     fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> Result<RunMetrics, EngineError> {
-        let started = Instant::now();
+        let wall = WallTimer::start();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
         let mut rng = WalkRng::seed_from_u64(seed);
@@ -121,9 +121,7 @@ impl<A: Walk> Graphene<A> {
             let load_at = clock.now();
             let (load, ns) = self.graph.load_fine(b, &wanted, &self.budget)?;
             clock.sync_io(penalty(ns));
-            metrics.fine_loads += 1;
-            metrics.io_ops += load.num_runs() as u64;
-            metrics.edge_bytes_loaded += load.loaded_bytes();
+            metrics.record_fine_load(load.num_runs() as u64, load.loaded_bytes());
             let stall_until = clock.now();
             let (vertices, runs, bytes) = (
                 wanted.len() as u64,
@@ -168,14 +166,13 @@ impl<A: Walk> Graphene<A> {
                     let w = set.get_mut(i).expect("live");
                     self.app.action(w, dst, &mut rng);
                     clock.advance_compute(self.opts.step_cost());
-                    metrics.steps += 1;
-                    metrics.steps_on_block += 1;
+                    metrics.record_step(StepSource::Block);
                 }
             }
             b = (b + 1) % num_blocks;
         }
 
-        metrics.walkers_finished = set.finished();
+        metrics.set_walkers_finished(set.finished());
         let (steps, walkers_finished, end_at) =
             (metrics.steps, metrics.walkers_finished, clock.now());
         trace.emit(|| TraceEvent::RunEnd {
@@ -183,13 +180,10 @@ impl<A: Walk> Graphene<A> {
             walkers_finished,
             at_ns: end_at,
         });
-        metrics.sim_ns = clock.now();
-        metrics.stall_ns = clock.stall_ns();
-        metrics.io_busy_ns = clock.io_busy_ns();
-        metrics.wall_ns = started.elapsed().as_nanos() as u64;
-        metrics.peak_memory = self.budget.peak();
-        metrics.edges_loaded =
-            metrics.edge_bytes_loaded / self.graph.format().record_bytes() as u64;
+        metrics.finalize_clock(&clock);
+        metrics.finalize_wall(&wall);
+        metrics.set_peak_memory(self.budget.peak());
+        metrics.derive_edges_loaded(self.graph.format().record_bytes() as u64);
         Ok(metrics)
     }
 }

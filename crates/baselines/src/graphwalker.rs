@@ -20,14 +20,14 @@
 use crate::common::WalkerSet;
 use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
-    BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, Walk, WalkRng,
+    BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics, StepSource,
+    Walk, WalkRng, WallTimer,
 };
 use noswalker_graph::partition::FINE_PAGE_BYTES;
 use noswalker_graph::VertexId;
 use noswalker_storage::MemoryBudget;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One Fig. 4 sample: the state of the system at one block I/O.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,7 +146,7 @@ impl<A: Walk> GraphWalker<A> {
     }
 
     fn run_traced_inner(&self, seed: u64, mut tr: Trace<'_>) -> Result<TracedRun, EngineError> {
-        let started = Instant::now();
+        let wall = WallTimer::start();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
         let mut trace = Vec::new();
@@ -179,9 +179,7 @@ impl<A: Walk> GraphWalker<A> {
             let (block, ns, hit) = cache.load(&self.graph, b, &self.budget)?;
             clock.sync_io(penalty(ns)); // buffered I/O: no overlap
             if !hit {
-                metrics.coarse_loads += 1;
-                metrics.io_ops += 1;
-                metrics.edge_bytes_loaded += info.byte_len();
+                metrics.record_coarse_load(info.byte_len());
             }
             tr.emit(|| TraceEvent::CoarseLoad {
                 block: b,
@@ -218,7 +216,7 @@ impl<A: Walk> GraphWalker<A> {
                     clock.sync_io(penalty(wns + rns));
                     left -= n as u64;
                 }
-                metrics.swap_bytes += swap_bytes;
+                metrics.record_swap(swap_bytes, 0);
                 let at = clock.now();
                 tr.emit(|| TraceEvent::Swap {
                     bytes: swap_bytes,
@@ -274,8 +272,7 @@ impl<A: Walk> GraphWalker<A> {
                     let w = set.get_mut(i).expect("live");
                     self.app.action(w, dst, &mut rng);
                     clock.advance_compute(self.opts.step_cost());
-                    metrics.steps += 1;
-                    metrics.steps_on_block += 1;
+                    metrics.record_step(StepSource::Block);
                 }
             }
             let accessed = touched.iter().filter(|&&t| t).count() as f64;
@@ -286,7 +283,7 @@ impl<A: Walk> GraphWalker<A> {
             });
         }
 
-        metrics.walkers_finished = set.finished();
+        metrics.set_walkers_finished(set.finished());
         let (steps, walkers_finished, end_at) =
             (metrics.steps, metrics.walkers_finished, clock.now());
         tr.emit(|| TraceEvent::RunEnd {
@@ -294,13 +291,10 @@ impl<A: Walk> GraphWalker<A> {
             walkers_finished,
             at_ns: end_at,
         });
-        metrics.sim_ns = clock.now();
-        metrics.stall_ns = clock.stall_ns();
-        metrics.io_busy_ns = clock.io_busy_ns();
-        metrics.wall_ns = started.elapsed().as_nanos() as u64;
-        metrics.peak_memory = self.budget.peak();
-        metrics.edges_loaded =
-            metrics.edge_bytes_loaded / self.graph.format().record_bytes() as u64;
+        metrics.finalize_clock(&clock);
+        metrics.finalize_wall(&wall);
+        metrics.set_peak_memory(self.budget.peak());
+        metrics.derive_edges_loaded(self.graph.format().record_bytes() as u64);
         Ok(TracedRun { metrics, trace })
     }
 }

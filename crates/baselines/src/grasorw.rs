@@ -13,13 +13,12 @@
 use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use noswalker_core::{
     BlockCache, EngineError, EngineOptions, OnDiskGraph, PipelineClock, RunMetrics,
-    SecondOrderWalk, WalkRng,
+    SecondOrderWalk, WalkRng, WallTimer,
 };
 use noswalker_graph::partition::BlockId;
 use noswalker_storage::MemoryBudget;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The GraSorw baseline engine (second order only).
 #[derive(Debug)]
@@ -77,7 +76,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
     }
 
     fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> Result<RunMetrics, EngineError> {
-        let started = Instant::now();
+        let wall = WallTimer::start();
         let mut clock = PipelineClock::new();
         let mut metrics = RunMetrics::default();
         let mut rng = WalkRng::seed_from_u64(seed);
@@ -105,7 +104,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
             let w = self.app.generate(n, &mut rng);
             if !self.app.is_active(&w) {
                 self.app.on_terminate(&w);
-                metrics.walkers_finished += 1;
+                metrics.record_walker_finished();
                 continue;
             }
             let k = pair_key(self, &w);
@@ -143,9 +142,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
             let (block_i, ns_i, hit_i) = cache.load(&self.graph, bi, &self.budget)?;
             clock.sync_io(penalty(ns_i));
             if !hit_i {
-                metrics.coarse_loads += 1;
-                metrics.io_ops += 1;
-                metrics.edge_bytes_loaded += block_i.info().byte_len();
+                metrics.record_coarse_load(block_i.info().byte_len());
             }
             let bi_bytes = block_i.info().byte_len();
             trace.emit(|| TraceEvent::CoarseLoad {
@@ -159,9 +156,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                 let (b, ns, hit) = cache.load(&self.graph, bj, &self.budget)?;
                 clock.sync_io(penalty(ns));
                 if !hit {
-                    metrics.coarse_loads += 1;
-                    metrics.io_ops += 1;
-                    metrics.edge_bytes_loaded += b.info().byte_len();
+                    metrics.record_coarse_load(b.info().byte_len());
                 }
                 let bytes = b.info().byte_len();
                 trace.emit(|| TraceEvent::CoarseLoad {
@@ -201,7 +196,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                     clock.sync_io(penalty(wns + rns));
                     left -= n as u64;
                 }
-                metrics.swap_bytes += swap_bytes;
+                metrics.record_swap(swap_bytes, 0);
                 let at = clock.now();
                 trace.emit(|| TraceEvent::Swap {
                     bytes: swap_bytes,
@@ -227,7 +222,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                         self.app.on_terminate(&w);
                         free.push(i);
                         live -= 1;
-                        metrics.walkers_finished += 1;
+                        metrics.record_walker_finished();
                         break;
                     }
                     if let Some(c) = self.app.candidate(w) {
@@ -237,13 +232,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                         self.app.rejection(wm, &cedges, &mut rng);
                         clock.advance_compute(self.opts.step_cost());
                         let w = slab[i].as_ref().expect("live");
-                        if self.app.location(w) != before {
-                            metrics.accepts += 1;
-                            metrics.steps += 1;
-                            metrics.steps_on_block += 1;
-                        } else {
-                            metrics.rejects += 1;
-                        }
+                        metrics.record_second_order(self.app.location(w) != before);
                         continue;
                     }
                     let loc = self.app.location(w);
@@ -252,7 +241,7 @@ impl<A: SecondOrderWalk> GraSorw<A> {
                         self.app.on_terminate(&w);
                         free.push(i);
                         live -= 1;
-                        metrics.walkers_finished += 1;
+                        metrics.record_walker_finished();
                         break;
                     }
                     let Some(view) = lookup(loc) else { break };
@@ -275,13 +264,10 @@ impl<A: SecondOrderWalk> GraSorw<A> {
             walkers_finished,
             at_ns: end_at,
         });
-        metrics.sim_ns = clock.now();
-        metrics.stall_ns = clock.stall_ns();
-        metrics.io_busy_ns = clock.io_busy_ns();
-        metrics.wall_ns = started.elapsed().as_nanos() as u64;
-        metrics.peak_memory = self.budget.peak();
-        metrics.edges_loaded =
-            metrics.edge_bytes_loaded / self.graph.format().record_bytes() as u64;
+        metrics.finalize_clock(&clock);
+        metrics.finalize_wall(&wall);
+        metrics.set_peak_memory(self.budget.peak());
+        metrics.derive_edges_loaded(self.graph.format().record_bytes() as u64);
         Ok(metrics)
     }
 }

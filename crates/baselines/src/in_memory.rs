@@ -7,13 +7,12 @@
 //! of ThunderRW's time as graph loading).
 
 use noswalker_core::audit::{RunAudit, Trace, TraceEvent, TraceSink};
-use noswalker_core::{EngineOptions, RunMetrics, Walk, WalkRng};
+use noswalker_core::{EngineOptions, RunMetrics, StepSource, Walk, WalkRng, WallTimer};
 use noswalker_graph::layout::VertexEdges;
 use noswalker_graph::Csr;
 use noswalker_storage::SsdProfile;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The in-memory baseline engine.
 ///
@@ -90,18 +89,14 @@ impl<A: Walk> InMemory<A> {
     }
 
     fn run_inner(&self, seed: u64, mut trace: Trace<'_>) -> RunMetrics {
-        let started = Instant::now();
+        let wall = WallTimer::start();
         let mut metrics = RunMetrics::default();
         let mut rng = WalkRng::seed_from_u64(seed);
 
         // One sequential scan of the CSR from storage, plus parse/build.
         let load_bytes = self.csr.csr_bytes();
         let load_ns = (self.profile.service_ns(load_bytes) as f64 * self.ingest_factor) as u64;
-        metrics.edge_bytes_loaded = load_bytes;
-        metrics.coarse_loads = 1; // the one sequential ingest scan
-        metrics.io_ops = 1;
-        metrics.io_busy_ns = load_ns;
-        metrics.stall_ns = load_ns;
+        metrics.record_coarse_load(load_bytes); // the one sequential ingest scan
         trace.emit(|| TraceEvent::CoarseLoad {
             block: 0,
             bytes: load_bytes,
@@ -130,15 +125,14 @@ impl<A: Walk> InMemory<A> {
                 let dst = self.app.sample(&view, &mut rng);
                 self.app.action(&mut w, dst, &mut rng);
                 compute_ns += self.opts.step_cost() + self.opts.sample_cost();
-                metrics.steps += 1;
-                metrics.steps_on_block += 1;
+                metrics.record_step(StepSource::Block);
             }
             self.app.on_terminate(&w);
-            metrics.walkers_finished += 1;
+            metrics.record_walker_finished();
         }
 
-        metrics.sim_ns = load_ns + compute_ns;
-        metrics.edges_loaded = self.csr.num_edges();
+        metrics.set_sim_times(load_ns + compute_ns, load_ns, load_ns);
+        metrics.set_edges_loaded(self.csr.num_edges());
         let (steps, walkers_finished, end_at) =
             (metrics.steps, metrics.walkers_finished, metrics.sim_ns);
         trace.emit(|| TraceEvent::RunEnd {
@@ -146,7 +140,7 @@ impl<A: Walk> InMemory<A> {
             walkers_finished,
             at_ns: end_at,
         });
-        metrics.wall_ns = started.elapsed().as_nanos() as u64;
+        metrics.finalize_wall(&wall);
         metrics
     }
 }

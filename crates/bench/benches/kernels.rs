@@ -20,7 +20,7 @@ fn bench_alias_table(c: &mut Criterion) {
     for &n in &[8usize, 64, 1024] {
         let weights: Vec<f32> = (0..n).map(|_| rng.gen_range(0.1f32..2.0)).collect();
         group.bench_with_input(BenchmarkId::new("build", n), &weights, |b, w| {
-            b.iter(|| AliasTable::new(w))
+            b.iter(|| AliasTable::new(w));
         });
         let table = AliasTable::new(&weights);
         group.throughput(Throughput::Elements(1));
@@ -29,7 +29,7 @@ fn bench_alias_table(c: &mut Criterion) {
             b.iter(|| {
                 let slot = rng.gen_range(0..t.len());
                 t.pick(slot, rng.gen())
-            })
+            });
         });
     }
     group.finish();
@@ -49,7 +49,7 @@ fn bench_alias_sample_views(c: &mut Criterion) {
             }
             let view = VertexEdges::from_csr(&csr, v);
             alias_sample(&view, &mut rng)
-        })
+        });
     });
 }
 
@@ -59,7 +59,7 @@ fn bench_presample_buffer(c: &mut Criterion) {
     let degrees: Vec<u64> = (0..nv).map(|i| 8 + (i as u64 % 64)).collect();
     let weights = vec![1u32; nv];
     group.bench_function("plan_quotas_2048v", |b| {
-        b.iter(|| plan_quotas(&degrees, &weights, 65_536, 4, 64))
+        b.iter(|| plan_quotas(&degrees, &weights, 65_536, 4, 64));
     });
     let plan = plan_quotas(&degrees, &weights, 65_536, 4, 64);
     group.throughput(Throughput::Elements(plan.total_slots));
@@ -85,7 +85,7 @@ fn bench_presample_buffer(c: &mut Criterion) {
                 }
             }
             buf
-        })
+        });
     });
     group.finish();
 }
@@ -98,14 +98,14 @@ fn bench_block_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("load");
     group.throughput(Throughput::Bytes(64 << 10));
     group.bench_function("coarse_64k_block", |b| {
-        b.iter(|| graph.load_block(0, &budget).unwrap())
+        b.iter(|| graph.load_block(0, &budget).unwrap());
     });
     // Pick vertices that actually live in block 0 (RMAT hubs can make the
     // first block a single huge vertex).
     let info = *graph.partition().block(0);
     let verts: Vec<u32> = (info.vertex_start..info.vertex_end).take(30).collect();
     group.bench_function("fine_30_vertices", |b| {
-        b.iter(|| graph.load_fine(0, &verts, &budget).unwrap())
+        b.iter(|| graph.load_fine(0, &verts, &budget).unwrap());
     });
     group.finish();
 }
@@ -126,7 +126,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
             NosWalkerEngine::new(app, Arc::clone(&graph), EngineOptions::default(), budget)
                 .run(11)
                 .unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -143,7 +143,7 @@ fn bench_rejection(c: &mut Criterion) {
             use noswalker_core::SecondOrderWalk;
             app.rejection(&mut w, &view, &mut rng);
             w
-        })
+        });
     });
 }
 
@@ -166,7 +166,7 @@ fn bench_baseline_engines(c: &mut Criterion) {
             )
             .run(3)
             .unwrap()
-        })
+        });
     });
     group.bench_function("drunkardmob_2k_walkers_len8", |b| {
         b.iter(|| {
@@ -179,7 +179,7 @@ fn bench_baseline_engines(c: &mut Criterion) {
             )
             .run(3)
             .unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -202,7 +202,7 @@ fn bench_second_order_engine(c: &mut Criterion) {
             )
             .run_second_order(7)
             .unwrap()
-        })
+        });
     });
     group.finish();
 }

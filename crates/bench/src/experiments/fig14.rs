@@ -154,9 +154,9 @@ pub fn run(scale: Scale) {
                         wl.to_string(),
                         label.to_string(),
                         format!("{:.3}", m.sim_secs()),
-                        format!("{:.2}", nt),
+                        format!("{nt:.2}"),
                         format!("{:.1}", m.total_io_bytes() as f64 / (1 << 20) as f64),
-                        format!("{:.2}", nio),
+                        format!("{nio:.2}"),
                     ]);
                 }
                 Err(e) => {

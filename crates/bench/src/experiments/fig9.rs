@@ -51,12 +51,7 @@ fn run_app(app_name: &str, sys: SystemKind, d: &Dataset, budget: u64, scale: Sca
                 let b = rng.gen_range(0..n as u32);
                 let app = Arc::new(SimRank::new(a, b, scale.walkers(200).max(1), 11));
                 match run_system(sys, app, d, budget, opts.clone(), 100 + q) {
-                    Ok(m) => {
-                        total.sim_ns += m.sim_ns;
-                        total.steps += m.steps;
-                        total.edge_bytes_loaded += m.edge_bytes_loaded;
-                        total.walkers_finished += m.walkers_finished;
-                    }
+                    Ok(m) => total.merge(&m),
                     Err(e) => return Err(e),
                 }
             }

@@ -12,7 +12,7 @@
 //! the rows as TSV under `results/`. See `EXPERIMENTS.md` at the workspace
 //! root for paper-vs-measured summaries.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod datasets;
 pub mod experiments;

@@ -1,5 +1,7 @@
 //! CLI entry point for the benchmark harness.
 
+#![forbid(unsafe_code)]
+
 use noswalker_bench::datasets::Scale;
 use noswalker_bench::experiments;
 use std::process::ExitCode;

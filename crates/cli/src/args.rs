@@ -152,14 +152,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                 match a.as_str() {
                     "--app" => app = it.next(),
                     "--engine" => {
-                        engine = it.next().ok_or_else(|| bad("--engine needs a value"))?
+                        engine = it.next().ok_or_else(|| bad("--engine needs a value"))?;
                     }
                     "--budget-pct" => budget_pct = parse_num("--budget-pct", it.next())?,
                     "--walkers" => walkers = parse_num("--walkers", it.next())?,
                     "--length" => length = parse_num("--length", it.next())?,
                     "--seed" => seed = parse_num("--seed", it.next())?,
                     "--trace-out" => {
-                        trace_out = Some(it.next().ok_or_else(|| bad("--trace-out needs a path"))?)
+                        trace_out = Some(it.next().ok_or_else(|| bad("--trace-out needs a path"))?);
                     }
                     other => return Err(bad(format!("unknown flag {other}"))),
                 }

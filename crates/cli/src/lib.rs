@@ -13,7 +13,7 @@
 //! subcommand is a pure function from parsed options to an exit report, so
 //! the whole surface is unit-testable.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod commands;

@@ -1,5 +1,7 @@
 //! The `noswalker` binary.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -417,6 +417,8 @@ impl AuditReport {
                 msg.push_str(&v.detail);
                 msg.push('\n');
             }
+            // LINT-ALLOW(L5): panicking is this method's documented purpose
+            // — it is the assertion form of the audit report.
             panic!("{msg}");
         }
     }

@@ -89,9 +89,43 @@ impl PipelineClock {
     }
 }
 
+/// Host wall-clock measurement for run epilogues (`RunMetrics::wall_ns`)
+/// and the real-thread runner's trace timestamps.
+///
+/// This is the single sanctioned gateway to `std::time::Instant` in
+/// engine code: the `nosw-lint` L3 rule forbids `Instant::now` everywhere
+/// except this module and the bench/CLI crates, so simulated results can
+/// never silently depend on host time.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    started: std::time::Instant,
+}
+
+impl WallTimer {
+    /// Starts the timer.
+    pub fn start() -> Self {
+        WallTimer {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`WallTimer::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_timer_is_monotonic() {
+        let t = WallTimer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+    }
 
     #[test]
     fn compute_advances_now() {

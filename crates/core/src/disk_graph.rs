@@ -7,7 +7,7 @@
 //! block/page loads that charge simulated I/O time.
 
 use crate::block::{FineLoad, LoadedBlock};
-use noswalker_graph::layout::{encode_edge_region, EdgeFormat};
+use noswalker_graph::layout::{encode_edge_region, EdgeFormat, LayoutError};
 use noswalker_graph::partition::{BlockId, Partition, FINE_PAGE_BYTES};
 use noswalker_graph::{Csr, VertexId};
 use noswalker_storage::{Device, DeviceError, MemoryBudget};
@@ -35,11 +35,7 @@ impl OnDiskGraph {
     /// # Errors
     ///
     /// Propagates device write failures.
-    pub fn store(
-        csr: &Csr,
-        device: Arc<dyn Device>,
-        block_bytes: u64,
-    ) -> Result<Self, DeviceError> {
+    pub fn store(csr: &Csr, device: Arc<dyn Device>, block_bytes: u64) -> Result<Self, StoreError> {
         Self::store_with_format(csr, device, block_bytes, csr.edge_format())
     }
 
@@ -47,18 +43,15 @@ impl OnDiskGraph {
     ///
     /// # Errors
     ///
-    /// Propagates device write failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the format requires weight/alias data the CSR lacks.
+    /// [`StoreError::Layout`] if the format requires weight/alias data the
+    /// CSR lacks; [`StoreError::Device`] on device write failure.
     pub fn store_with_format(
         csr: &Csr,
         device: Arc<dyn Device>,
         block_bytes: u64,
         format: EdgeFormat,
-    ) -> Result<Self, DeviceError> {
-        let bytes = encode_edge_region(csr, format);
+    ) -> Result<Self, StoreError> {
+        let bytes = encode_edge_region(csr, format)?;
         device.write(0, &bytes)?;
         let partition = Partition::by_block_bytes(csr, format, block_bytes);
         Ok(OnDiskGraph {
@@ -77,7 +70,7 @@ impl OnDiskGraph {
 
     /// Number of directed edges.
     pub fn num_edges(&self) -> u64 {
-        *self.offsets.last().expect("offsets never empty")
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Out-degree of `v`.
@@ -204,6 +197,38 @@ impl OnDiskGraph {
             loaded.push((r.start, buf));
         }
         Ok((FineLoad::new(info, loaded, reservation), total_ns))
+    }
+}
+
+/// Errors from serializing a graph onto a device.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The edge format needs data the CSR does not carry.
+    Layout(LayoutError),
+    /// The device write failed.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Layout(e) => write!(f, "store failed: {e}"),
+            StoreError::Device(e) => write!(f, "store failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<LayoutError> for StoreError {
+    fn from(e: LayoutError) -> Self {
+        StoreError::Layout(e)
+    }
+}
+
+impl From<DeviceError> for StoreError {
+    fn from(e: DeviceError) -> Self {
+        StoreError::Device(e)
     }
 }
 

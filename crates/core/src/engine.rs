@@ -18,9 +18,9 @@
 
 use crate::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use crate::block::{BlockCache, FineLoad, LoadedBlock};
-use crate::clock::PipelineClock;
+use crate::clock::{PipelineClock, WallTimer};
 use crate::disk_graph::{LoadError, OnDiskGraph};
-use crate::metrics::RunMetrics;
+use crate::metrics::{RunMetrics, StepSource};
 use crate::options::EngineOptions;
 use crate::presample::{plan_quotas, Peek, PreSampleBuffer};
 use crate::walk::{SecondOrderWalk, Walk, WalkRng};
@@ -30,7 +30,6 @@ use noswalker_graph::VertexId;
 use noswalker_storage::{BudgetExceeded, MemoryBudget, Reservation};
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Errors an engine run can produce.
 #[derive(Debug)]
@@ -267,7 +266,35 @@ struct Run<'e, A: Walk> {
     /// Largest coarse block, for sizing fixed overhead.
     max_block_bytes: u64,
     trace: Trace<'e>,
-    started: Instant,
+    wall: WallTimer,
+}
+
+/// The live walker in slot `i`. Bucket entries only reference live slots,
+/// so a vacant slot here is engine-state corruption, not a user error.
+fn live<W>(slab: &[Option<W>], i: usize) -> &W {
+    // LINT-ALLOW(L5): bucket entries always reference live slab slots.
+    slab[i].as_ref().expect("bucketed walker slot is live")
+}
+
+/// Mutable access to the live walker in slot `i` (see [`live`]).
+fn live_mut<W>(slab: &mut [Option<W>], i: usize) -> &mut W {
+    // LINT-ALLOW(L5): bucket entries always reference live slab slots.
+    slab[i].as_mut().expect("bucketed walker slot is live")
+}
+
+/// Takes the live walker out of slot `i` for retirement (see [`live`]).
+fn take_live<W>(slab: &mut [Option<W>], i: usize) -> W {
+    // LINT-ALLOW(L5): bucket entries always reference live slab slots.
+    slab[i].take().expect("retiring a live walker")
+}
+
+/// The pre-sample buffer for block `b`, which the caller has just peeked
+/// (the shared `Peek` borrow ends before this mutable re-borrow starts).
+fn peeked_buf(bufs: &mut [Option<PreSampleBuffer>], b: usize) -> &mut PreSampleBuffer {
+    bufs[b]
+        .as_mut()
+        // LINT-ALLOW(L5): callers check the buffer is present before mutating.
+        .expect("pre-sample buffer peeked by caller")
 }
 
 impl<'e, A: Walk> Run<'e, A> {
@@ -316,7 +343,7 @@ impl<'e, A: Walk> Run<'e, A> {
             swap_base: engine.graph.edge_region_bytes(),
             max_block_bytes,
             trace,
-            started: Instant::now(),
+            wall: WallTimer::start(),
         })
     }
 
@@ -329,13 +356,11 @@ impl<'e, A: Walk> Run<'e, A> {
             walkers_finished,
             at_ns: at,
         });
-        self.metrics.sim_ns = self.clock.now();
-        self.metrics.stall_ns = self.clock.stall_ns();
-        self.metrics.io_busy_ns = self.clock.io_busy_ns();
-        self.metrics.wall_ns = self.started.elapsed().as_nanos() as u64;
-        self.metrics.peak_memory = self.budget.peak();
-        let rec = self.graph.format().record_bytes() as u64;
-        self.metrics.edges_loaded = self.metrics.edge_bytes_loaded / rec;
+        self.metrics.finalize_clock(&self.clock);
+        self.metrics.finalize_wall(&self.wall);
+        self.metrics.set_peak_memory(self.budget.peak());
+        self.metrics
+            .derive_edges_loaded(self.graph.format().record_bytes() as u64);
         self.metrics
     }
 
@@ -373,11 +398,11 @@ impl<'e, A: Walk> Run<'e, A> {
     }
 
     fn retire(&mut self, i: usize) {
-        let w = self.slab[i].take().expect("retiring a live walker");
+        let w = take_live(&mut self.slab, i);
         self.app.on_terminate(&w);
         self.free.push(i);
         self.live -= 1;
-        self.metrics.walkers_finished += 1;
+        self.metrics.record_walker_finished();
     }
 
     /// Re-buckets walker `i` by `needed`; no-op if it terminated.
@@ -398,7 +423,7 @@ impl<'e, A: Walk> Run<'e, A> {
             self.next_id += 1;
             if !self.app.is_active(&w) {
                 self.app.on_terminate(&w);
-                self.metrics.walkers_finished += 1;
+                self.metrics.record_walker_finished();
                 continue;
             }
             let v = needed(self, &w);
@@ -419,16 +444,18 @@ impl<'e, A: Walk> Run<'e, A> {
     // Moving
     // ------------------------------------------------------------------
 
-    /// Takes one step for walker `i` to `dst`. Returns `(alive, consumed)`:
-    /// whether the walker survived, and whether it consumed the supplied
-    /// destination (the paper's `Action` return value, Algorithm 1 line
-    /// 17 — `false` means e.g. a restart hop that ignored the sample).
-    fn step_to(&mut self, i: usize, dst: VertexId) -> (bool, bool) {
-        let w = self.slab[i].as_mut().expect("live walker");
+    /// Takes one step for walker `i` to `dst`, served from `src`. Returns
+    /// `(alive, consumed)`: whether the walker survived, and whether it
+    /// consumed the supplied destination (the paper's `Action` return
+    /// value, Algorithm 1 line 17 — `false` means e.g. a restart hop that
+    /// ignored the sample). Threading the [`StepSource`] through here means
+    /// every step is attributed to exactly one serving tier.
+    fn step_to(&mut self, i: usize, dst: VertexId, src: StepSource) -> (bool, bool) {
+        let w = live_mut(&mut self.slab, i);
         let consumed = self.app.action(w, dst, &mut self.rng);
         self.clock.advance_compute(self.opts.step_cost());
-        self.metrics.steps += 1;
-        let alive = self.app.is_active(self.slab[i].as_ref().expect("live"));
+        self.metrics.record_step(src);
+        let alive = self.app.is_active(live(&self.slab, i));
         if !alive {
             self.retire(i);
         }
@@ -458,14 +485,13 @@ impl<'e, A: Walk> Run<'e, A> {
             };
             match buf.peek(loc) {
                 Peek::Sampled(dst) => {
-                    self.metrics.steps_on_presample += 1;
                     steps += 1;
-                    let (alive, consumed) = self.step_to(i, dst);
+                    let (alive, consumed) = self.step_to(i, dst, StepSource::PreSample);
                     if consumed {
                         // Pop only when Action consumed the sample
                         // (Algorithm 1, lines 17-18).
-                        self.presample[b].as_mut().expect("checked").consume(loc);
-                        self.metrics.presamples_consumed += 1;
+                        peeked_buf(&mut self.presample, b).consume(loc);
+                        self.metrics.record_presample_consumed();
                     }
                     if !alive {
                         break;
@@ -480,18 +506,14 @@ impl<'e, A: Walk> Run<'e, A> {
                     // counter that steers the next generation's quotas),
                     // so an `Action` that ignores the destination loses
                     // nothing — there is no reserved sample to waste.
-                    self.presample[b].as_mut().expect("checked").consume(loc);
-                    self.metrics.steps_on_raw += 1;
+                    peeked_buf(&mut self.presample, b).consume(loc);
                     steps += 1;
-                    if !self.step_to(i, dst).0 {
+                    if !self.step_to(i, dst, StepSource::Raw).0 {
                         break;
                     }
                 }
                 Peek::Empty => {
-                    self.presample[b]
-                        .as_mut()
-                        .expect("checked")
-                        .record_stall(loc);
+                    peeked_buf(&mut self.presample, b).record_stall(loc);
                     break;
                 }
             }
@@ -523,9 +545,8 @@ impl<'e, A: Walk> Run<'e, A> {
             };
             let dst = self.app.sample(&view, &mut self.rng);
             self.clock.advance_compute(self.opts.sample_cost());
-            self.metrics.steps_on_block += 1;
             steps += 1;
-            if !self.step_to(i, dst).0 {
+            if !self.step_to(i, dst, StepSource::Block).0 {
                 break;
             }
         }
@@ -591,7 +612,7 @@ impl<'e, A: Walk> Run<'e, A> {
         let lhs = self.opts.alpha * self.remaining() * noswalker_graph::FINE_PAGE_BYTES;
         if lhs < self.graph.edge_region_bytes() {
             self.fine_mode = true;
-            self.metrics.fine_mode_at_step = Some(self.metrics.steps);
+            self.metrics.mark_fine_mode_switch();
             let at_step = self.metrics.steps;
             let at = self.clock.now();
             self.trace
@@ -639,9 +660,8 @@ impl<'e, A: Walk> Run<'e, A> {
             let (load, ns) = self.graph.load_fine(b, &verts, self.budget)?;
             let at = self.clock.now();
             let ready_at = self.clock.issue_io(ns);
-            self.metrics.fine_loads += 1;
-            self.metrics.io_ops += load.num_runs() as u64;
-            self.metrics.edge_bytes_loaded += load.loaded_bytes();
+            self.metrics
+                .record_fine_load(load.num_runs() as u64, load.loaded_bytes());
             let (vertices, runs, bytes) = (
                 verts.len() as u64,
                 load.num_runs() as u64,
@@ -656,11 +676,14 @@ impl<'e, A: Walk> Run<'e, A> {
             });
             Ok(Some(Pending::Fine { load, ready_at }))
         } else {
-            self.issue_coarse(b).map(Some)
+            self.issue_coarse(b)
+                .map(|(block, ready_at)| Some(Pending::Coarse { block, ready_at }))
         }
     }
 
-    fn issue_coarse(&mut self, b: BlockId) -> Result<Pending, EngineError> {
+    /// Issues an asynchronous coarse load of block `b`; returns the buffer
+    /// and its completion time.
+    fn issue_coarse(&mut self, b: BlockId) -> Result<(Arc<LoadedBlock>, u64), EngineError> {
         let info = *self.graph.partition().block(b);
         if self.budget.available() < info.byte_len() {
             self.make_room(info.byte_len())?;
@@ -675,9 +698,7 @@ impl<'e, A: Walk> Run<'e, A> {
         // read, not an I/O op — counting it would break the audit's
         // load-byte-consistency law (loads issued ⇔ bytes moved).
         if !hit && info.byte_len() > 0 {
-            self.metrics.coarse_loads += 1;
-            self.metrics.io_ops += 1;
-            self.metrics.edge_bytes_loaded += info.byte_len();
+            self.metrics.record_coarse_load(info.byte_len());
         }
         self.trace.emit(|| TraceEvent::CoarseLoad {
             block: b,
@@ -685,7 +706,7 @@ impl<'e, A: Walk> Run<'e, A> {
             cache_hit: hit,
             at_ns: at,
         });
-        Ok(Pending::Coarse { block, ready_at })
+        Ok((block, ready_at))
     }
 
     /// Rebuilds block `b`'s pre-sample buffer from a loaded source
@@ -785,10 +806,12 @@ impl<'e, A: Walk> Run<'e, A> {
             &plan,
             weighted,
             |v| {
+                // LINT-ALLOW(L5): the quota planner zeroes uncovered vertices.
                 let view = src.edges(graph, v).expect("planned vertices are covered");
                 app.sample(&view, rng)
             },
             |v, edges, mut wts| {
+                // LINT-ALLOW(L5): the quota planner zeroes uncovered vertices.
                 let view = src.edges(graph, v).expect("planned vertices are covered");
                 for i in 0..view.degree() {
                     edges.push(view.target(i));
@@ -800,7 +823,7 @@ impl<'e, A: Walk> Run<'e, A> {
         );
         buf.set_reservation(reservation);
         self.clock.advance_compute(draws * self.opts.sample_cost());
-        self.metrics.presamples_filled += draws;
+        self.metrics.record_presamples_filled(draws);
         let at = self.clock.now();
         let slots = plan.total_slots;
         self.trace.emit(|| TraceEvent::PresampleRefill {
@@ -827,11 +850,8 @@ impl<'e, A: Walk> Run<'e, A> {
             }
             // Integrate a completed load; issue the next one first so the
             // loader never idles (background I/O thread, Algorithm 1).
-            if pending
-                .as_ref()
-                .is_some_and(|p| p.ready_at() <= self.clock.now())
-            {
-                let p = pending.take().expect("checked");
+            let now = self.clock.now();
+            if let Some(p) = pending.take_if(|p| p.ready_at() <= now) {
                 pending = self.try_prefetch(Some(p.block_id()))?;
                 self.integrate_first_order(p);
                 self.generate(cap, by_loc);
@@ -934,17 +954,19 @@ impl<'e, A: Walk> Run<'e, A> {
     fn run_epochs(&mut self) -> Result<(), EngineError> {
         let by_loc = |run: &Self, w: &A::Walker| run.app.location(w);
         self.generate(u64::MAX, by_loc);
-        let mut pending: Option<Pending> = None;
+        // Epoch mode never shrinks to fine-grained I/O, so pending loads
+        // are plain coarse buffers (no `Pending` enum needed).
+        let mut pending: Option<(Arc<LoadedBlock>, u64)> = None;
         while !self.done() {
-            if pending.is_none() {
-                pending = self.issue_load(None)?;
-                if pending.is_none() {
-                    break;
-                }
-            }
-            let p = pending.take().expect("issued above");
-            self.stall_on(Some(p.block_id()), p.ready_at());
-            let b = p.block_id();
+            let (block, ready_at) = match pending.take() {
+                Some(p) => p,
+                None => match self.hottest_block(None) {
+                    Some(b) => self.issue_coarse(b)?,
+                    None => break,
+                },
+            };
+            let b = block.info().id;
+            self.stall_on(Some(b), ready_at);
             // Walker-state swap (GraphWalker's fixed walker buffer,
             // §2.4.2): the block's walker states are read from and written
             // back to a swap region on the same device.
@@ -959,9 +981,6 @@ impl<'e, A: Walk> Run<'e, A> {
                     Err(e) => return Err(e),
                 }
             }
-            let Pending::Coarse { block, .. } = p else {
-                unreachable!("epoch mode issues only coarse loads");
-            };
             let bucket = std::mem::take(&mut self.buckets[b as usize]);
             for (i, _) in bucket {
                 self.chase_block(i, &*block);
@@ -1008,7 +1027,7 @@ impl<'e, A: Walk> Run<'e, A> {
             self.clock.sync_io(wns + rns);
             left -= n as u64;
         }
-        self.metrics.swap_bytes += 2 * bytes;
+        self.metrics.record_swap(2 * bytes, 0);
         let at = self.clock.now();
         self.trace.emit(|| TraceEvent::Swap {
             bytes: 2 * bytes,
@@ -1040,11 +1059,8 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
             if self.done() {
                 break;
             }
-            if pending
-                .as_ref()
-                .is_some_and(|p| p.ready_at() <= self.clock.now())
-            {
-                let p = pending.take().expect("checked");
+            let now = self.clock.now();
+            if let Some(p) = pending.take_if(|p| p.ready_at() <= now) {
                 pending = self.try_prefetch(Some(p.block_id()))?;
                 self.integrate_2nd(p);
                 self.generate(cap, by_need);
@@ -1112,31 +1128,28 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
         };
         match buf.peek(loc) {
             Peek::Sampled(dst) => {
-                let w = self.slab[i].as_mut().expect("live");
+                let w = live_mut(&mut self.slab, i);
                 let consumed = self.app.action(w, dst, &mut self.rng);
                 self.clock.advance_compute(self.opts.step_cost());
                 if consumed {
-                    self.presample[b].as_mut().expect("checked").consume(loc);
-                    self.metrics.presamples_consumed += 1;
+                    peeked_buf(&mut self.presample, b).consume(loc);
+                    self.metrics.record_presample_consumed();
                 }
                 1
             }
             Peek::Raw(view) => {
                 let dst = self.app.sample(&view, &mut self.rng);
                 self.clock.advance_compute(self.opts.sample_cost());
-                let w = self.slab[i].as_mut().expect("live");
+                let w = live_mut(&mut self.slab, i);
                 self.app.action(w, dst, &mut self.rng);
                 // Unconditional on purpose: raw slots never deplete, so
                 // `consume` is a visit-popularity tick, not a pop (see
                 // `chase_presamples`).
-                self.presample[b].as_mut().expect("checked").consume(loc);
+                peeked_buf(&mut self.presample, b).consume(loc);
                 1
             }
             Peek::Empty => {
-                self.presample[b]
-                    .as_mut()
-                    .expect("checked")
-                    .record_stall(loc);
+                peeked_buf(&mut self.presample, b).record_stall(loc);
                 0
             }
         }
@@ -1170,17 +1183,12 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
                         break; // candidate's pages not in this load
                     };
                     let before = self.app.location(w);
-                    let wm = self.slab[i].as_mut().expect("live");
+                    let wm = live_mut(&mut self.slab, i);
                     self.app.rejection(wm, &cedges, &mut self.rng);
                     self.clock.advance_compute(self.opts.step_cost());
-                    let w = self.slab[i].as_ref().expect("live");
-                    if self.app.location(w) != before {
-                        self.metrics.accepts += 1;
-                        self.metrics.steps += 1;
-                        self.metrics.steps_on_block += 1;
-                    } else {
-                        self.metrics.rejects += 1;
-                    }
+                    let w = live(&self.slab, i);
+                    let accepted = self.app.location(w) != before;
+                    self.metrics.record_second_order(accepted);
                     continue;
                 }
                 let loc = self.app.location(w);
@@ -1193,7 +1201,7 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
                 };
                 let dst = self.app.sample(&view, &mut self.rng);
                 self.clock.advance_compute(self.opts.sample_cost());
-                let wm = self.slab[i].as_mut().expect("live");
+                let wm = live_mut(&mut self.slab, i);
                 self.app.action(wm, dst, &mut self.rng);
             }
             self.rebucket(i, |run, w| run.needed_vertex(w));

@@ -72,8 +72,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 // The engine's walker-movement loops re-borrow the slab mutably inside the
 // body, so clippy's `while let` suggestion does not compile there.
 #![allow(clippy::while_let_loop)]
@@ -92,10 +91,10 @@ pub mod walk;
 
 pub use audit::{AuditReport, MemorySink, RunAudit, Trace, TraceEvent, TraceSink};
 pub use block::{BlockCache, FineLoad, LoadedBlock};
-pub use clock::PipelineClock;
-pub use disk_graph::OnDiskGraph;
+pub use clock::{PipelineClock, WallTimer};
+pub use disk_graph::{OnDiskGraph, StoreError};
 pub use engine::{EngineError, NosWalkerEngine};
-pub use metrics::RunMetrics;
+pub use metrics::{RunMetrics, StepSource};
 pub use options::EngineOptions;
 pub use walk::{uniform_sample, SecondOrderWalk, Walk, WalkRng};
 

@@ -1,4 +1,28 @@
 //! Run metrics shared by every engine.
+//!
+//! All mutation goes through the tracked helpers on [`RunMetrics`] (and,
+//! for the real-thread runner, [`SharedMetrics`] / [`LocalCounters`]): the
+//! `nosw-lint` L1 rule forbids direct field writes outside this module, so
+//! the audit conservation laws cannot be bypassed by an engine quietly
+//! bumping a counter. In particular [`RunMetrics::record_step`] couples
+//! `steps` to exactly one of the three attribution counters, making the
+//! step-attribution law structurally true at every call site.
+
+use crate::clock::{PipelineClock, WallTimer};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a walker step got its edge data from — the paper's three serving
+/// tiers (§3.3): the resident block buffer, a reserved pre-sample, or a
+/// raw retained low-degree edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepSource {
+    /// Served from a loaded (coarse or fine) block buffer.
+    Block,
+    /// Served from a reserved pre-sampled slot.
+    PreSample,
+    /// Served from raw retained low-degree edges.
+    Raw,
+}
 
 /// Everything a run reports: the raw material for every figure in the
 /// paper's evaluation.
@@ -53,6 +77,174 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    // ------------------------------------------------------------------
+    // Tracked mutation helpers (the only sanctioned write sites; lint L1)
+    // ------------------------------------------------------------------
+
+    /// Records one walker step served from `src`. Couples `steps` to its
+    /// attribution counter so the audit's step-attribution law
+    /// (`steps == on_block + on_presample + on_raw`) holds by construction.
+    pub fn record_step(&mut self, src: StepSource) {
+        self.steps += 1;
+        match src {
+            StepSource::Block => self.steps_on_block += 1,
+            StepSource::PreSample => self.steps_on_presample += 1,
+            StepSource::Raw => self.steps_on_raw += 1,
+        }
+    }
+
+    /// Records a second-order rejection round: an accepted candidate is a
+    /// real step (on the resident block), a rejected one only counts
+    /// toward the accept/reject ratio.
+    pub fn record_second_order(&mut self, accepted: bool) {
+        if accepted {
+            self.accepts += 1;
+            self.record_step(StepSource::Block);
+        } else {
+            self.rejects += 1;
+        }
+    }
+
+    /// Records one walker reaching its end state.
+    pub fn record_walker_finished(&mut self) {
+        self.walkers_finished += 1;
+    }
+
+    /// Overwrites the finished-walker count from an engine that tracks
+    /// completion externally (e.g. a [`crate::Walk`]-set epilogue).
+    pub fn set_walkers_finished(&mut self, n: u64) {
+        self.walkers_finished = n;
+    }
+
+    /// Records one coarse block load of `bytes` from the device.
+    pub fn record_coarse_load(&mut self, bytes: u64) {
+        self.record_coarse_loads(1, bytes);
+    }
+
+    /// Records `loads` coarse loads moving `bytes` in total (one device
+    /// read operation per load).
+    pub fn record_coarse_loads(&mut self, loads: u64, bytes: u64) {
+        self.coarse_loads += loads;
+        self.io_ops += loads;
+        self.edge_bytes_loaded += bytes;
+    }
+
+    /// Records one fine-grained load batch of `runs` contiguous page runs
+    /// (each a device read operation) moving `bytes`.
+    pub fn record_fine_load(&mut self, runs: u64, bytes: u64) {
+        self.fine_loads += 1;
+        self.io_ops += runs;
+        self.edge_bytes_loaded += bytes;
+    }
+
+    /// Records walker-state swap traffic (`ops` extra device operations;
+    /// engines that fold the swap into an existing operation pass 0).
+    pub fn record_swap(&mut self, bytes: u64, ops: u64) {
+        self.swap_bytes += bytes;
+        self.io_ops += ops;
+    }
+
+    /// Records `draws` pre-sample slots drawn during a buffer refill.
+    pub fn record_presamples_filled(&mut self, draws: u64) {
+        self.presamples_filled += draws;
+    }
+
+    /// Records one reserved pre-sampled slot consumed by a move.
+    pub fn record_presample_consumed(&mut self) {
+        self.presamples_consumed += 1;
+    }
+
+    /// Marks the switch to fine-grained I/O at the current step count
+    /// (§3.3.1); the first call wins.
+    pub fn mark_fine_mode_switch(&mut self) {
+        if self.fine_mode_at_step.is_none() {
+            self.fine_mode_at_step = Some(self.steps);
+        }
+    }
+
+    /// Derives `edges_loaded` from the bytes moved and the on-disk record
+    /// size.
+    pub fn derive_edges_loaded(&mut self, record_bytes: u64) {
+        self.edges_loaded = self.edge_bytes_loaded / record_bytes.max(1);
+    }
+
+    /// Overwrites `edges_loaded` for engines that count records directly
+    /// (e.g. the in-memory baseline's one ingest scan).
+    pub fn set_edges_loaded(&mut self, n: u64) {
+        self.edges_loaded = n;
+    }
+
+    /// Records the peak memory-budget usage.
+    pub fn set_peak_memory(&mut self, bytes: u64) {
+        self.peak_memory = bytes;
+    }
+
+    /// Copies the simulated-time totals out of the pipeline clock.
+    pub fn finalize_clock(&mut self, clock: &PipelineClock) {
+        self.sim_ns = clock.now();
+        self.stall_ns = clock.stall_ns();
+        self.io_busy_ns = clock.io_busy_ns();
+    }
+
+    /// Sets the simulated-time totals directly (engines with a closed-form
+    /// cost model instead of a pipeline clock).
+    pub fn set_sim_times(&mut self, sim_ns: u64, stall_ns: u64, io_busy_ns: u64) {
+        self.sim_ns = sim_ns;
+        self.stall_ns = stall_ns;
+        self.io_busy_ns = io_busy_ns;
+    }
+
+    /// Records the host wall-clock time of the run.
+    pub fn finalize_wall(&mut self, timer: &WallTimer) {
+        self.wall_ns = timer.elapsed_ns();
+    }
+
+    /// Sets `wall_ns` directly (real-thread runners also report it as
+    /// `sim_ns`).
+    pub fn set_wall_ns(&mut self, ns: u64) {
+        self.wall_ns = ns;
+    }
+
+    /// Reports wall-clock time as the simulated time too (real-thread
+    /// runners have no simulated clock).
+    pub fn set_sim_from_wall(&mut self) {
+        self.sim_ns = self.wall_ns;
+    }
+
+    /// Folds another run's metrics into this one (multi-query experiments
+    /// that report summed totals). Additive counters and times sum;
+    /// `peak_memory` takes the maximum; `fine_mode_at_step` keeps the
+    /// first recorded switch.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.sim_ns += other.sim_ns;
+        self.wall_ns += other.wall_ns;
+        self.stall_ns += other.stall_ns;
+        self.io_busy_ns += other.io_busy_ns;
+        self.steps += other.steps;
+        self.steps_on_block += other.steps_on_block;
+        self.steps_on_presample += other.steps_on_presample;
+        self.steps_on_raw += other.steps_on_raw;
+        self.edge_bytes_loaded += other.edge_bytes_loaded;
+        self.edges_loaded += other.edges_loaded;
+        self.io_ops += other.io_ops;
+        self.swap_bytes += other.swap_bytes;
+        self.coarse_loads += other.coarse_loads;
+        self.fine_loads += other.fine_loads;
+        self.walkers_finished += other.walkers_finished;
+        if self.fine_mode_at_step.is_none() {
+            self.fine_mode_at_step = other.fine_mode_at_step;
+        }
+        self.presamples_filled += other.presamples_filled;
+        self.presamples_consumed += other.presamples_consumed;
+        self.accepts += other.accepts;
+        self.rejects += other.rejects;
+        self.peak_memory = self.peak_memory.max(other.peak_memory);
+    }
+
+    // ------------------------------------------------------------------
+    // Derived metrics
+    // ------------------------------------------------------------------
+
     /// Average edge records loaded per step — the paper's Fig. 2(a) metric.
     pub fn edges_per_step(&self) -> f64 {
         if self.steps == 0 {
@@ -91,9 +283,160 @@ impl RunMetrics {
     }
 }
 
+/// Shared per-run counters for the real-thread runner: the cross-thread
+/// mirror of the tracked [`RunMetrics`] step/pre-sample counters.
+#[derive(Debug, Default)]
+pub(crate) struct SharedMetrics {
+    steps: AtomicU64,
+    steps_on_block: AtomicU64,
+    steps_on_presample: AtomicU64,
+    steps_on_raw: AtomicU64,
+    presamples_filled: AtomicU64,
+    presamples_consumed: AtomicU64,
+    finished: AtomicU64,
+}
+
+impl SharedMetrics {
+    /// Adds `n` finished walkers (coordinator-side terminations).
+    pub(crate) fn add_finished(&self, n: u64) {
+        self.finished.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `draws` pre-sample slots drawn by a background refill.
+    pub(crate) fn add_presamples_filled(&self, draws: u64) {
+        self.presamples_filled.fetch_add(draws, Ordering::Relaxed);
+    }
+
+    /// Copies the accumulated totals into `m`.
+    pub(crate) fn drain_into(&self, m: &mut RunMetrics) {
+        m.steps = self.steps.load(Ordering::Relaxed);
+        m.steps_on_block = self.steps_on_block.load(Ordering::Relaxed);
+        m.steps_on_presample = self.steps_on_presample.load(Ordering::Relaxed);
+        m.steps_on_raw = self.steps_on_raw.load(Ordering::Relaxed);
+        m.presamples_filled = self.presamples_filled.load(Ordering::Relaxed);
+        m.presamples_consumed = self.presamples_consumed.load(Ordering::Relaxed);
+        m.walkers_finished = self.finished.load(Ordering::Relaxed);
+    }
+}
+
+/// Per-worker counter accumulation: flushed into [`SharedMetrics`] once
+/// per job so the hot loop never touches shared cache lines.
+#[derive(Debug, Default)]
+pub(crate) struct LocalCounters {
+    steps: u64,
+    steps_on_block: u64,
+    steps_on_presample: u64,
+    steps_on_raw: u64,
+    presamples_consumed: u64,
+    finished: u64,
+}
+
+impl LocalCounters {
+    /// Records one walker step served from `src` (see
+    /// [`RunMetrics::record_step`]).
+    pub(crate) fn record_step(&mut self, src: StepSource) {
+        self.steps += 1;
+        match src {
+            StepSource::Block => self.steps_on_block += 1,
+            StepSource::PreSample => self.steps_on_presample += 1,
+            StepSource::Raw => self.steps_on_raw += 1,
+        }
+    }
+
+    /// Records one reserved pre-sampled slot consumed by a move.
+    pub(crate) fn record_presample_consumed(&mut self) {
+        self.presamples_consumed += 1;
+    }
+
+    /// Records one walker reaching its end state.
+    pub(crate) fn record_finished(&mut self) {
+        self.finished += 1;
+    }
+
+    /// Flushes the accumulated counts into the shared totals.
+    pub(crate) fn flush(&self, shared: &SharedMetrics) {
+        shared.steps.fetch_add(self.steps, Ordering::Relaxed);
+        shared
+            .steps_on_block
+            .fetch_add(self.steps_on_block, Ordering::Relaxed);
+        shared
+            .steps_on_presample
+            .fetch_add(self.steps_on_presample, Ordering::Relaxed);
+        shared
+            .steps_on_raw
+            .fetch_add(self.steps_on_raw, Ordering::Relaxed);
+        shared
+            .presamples_consumed
+            .fetch_add(self.presamples_consumed, Ordering::Relaxed);
+        shared.finished.fetch_add(self.finished, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn step_attribution_is_conserved_by_construction() {
+        let mut m = RunMetrics::default();
+        m.record_step(StepSource::Block);
+        m.record_step(StepSource::PreSample);
+        m.record_step(StepSource::Raw);
+        m.record_second_order(true);
+        m.record_second_order(false);
+        assert_eq!(m.steps, 4);
+        assert_eq!(
+            m.steps,
+            m.steps_on_block + m.steps_on_presample + m.steps_on_raw
+        );
+        assert_eq!((m.accepts, m.rejects), (1, 1));
+    }
+
+    #[test]
+    fn load_helpers_couple_ops_to_bytes() {
+        let mut m = RunMetrics::default();
+        m.record_coarse_load(4096);
+        m.record_fine_load(3, 1024);
+        m.record_swap(512, 1);
+        assert_eq!(m.coarse_loads, 1);
+        assert_eq!(m.fine_loads, 1);
+        assert_eq!(m.io_ops, 1 + 3 + 1);
+        assert_eq!(m.edge_bytes_loaded, 5120);
+        assert_eq!(m.swap_bytes, 512);
+        m.derive_edges_loaded(8);
+        assert_eq!(m.edges_loaded, 640);
+    }
+
+    #[test]
+    fn fine_mode_switch_marks_first_step_only() {
+        let mut m = RunMetrics::default();
+        m.record_step(StepSource::Block);
+        m.mark_fine_mode_switch();
+        m.record_step(StepSource::Block);
+        m.mark_fine_mode_switch();
+        assert_eq!(m.fine_mode_at_step, Some(1));
+    }
+
+    #[test]
+    fn local_counters_flush_into_shared() {
+        let shared = SharedMetrics::default();
+        let mut local = LocalCounters::default();
+        local.record_step(StepSource::Block);
+        local.record_step(StepSource::PreSample);
+        local.record_presample_consumed();
+        local.record_finished();
+        local.flush(&shared);
+        shared.add_finished(2);
+        shared.add_presamples_filled(7);
+        let mut m = RunMetrics::default();
+        shared.drain_into(&mut m);
+        assert_eq!(m.steps, 2);
+        assert_eq!(m.steps_on_block, 1);
+        assert_eq!(m.steps_on_presample, 1);
+        assert_eq!(m.presamples_consumed, 1);
+        assert_eq!(m.presamples_filled, 7);
+        assert_eq!(m.walkers_finished, 3);
+    }
 
     #[test]
     fn derived_metrics() {

@@ -22,9 +22,10 @@
 
 use crate::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use crate::block::LoadedBlock;
+use crate::clock::WallTimer;
 use crate::disk_graph::OnDiskGraph;
 use crate::engine::EngineError;
-use crate::metrics::RunMetrics;
+use crate::metrics::{LocalCounters, RunMetrics, SharedMetrics, StepSource};
 use crate::options::EngineOptions;
 use crate::presample::{plan_quotas, Peek, PreSampleBuffer};
 use crate::threaded::BackgroundLoader;
@@ -34,21 +35,7 @@ use noswalker_graph::VertexId;
 use noswalker_storage::MemoryBudget;
 use parking_lot::Mutex;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
-
-/// Shared per-run counters.
-#[derive(Debug, Default)]
-struct SharedMetrics {
-    steps: AtomicU64,
-    steps_on_block: AtomicU64,
-    steps_on_presample: AtomicU64,
-    steps_on_raw: AtomicU64,
-    presamples_filled: AtomicU64,
-    presamples_consumed: AtomicU64,
-    finished: AtomicU64,
-}
 
 /// The lock-sharded pre-sample pool.
 #[derive(Debug)]
@@ -135,7 +122,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         mut trace: Trace<'_>,
     ) -> Result<RunMetrics, EngineError> {
         assert!(workers > 0, "need at least one worker");
-        let started = Instant::now();
+        let wall = WallTimer::start();
         let num_blocks = self.graph.num_blocks();
         let total = self.app.total_walkers();
         let shared = Arc::new(SharedMetrics::default());
@@ -203,11 +190,13 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                                     let draws = refill_block(
                                         &*app, &graph, &pool, &budget, &opts, &block, &mut wrng,
                                     );
-                                    shared.presamples_filled.fetch_add(draws, Ordering::Relaxed);
+                                    shared.add_presamples_filled(draws);
                                 }
                             }
                         }
                     })
+                    // LINT-ALLOW(L5): thread spawning fails only on OS
+                    // resource exhaustion, which has no recovery path here.
                     .expect("spawning a worker thread"),
             );
         }
@@ -233,7 +222,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                     next_id += 1;
                     if !self.app.is_active(&w) {
                         self.app.on_terminate(&w);
-                        shared.finished.fetch_add(1, Ordering::Relaxed);
+                        shared.add_finished(1);
                         continue;
                     }
                     let b = bucket_of(&self.app, &w, &self.graph);
@@ -261,9 +250,9 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                     b as BlockId
                 }
             };
-            let wait_from = started.elapsed().as_nanos() as u64;
+            let wait_from = wall.elapsed_ns();
             let loaded = loader.recv().map_err(loader_err)?;
-            let wait_until = started.elapsed().as_nanos() as u64;
+            let wait_until = wall.elapsed_ns();
             if wait_until > wait_from {
                 trace.emit(|| TraceEvent::Stall {
                     waiting_for: Some(target),
@@ -273,9 +262,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             }
             let block = Arc::new(loaded.block);
             debug_assert_eq!(block.info().id, target);
-            metrics.coarse_loads += 1;
-            metrics.io_ops += 1;
-            metrics.edge_bytes_loaded += block.info().byte_len();
+            metrics.record_coarse_load(block.info().byte_len());
             let bytes = block.info().byte_len();
             trace.emit(|| TraceEvent::CoarseLoad {
                 block: target,
@@ -309,13 +296,13 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                     let tail = batch.split_off(batch.len().saturating_sub(chunk));
                     job_tx
                         .send(Job::Walk(Arc::clone(&block), tail))
-                        .expect("workers alive while coordinator runs");
+                        .map_err(|_| worker_died())?;
                     jobs += 1;
                 }
             }
             let mut survivors = Vec::new();
             for _ in 0..jobs {
-                survivors.extend(res_rx.recv().expect("workers alive"));
+                survivors.extend(res_rx.recv().map_err(|_| worker_died())?);
             }
             let finished_now = batch_len - survivors.len() as u64;
             live -= finished_now;
@@ -329,7 +316,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             if self.opts.enable_presample {
                 job_tx
                     .send(Job::Refill(Arc::clone(&block)))
-                    .expect("workers alive while coordinator runs");
+                    .map_err(|_| worker_died())?;
             }
             drop(block);
             generate!();
@@ -340,18 +327,11 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             let _ = h.join();
         }
 
-        metrics.steps = shared.steps.load(Ordering::Relaxed);
-        metrics.steps_on_block = shared.steps_on_block.load(Ordering::Relaxed);
-        metrics.steps_on_presample = shared.steps_on_presample.load(Ordering::Relaxed);
-        metrics.steps_on_raw = shared.steps_on_raw.load(Ordering::Relaxed);
-        metrics.presamples_filled = shared.presamples_filled.load(Ordering::Relaxed);
-        metrics.presamples_consumed = shared.presamples_consumed.load(Ordering::Relaxed);
-        metrics.walkers_finished = shared.finished.load(Ordering::Relaxed);
-        metrics.peak_memory = self.budget.peak();
-        metrics.edges_loaded =
-            metrics.edge_bytes_loaded / self.graph.format().record_bytes() as u64;
-        metrics.wall_ns = started.elapsed().as_nanos() as u64;
-        metrics.sim_ns = metrics.wall_ns;
+        shared.drain_into(&mut metrics);
+        metrics.set_peak_memory(self.budget.peak());
+        metrics.derive_edges_loaded(self.graph.format().record_bytes() as u64);
+        metrics.finalize_wall(&wall);
+        metrics.set_sim_from_wall();
         let (steps, walkers_finished, at) =
             (metrics.steps, metrics.walkers_finished, metrics.wall_ns);
         trace.emit(|| TraceEvent::RunEnd {
@@ -420,10 +400,12 @@ fn refill_block<A: Walk>(
         &plan,
         false,
         |v| {
+            // LINT-ALLOW(L5): the quota planner only covers block vertices.
             let view = block.vertex_edges(graph, v).expect("vertex in block");
             app.sample(&view, rng)
         },
         |v, edges, _| {
+            // LINT-ALLOW(L5): the quota planner only covers block vertices.
             let view = block.vertex_edges(graph, v).expect("vertex in block");
             for i in 0..view.degree() {
                 edges.push(view.target(i));
@@ -446,35 +428,12 @@ fn loader_err(e: crate::threaded::LoaderError) -> EngineError {
     }
 }
 
-/// Per-worker counter accumulation: flushed into [`SharedMetrics`] once
-/// per job so the hot loop never touches shared cache lines.
-#[derive(Debug, Default)]
-struct LocalCounters {
-    steps: u64,
-    steps_on_block: u64,
-    steps_on_presample: u64,
-    steps_on_raw: u64,
-    presamples_consumed: u64,
-    finished: u64,
-}
-
-impl LocalCounters {
-    fn flush(&self, shared: &SharedMetrics) {
-        shared.steps.fetch_add(self.steps, Ordering::Relaxed);
-        shared
-            .steps_on_block
-            .fetch_add(self.steps_on_block, Ordering::Relaxed);
-        shared
-            .steps_on_presample
-            .fetch_add(self.steps_on_presample, Ordering::Relaxed);
-        shared
-            .steps_on_raw
-            .fetch_add(self.steps_on_raw, Ordering::Relaxed);
-        shared
-            .presamples_consumed
-            .fetch_add(self.presamples_consumed, Ordering::Relaxed);
-        shared.finished.fetch_add(self.finished, Ordering::Relaxed);
-    }
+/// The error reported when a worker thread exits early (its channel
+/// endpoint hung up), e.g. after a panic in application code.
+fn worker_died() -> EngineError {
+    EngineError::Load(crate::disk_graph::LoadError::Device(
+        noswalker_storage::DeviceError::Io("a worker thread died mid-run".into()),
+    ))
 }
 
 /// Moves one walker as far as possible: within the resident block, then on
@@ -494,20 +453,19 @@ fn drive_walker<A: Walk>(
     loop {
         if !app.is_active(&w) {
             app.on_terminate(&w);
-            local.finished += 1;
+            local.record_finished();
             return None;
         }
         let loc = app.location(&w);
         if graph.degree(loc) == 0 {
             app.on_terminate(&w);
-            local.finished += 1;
+            local.record_finished();
             return None;
         }
         if let Some(view) = block.vertex_edges(graph, loc) {
             let dst = app.sample(&view, rng);
             app.action(&mut w, dst, rng);
-            local.steps += 1;
-            local.steps_on_block += 1;
+            local.record_step(StepSource::Block);
             continue;
         }
         // Outside the block: try the pre-sample pool.
@@ -521,10 +479,9 @@ fn drive_walker<A: Walk>(
                 let consumed = app.action(&mut w, dst, rng);
                 if consumed {
                     buf.consume(loc);
-                    local.presamples_consumed += 1;
+                    local.record_presample_consumed();
                 }
-                local.steps += 1;
-                local.steps_on_presample += 1;
+                local.record_step(StepSource::PreSample);
             }
             Peek::Raw(view) => {
                 let dst = app.sample(&view, rng);
@@ -532,8 +489,7 @@ fn drive_walker<A: Walk>(
                 // ticks the visit counter (see `Run::chase_presamples`).
                 buf.consume(loc);
                 app.action(&mut w, dst, rng);
-                local.steps += 1;
-                local.steps_on_raw += 1;
+                local.record_step(StepSource::Raw);
             }
             Peek::Empty => {
                 buf.record_stall(loc);
@@ -548,7 +504,7 @@ mod tests {
     use super::*;
     use noswalker_graph::generators;
     use noswalker_storage::{SimSsd, SsdProfile};
-    use std::sync::atomic::AtomicU64 as A64;
+    use std::sync::atomic::{AtomicU64 as A64, Ordering};
 
     #[derive(Debug)]
     struct Basic {

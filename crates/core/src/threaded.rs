@@ -98,6 +98,8 @@ impl BackgroundLoader {
                     }
                 }
             })
+            // LINT-ALLOW(L5): thread spawning fails only on OS resource
+            // exhaustion, which has no recovery path here.
             .expect("spawning the loader thread");
         BackgroundLoader {
             requests: req_tx,

@@ -111,7 +111,7 @@ pub(crate) fn from_sorted(num_vertices: usize, edges: Vec<(VertexId, VertexId)>)
 /// Callers must guarantee `offsets` is a monotone prefix-sum ending at
 /// `targets.len()` and all targets are in range.
 pub(crate) fn from_parts(offsets: Vec<u64>, targets: Vec<crate::VertexId>) -> Csr {
-    debug_assert_eq!(*offsets.last().expect("non-empty") as usize, targets.len());
+    debug_assert_eq!(offsets.last().copied().unwrap_or(0) as usize, targets.len());
     Csr {
         offsets,
         targets,

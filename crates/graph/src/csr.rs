@@ -56,7 +56,7 @@ impl Csr {
 
     /// Number of directed edges.
     pub fn num_edges(&self) -> u64 {
-        *self.offsets.last().expect("offsets never empty")
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Out-degree of `v`.
@@ -166,6 +166,8 @@ impl Csr {
     ///
     /// Panics if the graph has no weights.
     pub fn build_alias_tables(mut self) -> Self {
+        // LINT-ALLOW(L5): documented panic — the builder API contract is
+        // that weights are attached before alias construction.
         let weights = self.weights.as_ref().expect("alias tables need weights");
         let mut prob = vec![0.0f32; self.targets.len()];
         let mut alias = vec![0u32; self.targets.len()];

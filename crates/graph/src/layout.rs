@@ -40,12 +40,37 @@ impl EdgeFormat {
     }
 }
 
+/// Errors from serializing an edge region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The requested format stores per-edge weights the CSR does not carry.
+    MissingWeights,
+    /// The requested format stores alias tables the CSR has not built.
+    MissingAliasTables,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::MissingWeights => {
+                write!(f, "Weighted format requires a CSR with edge weights")
+            }
+            LayoutError::MissingAliasTables => {
+                write!(f, "WeightedAlias format requires built alias tables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// Serializes the edge region of `csr` in the given format.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the format needs weights/alias data the CSR does not carry.
-pub fn encode_edge_region(csr: &Csr, format: EdgeFormat) -> Vec<u8> {
+/// [`LayoutError`] if the format needs weights/alias data the CSR does
+/// not carry.
+pub fn encode_edge_region(csr: &Csr, format: EdgeFormat) -> Result<Vec<u8>, LayoutError> {
     let n = csr.num_edges() as usize;
     let mut out = Vec::with_capacity(n * format.record_bytes());
     match format {
@@ -55,7 +80,7 @@ pub fn encode_edge_region(csr: &Csr, format: EdgeFormat) -> Vec<u8> {
             }
         }
         EdgeFormat::Weighted => {
-            let w = csr.weights().expect("Weighted format requires weights");
+            let w = csr.weights().ok_or(LayoutError::MissingWeights)?;
             for (&t, &wt) in csr.targets().iter().zip(w) {
                 out.extend_from_slice(&t.to_le_bytes());
                 out.extend_from_slice(&wt.to_le_bytes());
@@ -64,9 +89,7 @@ pub fn encode_edge_region(csr: &Csr, format: EdgeFormat) -> Vec<u8> {
         EdgeFormat::WeightedAlias => {
             for v in 0..csr.num_vertices() as VertexId {
                 let targets = csr.neighbors(v);
-                let (prob, alias) = csr
-                    .alias_slices(v)
-                    .expect("WeightedAlias format requires alias tables");
+                let (prob, alias) = csr.alias_slices(v).ok_or(LayoutError::MissingAliasTables)?;
                 for i in 0..targets.len() {
                     out.extend_from_slice(&targets[i].to_le_bytes());
                     out.extend_from_slice(&prob[i].to_le_bytes());
@@ -75,7 +98,18 @@ pub fn encode_edge_region(csr: &Csr, format: EdgeFormat) -> Vec<u8> {
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// Reads a little-endian `u32` at `off`; panics if out of bounds, which
+/// accessor index contracts already guarantee against.
+fn le_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+/// Reads a little-endian `f32` at `off`.
+fn le_f32(bytes: &[u8], off: usize) -> f32 {
+    f32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
 }
 
 /// A read-only view of one vertex's out-edges, either borrowed from an
@@ -148,10 +182,7 @@ impl<'a> VertexEdges<'a> {
     pub fn target(&self, i: usize) -> VertexId {
         match self {
             VertexEdges::Mem { targets, .. } => targets[i],
-            VertexEdges::Raw { bytes, format } => {
-                let off = i * format.record_bytes();
-                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
-            }
+            VertexEdges::Raw { bytes, format } => le_u32(bytes, i * format.record_bytes()),
         }
     }
 
@@ -163,12 +194,7 @@ impl<'a> VertexEdges<'a> {
                 // WeightedAlias records carry the alias slot instead of the
                 // raw weight — the alias table alone suffices for sampling.
                 EdgeFormat::Unweighted | EdgeFormat::WeightedAlias => None,
-                EdgeFormat::Weighted => {
-                    let off = i * format.record_bytes() + 4;
-                    Some(f32::from_le_bytes(
-                        bytes[off..off + 4].try_into().expect("4 bytes"),
-                    ))
-                }
+                EdgeFormat::Weighted => Some(le_f32(bytes, i * format.record_bytes() + 4)),
             },
         }
     }
@@ -181,9 +207,7 @@ impl<'a> VertexEdges<'a> {
             VertexEdges::Raw { bytes, format } => match format {
                 EdgeFormat::WeightedAlias => {
                     let off = i * format.record_bytes();
-                    let p = f32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4"));
-                    let a = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4"));
-                    Some((p, a))
+                    Some((le_f32(bytes, off + 4), le_u32(bytes, off + 8)))
                 }
                 _ => None,
             },
@@ -222,7 +246,7 @@ mod tests {
     #[test]
     fn encode_unweighted_roundtrip() {
         let g = CsrBuilder::new(3).edge(0, 2).edge(1, 0).build();
-        let bytes = encode_edge_region(&g, EdgeFormat::Unweighted);
+        let bytes = encode_edge_region(&g, EdgeFormat::Unweighted).unwrap();
         assert_eq!(bytes.len(), 8);
         let view = VertexEdges::from_raw(&bytes[0..4], EdgeFormat::Unweighted);
         assert_eq!(view.target(0), 2);
@@ -231,7 +255,7 @@ mod tests {
     #[test]
     fn encode_weighted_roundtrip() {
         let g = weighted_graph();
-        let bytes = encode_edge_region(&g, EdgeFormat::Weighted);
+        let bytes = encode_edge_region(&g, EdgeFormat::Weighted).unwrap();
         assert_eq!(bytes.len(), 3 * 8);
         let view = VertexEdges::from_raw(&bytes[8..16], EdgeFormat::Weighted);
         assert_eq!(view.target(0), 2);
@@ -241,7 +265,7 @@ mod tests {
     #[test]
     fn encode_alias_roundtrip_matches_mem_view() {
         let g = weighted_graph();
-        let bytes = encode_edge_region(&g, EdgeFormat::WeightedAlias);
+        let bytes = encode_edge_region(&g, EdgeFormat::WeightedAlias).unwrap();
         assert_eq!(bytes.len(), 3 * 12);
         // Vertex 0 has edges [0, 2) in the flat array.
         let raw = VertexEdges::from_raw(&bytes[0..24], EdgeFormat::WeightedAlias);

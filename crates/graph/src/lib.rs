@@ -31,8 +31,7 @@
 //! assert!(s.max_degree >= s.avg_degree as u64);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod alias;
 pub mod builder;

@@ -89,7 +89,7 @@ impl Partition {
         let rec = format.record_bytes() as u64;
         let n = csr.num_vertices();
         let mut blocks = Vec::new();
-        let mut vertex_block = vec![0 as BlockId; n];
+        let mut vertex_block: Vec<BlockId> = vec![0; n];
         let mut v = 0usize;
         while v < n {
             let byte_start = csr.edge_start(v as VertexId) * rec;

@@ -1,0 +1,8 @@
+//! Fixture: writes a RunMetrics field directly instead of going through a
+//! tracked helper.
+
+pub fn bump(m: &mut RunMetrics) {
+    m.steps += 1;
+    let _read_is_fine = m.steps_on_block;
+    m.wall_ns = 7;
+}

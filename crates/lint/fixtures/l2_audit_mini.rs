@@ -1,0 +1,18 @@
+//! Fixture: a miniature TraceEvent definition with handling for both
+//! variants. The engine fixture only emits CoarseLoad, so Swap trips L2.
+
+/// Miniature trace event.
+pub enum TraceEvent {
+    /// A coarse-grained block load.
+    CoarseLoad { bytes: u64 },
+    /// A swap.
+    Swap { bytes: u64 },
+}
+
+/// Handles every variant (the audit side of L2).
+pub fn handle(e: &TraceEvent) {
+    match e {
+        TraceEvent::CoarseLoad { .. } => {}
+        TraceEvent::Swap { .. } => {}
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: an engine that emits only CoarseLoad, leaving Swap unemitted.
+
+pub fn run(emit: impl Fn(TraceEvent)) {
+    emit(TraceEvent::CoarseLoad { bytes: 1 });
+}

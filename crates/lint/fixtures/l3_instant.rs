@@ -1,0 +1,6 @@
+//! Fixture: reads the wall clock directly instead of using WallTimer.
+
+pub fn elapsed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

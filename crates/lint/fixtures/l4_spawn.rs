@@ -1,0 +1,6 @@
+//! Fixture: spawns a thread outside the sanctioned concurrency modules.
+
+pub fn go() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

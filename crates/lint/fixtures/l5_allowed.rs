@@ -1,0 +1,8 @@
+//! Fixture: a justified panic, suppressed by an annotation. With a
+//! matching allowlist entry the file is clean; with an empty allowlist the
+//! unregistered suppression itself is flagged.
+
+pub fn must(x: Option<u32>) -> u32 {
+    // LINT-ALLOW(L5): fixture justification — the caller guarantees Some.
+    x.expect("caller guarantees Some")
+}

@@ -1,0 +1,22 @@
+//! Fixture: panicking calls in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn boom() -> ! {
+    panic!("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: one documented unsafe block and one undocumented.
+
+pub fn documented(xs: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees xs is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn undocumented(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,13 @@
+//! Fixture: a miniature stand-in for the real metrics module. Tests pass
+//! this under the path `crates/core/src/metrics.rs` so the L1 field set is
+//! parsed from it.
+
+/// Miniature RunMetrics.
+pub struct RunMetrics {
+    /// Total steps.
+    pub steps: u64,
+    /// Steps taken on resident blocks.
+    pub steps_on_block: u64,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+}

@@ -1,0 +1,191 @@
+//! nosw-lint: workspace-native static analysis for NosWalker.
+//!
+//! PR 1 made the engine's conservation laws *observable* at runtime
+//! (`noswalker_core::audit`). This crate makes the coding conventions that
+//! keep those laws true *enforceable* at the source level, with a
+//! dependency-free, hand-rolled token scanner (no `syn`, builds offline).
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -p nosw-lint -- --check
+//! ```
+//!
+//! See [`rules`] for the rule catalogue (L1–L6) and
+//! `crates/lint/nosw-lint.allow` for the justified-exception register.
+
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod tokenizer;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One source file handed to the linter: a workspace-relative path (used
+/// for rule scoping) and its full text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/core/src/engine.rs`.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier: `L1`–`L6`, or `ALLOW` for suppression bookkeeping.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {} (fix: {})",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// One registered exception: `rule path count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule the suppressions apply to.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Exact number of annotations the file must carry.
+    pub count: u32,
+}
+
+/// The justified-exception register (`crates/lint/nosw-lint.allow`).
+///
+/// Entries are `RULE PATH COUNT` lines; `#` starts a comment. Counts are
+/// exact in both directions: a file with more *or fewer* annotations than
+/// registered fails the run, so silent drift is impossible.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Registered exceptions.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty register (no exceptions tolerated).
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parses the `RULE PATH COUNT` line format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let [rule, path, count] = parts.as_slice() else {
+                return Err(format!(
+                    "allowlist line {}: expected `RULE PATH COUNT`, got {raw:?}",
+                    idx + 1
+                ));
+            };
+            let count: u32 = count
+                .parse()
+                .map_err(|_| format!("allowlist line {}: bad count {count:?}", idx + 1))?;
+            entries.push(AllowEntry {
+                rule: (*rule).to_string(),
+                path: (*path).to_string(),
+                count,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+}
+
+/// Lints an explicit file set against an allowlist. Pure function of its
+/// inputs — this is the entry point tests use with fixture sources.
+pub fn lint_files(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
+    rules::run(files, allow)
+}
+
+/// The result of scanning a workspace tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Violations found, sorted by path then line.
+    pub violations: Vec<Violation>,
+}
+
+/// Walks `root` (the workspace checkout), lints every `.rs` file under
+/// `crates/`, `src/` and `tests/`, and cross-checks the allowlist at
+/// `crates/lint/nosw-lint.allow`.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for sub in ["crates", "src", "tests"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(root, &dir, &mut files)?;
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no .rs files found under {} — is --root pointing at the workspace?",
+            root.display()
+        ));
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let allow_path = root.join("crates/lint/nosw-lint.allow");
+    let allow = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        Allowlist::parse(&text)?
+    } else {
+        Allowlist::empty()
+    };
+    let files_scanned = files.len();
+    let violations = lint_files(&files, &allow);
+    Ok(Report {
+        files_scanned,
+        violations,
+    })
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            // `fixtures` holds deliberate violations; `target`/`vendor`
+            // hold code we do not own.
+            if name == "fixtures" || name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &p, out)?;
+        } else if name.ends_with(".rs") {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile { path: rel, text });
+        }
+    }
+    Ok(())
+}

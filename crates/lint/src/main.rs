@@ -1,0 +1,68 @@
+//! CLI for nosw-lint: `cargo run -p nosw-lint -- --check`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nosw-lint: static analysis enforcing NosWalker's engine invariants
+
+USAGE:
+    cargo run -p nosw-lint -- [--check] [--root <dir>]
+
+OPTIONS:
+    --check        Lint the workspace (default behavior; flag kept for CI clarity)
+    --root <dir>   Workspace root to scan (default: current directory)
+    -h, --help     Show this help
+
+Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("nosw-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nosw-lint: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match nosw_lint::lint_workspace(&root) {
+        Ok(report) if report.violations.is_empty() => {
+            println!(
+                "nosw-lint: clean — {} files, 0 violations",
+                report.files_scanned
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            eprintln!(
+                "nosw-lint: {} violation(s) across {} files",
+                report.violations.len(),
+                report.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("nosw-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

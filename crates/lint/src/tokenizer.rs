@@ -1,0 +1,430 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! The lint rules only need identifier/punctuation sequences with line
+//! numbers, plus the comment text (for `SAFETY:` and suppression
+//! annotations). The lexer is therefore deliberately lossy — string,
+//! char and numeric literals collapse to placeholder tokens — but it is
+//! exact about the things that matter: nothing inside a string, char
+//! literal or comment ever becomes a code token, block comments nest,
+//! raw/byte strings are honored, and lifetimes are distinguished from
+//! char literals.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Operator or delimiter (multi-character operators are one token).
+    Punct,
+    /// String/char/numeric literal (text is a placeholder).
+    Literal,
+    /// A lifetime such as `'a` (text is the name without the quote).
+    Lifetime,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token text (placeholder for literals).
+    pub text: String,
+    /// Token kind.
+    pub kind: Kind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment line: line comments verbatim, block comments split per line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment text is on.
+    pub line: u32,
+    /// Text after `//` (or the slice of a block comment on this line).
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment lines in source order.
+    pub comments: Vec<Comment>,
+}
+
+const OPS3: &[&str] = &["<<=", ">>=", "..=", "..."];
+const OPS2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "..",
+];
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < n {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if ch == '/' && i + 1 < n && c[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && c[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: c[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nesting honored).
+        if ch == '/' && i + 1 < n && c[i + 1] == '*' {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut buf = String::new();
+            while j < n && depth > 0 {
+                if c[j] == '/' && j + 1 < n && c[j + 1] == '*' {
+                    depth += 1;
+                    buf.push_str("/*");
+                    j += 2;
+                } else if c[j] == '*' && j + 1 < n && c[j + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        buf.push_str("*/");
+                    }
+                    j += 2;
+                } else if c[j] == '\n' {
+                    out.comments.push(Comment {
+                        line,
+                        text: std::mem::take(&mut buf),
+                    });
+                    line += 1;
+                    j += 1;
+                } else {
+                    buf.push(c[j]);
+                    j += 1;
+                }
+            }
+            if !buf.is_empty() {
+                out.comments.push(Comment { line, text: buf });
+            }
+            i = j;
+            continue;
+        }
+        // Plain string literal.
+        if ch == '"' {
+            let tok_line = line;
+            i = skip_string(&c, i, &mut line);
+            out.tokens.push(Token {
+                text: "\"\"".into(),
+                kind: Kind::Literal,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if ch == '\'' {
+            let tok_line = line;
+            if i + 1 < n && c[i + 1] == '\\' {
+                // Escaped char literal: scan to the closing quote.
+                let mut j = i + 2;
+                while j < n && c[j] != '\'' {
+                    if c[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                i = (j + 1).min(n);
+                out.tokens.push(Token {
+                    text: "''".into(),
+                    kind: Kind::Literal,
+                    line: tok_line,
+                });
+                continue;
+            }
+            if i + 1 < n && (c[i + 1] == '_' || c[i + 1].is_alphanumeric()) {
+                let mut j = i + 1;
+                while j < n && (c[j] == '_' || c[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                if j == i + 2 && j < n && c[j] == '\'' {
+                    // Exactly one character then a quote: 'x'.
+                    out.tokens.push(Token {
+                        text: "''".into(),
+                        kind: Kind::Literal,
+                        line: tok_line,
+                    });
+                    i = j + 1;
+                } else {
+                    // A lifetime: 'a, 'static, '_.
+                    out.tokens.push(Token {
+                        text: c[i + 1..j].iter().collect(),
+                        kind: Kind::Lifetime,
+                        line: tok_line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            if i + 2 < n && c[i + 2] == '\'' {
+                // Punctuation char literal like '('.
+                if c[i + 1] == '\n' {
+                    line += 1;
+                }
+                out.tokens.push(Token {
+                    text: "''".into(),
+                    kind: Kind::Literal,
+                    line: tok_line,
+                });
+                i += 3;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Identifier, keyword, or a string-literal prefix.
+        if ch == '_' || ch.is_alphabetic() {
+            let start = i;
+            let mut j = i;
+            while j < n && (c[j] == '_' || c[j].is_alphanumeric()) {
+                j += 1;
+            }
+            let word: String = c[start..j].iter().collect();
+            let tok_line = line;
+            if (word == "r" || word == "br") && j < n && (c[j] == '"' || c[j] == '#') {
+                // Raw string (r"...", r#"..."#) or raw identifier (r#foo).
+                if word == "r"
+                    && c[j] == '#'
+                    && j + 1 < n
+                    && (c[j + 1] == '_' || c[j + 1].is_alphabetic())
+                {
+                    let mut k = j + 1;
+                    while k < n && (c[k] == '_' || c[k].is_alphanumeric()) {
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: c[j + 1..k].iter().collect(),
+                        kind: Kind::Ident,
+                        line: tok_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                i = skip_raw_string(&c, j, &mut line);
+                out.tokens.push(Token {
+                    text: "\"\"".into(),
+                    kind: Kind::Literal,
+                    line: tok_line,
+                });
+                continue;
+            }
+            if word == "b" && j < n && c[j] == '"' {
+                i = skip_string(&c, j, &mut line);
+                out.tokens.push(Token {
+                    text: "\"\"".into(),
+                    kind: Kind::Literal,
+                    line: tok_line,
+                });
+                continue;
+            }
+            if word == "b" && j < n && c[j] == '\'' {
+                // Byte char literal b'x'.
+                let mut k = j + 1;
+                if k < n && c[k] == '\\' {
+                    k += 1;
+                }
+                while k < n && c[k] != '\'' {
+                    k += 1;
+                }
+                out.tokens.push(Token {
+                    text: "''".into(),
+                    kind: Kind::Literal,
+                    line: tok_line,
+                });
+                i = (k + 1).min(n);
+                continue;
+            }
+            out.tokens.push(Token {
+                text: word,
+                kind: Kind::Ident,
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal (suffixes and hex digits fold in; no dots, so
+        // ranges like `0..n` stay three tokens).
+        if ch.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (c[j] == '_' || c[j].is_alphanumeric()) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                text: "0".into(),
+                kind: Kind::Literal,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Operators: maximal munch.
+        let mut matched = false;
+        for ops in [OPS3, OPS2] {
+            let len = ops[0].len();
+            if i + len <= n {
+                let s: String = c[i..i + len].iter().collect();
+                if ops.contains(&s.as_str()) {
+                    out.tokens.push(Token {
+                        text: s,
+                        kind: Kind::Punct,
+                        line,
+                    });
+                    i += len;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Token {
+            text: ch.to_string(),
+            kind: Kind::Punct,
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn skip_string(c: &[char], start: usize, line: &mut u32) -> usize {
+    let mut j = start + 1;
+    while j < c.len() {
+        match c[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn skip_raw_string(c: &[char], mut j: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while j < c.len() && c[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < c.len() {
+        if c[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if c[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < c.len() && c[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_ops() {
+        assert_eq!(texts("a += b;"), vec!["a", "+=", "b", ";"]);
+        assert_eq!(texts("x == y"), vec!["x", "==", "y"]);
+        assert_eq!(texts("p::q.r"), vec!["p", "::", "q", ".", "r"]);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        assert_eq!(texts(r#"f("a.b = c")"#), vec!["f", "(", "\"\"", ")"]);
+        assert_eq!(texts("r#\"x.unwrap()\"#"), vec!["\"\""]);
+        assert_eq!(texts("b\"bytes\""), vec!["\"\""]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("let x = 1; // trailing note\n/* block\nspans */ y");
+        assert_eq!(l.comments.len(), 3);
+        assert_eq!(l.comments[0].text, " trailing note");
+        assert_eq!(l.comments[1].line, 2);
+        let toks: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(toks, vec!["let", "x", "=", "0", ";", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let lits = l.tokens.iter().filter(|t| t.kind == Kind::Literal).count();
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn escaped_char_and_unicode() {
+        assert_eq!(
+            texts(r"let c = '\u{1F600}';"),
+            vec!["let", "c", "=", "''", ";"]
+        );
+        assert_eq!(texts(r"let q = '\'';"), vec!["let", "q", "=", "''", ";"]);
+    }
+
+    #[test]
+    fn lines_advance_inside_literals() {
+        let l = lex("let s = \"a\nb\";\nnext");
+        let next = l.tokens.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = texts("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks, vec!["code"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        assert_eq!(texts("0..n"), vec!["0", "..", "n"]);
+        assert_eq!(texts("1..=5"), vec!["0", "..=", "0"]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Rule-by-rule fixture tests, the workspace-clean gate, and seeded
+//! negative tests that plant a violation in otherwise-clean sources.
+
+use std::path::Path;
+
+use nosw_lint::{lint_files, Allowlist, SourceFile, Violation};
+
+const METRICS: &str = include_str!("../fixtures/metrics_mini.rs");
+const L1: &str = include_str!("../fixtures/l1_direct_write.rs");
+const L2_AUDIT: &str = include_str!("../fixtures/l2_audit_mini.rs");
+const L2_ENGINE: &str = include_str!("../fixtures/l2_engine_emit.rs");
+const L3: &str = include_str!("../fixtures/l3_instant.rs");
+const L4: &str = include_str!("../fixtures/l4_spawn.rs");
+const L5: &str = include_str!("../fixtures/l5_unwrap.rs");
+const L5_ALLOWED: &str = include_str!("../fixtures/l5_allowed.rs");
+const L6: &str = include_str!("../fixtures/l6_unsafe.rs");
+
+fn file(path: &str, text: &str) -> SourceFile {
+    SourceFile {
+        path: path.to_string(),
+        text: text.to_string(),
+    }
+}
+
+fn metrics_file() -> SourceFile {
+    file("crates/core/src/metrics.rs", METRICS)
+}
+
+fn rules_of(vs: &[Violation]) -> Vec<&'static str> {
+    vs.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn l1_direct_field_writes_are_flagged_with_lines() {
+    let vs = lint_files(
+        &[metrics_file(), file("crates/core/src/engine.rs", L1)],
+        &Allowlist::empty(),
+    );
+    let l1: Vec<_> = vs.iter().filter(|v| v.rule == "L1").collect();
+    assert_eq!(l1.len(), 2, "{vs:?}");
+    assert_eq!(l1[0].line, 5); // m.steps += 1;
+    assert_eq!(l1[1].line, 7); // m.wall_ns = 7;
+    assert!(l1[0].message.contains("steps"));
+    assert!(!l1[0].hint.is_empty());
+}
+
+#[test]
+fn l1_reads_and_metrics_module_writes_are_clean() {
+    let own_writes = "impl RunMetrics { pub fn bump(&mut self) { self.steps += 1; } }\n";
+    let mut m = metrics_file();
+    m.text.push_str(own_writes);
+    let reader = "pub fn read(m: &RunMetrics) -> u64 { m.steps + m.wall_ns }\n";
+    let vs = lint_files(
+        &[m, file("crates/bench/src/report.rs", reader)],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn l2_unemitted_variant_is_flagged_at_its_declaration() {
+    let vs = lint_files(
+        &[
+            file("crates/core/src/audit.rs", L2_AUDIT),
+            file("crates/core/src/engine.rs", L2_ENGINE),
+        ],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L2"], "{vs:?}");
+    assert!(vs[0].message.contains("Swap"));
+    assert!(vs[0].message.contains("never emitted"));
+    assert_eq!(vs[0].path, "crates/core/src/audit.rs");
+    assert_eq!(vs[0].line, 9); // Swap's declaration line in the fixture
+}
+
+#[test]
+fn l2_unhandled_variant_is_flagged() {
+    // Strip the Swap arm from the handler: Swap becomes emitted-but-unhandled.
+    let audit = L2_AUDIT.replace("TraceEvent::Swap { .. } => {}", "_ => {}");
+    let engine = "pub fn run(emit: impl Fn(TraceEvent)) {\n    \
+                  emit(TraceEvent::CoarseLoad { bytes: 1 });\n    \
+                  emit(TraceEvent::Swap { bytes: 2 });\n}\n";
+    let vs = lint_files(
+        &[
+            file("crates/core/src/audit.rs", &audit),
+            file("crates/core/src/engine.rs", engine),
+        ],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L2"], "{vs:?}");
+    assert!(vs[0].message.contains("Swap"));
+    assert!(vs[0].message.contains("no handling site"));
+}
+
+#[test]
+fn l3_raw_clock_reads_are_flagged_outside_exempt_crates() {
+    let vs = lint_files(
+        &[file("crates/core/src/engine.rs", L3)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L3"], "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+    // The same source is fine in clock.rs and in the bench/cli crates.
+    for exempt in [
+        "crates/core/src/clock.rs",
+        "crates/bench/src/runner.rs",
+        "crates/cli/src/commands.rs",
+    ] {
+        let vs = lint_files(&[file(exempt, L3)], &Allowlist::empty());
+        assert!(vs.is_empty(), "{exempt}: {vs:?}");
+    }
+}
+
+#[test]
+fn l4_thread_spawn_is_flagged_outside_sanctioned_modules() {
+    let vs = lint_files(
+        &[file("crates/core/src/engine.rs", L4)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L4"], "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+    for exempt in ["crates/core/src/threaded.rs", "crates/core/src/parallel.rs"] {
+        let vs = lint_files(&[file(exempt, L4)], &Allowlist::empty());
+        assert!(vs.is_empty(), "{exempt}: {vs:?}");
+    }
+}
+
+#[test]
+fn l5_panicking_calls_flagged_in_library_code_only() {
+    let vs = lint_files(
+        &[file("crates/storage/src/file.rs", L5)],
+        &Allowlist::empty(),
+    );
+    // unwrap (line 4), expect (line 8), panic! (line 12); the unwrap inside
+    // #[cfg(test)] must NOT be flagged.
+    assert_eq!(rules_of(&vs), vec!["L5", "L5", "L5"], "{vs:?}");
+    assert_eq!(
+        vs.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![4, 8, 12]
+    );
+    // The same source in a crate outside L5 scope is clean.
+    let vs = lint_files(
+        &[file("crates/apps/src/node2vec.rs", L5)],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn l5_suppression_needs_an_allowlist_entry() {
+    let f = file("crates/core/src/walk.rs", L5_ALLOWED);
+    // Annotation present but unregistered: the suppression itself is flagged.
+    let vs = lint_files(std::slice::from_ref(&f), &Allowlist::empty());
+    assert_eq!(rules_of(&vs), vec!["ALLOW"], "{vs:?}");
+    assert!(vs[0].message.contains("not registered"));
+    // Registered with the right count: clean.
+    let allow = Allowlist::parse("L5 crates/core/src/walk.rs 1").unwrap();
+    let vs = lint_files(std::slice::from_ref(&f), &allow);
+    assert!(vs.is_empty(), "{vs:?}");
+    // Registered with a stale count: flagged.
+    let allow = Allowlist::parse("L5 crates/core/src/walk.rs 2").unwrap();
+    let vs = lint_files(&[f], &allow);
+    assert_eq!(rules_of(&vs), vec!["ALLOW"], "{vs:?}");
+}
+
+#[test]
+fn dangling_suppression_is_flagged() {
+    let src = "pub fn fine() -> u32 {\n    // LINT-ALLOW(L5): nothing to suppress here.\n    \
+               42\n}\n";
+    let allow = Allowlist::parse("L5 crates/core/src/x.rs 1").unwrap();
+    let vs = lint_files(&[file("crates/core/src/x.rs", src)], &allow);
+    assert_eq!(rules_of(&vs), vec!["ALLOW"], "{vs:?}");
+    assert!(vs[0].message.contains("dangling"));
+}
+
+#[test]
+fn l6_unsafe_without_safety_comment_is_flagged() {
+    let vs = lint_files(
+        &[file("crates/storage/src/mmap.rs", L6)],
+        &Allowlist::empty(),
+    );
+    let l6: Vec<_> = vs.iter().filter(|v| v.rule == "L6").collect();
+    assert_eq!(l6.len(), 1, "{vs:?}");
+    assert_eq!(l6[0].line, 9); // the undocumented block
+}
+
+#[test]
+fn l6_unsafe_free_crate_must_forbid_unsafe_code() {
+    let bare = "pub fn f() {}\n";
+    let vs = lint_files(
+        &[file("crates/graph/src/lib.rs", bare)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L6"], "{vs:?}");
+    assert!(vs[0].message.contains("forbid"));
+    let guarded = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    let vs = lint_files(
+        &[file("crates/graph/src/lib.rs", guarded)],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn seeded_violation_in_clean_sources_is_caught() {
+    // Plant one stray metrics write into an otherwise-clean engine file and
+    // one unwrap into a storage file; both must surface with exact lines.
+    let engine = "pub fn drive(m: &mut RunMetrics) {\n    \
+                  let budget = 4;\n    \
+                  m.steps += budget;\n}\n";
+    let storage = "pub fn read_header(xs: &[u8]) -> u8 {\n    \
+                   *xs.first().unwrap()\n}\n";
+    let vs = lint_files(
+        &[
+            metrics_file(),
+            file("crates/core/src/engine.rs", engine),
+            file("crates/storage/src/device.rs", storage),
+        ],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L1", "L5"], "{vs:?}");
+    assert_eq!(
+        (vs[0].path.as_str(), vs[0].line),
+        ("crates/core/src/engine.rs", 3)
+    );
+    assert_eq!(
+        (vs[1].path.as_str(), vs[1].line),
+        ("crates/storage/src/device.rs", 2)
+    );
+}
+
+#[test]
+fn workspace_passes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = nosw_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 30,
+        "scanned {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.violations.is_empty(),
+        "workspace not lint-clean:\n{}",
+        rendered.join("\n")
+    );
+}

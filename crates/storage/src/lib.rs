@@ -21,8 +21,7 @@
 //! * [`IoStats`] — per-device counters (ops, bytes, busy time) that the
 //!   benchmark harness diffs around each run.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod budget;
 pub mod device;

@@ -28,7 +28,7 @@ proptest! {
             b.push_edge(s, d);
         }
         let csr = b.build();
-        let bytes = encode_edge_region(&csr, EdgeFormat::Unweighted);
+        let bytes = encode_edge_region(&csr, EdgeFormat::Unweighted).unwrap();
         prop_assert_eq!(bytes.len() as u64, csr.num_edges() * 4);
         for v in 0..n as u32 {
             let s = csr.edge_start(v) as usize * 4;
