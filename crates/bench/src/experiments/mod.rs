@@ -14,6 +14,7 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig9;
 pub mod table1;
+pub mod throughput;
 
 use crate::datasets::Scale;
 
@@ -36,6 +37,7 @@ pub const ALL: &[&str] = &[
     "ablation-lowdeg",
     "ablation-ssds",
     "ablation-g25",
+    "throughput",
 ];
 
 /// Dispatches an experiment by id. Returns `false` for unknown ids.
@@ -58,6 +60,7 @@ pub fn dispatch(id: &str, scale: Scale) -> bool {
         "ablation-lowdeg" => ablations::run_lowdeg(scale),
         "ablation-ssds" => ablations::run_ssds(scale),
         "ablation-g25" => ablations::run_g25(scale),
+        "throughput" => throughput::run(scale),
         "all" => {
             for id in ALL {
                 dispatch(id, scale);

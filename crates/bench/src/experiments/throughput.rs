@@ -1,0 +1,192 @@
+//! Throughput trajectory: the sequential NosWalker engine vs the decoupled
+//! [`ParallelRunner`] at 1/2/4/8 workers, same app, same dataset, fresh
+//! simulated NVMe device per cell.
+//!
+//! Besides the aligned table / `results/throughput.tsv`, this experiment
+//! writes `BENCH_throughput.json` into the working directory: a
+//! machine-checkable record of modeled steps/s per configuration plus an
+//! acceptance verdict (4-worker modeled throughput must be at least 2× the
+//! 1-worker figure — the lock-free batched kernel's scaling floor).
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use crate::runner::{env, run_system_in, SystemKind};
+use noswalker_apps::BasicRw;
+use noswalker_core::parallel::ParallelRunner;
+use noswalker_core::{EngineOptions, RunMetrics};
+use std::sync::Arc;
+
+const DATASET: &str = "k30";
+const WALK_LENGTH: u32 = 10;
+const SEED: u64 = 29;
+
+/// One measured configuration, ready for both the table and the JSON.
+struct Cell {
+    config: &'static str,
+    workers: usize,
+    m: RunMetrics,
+}
+
+impl Cell {
+    /// Modeled steps per simulated second.
+    fn steps_per_sec(&self) -> f64 {
+        self.m.steps as f64 / self.m.sim_secs().max(1e-12)
+    }
+
+    /// Host steps per wall second (informational on a shared host).
+    fn wall_steps_per_sec(&self) -> f64 {
+        self.m.steps as f64 / (self.m.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    fn json(&self, base_steps_per_sec: f64) -> String {
+        let sp = if base_steps_per_sec > 0.0 {
+            self.steps_per_sec() / base_steps_per_sec
+        } else {
+            0.0
+        };
+        format!(
+            "    {{\"config\": \"{}\", \"workers\": {}, \"steps\": {}, \"sim_ns\": {}, \
+             \"wall_ns\": {}, \"steps_per_sec\": {:.1}, \"wall_steps_per_sec\": {:.1}, \
+             \"speedup_vs_1w\": {:.3}, \"pool_publishes\": {}, \"pool_stalls\": {}, \
+             \"prefetch_hits\": {}, \"prefetch_wasted\": {}}}",
+            self.config,
+            self.workers,
+            self.m.steps,
+            self.m.sim_ns,
+            self.m.wall_ns,
+            self.steps_per_sec(),
+            self.wall_steps_per_sec(),
+            sp,
+            self.m.pool_publishes,
+            self.m.pool_stalls,
+            self.m.prefetch_hits,
+            self.m.prefetch_wasted,
+        )
+    }
+}
+
+/// Runs the throughput trajectory and writes `BENCH_throughput.json`.
+pub fn run(scale: Scale) {
+    let d = datasets::get(DATASET, scale);
+    let budget = datasets::default_budget(scale);
+    let walkers = scale.walkers(100_000);
+    let n = d.csr.num_vertices();
+    let opts = EngineOptions::default();
+
+    let mut cells = Vec::new();
+
+    // Sequential engine: the deterministic one-walker-at-a-time baseline.
+    let e = env(&d, budget);
+    let app = Arc::new(BasicRw::new(walkers, WALK_LENGTH, n));
+    let out = run_system_in(SystemKind::NosWalker, app, &e, opts.clone(), SEED);
+    match out {
+        Ok(m) => cells.push(Cell {
+            config: "sequential",
+            workers: 0,
+            m,
+        }),
+        Err(err) => {
+            eprintln!("throughput: sequential cell failed: {err}");
+            return;
+        }
+    }
+
+    // The decoupled runner across the worker trajectory.
+    for workers in [1usize, 2, 4, 8] {
+        let e = env(&d, budget);
+        let app = Arc::new(BasicRw::new(walkers, WALK_LENGTH, n));
+        let out = ParallelRunner::new(
+            app,
+            Arc::clone(&e.graph),
+            opts.clone(),
+            Arc::clone(&e.budget),
+        )
+        .run(SEED, workers);
+        match out {
+            Ok(m) => cells.push(Cell {
+                config: "parallel",
+                workers,
+                m,
+            }),
+            Err(err) => {
+                eprintln!("throughput: {workers}-worker cell failed: {err}");
+                return;
+            }
+        }
+    }
+
+    let base = cells
+        .iter()
+        .find(|c| c.config == "parallel" && c.workers == 1)
+        .map(|c| c.steps_per_sec())
+        .unwrap_or(0.0);
+
+    let mut r = Report::new(
+        "throughput",
+        "Throughput: sequential engine vs ParallelRunner (modeled steps/s)",
+    );
+    r.header([
+        "Config",
+        "Workers",
+        "Steps",
+        "Sim secs",
+        "Msteps/s",
+        "Speedup vs 1w",
+        "Pool stalls",
+        "Prefetch hit/wasted",
+    ]);
+    for c in &cells {
+        r.row([
+            c.config.to_string(),
+            if c.workers == 0 {
+                "-".to_string()
+            } else {
+                c.workers.to_string()
+            },
+            c.m.steps.to_string(),
+            format!("{:.4}", c.m.sim_secs()),
+            format!("{:.2}", c.steps_per_sec() / 1e6),
+            if base > 0.0 && c.config == "parallel" {
+                format!("{:.2}x", c.steps_per_sec() / base)
+            } else {
+                "-".to_string()
+            },
+            c.m.pool_stalls.to_string(),
+            format!("{}/{}", c.m.prefetch_hits, c.m.prefetch_wasted),
+        ]);
+    }
+    r.finish();
+
+    let four = cells
+        .iter()
+        .find(|c| c.config == "parallel" && c.workers == 4)
+        .map(|c| c.steps_per_sec())
+        .unwrap_or(0.0);
+    let four_speedup = if base > 0.0 { four / base } else { 0.0 };
+    let pass = four_speedup >= 2.0;
+
+    let rows: Vec<String> = cells.iter().map(|c| c.json(base)).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"{}\",\n  \"scale\": \"{}\",\n  \
+         \"walkers\": {},\n  \"walk_length\": {},\n  \"configs\": [\n{}\n  ],\n  \
+         \"acceptance\": {{\"criterion\": \"4-worker modeled steps/s >= 2x 1-worker\", \
+         \"four_worker_speedup\": {:.3}, \"pass\": {}}}\n}}\n",
+        DATASET,
+        match scale {
+            Scale::Default => "default",
+            Scale::Tiny => "tiny",
+        },
+        walkers,
+        WALK_LENGTH,
+        rows.join(",\n"),
+        four_speedup,
+        pass,
+    );
+    match std::fs::write("BENCH_throughput.json", &json) {
+        Ok(()) => println!("(wrote BENCH_throughput.json, 4w speedup {four_speedup:.2}x)"),
+        Err(err) => eprintln!("warning: cannot write BENCH_throughput.json: {err}"),
+    }
+    if !pass {
+        eprintln!("throughput: ACCEPTANCE FAILED — 4-worker speedup {four_speedup:.2}x < 2.0x");
+    }
+}

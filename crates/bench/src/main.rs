@@ -7,7 +7,7 @@ use noswalker_bench::experiments;
 use std::process::ExitCode;
 
 fn usage() {
-    eprintln!("usage: noswalker-bench <experiment> [--scale default|tiny]");
+    eprintln!("usage: noswalker-bench <experiment> [--scale default|tiny] [--quick]");
     eprintln!("experiments: {} all", experiments::ALL.join(" "));
 }
 
@@ -25,6 +25,8 @@ fn main() -> ExitCode {
                 };
                 scale = v;
             }
+            // CI smoke runs: shorthand for `--scale tiny`.
+            "--quick" => scale = Scale::Tiny,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;

@@ -87,7 +87,7 @@ pub fn generate(
 
 fn format_metrics(label: &str, m: &RunMetrics) -> String {
     format!(
-        "{label}\n  walkers finished:  {}\n  steps:             {} (block {}, pre-sample {}, raw {})\n  edge I/O:          {} bytes in {} ops ({:.1} edges/step)\n  swap/aux I/O:      {} bytes\n  simulated time:    {:.4} s ({:.2} M steps/s)\n  wall time:         {:.4} s\n  peak memory:       {} bytes\n  fine mode:         {}",
+        "{label}\n  walkers finished:  {}\n  steps:             {} (block {}, pre-sample {}, raw {})\n  edge I/O:          {} bytes in {} ops ({:.1} edges/step)\n  swap/aux I/O:      {} bytes\n  pre-sample pool:   {} publishes, {} claim stalls\n  prefetch:          {} hits, {} wasted\n  simulated time:    {:.4} s ({:.2} M steps/s)\n  wall time:         {:.4} s\n  peak memory:       {} bytes\n  fine mode:         {}",
         m.walkers_finished,
         m.steps,
         m.steps_on_block,
@@ -97,6 +97,10 @@ fn format_metrics(label: &str, m: &RunMetrics) -> String {
         m.io_ops,
         m.edges_per_step(),
         m.swap_bytes,
+        m.pool_publishes,
+        m.pool_stalls,
+        m.prefetch_hits,
+        m.prefetch_wasted,
         m.sim_secs(),
         m.steps_per_sec() / 1e6,
         m.wall_ns as f64 / 1e9,

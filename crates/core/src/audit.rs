@@ -98,6 +98,28 @@ pub enum TraceEvent {
         /// Simulated time of the swap.
         at_ns: u64,
     },
+    /// A new pre-sample buffer generation was atomically published to the
+    /// parallel runner's lock-free shared pool (background refill ④).
+    PoolPublish {
+        /// Block whose generation was replaced.
+        block: BlockId,
+        /// Vertices that received slots in the new generation.
+        slots: u64,
+        /// Samples drawn while building it.
+        draws: u64,
+        /// Simulated time the publish was observed.
+        at_ns: u64,
+    },
+    /// A prefetched coarse block arrived: consumed by a waiting walker
+    /// bucket (`hit`) or discarded unneeded (`!hit`).
+    Prefetch {
+        /// The prefetched block.
+        block: BlockId,
+        /// Whether walkers were still waiting for it.
+        hit: bool,
+        /// Simulated time the block arrived.
+        at_ns: u64,
+    },
     /// The engine switched to fine-grained I/O mode (§3.3.1).
     FineModeSwitch {
         /// Global step count at the switch.
@@ -127,6 +149,8 @@ impl TraceEvent {
             TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::Stall { .. } => "stall",
             TraceEvent::Swap { .. } => "swap",
+            TraceEvent::PoolPublish { .. } => "pool_publish",
+            TraceEvent::Prefetch { .. } => "prefetch",
             TraceEvent::FineModeSwitch { .. } => "fine_mode_switch",
             TraceEvent::RunEnd { .. } => "run_end",
         }
@@ -197,6 +221,22 @@ impl TraceEvent {
             TraceEvent::Swap { bytes, at_ns } => {
                 vec![("bytes", bytes.to_string()), ("at_ns", at_ns.to_string())]
             }
+            TraceEvent::PoolPublish {
+                block,
+                slots,
+                draws,
+                at_ns,
+            } => vec![
+                ("block", block.to_string()),
+                ("slots", slots.to_string()),
+                ("draws", draws.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::Prefetch { block, hit, at_ns } => vec![
+                ("block", block.to_string()),
+                ("hit", hit.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
             TraceEvent::FineModeSwitch { at_step, at_ns } => vec![
                 ("at_step", at_step.to_string()),
                 ("at_ns", at_ns.to_string()),

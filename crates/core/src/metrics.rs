@@ -68,6 +68,18 @@ pub struct RunMetrics {
     pub presamples_filled: u64,
     /// Pre-sampled slots consumed by moves.
     pub presamples_consumed: u64,
+    /// Pre-sample buffer generations published to the parallel runner's
+    /// lock-free shared pool.
+    pub pool_publishes: u64,
+    /// Walker visits that found no usable pre-sample in the shared pool
+    /// (no generation published yet, or the slots were depleted) and fell
+    /// back to the coordinator.
+    pub pool_stalls: u64,
+    /// Prefetched coarse blocks that a waiting walker bucket consumed.
+    pub prefetch_hits: u64,
+    /// Prefetched coarse blocks discarded because no walker needed them by
+    /// the time they arrived.
+    pub prefetch_wasted: u64,
     /// Second-order candidates accepted.
     pub accepts: u64,
     /// Second-order candidates rejected.
@@ -154,6 +166,17 @@ impl RunMetrics {
         self.presamples_consumed += 1;
     }
 
+    /// Records a prefetched block that a waiting walker bucket consumed.
+    pub fn record_prefetch_hit(&mut self) {
+        self.prefetch_hits += 1;
+    }
+
+    /// Records a prefetched block that arrived after its bucket drained
+    /// (or the run ended) and was discarded unconsumed.
+    pub fn record_prefetch_wasted(&mut self) {
+        self.prefetch_wasted += 1;
+    }
+
     /// Marks the switch to fine-grained I/O at the current step count
     /// (§3.3.1); the first call wins.
     pub fn mark_fine_mode_switch(&mut self) {
@@ -236,6 +259,10 @@ impl RunMetrics {
         }
         self.presamples_filled += other.presamples_filled;
         self.presamples_consumed += other.presamples_consumed;
+        self.pool_publishes += other.pool_publishes;
+        self.pool_stalls += other.pool_stalls;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_wasted += other.prefetch_wasted;
         self.accepts += other.accepts;
         self.rejects += other.rejects;
         self.peak_memory = self.peak_memory.max(other.peak_memory);
@@ -293,6 +320,8 @@ pub(crate) struct SharedMetrics {
     steps_on_raw: AtomicU64,
     presamples_filled: AtomicU64,
     presamples_consumed: AtomicU64,
+    pool_publishes: AtomicU64,
+    pool_stalls: AtomicU64,
     finished: AtomicU64,
 }
 
@@ -307,6 +336,11 @@ impl SharedMetrics {
         self.presamples_filled.fetch_add(draws, Ordering::Relaxed);
     }
 
+    /// Records one buffer generation published to the shared pool.
+    pub(crate) fn add_pool_publish(&self) {
+        self.pool_publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the accumulated totals into `m`.
     pub(crate) fn drain_into(&self, m: &mut RunMetrics) {
         m.steps = self.steps.load(Ordering::Relaxed);
@@ -315,6 +349,8 @@ impl SharedMetrics {
         m.steps_on_raw = self.steps_on_raw.load(Ordering::Relaxed);
         m.presamples_filled = self.presamples_filled.load(Ordering::Relaxed);
         m.presamples_consumed = self.presamples_consumed.load(Ordering::Relaxed);
+        m.pool_publishes = self.pool_publishes.load(Ordering::Relaxed);
+        m.pool_stalls = self.pool_stalls.load(Ordering::Relaxed);
         m.walkers_finished = self.finished.load(Ordering::Relaxed);
     }
 }
@@ -328,6 +364,7 @@ pub(crate) struct LocalCounters {
     steps_on_presample: u64,
     steps_on_raw: u64,
     presamples_consumed: u64,
+    pool_stalls: u64,
     finished: u64,
 }
 
@@ -348,9 +385,27 @@ impl LocalCounters {
         self.presamples_consumed += 1;
     }
 
+    /// Records a walker visit the shared pool could not serve (missing or
+    /// depleted buffer): the walker falls back to the coordinator.
+    pub(crate) fn record_pool_stall(&mut self) {
+        self.pool_stalls += 1;
+    }
+
     /// Records one walker reaching its end state.
     pub(crate) fn record_finished(&mut self) {
         self.finished += 1;
+    }
+
+    /// Total steps recorded so far (the runner's deterministic compute
+    /// model charges a round by its jobs' step counts).
+    pub(crate) fn steps_total(&self) -> u64 {
+        self.steps
+    }
+
+    /// Steps that performed an on-line sample draw (block + raw; reserved
+    /// slots were drawn at refill time and are charged there).
+    pub(crate) fn samples_total(&self) -> u64 {
+        self.steps_on_block + self.steps_on_raw
     }
 
     /// Flushes the accumulated counts into the shared totals.
@@ -368,6 +423,9 @@ impl LocalCounters {
         shared
             .presamples_consumed
             .fetch_add(self.presamples_consumed, Ordering::Relaxed);
+        shared
+            .pool_stalls
+            .fetch_add(self.pool_stalls, Ordering::Relaxed);
         shared.finished.fetch_add(self.finished, Ordering::Relaxed);
     }
 }
@@ -424,10 +482,14 @@ mod tests {
         local.record_step(StepSource::Block);
         local.record_step(StepSource::PreSample);
         local.record_presample_consumed();
+        local.record_pool_stall();
         local.record_finished();
+        assert_eq!(local.steps_total(), 2);
+        assert_eq!(local.samples_total(), 1); // pre-sample steps draw nothing
         local.flush(&shared);
         shared.add_finished(2);
         shared.add_presamples_filled(7);
+        shared.add_pool_publish();
         let mut m = RunMetrics::default();
         shared.drain_into(&mut m);
         assert_eq!(m.steps, 2);
@@ -435,7 +497,27 @@ mod tests {
         assert_eq!(m.steps_on_presample, 1);
         assert_eq!(m.presamples_consumed, 1);
         assert_eq!(m.presamples_filled, 7);
+        assert_eq!(m.pool_publishes, 1);
+        assert_eq!(m.pool_stalls, 1);
         assert_eq!(m.walkers_finished, 3);
+    }
+
+    #[test]
+    fn prefetch_helpers_and_merge_cover_pool_counters() {
+        let mut m = RunMetrics::default();
+        m.record_prefetch_hit();
+        m.record_prefetch_hit();
+        m.record_prefetch_wasted();
+        let mut other = RunMetrics::default();
+        other.record_prefetch_hit();
+        other.record_prefetch_wasted();
+        other.pool_publishes = 3;
+        other.pool_stalls = 5;
+        m.merge(&other);
+        assert_eq!(m.prefetch_hits, 3);
+        assert_eq!(m.prefetch_wasted, 2);
+        assert_eq!(m.pool_publishes, 3);
+        assert_eq!(m.pool_stalls, 5);
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub struct EngineOptions {
     /// Per-walker swap record bytes when walker management is off (walker
     /// state as serialized by GraphWalker-style buffers).
     pub swap_record_bytes: u64,
+    /// Coarse blocks the parallel runner's loader queue keeps in flight
+    /// beyond the demand load (next-hottest prefetching; 0 disables it).
+    pub prefetch_depth: u32,
     /// Ablation: allocate pre-sample slots uniformly instead of
     /// proportionally to the carried visit counters (§3.3.2). Off by
     /// default (the paper's design).
@@ -73,6 +76,7 @@ impl Default for EngineOptions {
             sample_ns: 40,
             threads: 16,
             swap_record_bytes: 24,
+            prefetch_depth: 2,
             uniform_presample_alloc: false,
             buffered_io_penalty: 3.5,
         }

@@ -1,24 +1,44 @@
-//! A real multithreaded NosWalker runner.
+//! A real multithreaded NosWalker runner with a lock-free step kernel.
 //!
 //! The simulation engine ([`crate::NosWalkerEngine`]) models the paper's
 //! concurrency deterministically through the pipeline clock. This module is
-//! the *actual* concurrent implementation for running against real storage
-//! (e.g. a [`noswalker_storage::FileDevice`]): a background loader thread
-//! services hottest-block requests while a pool of worker threads moves
-//! walkers over loaded blocks and the shared pre-sample pool.
+//! the *actual* concurrent implementation: a background loader thread
+//! services hottest-block requests (with a small prefetch window) while a
+//! pool of worker threads moves walkers over loaded blocks and the shared
+//! pre-sample pool.
 //!
 //! The division of labour mirrors the paper's Fig. 6:
 //!
 //! * **coordinator** (caller thread): walker generation ②, bucket
-//!   bookkeeping, hottest-block scheduling, pre-sample refills ④;
-//! * **loader thread** ①: block reads, double-buffered;
-//! * **workers** ③: move batches of walkers on the resident block, then
-//!   chase the lock-sharded pre-sample pool.
+//!   bookkeeping, hottest-block scheduling and prefetch top-up, refill
+//!   dispatch ④;
+//! * **loader thread** ①: block reads, up to `prefetch_depth` in flight
+//!   beyond the demand load;
+//! * **workers** ③: run the batched step kernel — resident-block walking,
+//!   then per-bucket draining of the published pre-sample pool.
 //!
-//! Wall-clock results depend on the host (including how many CPUs it
-//! actually grants); use the simulation engine for reproducible numbers.
-//! Walk *semantics* are identical (same `Walk` contract), which the tests
-//! check against the sequential engine.
+//! # The published pre-sample pool
+//!
+//! Pre-sample buffers are *built privately* on a worker (a refill job,
+//! serialized per block by a try-lock gate) and then *published* as an
+//! immutable [`PublishedBuffer`] behind an `Arc`. Consumption is lock-free:
+//! a worker acquires the `Arc` once per walker bucket and then claims
+//! slots with a single `fetch_add` per step ([`PublishedBuffer::claim`]).
+//! The per-slot mutex of the sequential engine's pool never appears on the
+//! step path — the only locks are the brief pointer swap at publish time
+//! and the pointer clone at bucket-acquire time. See `DESIGN.md` §11 for
+//! the full protocol and its ordering argument.
+//!
+//! # The simulated clock
+//!
+//! Wall-clock timing on a shared host measures the host, not the
+//! architecture — so, like the sequential engine, this runner reports
+//! `sim_ns` from a deterministic model: each round of walk jobs charges
+//! `max(longest job, total work / workers)` of compute, and block loads
+//! flow through a single-channel FIFO device timeline fed by the storage
+//! device's own service times. `wall_ns` still reports honest wall time.
+//! Walk *semantics* are identical to the sequential engine (same `Walk`
+//! contract), which the tests check.
 
 use crate::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use crate::block::LoadedBlock;
@@ -27,7 +47,7 @@ use crate::disk_graph::OnDiskGraph;
 use crate::engine::EngineError;
 use crate::metrics::{LocalCounters, RunMetrics, SharedMetrics, StepSource};
 use crate::options::EngineOptions;
-use crate::presample::{plan_quotas, Peek, PreSampleBuffer};
+use crate::presample::{plan_quotas, Claim, PreSampleBuffer, PublishedBuffer};
 use crate::threaded::BackgroundLoader;
 use crate::walk::{Walk, WalkRng};
 use noswalker_graph::partition::BlockId;
@@ -35,12 +55,120 @@ use noswalker_graph::VertexId;
 use noswalker_storage::MemoryBudget;
 use parking_lot::Mutex;
 use rand::SeedableRng;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-/// The lock-sharded pre-sample pool.
+/// One block's slot in the published pool.
+#[derive(Debug)]
+struct PoolSlot {
+    /// The current published generation, if any. Locked only to swap or
+    /// clone the `Arc` — never while stepping walkers.
+    published: Mutex<Option<Arc<PublishedBuffer>>>,
+    /// Serializes refills per block: a contended gate means another worker
+    /// is already rebuilding this buffer, so the loser just skips.
+    refill_gate: Mutex<()>,
+}
+
+/// The published pre-sample pool: one slot per coarse block.
 #[derive(Debug)]
 struct SharedPool {
-    buffers: Vec<Mutex<Option<PreSampleBuffer>>>,
+    slots: Vec<PoolSlot>,
+}
+
+impl SharedPool {
+    fn new(num_blocks: usize) -> Self {
+        SharedPool {
+            slots: (0..num_blocks)
+                .map(|_| PoolSlot {
+                    published: Mutex::new(None),
+                    refill_gate: Mutex::new(()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Clones the current generation's handle (one brief lock per walker
+    /// bucket; all subsequent claims on the handle are lock-free).
+    fn acquire(&self, b: BlockId) -> Option<Arc<PublishedBuffer>> {
+        self.slots[b as usize].published.lock().clone()
+    }
+
+    /// Swaps in a freshly built generation, returning the old one.
+    fn publish(&self, b: BlockId, buf: Arc<PublishedBuffer>) -> Option<Arc<PublishedBuffer>> {
+        self.slots[b as usize].published.lock().replace(buf)
+    }
+
+    /// Retires the current generation (its memory reservation is released
+    /// once the last outstanding `Arc` drops).
+    fn unpublish(&self, b: BlockId) -> Option<Arc<PublishedBuffer>> {
+        self.slots[b as usize].published.lock().take()
+    }
+}
+
+/// Completed refill, reported back to the coordinator for tracing and for
+/// charging the refill's compute into the simulated clock.
+#[derive(Debug, Clone, Copy)]
+struct RefillReport {
+    block: BlockId,
+    /// Sampled slot capacity of the published generation.
+    slots: u64,
+    /// Samples actually drawn while building it.
+    draws: u64,
+}
+
+/// What a finished walk job hands back to the coordinator.
+struct WalkOutcome<W> {
+    /// Walkers that stalled on the pool and need re-bucketing.
+    survivors: Vec<W>,
+    /// Steps taken by this job (for the compute model).
+    steps: u64,
+    /// Direct sample draws by this job (on-block + raw; pre-drawn samples
+    /// were already billed at refill time).
+    samples: u64,
+}
+
+/// The deterministic performance model: a compute timeline (`now`) fed by
+/// per-round job costs, and a single-channel FIFO device timeline
+/// (`io_free_at`) fed by the storage device's service times.
+#[derive(Debug, Default)]
+struct ModelClock {
+    now: u64,
+    io_free_at: u64,
+    stalled: u64,
+    io_busy: u64,
+}
+
+impl ModelClock {
+    /// Pushes a load issued at `issued_ns` through the device FIFO and
+    /// returns its completion time.
+    fn load_done(&mut self, issued_ns: u64, service_ns: u64) -> u64 {
+        let start = self.io_free_at.max(issued_ns);
+        let done = start + service_ns;
+        self.io_free_at = done;
+        self.io_busy += service_ns;
+        done
+    }
+
+    /// Advances `now` to `t`, charging the wait as an I/O stall. Returns
+    /// the stall interval when one actually occurred.
+    fn wait_until(&mut self, t: u64) -> Option<(u64, u64)> {
+        if t > self.now {
+            let from = self.now;
+            self.stalled += t - self.now;
+            self.now = t;
+            Some((from, t))
+        } else {
+            None
+        }
+    }
+
+    /// Charges one round of concurrent jobs: bounded below by the longest
+    /// job (critical path) and by total work spread over `workers`.
+    fn charge_round(&mut self, job_costs: &[u64], workers: usize) {
+        let longest = job_costs.iter().copied().max().unwrap_or(0);
+        let total: u64 = job_costs.iter().sum();
+        self.now += longest.max(total.div_ceil(workers.max(1) as u64));
+    }
 }
 
 /// A real-thread NosWalker runner for first-order walks.
@@ -71,8 +199,8 @@ impl<A: Walk + 'static> ParallelRunner<A> {
     /// Runs to completion with `workers` walker-processing threads (plus
     /// the background loader thread).
     ///
-    /// The returned metrics report wall-clock time in both `sim_ns` and
-    /// `wall_ns` (there is no simulated clock here).
+    /// The returned metrics report modeled time in `sim_ns` (see the
+    /// module docs) and honest wall-clock time in `wall_ns`.
     ///
     /// # Errors
     ///
@@ -88,11 +216,12 @@ impl<A: Walk + 'static> ParallelRunner<A> {
 
     /// Like [`ParallelRunner::run`], recording [`TraceEvent`]s into `sink`.
     ///
-    /// Only the coordinator thread emits (loads, load stalls, run end);
-    /// worker threads never touch the sink, so tracing adds no
-    /// synchronization to the walking hot path. Timestamps are wall-clock
-    /// nanoseconds since the run started (there is no simulated clock
-    /// here).
+    /// Only the coordinator thread emits (loads, stalls, pool publishes,
+    /// prefetch outcomes, run end); worker threads never touch the sink,
+    /// so tracing adds no synchronization to the walking hot path. Refill
+    /// completions reach the coordinator over a channel and are stamped
+    /// when it drains them. Timestamps are modeled nanoseconds on the
+    /// simulated clock.
     ///
     /// # Errors
     ///
@@ -126,10 +255,9 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         let num_blocks = self.graph.num_blocks();
         let total = self.app.total_walkers();
         let shared = Arc::new(SharedMetrics::default());
-        let pool = Arc::new(SharedPool {
-            buffers: (0..num_blocks).map(|_| Mutex::new(None)).collect(),
-        });
+        let pool = Arc::new(SharedPool::new(num_blocks));
         let mut metrics = RunMetrics::default();
+        let mut model = ModelClock::default();
 
         // Budget: the walker pool's share (see
         // `EngineOptions::walker_pool_quota`).
@@ -139,18 +267,26 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             .walker_pool_quota(&self.budget, self.app.state_bytes(), total);
         let _pool_hold = self.budget.try_reserve(cap * state)?;
 
-        let loader = BackgroundLoader::spawn(Arc::clone(&self.graph), Arc::clone(&self.budget), 2);
+        // The loader queue holds the demand load plus the prefetch window.
+        let prefetch_depth = self.opts.prefetch_depth as usize;
+        let loader = BackgroundLoader::spawn(
+            Arc::clone(&self.graph),
+            Arc::clone(&self.budget),
+            prefetch_depth + 1,
+        );
 
         // Persistent worker threads. Walk jobs carry an Arc of the
-        // resident block plus an owned chunk of walkers and report
-        // survivors back; refill jobs regenerate a block's pre-sample
-        // buffer asynchronously (the paper's background pre-sampling ④).
+        // resident block plus an owned chunk of walkers and report an
+        // outcome back; refill jobs regenerate a block's published
+        // pre-sample buffer asynchronously (the paper's background
+        // pre-sampling ④).
         enum Job<W> {
             Walk(Arc<LoadedBlock>, Vec<W>),
             Refill(Arc<LoadedBlock>),
         }
         let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<A::Walker>>();
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<Vec<A::Walker>>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<WalkOutcome<A::Walker>>();
+        let (refill_tx, refill_rx) = crossbeam::channel::unbounded::<RefillReport>();
         let mut worker_handles = Vec::with_capacity(workers);
         for wi in 0..workers {
             let app = Arc::clone(&self.app);
@@ -161,6 +297,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             let opts = self.opts.clone();
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
+            let refill_tx = refill_tx.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("noswalker-worker-{wi}"))
@@ -171,26 +308,33 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                         while let Ok(job) = job_rx.recv() {
                             match job {
                                 Job::Walk(block, walkers) => {
-                                    let mut out = Vec::new();
                                     let mut local = LocalCounters::default();
-                                    for w in walkers {
-                                        if let Some(w) = drive_walker(
-                                            &*app, &graph, &block, &pool, &mut local, &opts, w,
-                                            &mut wrng,
-                                        ) {
-                                            out.push(w);
-                                        }
-                                    }
+                                    let ctx = StepCtx {
+                                        app: &*app,
+                                        graph: &graph,
+                                        block: block.as_ref(),
+                                        pool: &pool,
+                                    };
+                                    let survivors =
+                                        drive_batch(&ctx, &mut local, &mut wrng, walkers);
+                                    let outcome = WalkOutcome {
+                                        steps: local.steps_total(),
+                                        samples: local.samples_total(),
+                                        survivors,
+                                    };
                                     local.flush(&shared);
-                                    if res_tx.send(out).is_err() {
+                                    if res_tx.send(outcome).is_err() {
                                         break;
                                     }
                                 }
                                 Job::Refill(block) => {
-                                    let draws = refill_block(
+                                    if let Some(rep) = refill_block(
                                         &*app, &graph, &pool, &budget, &opts, &block, &mut wrng,
-                                    );
-                                    shared.add_presamples_filled(draws);
+                                    ) {
+                                        shared.add_presamples_filled(rep.draws);
+                                        shared.add_pool_publish();
+                                        let _ = refill_tx.send(rep);
+                                    }
                                 }
                             }
                         }
@@ -202,16 +346,33 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         }
         drop(job_rx);
         drop(res_tx);
+        drop(refill_tx);
 
         // Coordinator-owned state.
         let mut rng = WalkRng::seed_from_u64(seed);
         let mut buckets: Vec<Vec<A::Walker>> = vec![Vec::new(); num_blocks];
         let mut live = 0u64;
         let mut next_id = 0u64;
-        let mut pending: Option<BlockId> = None;
+        // Requests handed to the loader, oldest first: (block, is_prefetch,
+        // modeled issue time). Results come back in the same order.
+        let mut inflight: VecDeque<(BlockId, bool, u64)> = VecDeque::new();
 
         let bucket_of = |app: &A, w: &A::Walker, graph: &OnDiskGraph| -> usize {
             graph.block_of(app.location(w)) as usize
+        };
+        // The hottest block with walkers waiting that is not already on
+        // its way from the loader.
+        let hottest = |buckets: &[Vec<A::Walker>],
+                       inflight: &VecDeque<(BlockId, bool, u64)>|
+         -> Option<BlockId> {
+            buckets
+                .iter()
+                .enumerate()
+                .filter(|&(i, v)| {
+                    !v.is_empty() && !inflight.iter().any(|&(b, _, _)| b as usize == i)
+                })
+                .max_by_key(|(_, v)| v.len())
+                .map(|(i, _)| i as BlockId)
         };
 
         // Inline generation into the coordinator loop.
@@ -234,53 +395,71 @@ impl<A: Walk + 'static> ParallelRunner<A> {
 
         generate!();
         while live > 0 || next_id < total {
-            // Schedule the hottest block.
-            let target = match pending.take() {
-                Some(b) => b,
-                None => {
-                    let Some((b, _)) = buckets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, v)| !v.is_empty())
-                        .max_by_key(|(_, v)| v.len())
-                    else {
-                        break;
-                    };
-                    loader.request(b as BlockId).map_err(loader_err)?;
-                    b as BlockId
-                }
-            };
-            let wait_from = wall.elapsed_ns();
-            let loaded = loader.recv().map_err(loader_err)?;
-            let wait_until = wall.elapsed_ns();
-            if wait_until > wait_from {
-                trace.emit(|| TraceEvent::Stall {
-                    waiting_for: Some(target),
-                    from_ns: wait_from,
-                    until_ns: wait_until,
-                });
+            // Demand-schedule the hottest block when nothing is in flight.
+            if inflight.is_empty() {
+                let Some(b) = hottest(&buckets, &inflight) else {
+                    break;
+                };
+                loader.request(b).map_err(loader_err)?;
+                inflight.push_back((b, false, model.now));
             }
+            let Some((target, was_prefetch, issued_ns)) = inflight.pop_front() else {
+                break;
+            };
+            let loaded = loader.recv().map_err(loader_err)?;
+            let done_ns = model.load_done(issued_ns, loaded.service_ns);
             let block = Arc::new(loaded.block);
             debug_assert_eq!(block.info().id, target);
-            metrics.record_coarse_load(block.info().byte_len());
             let bytes = block.info().byte_len();
-            trace.emit(|| TraceEvent::CoarseLoad {
-                block: target,
-                bytes,
-                cache_hit: false,
-                at_ns: wait_until,
-            });
 
-            // Prefetch the next-hottest other block while workers process.
-            if let Some((nb, _)) = buckets
-                .iter()
-                .enumerate()
-                .filter(|&(i, v)| i != target as usize && !v.is_empty())
-                .max_by_key(|(_, v)| v.len())
-            {
-                if loader.request(nb as BlockId).is_ok() {
-                    pending = Some(nb as BlockId);
+            if buckets[target as usize].is_empty() {
+                // Nobody wants this block any more: account the I/O and
+                // move on (only prefetches can end up here).
+                if bytes > 0 {
+                    metrics.record_coarse_load(bytes);
+                    trace.emit(|| TraceEvent::CoarseLoad {
+                        block: target,
+                        bytes,
+                        cache_hit: false,
+                        at_ns: done_ns,
+                    });
                 }
+                if was_prefetch {
+                    metrics.record_prefetch_wasted();
+                    trace.emit(|| TraceEvent::Prefetch {
+                        block: target,
+                        hit: false,
+                        at_ns: done_ns,
+                    });
+                }
+                continue;
+            }
+
+            if let Some((from, until)) = model.wait_until(done_ns) {
+                trace.emit(|| TraceEvent::Stall {
+                    waiting_for: Some(target),
+                    from_ns: from,
+                    until_ns: until,
+                });
+            }
+            if bytes > 0 {
+                metrics.record_coarse_load(bytes);
+                let at = model.now;
+                trace.emit(|| TraceEvent::CoarseLoad {
+                    block: target,
+                    bytes,
+                    cache_hit: false,
+                    at_ns: at,
+                });
+            }
+            if was_prefetch {
+                metrics.record_prefetch_hit();
+                let at = model.now;
+                trace.emit(|| TraceEvent::Prefetch {
+                    block: target,
+                    hit: true,
+                    at_ns: at,
+                });
             }
 
             // Fan the block's walkers out to the persistent workers. Chunks
@@ -300,10 +479,42 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                     jobs += 1;
                 }
             }
-            let mut survivors = Vec::new();
-            for _ in 0..jobs {
-                survivors.extend(res_rx.recv().map_err(|_| worker_died())?);
+
+            // Top up the prefetch window while the workers chew: the
+            // loader reads ahead into the blocks that will most likely be
+            // scheduled next. `try_request` never blocks the coordinator.
+            while inflight.len() < prefetch_depth {
+                let Some(nb) = hottest(&buckets, &inflight) else {
+                    break;
+                };
+                match loader.try_request(nb) {
+                    Ok(true) => inflight.push_back((nb, true, model.now)),
+                    Ok(false) => break,
+                    Err(e) => return Err(loader_err(e)),
+                }
             }
+
+            let mut survivors = Vec::new();
+            let mut job_costs: Vec<u64> = Vec::with_capacity(jobs + 1);
+            for _ in 0..jobs {
+                let out = res_rx.recv().map_err(|_| worker_died())?;
+                job_costs.push(out.steps * self.opts.step_ns + out.samples * self.opts.sample_ns);
+                survivors.extend(out.survivors);
+            }
+            // Refills that completed since the last round bill their
+            // drawing work into this round and surface as publishes.
+            while let Ok(rep) = refill_rx.try_recv() {
+                job_costs.push(rep.draws * self.opts.sample_ns);
+                let at = model.now;
+                trace.emit(|| TraceEvent::PoolPublish {
+                    block: rep.block,
+                    slots: rep.slots,
+                    draws: rep.draws,
+                    at_ns: at,
+                });
+            }
+            model.charge_round(&job_costs, workers);
+
             let finished_now = batch_len - survivors.len() as u64;
             live -= finished_now;
             for w in survivors {
@@ -312,7 +523,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             }
 
             // Refill the block's pre-sample buffer (④) asynchronously;
-            // the block Arc keeps the buffer alive until the refill runs.
+            // the block Arc keeps the data alive until the refill runs.
             if self.opts.enable_presample {
                 job_tx
                     .send(Job::Refill(Arc::clone(&block)))
@@ -322,18 +533,59 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             generate!();
         }
 
+        // Drain prefetches still in flight so their I/O is accounted and
+        // the loader can shut down cleanly.
+        while let Some((b, was_prefetch, issued_ns)) = inflight.pop_front() {
+            let loaded = loader.recv().map_err(loader_err)?;
+            let done_ns = model.load_done(issued_ns, loaded.service_ns);
+            let bytes = loaded.block.info().byte_len();
+            if bytes > 0 {
+                metrics.record_coarse_load(bytes);
+                trace.emit(|| TraceEvent::CoarseLoad {
+                    block: b,
+                    bytes,
+                    cache_hit: false,
+                    at_ns: done_ns,
+                });
+            }
+            if was_prefetch {
+                metrics.record_prefetch_wasted();
+                trace.emit(|| TraceEvent::Prefetch {
+                    block: b,
+                    hit: false,
+                    at_ns: done_ns,
+                });
+            }
+        }
+
         drop(job_tx);
         for h in worker_handles {
             let _ = h.join();
+        }
+        // Publishes whose reports arrived after the coordinator's last
+        // drain still get traced (their draws were already counted by the
+        // worker; bill the compute too).
+        let mut tail_costs: Vec<u64> = Vec::new();
+        while let Ok(rep) = refill_rx.try_recv() {
+            tail_costs.push(rep.draws * self.opts.sample_ns);
+            let at = model.now;
+            trace.emit(|| TraceEvent::PoolPublish {
+                block: rep.block,
+                slots: rep.slots,
+                draws: rep.draws,
+                at_ns: at,
+            });
+        }
+        if !tail_costs.is_empty() {
+            model.charge_round(&tail_costs, workers);
         }
 
         shared.drain_into(&mut metrics);
         metrics.set_peak_memory(self.budget.peak());
         metrics.derive_edges_loaded(self.graph.format().record_bytes() as u64);
         metrics.finalize_wall(&wall);
-        metrics.set_sim_from_wall();
-        let (steps, walkers_finished, at) =
-            (metrics.steps, metrics.walkers_finished, metrics.wall_ns);
+        metrics.set_sim_times(model.now.max(1), model.stalled, model.io_busy);
+        let (steps, walkers_finished, at) = (metrics.steps, metrics.walkers_finished, model.now);
         trace.emit(|| TraceEvent::RunEnd {
             steps,
             walkers_finished,
@@ -343,9 +595,13 @@ impl<A: Walk + 'static> ParallelRunner<A> {
     }
 }
 
-/// Rebuilds a block's pre-sample buffer from the resident block (run on a
-/// worker thread; the pool slot's mutex serializes concurrent refills).
-/// Returns the number of samples drawn, for `presamples_filled`.
+/// Rebuilds a block's pre-sample buffer and publishes it (run on a worker
+/// thread; the block's `refill_gate` serializes concurrent refills —
+/// losers skip rather than queue). The build happens entirely on private
+/// data; readers of the previous generation are never blocked.
+///
+/// Returns `None` when nothing was published (gate contended, buffer still
+/// mostly full, or no budget even after retiring the old generation).
 fn refill_block<A: Walk>(
     app: &A,
     graph: &OnDiskGraph,
@@ -354,25 +610,27 @@ fn refill_block<A: Walk>(
     opts: &EngineOptions,
     block: &LoadedBlock,
     rng: &mut WalkRng,
-) -> u64 {
+) -> Option<RefillReport> {
     let info = *block.info();
     let b = info.id;
     let nv = info.num_vertices() as usize;
     if nv == 0 {
-        return 0;
+        return None;
     }
-    let mut slot = pool.buffers[b as usize].lock();
-    if let Some(buf) = &*slot {
-        let cap = buf.sampled_capacity();
-        if cap > 0 && buf.remaining_sampled() * 4 > cap {
-            return 0; // still mostly full
+    let _gate = pool.slots[b as usize].refill_gate.try_lock()?;
+    // Carry the previous generation's visit counters forward: claims count
+    // both served steps and overflow stalls, which is exactly the demand
+    // signal `plan_quotas` wants (§3.3.2).
+    let weights: Vec<u32> = match pool.acquire(b) {
+        Some(prev) => {
+            let cap = prev.sampled_capacity();
+            if cap > 0 && prev.remaining_sampled() * 4 > cap {
+                return None; // still mostly full
+            }
+            prev.visit_weights_snapshot()
         }
-    }
-    let weights: Vec<u32> = match &*slot {
-        Some(buf) => buf.visit_weights().to_vec(),
         None => vec![0; nv],
     };
-    *slot = None; // release the old generation's memory
     let degrees: Vec<u64> = (0..nv)
         .map(|i| graph.degree(info.vertex_start + i as VertexId))
         .collect();
@@ -380,7 +638,7 @@ fn refill_block<A: Walk>(
         / graph.num_blocks().max(1) as u64;
     let meta = nv as u64 * 9 + 4;
     if avail <= meta {
-        return 0;
+        return None;
     }
     let plan = plan_quotas(
         &degrees,
@@ -390,10 +648,18 @@ fn refill_block<A: Walk>(
         opts.presample_cap_per_vertex,
     );
     if plan.total_slots == 0 {
-        return 0;
+        return None;
     }
-    let Ok(reservation) = budget.try_reserve(PreSampleBuffer::planned_bytes(&plan, false)) else {
-        return 0;
+    let bytes = PreSampleBuffer::planned_bytes(&plan, false);
+    let reservation = match budget.try_reserve(bytes) {
+        Ok(r) => r,
+        Err(_) => {
+            // Retire the old generation to free its reservation (readers
+            // holding an Arc keep it alive until they finish their
+            // bucket), then retry once.
+            drop(pool.unpublish(b));
+            budget.try_reserve(bytes).ok()?
+        }
     };
     let (mut buf, draws) = PreSampleBuffer::build(
         info.vertex_start,
@@ -413,8 +679,12 @@ fn refill_block<A: Walk>(
         },
     );
     buf.set_reservation(reservation);
-    *slot = Some(buf);
-    draws
+    drop(pool.publish(b, Arc::new(buf.into_published())));
+    Some(RefillReport {
+        block: b,
+        slots: plan.total_slots,
+        draws,
+    })
 }
 
 fn loader_err(e: crate::threaded::LoaderError) -> EngineError {
@@ -436,72 +706,156 @@ fn worker_died() -> EngineError {
     ))
 }
 
-/// Moves one walker as far as possible: within the resident block, then on
-/// the shared pre-sample pool. Returns the walker if it is still alive (it
-/// left the block and found no pre-samples), `None` if it terminated.
-#[allow(clippy::too_many_arguments)]
-fn drive_walker<A: Walk>(
-    app: &A,
-    graph: &OnDiskGraph,
-    block: &LoadedBlock,
-    pool: &SharedPool,
+/// The shared, read-only context one walk job steps against.
+struct StepCtx<'a, A: Walk> {
+    app: &'a A,
+    graph: &'a OnDiskGraph,
+    block: &'a LoadedBlock,
+    pool: &'a SharedPool,
+}
+
+/// Why a walker stopped moving on the resident block.
+enum OnBlock {
+    /// The walk ended (length reached or dead end); already finalized.
+    Terminated,
+    /// The walker stepped off the resident block (still active, not at a
+    /// dead end).
+    Left,
+}
+
+/// Finalizes a finished walker.
+fn finish<A: Walk>(app: &A, local: &mut LocalCounters, w: A::Walker) {
+    app.on_terminate(&w);
+    local.record_finished();
+}
+
+/// Moves one walker as far as the resident block carries it.
+fn drive_on_block<A: Walk>(
+    ctx: &StepCtx<'_, A>,
     local: &mut LocalCounters,
-    _opts: &EngineOptions,
-    mut w: A::Walker,
     rng: &mut WalkRng,
-) -> Option<A::Walker> {
+    w: &mut A::Walker,
+) -> OnBlock {
     loop {
-        if !app.is_active(&w) {
-            app.on_terminate(&w);
-            local.record_finished();
-            return None;
+        if !ctx.app.is_active(w) {
+            return OnBlock::Terminated;
         }
-        let loc = app.location(&w);
-        if graph.degree(loc) == 0 {
-            app.on_terminate(&w);
-            local.record_finished();
-            return None;
+        let loc = ctx.app.location(w);
+        if ctx.graph.degree(loc) == 0 {
+            return OnBlock::Terminated;
         }
-        if let Some(view) = block.vertex_edges(graph, loc) {
-            let dst = app.sample(&view, rng);
-            app.action(&mut w, dst, rng);
-            local.record_step(StepSource::Block);
-            continue;
-        }
-        // Outside the block: try the pre-sample pool.
-        let b = graph.block_of(loc) as usize;
-        let mut guard = pool.buffers[b].lock();
-        let Some(buf) = guard.as_mut() else {
-            return Some(w);
+        let Some(view) = ctx.block.vertex_edges(ctx.graph, loc) else {
+            return OnBlock::Left;
         };
-        match buf.peek(loc) {
-            Peek::Sampled(dst) => {
-                let consumed = app.action(&mut w, dst, rng);
-                if consumed {
-                    buf.consume(loc);
-                    local.record_presample_consumed();
+        let dst = ctx.app.sample(&view, rng);
+        ctx.app.action(w, dst, rng);
+        local.record_step(StepSource::Block);
+    }
+}
+
+/// The batched step kernel: runs a whole chunk of walkers to quiescence.
+///
+/// Alternates two phases until no walker can move: (A) every walker on the
+/// resident block runs to exhaustion against the in-memory edges; (B) the
+/// walkers that left are grouped by destination block and each group
+/// drains the published pre-sample pool — *one* buffer acquire per group,
+/// then lock-free [`PublishedBuffer::claim`]s per step. Walkers that land
+/// back on the resident block return to phase A; walkers that hop to a
+/// third block join that bucket for the next phase-B sweep.
+///
+/// Returns the walkers that stalled (no published buffer, or sampled
+/// slots exhausted) — the coordinator re-buckets them for a future block
+/// schedule. Every stall is recorded via
+/// [`LocalCounters::record_pool_stall`], including the missing-buffer
+/// case, so refill quota planning sees the full demand signal.
+fn drive_batch<A: Walk>(
+    ctx: &StepCtx<'_, A>,
+    local: &mut LocalCounters,
+    rng: &mut WalkRng,
+    walkers: Vec<A::Walker>,
+) -> Vec<A::Walker> {
+    let resident_id = ctx.block.info().id;
+    let mut resident = walkers;
+    let mut buckets: BTreeMap<BlockId, Vec<A::Walker>> = BTreeMap::new();
+    let mut stalled = Vec::new();
+    while !resident.is_empty() || !buckets.is_empty() {
+        // Phase A: the resident block serves from memory.
+        for mut w in std::mem::take(&mut resident) {
+            match drive_on_block(ctx, local, rng, &mut w) {
+                OnBlock::Terminated => finish(ctx.app, local, w),
+                OnBlock::Left => {
+                    let b = ctx.graph.block_of(ctx.app.location(&w));
+                    buckets.entry(b).or_default().push(w);
                 }
-                local.record_step(StepSource::PreSample);
             }
-            Peek::Raw(view) => {
-                let dst = app.sample(&view, rng);
-                // Unconditional: raw slots never deplete; `consume` only
-                // ticks the visit counter (see `Run::chase_presamples`).
-                buf.consume(loc);
-                app.action(&mut w, dst, rng);
-                local.record_step(StepSource::Raw);
-            }
-            Peek::Empty => {
-                buf.record_stall(loc);
-                return Some(w);
+        }
+        // Phase B: each destination bucket drains the published pool.
+        for (b, group) in std::mem::take(&mut buckets) {
+            let Some(buf) = ctx.pool.acquire(b) else {
+                // No generation published for this block yet: every
+                // walker in the group stalls (and says so, feeding the
+                // refill demand signal).
+                for w in group {
+                    local.record_pool_stall();
+                    stalled.push(w);
+                }
+                continue;
+            };
+            'walkers: for mut w in group {
+                loop {
+                    let loc = ctx.app.location(&w);
+                    match buf.claim(loc) {
+                        Claim::Sampled(dst) => {
+                            // The slot burns on claim either way; it only
+                            // counts as consumed when the app really took
+                            // the step (e.g. restarts decline it).
+                            if ctx.app.action(&mut w, dst, rng) {
+                                local.record_presample_consumed();
+                            }
+                            local.record_step(StepSource::PreSample);
+                        }
+                        Claim::Raw(view) => {
+                            let dst = ctx.app.sample(&view, rng);
+                            ctx.app.action(&mut w, dst, rng);
+                            local.record_step(StepSource::Raw);
+                        }
+                        Claim::Stalled => {
+                            local.record_pool_stall();
+                            stalled.push(w);
+                            continue 'walkers;
+                        }
+                    }
+                    if !ctx.app.is_active(&w) {
+                        finish(ctx.app, local, w);
+                        continue 'walkers;
+                    }
+                    let nloc = ctx.app.location(&w);
+                    if ctx.graph.degree(nloc) == 0 {
+                        finish(ctx.app, local, w);
+                        continue 'walkers;
+                    }
+                    let nb = ctx.graph.block_of(nloc);
+                    if nb == resident_id {
+                        resident.push(w);
+                        continue 'walkers;
+                    }
+                    if nb != b {
+                        buckets.entry(nb).or_default().push(w);
+                        continue 'walkers;
+                    }
+                    // Still on block `b`: claim again from the buffer we
+                    // already hold.
+                }
             }
         }
     }
+    stalled
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::audit::MemorySink;
     use noswalker_graph::generators;
     use noswalker_storage::{SimSsd, SsdProfile};
     use std::sync::atomic::{AtomicU64 as A64, Ordering};
@@ -574,6 +928,7 @@ mod tests {
         assert_eq!(m.steps, 5000 * 9);
         assert_eq!(app.visits.load(Ordering::Relaxed), m.steps);
         assert!(m.wall_ns > 0);
+        assert!(m.sim_ns > 0);
     }
 
     #[test]
@@ -593,6 +948,10 @@ mod tests {
             m.steps_on_presample + m.steps_on_raw > 0,
             "the shared pre-sample pool should serve some steps"
         );
+        assert!(
+            m.pool_publishes > 0,
+            "refills should publish at least one generation"
+        );
     }
 
     #[test]
@@ -608,5 +967,46 @@ mod tests {
         });
         let r = ParallelRunner::new(app, graph, EngineOptions::default(), MemoryBudget::new(64));
         assert!(r.run(1, 2).is_err());
+    }
+
+    #[test]
+    fn trace_carries_pool_and_prefetch_events() {
+        let (_, r) = runner(20_000);
+        let mut sink = MemorySink::default();
+        let m = r.run_with_sink(11, 4, Some(&mut sink)).unwrap();
+        let publishes = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PoolPublish { .. }))
+            .count() as u64;
+        assert_eq!(publishes, m.pool_publishes);
+        let (hits, wasted) = sink.events.iter().fold((0u64, 0u64), |(h, w), e| match e {
+            TraceEvent::Prefetch { hit: true, .. } => (h + 1, w),
+            TraceEvent::Prefetch { hit: false, .. } => (h, w + 1),
+            _ => (h, w),
+        });
+        assert_eq!(hits, m.prefetch_hits);
+        assert_eq!(wasted, m.prefetch_wasted);
+    }
+
+    #[test]
+    fn prefetch_can_be_disabled() {
+        let csr = generators::uniform_degree(512, 8, 7);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let app = Arc::new(Basic {
+            walkers: 3000,
+            length: 9,
+            n: 512,
+            visits: A64::new(0),
+        });
+        let opts = EngineOptions {
+            prefetch_depth: 0,
+            ..EngineOptions::default()
+        };
+        let r = ParallelRunner::new(app, graph, opts, MemoryBudget::new(1 << 20));
+        let m = r.run(13, 2).unwrap();
+        assert_eq!(m.walkers_finished, 3000);
+        assert_eq!(m.prefetch_hits + m.prefetch_wasted, 0);
     }
 }

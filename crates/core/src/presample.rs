@@ -10,10 +10,20 @@
 //! Low-degree vertices (§3.3.4) get their *raw edges* retained instead of
 //! samples: the slots never deplete, since the full edge set can be sampled
 //! from forever.
+//!
+//! Two consumption modes share the same storage layout:
+//!
+//! * [`PreSampleBuffer`] — single-owner, `&mut` consumption (the
+//!   sequential engine's path);
+//! * [`PublishedBuffer`] — an immutable *generation* whose per-vertex
+//!   cursors are atomics, so any number of worker threads can claim slots
+//!   with a single `fetch_add` and no lock (the parallel runner's path;
+//!   see DESIGN.md §11 for the publish/claim protocol).
 
 use noswalker_graph::layout::VertexEdges;
 use noswalker_graph::VertexId;
 use noswalker_storage::Reservation;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// What a vertex's pre-sample slots currently offer.
 #[derive(Debug, Clone, Copy)]
@@ -297,6 +307,164 @@ impl PreSampleBuffer {
             })
             .sum()
     }
+
+    /// Converts this buffer into an immutable published generation for the
+    /// lock-free pool, carrying `cnt` over as the atomic claim cursors.
+    pub fn into_published(self) -> PublishedBuffer {
+        PublishedBuffer {
+            vertex_start: self.vertex_start,
+            idx: self.idx,
+            cursors: self.cnt.into_iter().map(AtomicU32::new).collect(),
+            raw: self.raw,
+            edges: self.edges,
+            weights: self.weights,
+            _reservation: self.reservation,
+        }
+    }
+}
+
+/// What a lock-free [`PublishedBuffer::claim`] produced.
+///
+/// The mirror of [`Peek`], except that a successful `Sampled` claim has
+/// *already* taken exclusive ownership of the slot — there is no separate
+/// consume step to race on.
+#[derive(Debug)]
+pub enum Claim<'a> {
+    /// A pre-sampled destination this caller now exclusively owns.
+    Sampled(VertexId),
+    /// The vertex's raw retained edges: sample freely, they never deplete.
+    Raw(VertexEdges<'a>),
+    /// No usable slots: the walker stalls here (the visit was still
+    /// recorded, feeding the next refill's quota plan).
+    Stalled,
+}
+
+/// An immutable, concurrently-consumable generation of a block's
+/// pre-sample buffer.
+///
+/// The slot arrays (`idx`/`edges`/`weights`/`raw`) are frozen at build
+/// time; the only mutable state is one `AtomicU32` cursor per vertex,
+/// which serves three roles at once:
+///
+/// 1. **slot claim** — `fetch_add(1, Relaxed)` returns a unique previous
+///    value per caller (atomic RMW totality), so each sampled slot index
+///    `< quota` is handed to exactly one thread, with no lock;
+/// 2. **stall recording** — a cursor past the quota means the visit found
+///    nothing; the tick itself is the stall record (the paper's `cnt`
+///    doubling as popularity, §3.3.2), per-vertex and contention-sharded;
+/// 3. **refill weights** — [`PublishedBuffer::visit_weights_snapshot`]
+///    reads the cursors back as the next [`plan_quotas`] input.
+///
+/// `Relaxed` ordering suffices throughout: slot exclusivity needs only the
+/// RMW's atomicity, and the arrays a claimed index dereferences are frozen
+/// before the `Arc<PublishedBuffer>` is published through the pool slot's
+/// mutex, whose release/acquire pair provides the happens-before edge.
+#[derive(Debug)]
+pub struct PublishedBuffer {
+    vertex_start: VertexId,
+    idx: Vec<u32>,
+    /// Claim cursor per vertex — the atomic reincarnation of `cnt`.
+    cursors: Vec<AtomicU32>,
+    raw: Vec<bool>,
+    edges: Vec<VertexId>,
+    weights: Option<Vec<f32>>,
+    /// RAII hold on the budget bytes; released when the last `Arc` to this
+    /// generation drops. Never read, only owned.
+    _reservation: Option<Reservation>,
+}
+
+impl PublishedBuffer {
+    /// First vertex covered.
+    pub fn vertex_start(&self) -> VertexId {
+        self.vertex_start
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.cursors.len()
+    }
+
+    fn local(&self, v: VertexId) -> usize {
+        debug_assert!(
+            v >= self.vertex_start && ((v - self.vertex_start) as usize) < self.cursors.len(),
+            "vertex {v} outside buffer"
+        );
+        (v - self.vertex_start) as usize
+    }
+
+    /// Claims one slot for vertex `v` — the entire lock-free step path.
+    ///
+    /// One `fetch_add` per visit, success or stall: a sampled cursor value
+    /// below the quota owns that slot, anything else *is* the recorded
+    /// stall; raw vertices only tick the visit counter and never deplete.
+    /// (Cursor wrap-around would need 2³² visits to a single vertex within
+    /// one buffer generation — unreachable between refills.)
+    pub fn claim(&self, v: VertexId) -> Claim<'_> {
+        let i = self.local(v);
+        let (s, e) = (self.idx[i] as usize, self.idx[i + 1] as usize);
+        let prev = self.cursors[i].fetch_add(1, Ordering::Relaxed) as usize;
+        if self.raw[i] {
+            if s == e {
+                return Claim::Stalled;
+            }
+            return Claim::Raw(VertexEdges::Mem {
+                targets: &self.edges[s..e],
+                weights: self.weights.as_ref().map(|w| &w[s..e]),
+                alias: None,
+            });
+        }
+        if s + prev < e {
+            Claim::Sampled(self.edges[s + prev])
+        } else {
+            Claim::Stalled
+        }
+    }
+
+    /// Snapshot of the visit counters, fed to [`plan_quotas`] at refill
+    /// time (concurrent claims may still be ticking; any torn-across-
+    /// vertices view is fine — the weights are a popularity heuristic).
+    pub fn visit_weights_snapshot(&self) -> Vec<u32> {
+        self.cursors
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total sampled slot capacity (raw slots excluded).
+    pub fn sampled_capacity(&self) -> u64 {
+        (0..self.cursors.len())
+            .filter(|&i| !self.raw[i])
+            .map(|i| (self.idx[i + 1] - self.idx[i]) as u64)
+            .sum()
+    }
+
+    /// Remaining unclaimed sampled slots (raw slots excluded; a cursor
+    /// driven past its quota by stall ticks counts as zero remaining).
+    pub fn remaining_sampled(&self) -> u64 {
+        (0..self.cursors.len())
+            .filter(|&i| !self.raw[i])
+            .map(|i| {
+                let quota = self.idx[i + 1] - self.idx[i];
+                quota.saturating_sub(self.cursors[i].load(Ordering::Relaxed)) as u64
+            })
+            .sum()
+    }
+
+    /// Actual memory footprint in bytes (same layout as
+    /// [`PreSampleBuffer::memory_bytes`]; the cursors are `cnt`-sized).
+    pub fn memory_bytes(&self) -> u64 {
+        let sampled = self.edges.len() as u64 * 4;
+        let raw_weights = if self.weights.is_some() {
+            (0..self.cursors.len())
+                .filter(|&i| self.raw[i])
+                .map(|i| (self.idx[i + 1] - self.idx[i]) as u64 * 4)
+                .sum()
+        } else {
+            0
+        };
+        let meta = (self.idx.len() + self.cursors.len()) as u64 * 4 + self.raw.len() as u64;
+        sampled + raw_weights + meta
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +592,65 @@ mod tests {
         assert_eq!(buf.memory_bytes(), 44 + 36 + 4);
         let plan = simple_plan();
         assert!(PreSampleBuffer::planned_bytes(&plan, false) >= buf.memory_bytes());
+    }
+
+    #[test]
+    fn published_claim_pops_in_order_then_stalls() {
+        let buf = build_simple().into_published();
+        // Vertex 2 has 3 sampled slots: 101..=103, claimed exactly once.
+        for expect in 101..=103u32 {
+            match buf.claim(2) {
+                Claim::Sampled(d) => assert_eq!(d, expect),
+                other => panic!("expected sampled, got {other:?}"),
+            }
+        }
+        assert!(matches!(buf.claim(2), Claim::Stalled));
+        // Both the claims and the stall ticked the visit counter.
+        assert_eq!(buf.visit_weights_snapshot()[2], 4);
+    }
+
+    #[test]
+    fn published_raw_vertex_never_depletes() {
+        let buf = build_simple().into_published();
+        for _ in 0..10 {
+            match buf.claim(1) {
+                Claim::Raw(view) => {
+                    assert_eq!(view.degree(), 2);
+                    assert_eq!(view.target(0), 7);
+                }
+                other => panic!("expected raw, got {other:?}"),
+            }
+        }
+        assert_eq!(buf.visit_weights_snapshot()[1], 10);
+        // Raw claims leave the sampled accounting untouched.
+        assert_eq!(buf.remaining_sampled(), 9);
+    }
+
+    #[test]
+    fn published_zero_degree_vertex_stalls() {
+        let buf = build_simple().into_published();
+        assert!(matches!(buf.claim(0), Claim::Stalled));
+    }
+
+    #[test]
+    fn into_published_carries_consumption_state() {
+        let mut buf = build_simple();
+        buf.consume(2); // slot 101 gone
+        buf.record_stall(3);
+        let mem = buf.memory_bytes();
+        let published = buf.into_published();
+        assert_eq!(published.memory_bytes(), mem);
+        assert_eq!(published.sampled_capacity(), 9);
+        // One slot consumed on vertex 2 plus one stall tick on vertex 3:
+        // both advance the carried counters, same as `PreSampleBuffer`.
+        assert_eq!(published.remaining_sampled(), 7);
+        match published.claim(2) {
+            Claim::Sampled(d) => assert_eq!(d, 102),
+            other => panic!("expected sampled, got {other:?}"),
+        }
+        assert_eq!(published.visit_weights_snapshot()[3], 1);
+        assert_eq!(published.vertex_start(), 0);
+        assert_eq!(published.num_vertices(), 4);
     }
 
     #[test]

@@ -117,6 +117,26 @@ impl BackgroundLoader {
         self.requests.send(b).map_err(|_| LoaderError::Disconnected)
     }
 
+    /// Enqueues a block load only if the queue has space right now.
+    ///
+    /// Returns `Ok(true)` when the request was enqueued and `Ok(false)`
+    /// when the queue is full — the caller should retry later rather than
+    /// stall. This is what opportunistic prefetching wants: topping up the
+    /// in-flight window must never block the dispatch loop.
+    ///
+    /// # Errors
+    ///
+    /// [`LoaderError::Disconnected`] if the thread has exited.
+    pub fn try_request(&self, b: BlockId) -> Result<bool, LoaderError> {
+        match self.requests.try_send(b) {
+            Ok(()) => Ok(true),
+            Err(crossbeam::channel::TrySendError::Full(_)) => Ok(false),
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                Err(LoaderError::Disconnected)
+            }
+        }
+    }
+
     /// Waits for the next completed load.
     ///
     /// # Errors
@@ -207,6 +227,30 @@ mod tests {
                     std::hint::spin_loop();
                 }
             }
+        }
+    }
+
+    #[test]
+    fn try_request_reports_full_without_blocking() {
+        let (graph, budget) = setup();
+        let loader = BackgroundLoader::spawn(graph, budget, 1);
+        // Saturate the depth-1 request queue. The loader thread may have
+        // already dequeued the first request, so a second attempt can
+        // also succeed — keep pushing until one reports Full.
+        let mut accepted = 0;
+        loop {
+            match loader.try_request(0).unwrap() {
+                true => {
+                    accepted += 1;
+                    assert!(accepted < 1_000, "queue never filled");
+                }
+                false => break,
+            }
+        }
+        assert!(accepted >= 1);
+        // Every accepted request completes.
+        for _ in 0..accepted {
+            loader.recv().unwrap();
         }
     }
 

@@ -1,4 +1,4 @@
-//! The six nosw-lint rules (L1–L6) plus the suppression-annotation
+//! The seven nosw-lint rules (L1–L7) plus the suppression-annotation
 //! bookkeeping that backs the `LINT` `ALLOW` mechanism.
 //!
 //! | rule | invariant |
@@ -9,6 +9,7 @@
 //! | L4 | threads are only spawned in `threaded.rs` / `parallel.rs` |
 //! | L5 | no `unwrap`/`expect`/`panic!` family in library code of core/storage/graph |
 //! | L6 | every `unsafe` is preceded by a `SAFETY:` comment; unsafe-free crates `#![forbid(unsafe_code)]` |
+//! | L7 | `std::sync::atomic` types in `crates/core/src` only in `metrics.rs`, `presample.rs`, `parallel.rs` |
 //!
 //! Rules are *self-configuring*: the `RunMetrics` field set and the
 //! `TraceEvent` variant list are parsed out of the scanned sources, so
@@ -28,6 +29,24 @@ const ASSIGN_OPS: &[&str] = &[
 /// Panicking macros covered by L5 (`assert!` is deliberately excluded:
 /// contract assertions are part of the documented library API).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// The `std::sync::atomic` type names gated by L7: concurrent state in the
+/// core crate is confined to the modules whose invariants are documented
+/// and audited (metrics counters, the published pre-sample pool, the
+/// parallel runner).
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
 
 /// One suppression annotation found in a comment.
 #[derive(Debug)]
@@ -316,6 +335,13 @@ fn l4_exempt(path: &str) -> bool {
     path.ends_with("/threaded.rs") || path.ends_with("/parallel.rs")
 }
 
+fn l7_exempt(path: &str) -> bool {
+    !path.starts_with("crates/core/src/")
+        || path.ends_with("/metrics.rs")
+        || path.ends_with("/presample.rs")
+        || path.ends_with("/parallel.rs")
+}
+
 fn collect_hits(a: &Analysis, fields: &HashSet<String>) -> Vec<Hit> {
     let mut hits = Vec::new();
     let toks = &a.lexed.tokens;
@@ -411,6 +437,18 @@ fn collect_hits(a: &Analysis, fields: &HashSet<String>) -> Vec<Hit> {
                         .into(),
                 });
             }
+        }
+        // L7: atomic state in the core crate stays in the audited modules.
+        if !l7_exempt(&a.path) && a.is_ident(i) && ATOMIC_TYPES.contains(&a.t(i)) {
+            hits.push(Hit {
+                rule: "L7",
+                line,
+                message: format!("`{}` outside the audited concurrency modules", a.t(i)),
+                hint: "shared counters belong in metrics.rs (SharedMetrics), lock-free \
+                       claim state in presample.rs (PublishedBuffer); route concurrent \
+                       state through those modules or parallel.rs"
+                    .into(),
+            });
         }
         // L6 (site check): every `unsafe` needs a SAFETY comment above it.
         if a.is_ident(i) && a.t(i) == "unsafe" {

@@ -14,6 +14,7 @@ const L4: &str = include_str!("../fixtures/l4_spawn.rs");
 const L5: &str = include_str!("../fixtures/l5_unwrap.rs");
 const L5_ALLOWED: &str = include_str!("../fixtures/l5_allowed.rs");
 const L6: &str = include_str!("../fixtures/l6_unsafe.rs");
+const L7: &str = include_str!("../fixtures/l7_atomics.rs");
 
 fn file(path: &str, text: &str) -> SourceFile {
     SourceFile {
@@ -199,6 +200,29 @@ fn l6_unsafe_free_crate_must_forbid_unsafe_code() {
         &Allowlist::empty(),
     );
     assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn l7_atomics_flagged_outside_audited_core_modules() {
+    let vs = lint_files(
+        &[file("crates/core/src/engine.rs", L7)],
+        &Allowlist::empty(),
+    );
+    // The `use` (line 3) and the field type (line 6); the atomics inside
+    // #[cfg(test)] must NOT be flagged.
+    assert_eq!(rules_of(&vs), vec!["L7", "L7"], "{vs:?}");
+    assert_eq!(vs.iter().map(|v| v.line).collect::<Vec<_>>(), vec![3, 6]);
+    assert!(vs[0].message.contains("AtomicU64"));
+    // The audited modules and other crates may hold atomic state freely.
+    for exempt in [
+        "crates/core/src/metrics.rs",
+        "crates/core/src/presample.rs",
+        "crates/core/src/parallel.rs",
+        "crates/apps/src/basic.rs",
+    ] {
+        let vs = lint_files(&[file(exempt, L7)], &Allowlist::empty());
+        assert!(vs.is_empty(), "{exempt}: {vs:?}");
+    }
 }
 
 #[test]

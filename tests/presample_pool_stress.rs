@@ -1,0 +1,108 @@
+//! Multi-thread stress over the lock-free published pre-sample buffer:
+//! every sampled slot must be claimed *at most once* across all threads,
+//! and the claim cursors must account for every attempt (successes plus
+//! stalls), because the refill planner reads them back as demand weights.
+
+use noswalker::core::presample::{plan_quotas, Claim, PreSampleBuffer};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const NV: usize = 8;
+const THREADS: usize = 8;
+/// Claim attempts per thread per vertex — more than any per-vertex quota,
+/// so every vertex is driven past depletion on purpose.
+const ATTEMPTS: usize = 40;
+
+/// Builds a published buffer whose sampled slots hold globally unique
+/// destination values, so cross-thread double-claims are detectable.
+fn build_published() -> (Arc<noswalker::core::presample::PublishedBuffer>, Vec<u32>) {
+    let degrees = vec![100u64; NV];
+    let weights = vec![1u32; NV];
+    // Threshold 0: no raw retention, every vertex gets sampled slots.
+    let plan = plan_quotas(&degrees, &weights, 200, 0, 64);
+    assert!(plan.total_slots > 0);
+    assert!(plan.quotas.iter().all(|&q| q > 0));
+    let mut next = 10_000u32;
+    let (buf, draws) = PreSampleBuffer::build(
+        0,
+        &plan,
+        false,
+        |_v| {
+            next += 1;
+            next
+        },
+        |_v, _edges, _w| unreachable!("no raw vertices planned"),
+    );
+    assert_eq!(draws, plan.total_slots);
+    (Arc::new(buf.into_published()), plan.quotas)
+}
+
+#[test]
+fn concurrent_claims_hand_out_each_slot_at_most_once() {
+    let (buf, quotas) = build_published();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                let mut got: Vec<Vec<u32>> = vec![Vec::new(); NV];
+                let mut stalls = vec![0u64; NV];
+                for round in 0..ATTEMPTS {
+                    for v in 0..NV {
+                        // Interleave vertices round-robin to maximise
+                        // cross-thread contention on each cursor.
+                        let _ = round;
+                        match buf.claim(v as u32) {
+                            Claim::Sampled(dst) => got[v].push(dst),
+                            Claim::Stalled => stalls[v] += 1,
+                            Claim::Raw(_) => panic!("no raw vertices planned"),
+                        }
+                    }
+                }
+                (got, stalls)
+            })
+        })
+        .collect();
+
+    let mut per_vertex_success = [0u64; NV];
+    let mut per_vertex_stalls = [0u64; NV];
+    let mut seen = HashSet::new();
+    for h in handles {
+        let (got, stalls) = h.join().unwrap();
+        for (v, claimed) in got.into_iter().enumerate() {
+            per_vertex_success[v] += claimed.len() as u64;
+            per_vertex_stalls[v] += stalls[v];
+            for dst in claimed {
+                assert!(seen.insert(dst), "slot value {dst} claimed twice");
+            }
+        }
+    }
+
+    let attempts = (THREADS * ATTEMPTS) as u64;
+    let snapshot = buf.visit_weights_snapshot();
+    for v in 0..NV {
+        // Exactly the quota was served — no slot lost, none duplicated.
+        assert_eq!(
+            per_vertex_success[v],
+            u64::from(quotas[v]).min(attempts),
+            "vertex {v} served a wrong number of slots"
+        );
+        // Every attempt either succeeded or stalled…
+        assert_eq!(
+            per_vertex_success[v] + per_vertex_stalls[v],
+            attempts,
+            "vertex {v} lost attempts"
+        );
+        // …and the cursor recorded all of them as demand weight.
+        assert_eq!(
+            u64::from(snapshot[v]),
+            attempts,
+            "vertex {v} cursor does not match the attempt count"
+        );
+    }
+    assert_eq!(
+        seen.len() as u64,
+        buf.sampled_capacity(),
+        "not every sampled slot was handed out"
+    );
+    assert_eq!(buf.remaining_sampled(), 0);
+}
