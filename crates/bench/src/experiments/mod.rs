@@ -13,6 +13,7 @@ pub mod fig17;
 pub mod fig2;
 pub mod fig4;
 pub mod fig9;
+pub mod serve;
 pub mod table1;
 pub mod throughput;
 
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "ablation-ssds",
     "ablation-g25",
     "throughput",
+    "serve",
 ];
 
 /// Dispatches an experiment by id. Returns `false` for unknown ids.
@@ -61,6 +63,7 @@ pub fn dispatch(id: &str, scale: Scale) -> bool {
         "ablation-ssds" => ablations::run_ssds(scale),
         "ablation-g25" => ablations::run_g25(scale),
         "throughput" => throughput::run(scale),
+        "serve" => serve::run(scale),
         "all" => {
             for id in ALL {
                 dispatch(id, scale);

@@ -1,0 +1,223 @@
+//! Online serving under load: a deterministic closed-loop load generator
+//! sweeping offered QPS against the `noswalker-serve` engine.
+//!
+//! The sweep first calibrates the backend by serving one query alone
+//! (its modeled service time `S` is the capacity yardstick), then offers
+//! query streams at 0.5×, 1×, 4× and 16× the resulting capacity. The
+//! serving engine batches concurrent queries into shared rounds, so
+//! moderate oversubscription is absorbed; the 16× point is past what
+//! batching can hide, and with the admission queue bounded it must
+//! *shed* (reject with retry-after) rather than queue without bound,
+//! while continuing to serve — the acceptance check in
+//! `BENCH_serve.json` asserts exactly that (shed > 0 and achieved
+//! QPS > 0 at the top point). Everything runs on the serving layer's
+//! `ModelClock`, so repeated runs are bit-identical.
+
+use crate::datasets::{self, Scale};
+use crate::report::Report;
+use crate::runner::env;
+use noswalker_core::{QuerySpec, StaticQuerySource};
+use noswalker_serve::{AdmissionOptions, ServeEngine, ServeOptions, ServeReport};
+
+const DATASET: &str = "k30";
+const WALK_LENGTH: u32 = 10;
+const SEED: u64 = 31;
+const QUERIES_PER_POINT: u64 = 24;
+
+/// The query-class mix offered round-robin.
+const MIX: &[&str] = &["ppr:7", "basic", "deepwalk:0", "rwr:7:0.15"];
+
+struct Point {
+    offered_qps: f64,
+    report: ServeReport,
+}
+
+impl Point {
+    fn p(&self, q: f64) -> u64 {
+        let mut all = noswalker_core::LatencyHistogram::new();
+        for h in self.report.histograms.values() {
+            all.merge(h);
+        }
+        all.quantile(q)
+    }
+
+    fn served(&self) -> u64 {
+        self.report.completed_count()
+    }
+
+    fn miss_rate(&self) -> f64 {
+        self.report.deadline_miss_count() as f64 / self.served().max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"served\": {}, \
+             \"shed\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"deadline_miss_rate\": {:.3}, \
+             \"degraded\": {}, \"rounds\": {}, \"metrics\": {}}}",
+            self.offered_qps,
+            self.report.achieved_qps(),
+            self.served(),
+            self.report.shed_count(),
+            self.p(0.50),
+            self.p(0.99),
+            self.miss_rate(),
+            self.report.degraded_count(),
+            self.report.rounds,
+            self.report.metrics.to_json(4),
+        )
+    }
+}
+
+fn stream(interarrival_ns: u64, walkers: u64, deadline_ns: u64) -> StaticQuerySource {
+    let specs: Vec<QuerySpec> = (0..QUERIES_PER_POINT)
+        .map(|i| {
+            let arrival_ns = i * interarrival_ns;
+            QuerySpec {
+                id: i + 1,
+                class: MIX[(i % MIX.len() as u64) as usize].to_string(),
+                walkers,
+                walk_length: WALK_LENGTH,
+                deadline_ns: Some(arrival_ns + deadline_ns),
+                arrival_ns,
+            }
+        })
+        .collect();
+    StaticQuerySource::new(specs)
+}
+
+/// Runs the serving sweep and writes `BENCH_serve.json`.
+pub fn run(scale: Scale) {
+    let d = datasets::get(DATASET, scale);
+    let budget = datasets::default_budget(scale);
+    let walkers = scale.walkers(2_000);
+
+    let serve_opts = |retry_after_ns: u64| ServeOptions {
+        seed: SEED,
+        admission: AdmissionOptions {
+            max_pending: 4,
+            retry_after_ns,
+            ..AdmissionOptions::default()
+        },
+        ..ServeOptions::default()
+    };
+
+    // Calibrate: one query served alone gives the backend's service time.
+    let e = env(&d, budget);
+    let engine = ServeEngine::new(e.graph, e.budget, serve_opts(1_000));
+    let mut solo = StaticQuerySource::new(vec![QuerySpec {
+        id: 1,
+        class: MIX[0].to_string(),
+        walkers,
+        walk_length: WALK_LENGTH,
+        deadline_ns: None,
+        arrival_ns: 0,
+    }]);
+    let service_ns = match engine.run(&mut solo, None) {
+        Ok(r) => r.end_ns.max(1),
+        Err(err) => {
+            eprintln!("serve: calibration failed: {err}");
+            return;
+        }
+    };
+    let capacity_qps = 1e9 / service_ns as f64;
+
+    // Offered-QPS sweep: under-, at-, and over-subscribed (4× and 16×).
+    let sweep: &[(&str, u64)] = &[
+        ("0.5x", service_ns * 2),
+        ("1x", service_ns),
+        ("4x", (service_ns / 4).max(1)),
+        ("16x", (service_ns / 16).max(1)),
+    ];
+    // Three service times of headroom: loose enough that an unloaded
+    // backend always makes it, tight enough that queueing at the
+    // oversubscribed points shows up as recorded deadline misses.
+    let deadline_ns = service_ns * 3;
+    let mut points = Vec::new();
+    for &(label, interarrival_ns) in sweep {
+        let e = env(&d, budget);
+        let engine = ServeEngine::new(e.graph, e.budget, serve_opts(service_ns / 2));
+        let mut src = stream(interarrival_ns, walkers, deadline_ns);
+        match engine.run(&mut src, None) {
+            Ok(report) => points.push(Point {
+                offered_qps: 1e9 / interarrival_ns as f64,
+                report,
+            }),
+            Err(err) => {
+                eprintln!("serve: {label} point failed: {err}");
+                return;
+            }
+        }
+    }
+
+    let mut r = Report::new(
+        "serve",
+        "Online serving: offered QPS sweep (modeled time, 16x point oversubscribed)",
+    );
+    r.header([
+        "Offered q/s",
+        "Achieved q/s",
+        "Served",
+        "Shed",
+        "p50 us",
+        "p99 us",
+        "Miss rate",
+        "Degraded",
+        "Rounds",
+    ]);
+    for p in &points {
+        r.row([
+            format!("{:.1}", p.offered_qps),
+            format!("{:.1}", p.report.achieved_qps()),
+            p.served().to_string(),
+            p.report.shed_count().to_string(),
+            format!("{:.1}", p.p(0.50) as f64 / 1e3),
+            format!("{:.1}", p.p(0.99) as f64 / 1e3),
+            format!("{:.3}", p.miss_rate()),
+            p.report.degraded_count().to_string(),
+            p.report.rounds.to_string(),
+        ]);
+    }
+    r.finish();
+
+    let top = points.last().expect("sweep has points");
+    let pass = top.report.shed_count() > 0 && top.served() > 0;
+    let rows: Vec<String> = points.iter().map(Point::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"dataset\": \"{}\",\n  \"scale\": \"{}\",\n  \
+         \"queries_per_point\": {},\n  \"walkers_per_query\": {},\n  \"walk_length\": {},\n  \
+         \"calibrated_service_ns\": {},\n  \"capacity_qps\": {:.1},\n  \
+         \"deadline_ns\": {},\n  \"points\": [\n{}\n  ],\n  \
+         \"acceptance\": {{\"criterion\": \"oversubscribed point sheds (shed > 0) while still \
+         serving (served > 0)\", \"top_shed\": {}, \"top_served\": {}, \"pass\": {}}}\n}}\n",
+        DATASET,
+        match scale {
+            Scale::Default => "default",
+            Scale::Tiny => "tiny",
+        },
+        QUERIES_PER_POINT,
+        walkers,
+        WALK_LENGTH,
+        service_ns,
+        capacity_qps,
+        deadline_ns,
+        rows.join(",\n"),
+        top.report.shed_count(),
+        top.served(),
+        pass,
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!(
+            "(wrote BENCH_serve.json, top point shed {} of {} offered)",
+            top.report.shed_count(),
+            QUERIES_PER_POINT
+        ),
+        Err(err) => eprintln!("warning: cannot write BENCH_serve.json: {err}"),
+    }
+    if !pass {
+        eprintln!(
+            "serve: ACCEPTANCE FAILED — top point shed {} served {}",
+            top.report.shed_count(),
+            top.served()
+        );
+    }
+}

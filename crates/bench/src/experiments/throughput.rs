@@ -44,23 +44,18 @@ impl Cell {
         } else {
             0.0
         };
+        // Only derived figures are spelled out here; the raw counters come
+        // from the shared RunMetrics snapshot writer, so new counters show
+        // up in the artifact without touching this file.
         format!(
-            "    {{\"config\": \"{}\", \"workers\": {}, \"steps\": {}, \"sim_ns\": {}, \
-             \"wall_ns\": {}, \"steps_per_sec\": {:.1}, \"wall_steps_per_sec\": {:.1}, \
-             \"speedup_vs_1w\": {:.3}, \"pool_publishes\": {}, \"pool_stalls\": {}, \
-             \"prefetch_hits\": {}, \"prefetch_wasted\": {}}}",
+            "    {{\"config\": \"{}\", \"workers\": {}, \"steps_per_sec\": {:.1}, \
+             \"wall_steps_per_sec\": {:.1}, \"speedup_vs_1w\": {:.3}, \"metrics\": {}}}",
             self.config,
             self.workers,
-            self.m.steps,
-            self.m.sim_ns,
-            self.m.wall_ns,
             self.steps_per_sec(),
             self.wall_steps_per_sec(),
             sp,
-            self.m.pool_publishes,
-            self.m.pool_stalls,
-            self.m.prefetch_hits,
-            self.m.prefetch_wasted,
+            self.m.to_json(4),
         )
     }
 }

@@ -58,6 +58,17 @@ pub enum Command {
         /// Optional path for a structured run trace (`.json` or `.tsv`).
         trace_out: Option<String>,
     },
+    /// Replay a query trace against the online serving engine.
+    Serve {
+        /// Graph path (`.csr`) or text edge list.
+        graph: String,
+        /// Query script path (`at_us class walkers length [deadline_us]`).
+        script: String,
+        /// Memory budget as a percentage of the edge region.
+        budget_pct: u32,
+        /// RNG seed.
+        seed: u64,
+    },
 }
 
 /// A CLI parse failure; `Display` is the message shown to the user.
@@ -83,6 +94,7 @@ USAGE:
   noswalker run      <graph> --app APP [--engine ENGINE] [--walkers N]
                      [--length L] [--budget-pct P] [--seed S]
                      [--trace-out run.json|run.tsv]
+  noswalker serve    <graph> --script <trace.txt> [--budget-pct P] [--seed S]
 
 APPS:     basic ppr rwr rwd graphlet deepwalk node2vec
 ENGINES:  noswalker (default) graphwalker drunkardmob graphene inmemory parallel
@@ -173,6 +185,28 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                 length,
                 seed,
                 trace_out,
+            }
+        }
+        "serve" => {
+            let graph = it.next().ok_or_else(|| bad("serve needs a graph path"))?;
+            let mut script = None;
+            let mut budget_pct = 12u32;
+            let mut seed = 42u64;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--script" => {
+                        script = Some(it.next().ok_or_else(|| bad("--script needs a path"))?);
+                    }
+                    "--budget-pct" => budget_pct = parse_num("--budget-pct", it.next())?,
+                    "--seed" => seed = parse_num("--seed", it.next())?,
+                    other => return Err(bad(format!("unknown flag {other}"))),
+                }
+            }
+            Command::Serve {
+                graph,
+                script: script.ok_or_else(|| bad("serve needs --script"))?,
+                budget_pct,
+                seed,
             }
         }
         "--help" | "-h" | "help" => return Err(bad(USAGE)),
@@ -268,6 +302,29 @@ mod tests {
             .unwrap_err()
             .0
             .contains("invalid value"));
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cli = p("serve g.csr --script trace.txt --budget-pct 25 --seed 9").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                graph: "g.csr".into(),
+                script: "trace.txt".into(),
+                budget_pct: 25,
+                seed: 9
+            }
+        );
+        assert!(p("serve g.csr").unwrap_err().0.contains("--script"));
+        assert!(p("serve g.csr --script")
+            .unwrap_err()
+            .0
+            .contains("--script"));
+        assert!(p("serve g.csr --script t --frob 1")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
     }
 
     #[test]

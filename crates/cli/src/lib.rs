@@ -7,6 +7,7 @@
 //! noswalker info     graph.csr                    # dataset statistics
 //! noswalker generate rmat --scale 16 --degree 32 out.csr
 //! noswalker run      graph.csr --app ppr --engine noswalker --budget-pct 12
+//! noswalker serve    graph.csr --script queries.txt       # online multi-query
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external CLI dependency); every
@@ -56,5 +57,11 @@ pub fn run(cli: Cli) -> Result<String, String> {
             seed,
             trace_out.as_deref(),
         ),
+        Command::Serve {
+            graph,
+            script,
+            budget_pct,
+            seed,
+        } => commands::run_serve(&graph, &script, budget_pct, seed),
     }
 }

@@ -136,6 +136,52 @@ pub enum TraceEvent {
         /// Simulated end time.
         at_ns: u64,
     },
+    /// The serving layer admitted a query into the active set.
+    QueryAdmitted {
+        /// Query id.
+        query: u64,
+        /// Walker budget the query carries.
+        walkers: u64,
+        /// Absolute deadline in simulated time (`None` = best effort).
+        deadline_ns: Option<u64>,
+        /// Simulated admission time.
+        at_ns: u64,
+    },
+    /// A query finished serving: every issued walker was retired.
+    QueryCompleted {
+        /// Query id.
+        query: u64,
+        /// Walkers actually issued into the engine.
+        issued: u64,
+        /// Walkers that completed their walk.
+        completed: u64,
+        /// Walkers cancelled by the query's timeout.
+        cancelled: u64,
+        /// True when the result is partial (walkers were cancelled or
+        /// never issued, or the deadline passed).
+        degraded: bool,
+        /// Simulated completion time.
+        at_ns: u64,
+    },
+    /// Admission control rejected a query (backpressure or stall-rate
+    /// shedding) instead of queueing it unboundedly.
+    QueryShed {
+        /// Query id.
+        query: u64,
+        /// Suggested simulated-time delay before retrying.
+        retry_after_ns: u64,
+        /// Simulated shed time.
+        at_ns: u64,
+    },
+    /// A query's deadline passed before its walkers finished.
+    QueryDeadlineMiss {
+        /// Query id.
+        query: u64,
+        /// The deadline that was missed.
+        deadline_ns: u64,
+        /// Simulated time the miss was observed.
+        at_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -153,6 +199,10 @@ impl TraceEvent {
             TraceEvent::Prefetch { .. } => "prefetch",
             TraceEvent::FineModeSwitch { .. } => "fine_mode_switch",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::QueryAdmitted { .. } => "query_admitted",
+            TraceEvent::QueryCompleted { .. } => "query_completed",
+            TraceEvent::QueryShed { .. } => "query_shed",
+            TraceEvent::QueryDeadlineMiss { .. } => "query_deadline_miss",
         }
     }
 
@@ -248,6 +298,53 @@ impl TraceEvent {
             } => vec![
                 ("steps", steps.to_string()),
                 ("walkers_finished", walkers_finished.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::QueryAdmitted {
+                query,
+                walkers,
+                deadline_ns,
+                at_ns,
+            } => vec![
+                ("query", query.to_string()),
+                ("walkers", walkers.to_string()),
+                (
+                    "deadline_ns",
+                    deadline_ns.map_or_else(|| "null".to_string(), |d| d.to_string()),
+                ),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::QueryCompleted {
+                query,
+                issued,
+                completed,
+                cancelled,
+                degraded,
+                at_ns,
+            } => vec![
+                ("query", query.to_string()),
+                ("issued", issued.to_string()),
+                ("completed", completed.to_string()),
+                ("cancelled", cancelled.to_string()),
+                ("degraded", degraded.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::QueryShed {
+                query,
+                retry_after_ns,
+                at_ns,
+            } => vec![
+                ("query", query.to_string()),
+                ("retry_after_ns", retry_after_ns.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::QueryDeadlineMiss {
+                query,
+                deadline_ns,
+                at_ns,
+            } => vec![
+                ("query", query.to_string()),
+                ("deadline_ns", deadline_ns.to_string()),
                 ("at_ns", at_ns.to_string()),
             ],
         }
@@ -529,7 +626,9 @@ impl RunAudit {
     /// 1. **step-attribution** — `steps == steps_on_block +
     ///    steps_on_presample + steps_on_raw`: every step came from exactly
     ///    one data source.
-    /// 2. **walker-completion** — `walkers_finished == total_walkers`.
+    /// 2. **walker-completion** — `walkers_finished + walkers_cancelled ==
+    ///    total_walkers`: every walker either completed its walk or was
+    ///    explicitly cancelled; no path may silently drop one.
     /// 3. **presample-balance** — `presamples_consumed <=
     ///    presamples_filled`: consumption cannot outrun production.
     /// 4. **load-byte-consistency** — bytes were loaded iff loads (and
@@ -551,12 +650,12 @@ impl RunAudit {
                 ),
             );
         }
-        if m.walkers_finished != self.total_walkers {
+        if m.walkers_finished + m.walkers_cancelled != self.total_walkers {
             fail(
                 "walker-completion",
                 format!(
-                    "walkers_finished {} != total_walkers {}",
-                    m.walkers_finished, self.total_walkers
+                    "walkers_finished {} + walkers_cancelled {} != total_walkers {}",
+                    m.walkers_finished, m.walkers_cancelled, self.total_walkers
                 ),
             );
         }
@@ -597,6 +696,40 @@ impl RunAudit {
 
         AuditReport { violations }
     }
+}
+
+/// Checks the per-query conservation law over a finished serving run:
+/// for every query id, **query-conservation** — walkers issued ==
+/// walkers completed + walkers cancelled (a cancelled walker must be
+/// counted, never dropped), and a query may not issue more walkers than
+/// its admitted budget.
+///
+/// The serving layer runs this in debug builds at every query
+/// completion, mirroring how the engines run
+/// [`RunAudit::verify`] on every run.
+pub fn audit_queries(stats: &[crate::query::QueryStats]) -> AuditReport {
+    let mut violations = Vec::new();
+    for s in stats {
+        if s.issued != s.completed + s.cancelled {
+            violations.push(Violation {
+                law: "query-conservation",
+                detail: format!(
+                    "query {}: issued {} != completed {} + cancelled {}",
+                    s.id, s.issued, s.completed, s.cancelled
+                ),
+            });
+        }
+        if s.issued > s.budget {
+            violations.push(Violation {
+                law: "query-conservation",
+                detail: format!(
+                    "query {}: issued {} exceeds admitted walker budget {}",
+                    s.id, s.issued, s.budget
+                ),
+            });
+        }
+    }
+    AuditReport { violations }
 }
 
 #[cfg(test)]
@@ -691,6 +824,85 @@ mod tests {
     fn assert_clean_panics_with_law_name() {
         let audit = RunAudit::with_floor(11, 0);
         audit.verify_metrics(&conserving_metrics()).assert_clean();
+    }
+
+    #[test]
+    fn cancelled_walkers_balance_the_completion_law() {
+        let audit = RunAudit::with_floor(10, 0);
+        let mut m = conserving_metrics();
+        m.walkers_finished = 7;
+        m.walkers_cancelled = 3;
+        audit.verify_metrics(&m).assert_clean();
+        m.walkers_cancelled = 2; // one walker silently dropped
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "walker-completion"
+        );
+    }
+
+    #[test]
+    fn query_conservation_law() {
+        use crate::query::QueryStats;
+        let ok = QueryStats {
+            id: 1,
+            budget: 64,
+            issued: 64,
+            completed: 60,
+            cancelled: 4,
+        };
+        assert!(audit_queries(std::slice::from_ref(&ok)).is_clean());
+        let dropped = QueryStats {
+            completed: 59,
+            ..ok.clone()
+        };
+        let r = audit_queries(&[ok.clone(), dropped]);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].law, "query-conservation");
+        assert!(r.violations[0].detail.contains("query 1"));
+        let over = QueryStats {
+            issued: 65,
+            completed: 61,
+            ..ok
+        };
+        let r = audit_queries(&[over]);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].detail.contains("exceeds"));
+    }
+
+    #[test]
+    fn query_events_export_cleanly() {
+        let mut sink = MemorySink::new();
+        sink.record(&TraceEvent::QueryAdmitted {
+            query: 3,
+            walkers: 64,
+            deadline_ns: None,
+            at_ns: 10,
+        });
+        sink.record(&TraceEvent::QueryDeadlineMiss {
+            query: 3,
+            deadline_ns: 500,
+            at_ns: 600,
+        });
+        sink.record(&TraceEvent::QueryCompleted {
+            query: 3,
+            issued: 64,
+            completed: 60,
+            cancelled: 4,
+            degraded: true,
+            at_ns: 700,
+        });
+        sink.record(&TraceEvent::QueryShed {
+            query: 4,
+            retry_after_ns: 1_000,
+            at_ns: 701,
+        });
+        let json = sink.to_json();
+        assert!(json.contains("\"event\":\"query_admitted\""));
+        assert!(json.contains("\"deadline_ns\":null"));
+        assert!(json.contains("\"event\":\"query_completed\",\"query\":3,\"issued\":64,\"completed\":60,\"cancelled\":4,\"degraded\":true"));
+        let tsv = sink.to_tsv();
+        assert!(tsv.contains("query_shed\tquery=4\tretry_after_ns=1000"));
+        assert!(tsv.contains("query_deadline_miss\tquery=3\tdeadline_ns=500"));
     }
 
     #[test]

@@ -115,9 +115,55 @@ impl WallTimer {
     }
 }
 
+/// A deterministic model of *service* time for the online serving layer.
+///
+/// The serving engine multiplexes queries over simulated rounds; between
+/// rounds it advances this clock by the round's modeled duration
+/// (`RunMetrics::sim_ns`) and while idle it jumps to the next query
+/// arrival. Every latency, deadline, and retry-after figure in
+/// `noswalker-serve` is derived from this clock, never from the host —
+/// which is what makes `noswalker-bench -- serve` replayable bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelClock {
+    now_ns: u64,
+}
+
+impl ModelClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        ModelClock::default()
+    }
+
+    /// Current modeled nanoseconds since the clock started.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the clock by `ns` (e.g. one serving round's `sim_ns`).
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(ns);
+    }
+
+    /// Jumps forward to absolute time `t_ns`; earlier times are ignored
+    /// (the clock is monotone).
+    pub fn advance_to(&mut self, t_ns: u64) {
+        self.now_ns = self.now_ns.max(t_ns);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn model_clock_is_monotone() {
+        let mut c = ModelClock::new();
+        c.advance(50);
+        c.advance_to(40); // never goes backwards
+        assert_eq!(c.now_ns(), 50);
+        c.advance_to(120);
+        assert_eq!(c.now_ns(), 120);
+    }
 
     #[test]
     fn wall_timer_is_monotonic() {

@@ -369,7 +369,7 @@ impl<'e, A: Walk> Run<'e, A> {
     // ------------------------------------------------------------------
 
     fn remaining(&self) -> u64 {
-        self.total - self.metrics.walkers_finished
+        self.total - self.metrics.walkers_finished - self.metrics.walkers_cancelled
     }
 
     /// The effective walker pool capacity (see
@@ -399,10 +399,15 @@ impl<'e, A: Walk> Run<'e, A> {
 
     fn retire(&mut self, i: usize) {
         let w = take_live(&mut self.slab, i);
+        let cancelled = self.app.is_cancelled(&w);
         self.app.on_terminate(&w);
         self.free.push(i);
         self.live -= 1;
-        self.metrics.record_walker_finished();
+        if cancelled {
+            self.metrics.record_walker_cancelled();
+        } else {
+            self.metrics.record_walker_finished();
+        }
     }
 
     /// Re-buckets walker `i` by `needed`; no-op if it terminated.
@@ -422,8 +427,13 @@ impl<'e, A: Walk> Run<'e, A> {
             let w = self.app.generate(self.next_id, &mut self.rng);
             self.next_id += 1;
             if !self.app.is_active(&w) {
+                let cancelled = self.app.is_cancelled(&w);
                 self.app.on_terminate(&w);
-                self.metrics.record_walker_finished();
+                if cancelled {
+                    self.metrics.record_walker_cancelled();
+                } else {
+                    self.metrics.record_walker_finished();
+                }
                 continue;
             }
             let v = needed(self, &w);
@@ -514,6 +524,7 @@ impl<'e, A: Walk> Run<'e, A> {
                 }
                 Peek::Empty => {
                     peeked_buf(&mut self.presample, b).record_stall(loc);
+                    self.metrics.record_presample_stall();
                     break;
                 }
             }
@@ -1150,6 +1161,7 @@ impl<'e, A: SecondOrderWalk> Run<'e, A> {
             }
             Peek::Empty => {
                 peeked_buf(&mut self.presample, b).record_stall(loc);
+                self.metrics.record_presample_stall();
                 0
             }
         }

@@ -86,16 +86,18 @@ pub mod metrics;
 pub mod options;
 pub mod parallel;
 pub mod presample;
+pub mod query;
 pub mod threaded;
 pub mod walk;
 
-pub use audit::{AuditReport, MemorySink, RunAudit, Trace, TraceEvent, TraceSink};
+pub use audit::{audit_queries, AuditReport, MemorySink, RunAudit, Trace, TraceEvent, TraceSink};
 pub use block::{BlockCache, FineLoad, LoadedBlock};
-pub use clock::{PipelineClock, WallTimer};
+pub use clock::{ModelClock, PipelineClock, WallTimer};
 pub use disk_graph::{OnDiskGraph, StoreError};
 pub use engine::{EngineError, NosWalkerEngine};
-pub use metrics::{RunMetrics, StepSource};
+pub use metrics::{LatencyHistogram, RunMetrics, StepSource};
 pub use options::EngineOptions;
+pub use query::{QueryId, QuerySource, QuerySpec, QueryStats, StaticQuerySource};
 pub use walk::{uniform_sample, SecondOrderWalk, Walk, WalkRng};
 
 /// Convenience prelude for implementing applications.

@@ -61,6 +61,15 @@ pub struct RunMetrics {
     pub fine_loads: u64,
     /// Walkers that finished.
     pub walkers_finished: u64,
+    /// Walkers retired by cancellation (their query was withdrawn — e.g. a
+    /// serving deadline fired) rather than by completing their walk. The
+    /// walker-completion audit law balances finished + cancelled against
+    /// the total, so no cancellation path can silently drop a walker.
+    pub walkers_cancelled: u64,
+    /// Walker visits that found an empty reserved pre-sample slot and had
+    /// to wait for the block (the sequential mirror of `pool_stalls`; the
+    /// serving layer's shedding policy watches this rate).
+    pub presample_stalls: u64,
     /// Step count at which the engine switched to fine-grained mode
     /// (`None` = never switched).
     pub fine_mode_at_step: Option<u64>,
@@ -120,6 +129,20 @@ impl RunMetrics {
     /// Records one walker reaching its end state.
     pub fn record_walker_finished(&mut self) {
         self.walkers_finished += 1;
+    }
+
+    /// Records one walker retired by cancellation (its query was withdrawn
+    /// before the walk completed). Every cancellation path must tick this
+    /// counter — the walker-completion audit law checks
+    /// `finished + cancelled == total`.
+    pub fn record_walker_cancelled(&mut self) {
+        self.walkers_cancelled += 1;
+    }
+
+    /// Records a walker visit that found an empty reserved pre-sample slot
+    /// (the walker stalls until its block loads).
+    pub fn record_presample_stall(&mut self) {
+        self.presample_stalls += 1;
     }
 
     /// Overwrites the finished-walker count from an engine that tracks
@@ -254,6 +277,8 @@ impl RunMetrics {
         self.coarse_loads += other.coarse_loads;
         self.fine_loads += other.fine_loads;
         self.walkers_finished += other.walkers_finished;
+        self.walkers_cancelled += other.walkers_cancelled;
+        self.presample_stalls += other.presample_stalls;
         if self.fine_mode_at_step.is_none() {
             self.fine_mode_at_step = other.fine_mode_at_step;
         }
@@ -308,6 +333,221 @@ impl RunMetrics {
             (self.io_busy_ns as f64 / self.sim_ns as f64).min(1.0)
         }
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot writer (the single field enumeration every report uses)
+    // ------------------------------------------------------------------
+
+    /// Every counter as `(name, JSON scalar)` in declaration order — the
+    /// one place that enumerates the fields. The CLI report, the bench
+    /// JSON artifacts, and the TSV writers all render from this list, so
+    /// a new counter shows up everywhere at once instead of drifting
+    /// between hand-rolled copies.
+    pub fn snapshot_fields(&self) -> Vec<(&'static str, String)> {
+        let opt = |v: Option<u64>| v.map_or_else(|| "null".into(), |s| s.to_string());
+        vec![
+            ("sim_ns", self.sim_ns.to_string()),
+            ("wall_ns", self.wall_ns.to_string()),
+            ("stall_ns", self.stall_ns.to_string()),
+            ("io_busy_ns", self.io_busy_ns.to_string()),
+            ("steps", self.steps.to_string()),
+            ("steps_on_block", self.steps_on_block.to_string()),
+            ("steps_on_presample", self.steps_on_presample.to_string()),
+            ("steps_on_raw", self.steps_on_raw.to_string()),
+            ("edge_bytes_loaded", self.edge_bytes_loaded.to_string()),
+            ("edges_loaded", self.edges_loaded.to_string()),
+            ("io_ops", self.io_ops.to_string()),
+            ("swap_bytes", self.swap_bytes.to_string()),
+            ("coarse_loads", self.coarse_loads.to_string()),
+            ("fine_loads", self.fine_loads.to_string()),
+            ("walkers_finished", self.walkers_finished.to_string()),
+            ("walkers_cancelled", self.walkers_cancelled.to_string()),
+            ("presample_stalls", self.presample_stalls.to_string()),
+            ("fine_mode_at_step", opt(self.fine_mode_at_step)),
+            ("presamples_filled", self.presamples_filled.to_string()),
+            ("presamples_consumed", self.presamples_consumed.to_string()),
+            ("pool_publishes", self.pool_publishes.to_string()),
+            ("pool_stalls", self.pool_stalls.to_string()),
+            ("prefetch_hits", self.prefetch_hits.to_string()),
+            ("prefetch_wasted", self.prefetch_wasted.to_string()),
+            ("accepts", self.accepts.to_string()),
+            ("rejects", self.rejects.to_string()),
+            ("peak_memory", self.peak_memory.to_string()),
+        ]
+    }
+
+    /// The snapshot as one JSON object, indented by `indent` spaces per
+    /// level (values are the raw scalars from [`RunMetrics::snapshot_fields`]).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let fields = self.snapshot_fields();
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let comma = if i + 1 < fields.len() { "," } else { "" };
+            out.push_str(&format!("{pad}{pad}\"{k}\": {v}{comma}\n"));
+        }
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+
+    /// Tab-separated header matching [`RunMetrics::to_tsv_row`].
+    pub fn tsv_header() -> String {
+        RunMetrics::default()
+            .snapshot_fields()
+            .iter()
+            .map(|(k, _)| *k)
+            .collect::<Vec<_>>()
+            .join("\t")
+    }
+
+    /// The snapshot as one tab-separated row (`null` for an unset
+    /// optional).
+    pub fn to_tsv_row(&self) -> String {
+        self.snapshot_fields()
+            .iter()
+            .map(|(_, v)| v.as_str())
+            .collect::<Vec<_>>()
+            .join("\t")
+    }
+}
+
+// ----------------------------------------------------------------------
+// Latency histogram (serving observability)
+// ----------------------------------------------------------------------
+
+/// Sub-buckets per power-of-two octave: bounds the relative quantile
+/// error to `1/SUB_BUCKETS` while keeping the whole `u64` range in under
+/// a thousand buckets.
+const SUB_BUCKETS: u64 = 16;
+const SUB_SHIFT: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// A log-bucketed latency histogram (log-linear, HdrHistogram-style).
+///
+/// Values below [`SUB_BUCKETS`] get exact unit-width buckets; above, each
+/// power-of-two octave is split into [`SUB_BUCKETS`] linear sub-buckets,
+/// so recorded values land within `1/16` of their true magnitude. Merge
+/// is element-wise addition, which makes it associative and commutative —
+/// per-worker or per-round histograms fold into totals in any order.
+///
+/// The serving layer keeps one per query class and reports
+/// p50/p90/p99 from [`LatencyHistogram::quantile`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// The bucket index covering `v` (log-linear: exact below
+    /// [`SUB_BUCKETS`], `1/SUB_BUCKETS` relative width above).
+    pub fn bucket_of(v: u64) -> usize {
+        if v < SUB_BUCKETS {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros();
+        let shift = octave - SUB_SHIFT;
+        let sub = (v >> shift) - SUB_BUCKETS;
+        ((u64::from(shift) + 1) * SUB_BUCKETS + sub) as usize
+    }
+
+    /// The smallest value that lands in bucket `i` (inclusive lower
+    /// bound; bucket `i` covers `[lower(i), lower(i + 1))`).
+    pub fn bucket_lower(i: usize) -> u64 {
+        let i = i as u64;
+        if i < 2 * SUB_BUCKETS {
+            return i;
+        }
+        let block = i / SUB_BUCKETS - 1;
+        let pos = i % SUB_BUCKETS;
+        (SUB_BUCKETS + pos) << block
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let i = Self::bucket_of(v);
+        if self.counts.len() <= i {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) with linear interpolation inside
+    /// the covering bucket. Returns 0 on an empty histogram; `q = 1.0`
+    /// returns the exact recorded maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = Self::bucket_lower(i);
+                let width = Self::bucket_lower(i + 1) - lo;
+                // Midpoint-of-rank interpolation: the k-th of n values in
+                // a bucket sits at fraction (k - 0.5) / n of its width.
+                let frac = (rank - seen) as f64 - 0.5;
+                let est = lo as f64 + width as f64 * (frac / n as f64);
+                return (est as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` (element-wise; associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Shared per-run counters for the real-thread runner: the cross-thread
@@ -323,12 +563,18 @@ pub(crate) struct SharedMetrics {
     pool_publishes: AtomicU64,
     pool_stalls: AtomicU64,
     finished: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 impl SharedMetrics {
     /// Adds `n` finished walkers (coordinator-side terminations).
     pub(crate) fn add_finished(&self, n: u64) {
         self.finished.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` cancelled walkers (coordinator-side cancellations).
+    pub(crate) fn add_cancelled(&self, n: u64) {
+        self.cancelled.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds `draws` pre-sample slots drawn by a background refill.
@@ -352,6 +598,7 @@ impl SharedMetrics {
         m.pool_publishes = self.pool_publishes.load(Ordering::Relaxed);
         m.pool_stalls = self.pool_stalls.load(Ordering::Relaxed);
         m.walkers_finished = self.finished.load(Ordering::Relaxed);
+        m.walkers_cancelled = self.cancelled.load(Ordering::Relaxed);
     }
 }
 
@@ -366,6 +613,7 @@ pub(crate) struct LocalCounters {
     presamples_consumed: u64,
     pool_stalls: u64,
     finished: u64,
+    cancelled: u64,
 }
 
 impl LocalCounters {
@@ -394,6 +642,12 @@ impl LocalCounters {
     /// Records one walker reaching its end state.
     pub(crate) fn record_finished(&mut self) {
         self.finished += 1;
+    }
+
+    /// Records one walker retired by cancellation (see
+    /// [`RunMetrics::record_walker_cancelled`]).
+    pub(crate) fn record_cancelled(&mut self) {
+        self.cancelled += 1;
     }
 
     /// Total steps recorded so far (the runner's deterministic compute
@@ -427,6 +681,9 @@ impl LocalCounters {
             .pool_stalls
             .fetch_add(self.pool_stalls, Ordering::Relaxed);
         shared.finished.fetch_add(self.finished, Ordering::Relaxed);
+        shared
+            .cancelled
+            .fetch_add(self.cancelled, Ordering::Relaxed);
     }
 }
 
@@ -544,5 +801,163 @@ mod tests {
         assert_eq!(m.edges_per_step(), 0.0);
         assert_eq!(m.steps_per_sec(), 0.0);
         assert_eq!(m.io_utilization(), 0.0);
+    }
+
+    #[test]
+    fn cancelled_walkers_are_tracked_and_merged() {
+        let mut m = RunMetrics::default();
+        m.record_walker_finished();
+        m.record_walker_cancelled();
+        m.record_walker_cancelled();
+        m.record_presample_stall();
+        let mut other = RunMetrics::default();
+        other.record_walker_cancelled();
+        other.record_presample_stall();
+        m.merge(&other);
+        assert_eq!(m.walkers_finished, 1);
+        assert_eq!(m.walkers_cancelled, 3);
+        assert_eq!(m.presample_stalls, 2);
+    }
+
+    #[test]
+    fn shared_metrics_carry_cancellations() {
+        let shared = SharedMetrics::default();
+        let mut local = LocalCounters::default();
+        local.record_cancelled();
+        local.record_finished();
+        local.flush(&shared);
+        shared.add_cancelled(2);
+        let mut m = RunMetrics::default();
+        shared.drain_into(&mut m);
+        assert_eq!(m.walkers_cancelled, 3);
+        assert_eq!(m.walkers_finished, 1);
+    }
+
+    #[test]
+    fn snapshot_enumerates_every_counter_once() {
+        let mut m = RunMetrics::default();
+        m.record_walker_cancelled();
+        m.mark_fine_mode_switch();
+        let fields = m.snapshot_fields();
+        let mut names: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate snapshot field");
+        for key in [
+            "sim_ns",
+            "steps",
+            "walkers_finished",
+            "walkers_cancelled",
+            "presample_stalls",
+            "pool_stalls",
+            "prefetch_hits",
+            "peak_memory",
+        ] {
+            assert!(names.binary_search(&key).is_ok(), "missing {key}");
+        }
+        let json = m.to_json(2);
+        assert!(json.contains("\"walkers_cancelled\": 1"));
+        assert!(json.contains("\"fine_mode_at_step\": 0"));
+        assert!(RunMetrics::default()
+            .to_json(2)
+            .contains("\"fine_mode_at_step\": null"));
+        let header = RunMetrics::tsv_header();
+        let row = m.to_tsv_row();
+        assert_eq!(
+            header.split('\t').count(),
+            row.split('\t').count(),
+            "TSV header and row must align"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Latency histogram
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn histogram_bucket_boundaries_are_log_linear() {
+        // Exact unit buckets below SUB_BUCKETS…
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(LatencyHistogram::bucket_of(v), v as usize);
+            assert_eq!(LatencyHistogram::bucket_lower(v as usize), v);
+        }
+        // …then each octave splits into SUB_BUCKETS linear sub-buckets.
+        assert_eq!(LatencyHistogram::bucket_of(16), 16);
+        assert_eq!(LatencyHistogram::bucket_of(31), 31);
+        assert_eq!(LatencyHistogram::bucket_of(32), 32);
+        assert_eq!(LatencyHistogram::bucket_of(33), 32); // width-2 bucket
+        assert_eq!(LatencyHistogram::bucket_of(63), 47);
+        assert_eq!(LatencyHistogram::bucket_of(64), 48);
+        assert_eq!(LatencyHistogram::bucket_lower(32), 32);
+        assert_eq!(LatencyHistogram::bucket_lower(47), 62);
+        assert_eq!(LatencyHistogram::bucket_lower(48), 64);
+        // Every value lands in the bucket whose range contains it, and
+        // bucket widths bound the relative error by 1/SUB_BUCKETS.
+        for v in [1u64, 15, 16, 100, 1_000, 123_456, 1 << 40, u64::MAX / 2] {
+            let i = LatencyHistogram::bucket_of(v);
+            let lo = LatencyHistogram::bucket_lower(i);
+            let hi = LatencyHistogram::bucket_lower(i + 1);
+            assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+            assert!(
+                hi - lo <= (lo / SUB_BUCKETS).max(1),
+                "bucket too wide at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        // Small exact values: quantiles are exact.
+        for v in 1..=10 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.1), 1);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.max(), 10);
+        assert!((h.mean() - 5.5).abs() < 1e-9);
+        // A bucketed value keeps 1/SUB_BUCKETS relative accuracy, and the
+        // estimate interpolates inside the bucket instead of snapping to
+        // its lower bound.
+        let mut big = LatencyHistogram::new();
+        big.record(1_000_000);
+        let p50 = big.quantile(0.5);
+        let err = (p50 as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err <= 1.0 / SUB_BUCKETS as f64, "p50 {p50} off by {err}");
+        let lo = LatencyHistogram::bucket_lower(LatencyHistogram::bucket_of(1_000_000));
+        assert!(p50 > lo, "interpolation must land inside the bucket");
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let samples: [&[u64]; 3] = [&[1, 5, 900, 70_000], &[2, 2, 2, 1 << 30], &[40, 41, 65_536]];
+        let hist = |vals: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (hist(samples[0]), hist(samples[1]), hist(samples[2]));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == record-all-at-once.
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        let all: Vec<u64> = samples.iter().flat_map(|s| s.iter().copied()).collect();
+        let direct = hist(&all);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, direct);
+        assert_eq!(ab_c.count(), 11);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(ab_c.quantile(q), direct.quantile(q));
+        }
     }
 }

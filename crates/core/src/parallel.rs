@@ -382,8 +382,13 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                     let w = self.app.generate(next_id, &mut rng);
                     next_id += 1;
                     if !self.app.is_active(&w) {
+                        let cancelled = self.app.is_cancelled(&w);
                         self.app.on_terminate(&w);
-                        shared.add_finished(1);
+                        if cancelled {
+                            shared.add_cancelled(1);
+                        } else {
+                            shared.add_finished(1);
+                        }
                         continue;
                     }
                     let b = bucket_of(&self.app, &w, &self.graph);
@@ -723,10 +728,16 @@ enum OnBlock {
     Left,
 }
 
-/// Finalizes a finished walker.
+/// Finalizes a finished walker, attributing a cancellation to the
+/// cancelled counter so the walker-completion law stays balanced.
 fn finish<A: Walk>(app: &A, local: &mut LocalCounters, w: A::Walker) {
+    let cancelled = app.is_cancelled(&w);
     app.on_terminate(&w);
-    local.record_finished();
+    if cancelled {
+        local.record_cancelled();
+    } else {
+        local.record_finished();
+    }
 }
 
 /// Moves one walker as far as the resident block carries it.

@@ -1,0 +1,159 @@
+//! Query-driven walker generation — the serving front end's contract.
+//!
+//! The paper's property (b) (walkers are independent; the engine only
+//! needs a bounded pool runnable at a time, generating new walkers as old
+//! ones terminate — Algorithm 1) means walker generation does not have to
+//! come from a fixed up-front walk plan: it can be driven by a *live
+//! queue of queries*. [`QuerySource`] is that abstraction. Each
+//! [`QuerySpec`] pulled from a source carries a walker budget, a class
+//! label (binding it to an application — PPR, DeepWalk, …), and an
+//! optional deadline in simulated time.
+//!
+//! `noswalker-serve` provides the production implementation (an admission
+//! controller with bounded in-flight quota, deadline-aware ordering and
+//! backpressure); [`StaticQuerySource`] here is the minimal FIFO
+//! reference implementation used by tests and examples.
+//!
+//! Terminal accounting lands in [`QueryStats`], which the per-query
+//! conservation law ([`crate::audit::audit_queries`]) checks: walkers
+//! issued must equal walkers completed plus walkers cancelled — a
+//! timeout may cancel a walker, but it may never silently drop one.
+
+use std::collections::VecDeque;
+
+/// Identifies one query for its whole lifetime (admission → completion
+/// or shed).
+pub type QueryId = u64;
+
+/// What one query asks of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Unique id, assigned at arrival.
+    pub id: QueryId,
+    /// Class label for latency reporting (e.g. `"ppr"`, `"deepwalk"`);
+    /// the serving layer keeps one histogram per class.
+    pub class: String,
+    /// Walker budget: how many walkers the query may issue in total.
+    pub walkers: u64,
+    /// Maximum steps per walker.
+    pub walk_length: u32,
+    /// Absolute deadline in simulated nanoseconds (`None` = best
+    /// effort). Past the deadline, remaining walkers are cancelled and
+    /// the result is returned partial, flagged degraded.
+    pub deadline_ns: Option<u64>,
+    /// Simulated arrival time (latency is measured from here).
+    pub arrival_ns: u64,
+}
+
+/// Terminal walker accounting for one query — the input to the
+/// per-query conservation law ([`crate::audit::audit_queries`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// The query.
+    pub id: QueryId,
+    /// Admitted walker budget.
+    pub budget: u64,
+    /// Walkers actually issued into an engine.
+    pub issued: u64,
+    /// Issued walkers that completed their walk.
+    pub completed: u64,
+    /// Issued walkers retired by cancellation.
+    pub cancelled: u64,
+}
+
+/// A live source of queries: the serving loop pulls admitted work from
+/// it instead of iterating a fixed walk plan.
+///
+/// All times are simulated nanoseconds on the serving loop's clock, so a
+/// trace replay is deterministic.
+pub trait QuerySource {
+    /// The next query ready to start at time `now_ns` given `room` free
+    /// walker slots, or `None` when nothing is admissible right now
+    /// (either nothing has arrived yet, or every waiting query needs
+    /// more than `room` walkers).
+    fn next_ready(&mut self, now_ns: u64, room: u64) -> Option<QuerySpec>;
+
+    /// The earliest future time at which [`QuerySource::next_ready`] may
+    /// have new work (`None` when nothing further is scheduled); an idle
+    /// serving loop advances its clock here instead of spinning.
+    fn next_pending_at(&self, now_ns: u64) -> Option<u64>;
+
+    /// True once the source will never produce another query.
+    fn is_exhausted(&self) -> bool;
+}
+
+/// The minimal [`QuerySource`]: a fixed arrival schedule served FIFO
+/// with no admission policy beyond the caller's `room`. Used by tests
+/// and examples; the production source is `noswalker-serve`'s admission
+/// controller.
+#[derive(Debug, Default)]
+pub struct StaticQuerySource {
+    queue: VecDeque<QuerySpec>,
+}
+
+impl StaticQuerySource {
+    /// A source over `specs`, served in ascending `arrival_ns` order.
+    pub fn new(mut specs: Vec<QuerySpec>) -> Self {
+        specs.sort_by_key(|s| s.arrival_ns);
+        StaticQuerySource {
+            queue: specs.into(),
+        }
+    }
+
+    /// Queries not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl QuerySource for StaticQuerySource {
+    fn next_ready(&mut self, now_ns: u64, room: u64) -> Option<QuerySpec> {
+        let head = self.queue.front()?;
+        if head.arrival_ns <= now_ns && head.walkers <= room {
+            self.queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn next_pending_at(&self, now_ns: u64) -> Option<u64> {
+        self.queue.front().map(|s| s.arrival_ns.max(now_ns))
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: QueryId, arrival_ns: u64, walkers: u64) -> QuerySpec {
+        QuerySpec {
+            id,
+            class: "test".into(),
+            walkers,
+            walk_length: 4,
+            deadline_ns: None,
+            arrival_ns,
+        }
+    }
+
+    #[test]
+    fn static_source_serves_fifo_by_arrival() {
+        let mut src = StaticQuerySource::new(vec![spec(2, 50, 8), spec(1, 10, 8)]);
+        assert!(!src.is_exhausted());
+        assert_eq!(src.next_pending_at(0), Some(10));
+        // Nothing has arrived at t=5.
+        assert!(src.next_ready(5, 100).is_none());
+        let q = src.next_ready(10, 100).unwrap();
+        assert_eq!(q.id, 1);
+        // Head arrived but needs more room than offered.
+        assert!(src.next_ready(60, 4).is_none());
+        assert_eq!(src.next_pending_at(60), Some(60));
+        assert_eq!(src.next_ready(60, 8).unwrap().id, 2);
+        assert!(src.is_exhausted());
+        assert_eq!(src.next_pending_at(60), None);
+    }
+}

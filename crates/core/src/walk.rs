@@ -75,6 +75,18 @@ pub trait Walk: Send + Sync {
         let _ = w;
     }
 
+    /// Whether a terminating walker ended by *cancellation* — its query
+    /// was withdrawn (e.g. a serving deadline fired) before the walk
+    /// completed — rather than by finishing naturally. Engines consult
+    /// this at every retirement site to attribute the walker to
+    /// `walkers_cancelled` instead of `walkers_finished`, keeping the
+    /// walker-completion audit law balanced. Offline apps never cancel;
+    /// the default is `false`.
+    fn is_cancelled(&self, w: &Self::Walker) -> bool {
+        let _ = w;
+        false
+    }
+
     /// Bytes of memory charged per live walker.
     fn state_bytes(&self) -> usize {
         std::mem::size_of::<Self::Walker>().max(1)

@@ -1,0 +1,9 @@
+//! Fixture: blocks and reads the wall clock inside the serving crate.
+
+pub fn pace() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,15 +1,16 @@
-//! The seven nosw-lint rules (L1–L7) plus the suppression-annotation
+//! The eight nosw-lint rules (L1–L8) plus the suppression-annotation
 //! bookkeeping that backs the `LINT` `ALLOW` mechanism.
 //!
 //! | rule | invariant |
 //! |---|---|
 //! | L1 | `RunMetrics` fields are only written through the tracked helpers in `crates/core/src/metrics.rs` |
-//! | L2 | every `TraceEvent` variant has an emit site (engine/baselines) and a handling site (its defining module) |
+//! | L2 | every `TraceEvent` variant has an emit site (engine/baselines/serve) and a handling site (its defining module) |
 //! | L3 | wall-clock reads (`Instant::now`, `SystemTime::now`) only in `clock.rs`, `crates/bench`, `crates/cli` |
 //! | L4 | threads are only spawned in `threaded.rs` / `parallel.rs` |
 //! | L5 | no `unwrap`/`expect`/`panic!` family in library code of core/storage/graph |
 //! | L6 | every `unsafe` is preceded by a `SAFETY:` comment; unsafe-free crates `#![forbid(unsafe_code)]` |
 //! | L7 | `std::sync::atomic` types in `crates/core/src` only in `metrics.rs`, `presample.rs`, `parallel.rs` |
+//! | L8 | no `thread::sleep` or raw clock reads in `crates/serve/src` — serving hot paths use modeled time (`clock.rs` / `WallTimer`) |
 //!
 //! Rules are *self-configuring*: the `RunMetrics` field set and the
 //! `TraceEvent` variant list are parsed out of the scanned sources, so
@@ -329,6 +330,13 @@ fn l3_exempt(path: &str) -> bool {
     path.ends_with("/clock.rs")
         || path.starts_with("crates/bench/")
         || path.starts_with("crates/cli/")
+        // The serving crate is policed by the stricter L8 instead, so a raw
+        // clock read there fires exactly one rule.
+        || path.starts_with("crates/serve/")
+}
+
+fn l8_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
 }
 
 fn l4_exempt(path: &str) -> bool {
@@ -396,6 +404,36 @@ fn collect_hits(a: &Analysis, fields: &HashSet<String>) -> Vec<Hit> {
                        with PipelineClock); only clock.rs touches std::time directly"
                     .into(),
             });
+        }
+        // L8: the online serving hot paths must stay deterministic — no
+        // blocking sleeps and no raw wall-clock reads. (L3 is waived for
+        // crates/serve so a clock read there is reported once, as L8.)
+        if l8_scope(&a.path) {
+            if a.t(i) == "thread" && a.t(i + 1) == "::" && a.t(i + 2) == "sleep" {
+                hits.push(Hit {
+                    rule: "L8",
+                    line,
+                    message: "`thread::sleep` in a serving hot path".into(),
+                    hint: "serve advances modeled time (now_ns) between rounds; pacing \
+                           belongs in the load generator, never as a blocking sleep"
+                        .into(),
+                });
+            }
+            if a.is_ident(i)
+                && (a.t(i) == "Instant" || a.t(i) == "SystemTime")
+                && a.t(i + 1) == "::"
+                && a.t(i + 2) == "now"
+            {
+                hits.push(Hit {
+                    rule: "L8",
+                    line,
+                    message: format!("raw clock read `{}::now` in a serving hot path", a.t(i)),
+                    hint: "serve must stay replayable: derive time from the modeled clock \
+                           (query arrival_ns + per-round sim_ns), or measure through \
+                           noswalker_core::WallTimer at the CLI/bench boundary"
+                        .into(),
+                });
+            }
         }
         // L4: thread spawns outside the sanctioned concurrency modules.
         if !l4_exempt(&a.path)
@@ -550,7 +588,8 @@ pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
         for a in &analyses {
             let is_def = a.path == tr.def_path;
             let in_engine = a.path.starts_with("crates/core/src/")
-                || a.path.starts_with("crates/baselines/src/");
+                || a.path.starts_with("crates/baselines/src/")
+                || a.path.starts_with("crates/serve/src/");
             if !is_def && !in_engine {
                 continue;
             }

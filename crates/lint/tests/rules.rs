@@ -15,6 +15,7 @@ const L5: &str = include_str!("../fixtures/l5_unwrap.rs");
 const L5_ALLOWED: &str = include_str!("../fixtures/l5_allowed.rs");
 const L6: &str = include_str!("../fixtures/l6_unsafe.rs");
 const L7: &str = include_str!("../fixtures/l7_atomics.rs");
+const L8: &str = include_str!("../fixtures/l8_blocking.rs");
 
 fn file(path: &str, text: &str) -> SourceFile {
     SourceFile {
@@ -110,6 +111,38 @@ fn l3_raw_clock_reads_are_flagged_outside_exempt_crates() {
         let vs = lint_files(&[file(exempt, L3)], &Allowlist::empty());
         assert!(vs.is_empty(), "{exempt}: {vs:?}");
     }
+}
+
+#[test]
+fn l8_blocking_and_clock_reads_are_flagged_in_serve() {
+    let vs = lint_files(
+        &[file("crates/serve/src/engine.rs", L8)],
+        &Allowlist::empty(),
+    );
+    // Exactly one rule fires per site: L3 is waived in crates/serve, so the
+    // clock read is reported once, as L8.
+    assert_eq!(rules_of(&vs), vec!["L8", "L8"], "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+    assert!(vs[0].message.contains("thread::sleep"));
+    assert_eq!(vs[1].line, 8);
+    assert!(vs[1].message.contains("Instant::now"));
+}
+
+#[test]
+fn l8_is_scoped_to_the_serve_crate() {
+    // In the measurement crates the same source is fine (L3-exempt, no L8).
+    let vs = lint_files(
+        &[file("crates/bench/src/runner.rs", L8)],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    // In the engine only the ordinary L3 clock rule fires; the sleep is a
+    // serving-specific concern.
+    let vs = lint_files(
+        &[file("crates/core/src/engine.rs", L8)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L3"], "{vs:?}");
 }
 
 #[test]

@@ -1,0 +1,466 @@
+//! Multiplexing many live queries into one engine run.
+//!
+//! Each serving round, the engine snapshots its active queries into a
+//! [`QueryTable`] and wraps them in a [`RoundApp`] — a single
+//! [`Walk`] application whose walkers carry the index of the query they
+//! belong to. Deadline enforcement is embedded in the walk itself: every
+//! step decrements the owning query's modeled step allowance, and when it
+//! runs out the query's `cancelled` flag flips, its walkers stop being
+//! active, and the engine retires them through the cancellation path
+//! ([`Walk::is_cancelled`]) so the walker-completion audit law stays
+//! balanced.
+
+use noswalker_core::apps_prelude::*;
+use rand::Rng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The application a query binds its walkers to.
+///
+/// All bindings are first-order (paper property (a)), so their samples can
+/// be served from pre-sample buffers; second-order queries (node2vec) need
+/// the rejection-sampling run loop and are out of the serving layer's
+/// scope (see DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryClass {
+    /// Plain fixed-length walks from vertices `k mod |V|`.
+    Basic,
+    /// Personalized PageRank: every walker starts at `source`.
+    Ppr {
+        /// The PPR query source vertex.
+        source: VertexId,
+    },
+    /// Random walk with restart: like PPR but each step teleports back to
+    /// `source` with probability `restart`.
+    Rwr {
+        /// The restart anchor vertex.
+        source: VertexId,
+        /// Per-step teleport probability.
+        restart: f32,
+    },
+    /// DeepWalk corpus slice: walker `k` starts at vertex `start + k`.
+    DeepWalk {
+        /// First vertex of the slice.
+        start: VertexId,
+    },
+}
+
+impl QueryClass {
+    /// Parses a class spec: `basic`, `ppr:<src>`, `rwr:<src>:<restart>`,
+    /// `deepwalk:<start>`.
+    pub fn parse(spec: &str) -> Option<QueryClass> {
+        let mut parts = spec.split(':');
+        let head = parts.next()?;
+        let class = match head {
+            "basic" => QueryClass::Basic,
+            "ppr" => QueryClass::Ppr {
+                source: parts.next()?.parse().ok()?,
+            },
+            "rwr" => QueryClass::Rwr {
+                source: parts.next()?.parse().ok()?,
+                restart: match parts.next() {
+                    Some(r) => r.parse().ok().filter(|r| (0.0..=1.0).contains(r))?,
+                    None => 0.15,
+                },
+            },
+            "deepwalk" => QueryClass::DeepWalk {
+                start: parts.next()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(class)
+    }
+
+    /// The histogram/reporting class name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryClass::Basic => "basic",
+            QueryClass::Ppr { .. } => "ppr",
+            QueryClass::Rwr { .. } => "rwr",
+            QueryClass::DeepWalk { .. } => "deepwalk",
+        }
+    }
+
+    /// Start vertex of the query's `k`-th walker on a graph of
+    /// `num_vertices` vertices.
+    pub fn start_vertex(&self, k: u64, num_vertices: u32) -> VertexId {
+        let nv = num_vertices.max(1);
+        match self {
+            QueryClass::Basic => (k % nv as u64) as VertexId,
+            QueryClass::Ppr { source } => source % nv,
+            QueryClass::Rwr { source, .. } => source % nv,
+            QueryClass::DeepWalk { start } => ((*start as u64 + k) % nv as u64) as VertexId,
+        }
+    }
+}
+
+/// Per-round, per-query shared state read and written by walker callbacks.
+///
+/// Callbacks take `&self`, so the mutable pieces are atomics; under the
+/// sequential engine they are plain interior mutability and every round is
+/// deterministic.
+#[derive(Debug)]
+struct Slot {
+    class: QueryClass,
+    length: u32,
+    /// Modeled steps the query may take this round before its deadline
+    /// passes (`None` = no deadline).
+    allowance: Option<u64>,
+    steps_taken: AtomicU64,
+    cancel_flag: AtomicBool,
+    completed_walkers: AtomicU64,
+    cancelled_walkers: AtomicU64,
+    digest: AtomicU64,
+}
+
+/// The active-query table for one serving round.
+#[derive(Debug, Default)]
+pub struct QueryTable {
+    slots: Vec<Slot>,
+}
+
+fn mix(v: VertexId) -> u64 {
+    (v as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl QueryTable {
+    /// Builds the table; one entry per active query:
+    /// `(class, walk_length, step_allowance)`.
+    pub fn new(entries: Vec<(QueryClass, u32, Option<u64>)>) -> Self {
+        QueryTable {
+            slots: entries
+                .into_iter()
+                .map(|(class, length, allowance)| Slot {
+                    class,
+                    length,
+                    allowance,
+                    steps_taken: AtomicU64::new(0),
+                    cancel_flag: AtomicBool::new(false),
+                    completed_walkers: AtomicU64::new(0),
+                    cancelled_walkers: AtomicU64::new(0),
+                    digest: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `slot`'s query has been cancelled (deadline allowance
+    /// exhausted).
+    pub fn is_cancelled(&self, slot: u32) -> bool {
+        self.slots[slot as usize]
+            .cancel_flag
+            .load(Ordering::Relaxed)
+    }
+
+    /// Walkers of `slot` retired as completed this round.
+    pub fn completed_walkers(&self, slot: u32) -> u64 {
+        self.slots[slot as usize]
+            .completed_walkers
+            .load(Ordering::Relaxed)
+    }
+
+    /// Walkers of `slot` retired as cancelled this round.
+    pub fn cancelled_walkers(&self, slot: u32) -> u64 {
+        self.slots[slot as usize]
+            .cancelled_walkers
+            .load(Ordering::Relaxed)
+    }
+
+    /// Steps taken by `slot`'s walkers this round.
+    pub fn steps_taken(&self, slot: u32) -> u64 {
+        self.slots[slot as usize]
+            .steps_taken
+            .load(Ordering::Relaxed)
+    }
+
+    /// Order-independent digest of the vertices `slot`'s walkers visited
+    /// this round (wrapping sum of per-visit hashes) — the query's
+    /// deterministic "result".
+    pub fn digest(&self, slot: u32) -> u64 {
+        self.slots[slot as usize].digest.load(Ordering::Relaxed)
+    }
+}
+
+/// One walker of one multiplexed query.
+#[derive(Debug, Clone)]
+pub struct ServeWalker {
+    /// Current vertex.
+    pub at: VertexId,
+    /// Steps taken by this walker.
+    pub step: u32,
+    /// Index of the owning query's slot in the round's [`QueryTable`].
+    pub slot: u32,
+}
+
+struct Chunk {
+    slot: u32,
+    /// The owning query's walker index of this chunk's first walker
+    /// (queries spanning several rounds keep a stable start-vertex
+    /// sequence).
+    base: u64,
+    count: u64,
+}
+
+/// One serving round's walk application: the union of every active query's
+/// walker chunk, multiplexed into the engine's single bounded pool.
+pub struct RoundApp {
+    table: Arc<QueryTable>,
+    chunks: Vec<Chunk>,
+    /// `prefix[i]` = total walkers in chunks `0..i`.
+    prefix: Vec<u64>,
+    total: u64,
+    num_vertices: u32,
+}
+
+impl std::fmt::Debug for RoundApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundApp")
+            .field("queries", &self.chunks.len())
+            .field("total_walkers", &self.total)
+            .finish()
+    }
+}
+
+impl RoundApp {
+    /// Builds the round application. `chunks` lists, per active query,
+    /// `(slot, base_walker_index, walker_count)`; zero-count chunks are
+    /// dropped.
+    pub fn new(table: Arc<QueryTable>, chunks: Vec<(u32, u64, u64)>, num_vertices: u32) -> Self {
+        let chunks: Vec<Chunk> = chunks
+            .into_iter()
+            .filter(|&(_, _, count)| count > 0)
+            .map(|(slot, base, count)| Chunk { slot, base, count })
+            .collect();
+        let mut prefix = Vec::with_capacity(chunks.len());
+        let mut total = 0u64;
+        for c in &chunks {
+            prefix.push(total);
+            total += c.count;
+        }
+        RoundApp {
+            table,
+            chunks,
+            prefix,
+            total,
+            num_vertices,
+        }
+    }
+
+    fn slot_of(&self, n: u64) -> (&Chunk, u64) {
+        let i = self.prefix.partition_point(|&p| p <= n) - 1;
+        let c = &self.chunks[i];
+        (c, n - self.prefix[i])
+    }
+
+    fn slot(&self, w: &ServeWalker) -> &Slot {
+        &self.table.slots[w.slot as usize]
+    }
+}
+
+impl Walk for RoundApp {
+    type Walker = ServeWalker;
+
+    fn total_walkers(&self) -> u64 {
+        self.total
+    }
+
+    fn generate(&self, n: u64, _rng: &mut WalkRng) -> ServeWalker {
+        let (chunk, k) = self.slot_of(n);
+        let class = self.table.slots[chunk.slot as usize].class;
+        ServeWalker {
+            at: class.start_vertex(chunk.base + k, self.num_vertices),
+            step: 0,
+            slot: chunk.slot,
+        }
+    }
+
+    fn location(&self, w: &ServeWalker) -> VertexId {
+        w.at
+    }
+
+    fn is_active(&self, w: &ServeWalker) -> bool {
+        let s = self.slot(w);
+        w.step < s.length && !s.cancel_flag.load(Ordering::Relaxed)
+    }
+
+    fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        uniform_sample(v, rng)
+    }
+
+    fn action(&self, w: &mut ServeWalker, next: VertexId, rng: &mut WalkRng) -> bool {
+        let s = self.slot(w);
+        let taken = s.steps_taken.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(allow) = s.allowance {
+            if taken > allow {
+                // The query's modeled time budget ran out mid-round: stop
+                // every remaining walker of this query (they retire as
+                // cancelled) and keep what was computed as the partial,
+                // degraded result.
+                s.cancel_flag.store(true, Ordering::Relaxed);
+            }
+        }
+        w.at = match s.class {
+            QueryClass::Rwr { source, restart } if rng.gen::<f32>() < restart => {
+                source % self.num_vertices.max(1)
+            }
+            _ => next,
+        };
+        w.step += 1;
+        s.digest.fetch_add(mix(w.at), Ordering::Relaxed);
+        true
+    }
+
+    fn on_terminate(&self, w: &ServeWalker) {
+        let s = self.slot(w);
+        // Same predicate as `is_cancelled`: a walker that already took all
+        // its steps finished naturally even if its query got cancelled in
+        // the same round; dead-end retirements also count as completed.
+        if s.cancel_flag.load(Ordering::Relaxed) && w.step < s.length {
+            s.cancelled_walkers.fetch_add(1, Ordering::Relaxed);
+        } else {
+            s.completed_walkers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn is_cancelled(&self, w: &ServeWalker) -> bool {
+        let s = self.slot(w);
+        s.cancel_flag.load(Ordering::Relaxed) && w.step < s.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> WalkRng {
+        WalkRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn class_specs_round_trip() {
+        assert_eq!(QueryClass::parse("basic"), Some(QueryClass::Basic));
+        assert_eq!(
+            QueryClass::parse("ppr:12"),
+            Some(QueryClass::Ppr { source: 12 })
+        );
+        assert_eq!(
+            QueryClass::parse("rwr:3:0.25"),
+            Some(QueryClass::Rwr {
+                source: 3,
+                restart: 0.25
+            })
+        );
+        assert_eq!(
+            QueryClass::parse("rwr:3"),
+            Some(QueryClass::Rwr {
+                source: 3,
+                restart: 0.15
+            })
+        );
+        assert_eq!(
+            QueryClass::parse("deepwalk:5"),
+            Some(QueryClass::DeepWalk { start: 5 })
+        );
+        for bad in ["", "ppr", "ppr:x", "rwr:1:2.0", "node2vec:1", "basic:1"] {
+            assert_eq!(QueryClass::parse(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn walkers_map_to_their_chunk_and_start_vertex() {
+        let table = Arc::new(QueryTable::new(vec![
+            (QueryClass::Ppr { source: 9 }, 4, None),
+            (QueryClass::DeepWalk { start: 2 }, 4, None),
+        ]));
+        // Query 1's chunk resumes at base walker index 10.
+        let app = RoundApp::new(Arc::clone(&table), vec![(0, 0, 3), (1, 10, 2)], 16);
+        assert_eq!(app.total_walkers(), 5);
+        let mut r = rng();
+        let w = app.generate(0, &mut r);
+        assert_eq!((w.slot, w.at), (0, 9));
+        let w = app.generate(2, &mut r);
+        assert_eq!((w.slot, w.at), (0, 9));
+        let w = app.generate(3, &mut r);
+        assert_eq!((w.slot, w.at), (1, 12)); // deepwalk start 2 + base 10
+        let w = app.generate(4, &mut r);
+        assert_eq!((w.slot, w.at), (1, 13));
+    }
+
+    #[test]
+    fn exhausted_allowance_cancels_remaining_walkers_only() {
+        let table = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 3, Some(4))]));
+        let app = RoundApp::new(Arc::clone(&table), vec![(0, 0, 2)], 8);
+        let mut r = rng();
+        // First walker finishes all 3 steps within the allowance.
+        let mut w = app.generate(0, &mut r);
+        for _ in 0..3 {
+            assert!(app.is_active(&w));
+            app.action(&mut w, 1, &mut r);
+        }
+        assert!(!app.is_active(&w));
+        assert!(!app.is_cancelled(&w), "natural completion");
+        app.on_terminate(&w);
+        // Second walker trips the 4-step allowance on its second step.
+        let mut w = app.generate(1, &mut r);
+        app.action(&mut w, 2, &mut r);
+        app.action(&mut w, 3, &mut r);
+        assert!(table.is_cancelled(0));
+        assert!(!app.is_active(&w));
+        assert!(app.is_cancelled(&w), "cut short mid-walk");
+        app.on_terminate(&w);
+        assert_eq!(table.completed_walkers(0), 1);
+        assert_eq!(table.cancelled_walkers(0), 1);
+        assert_eq!(table.steps_taken(0), 5);
+    }
+
+    #[test]
+    fn rwr_restarts_return_to_the_anchor() {
+        let table = Arc::new(QueryTable::new(vec![(
+            QueryClass::Rwr {
+                source: 4,
+                restart: 1.0,
+            },
+            8,
+            None,
+        )]));
+        let app = RoundApp::new(Arc::clone(&table), vec![(0, 0, 1)], 16);
+        let mut r = rng();
+        let mut w = app.generate(0, &mut r);
+        app.action(&mut w, 11, &mut r);
+        assert_eq!(w.at, 4, "restart=1.0 always teleports home");
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        let mk = || Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None)]));
+        let t1 = mk();
+        let a1 = RoundApp::new(Arc::clone(&t1), vec![(0, 0, 2)], 16);
+        let t2 = mk();
+        let a2 = RoundApp::new(Arc::clone(&t2), vec![(0, 0, 2)], 16);
+        let mut r = rng();
+        let mut w = a1.generate(0, &mut r);
+        for v in [1, 2, 3] {
+            a1.action(&mut w, v, &mut r);
+        }
+        let mut w = a2.generate(0, &mut r);
+        for v in [3, 1, 2] {
+            a2.action(&mut w, v, &mut r);
+        }
+        assert_eq!(t1.digest(0), t2.digest(0));
+        assert_ne!(t1.digest(0), 0);
+    }
+}

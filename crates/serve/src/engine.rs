@@ -1,0 +1,615 @@
+//! The serving loop: deterministic round-based multiplexing of live
+//! queries over the pooled NosWalker engine.
+//!
+//! Each round the engine (1) drains time-ready arrivals through the
+//! admission controller, (2) expires queries whose deadline already
+//! passed, (3) activates pending queries up to the in-flight walker quota
+//! ([`EngineOptions::walker_pool_quota`] — the same sizing rule the
+//! offline engine uses), (4) multiplexes every active query's next walker
+//! chunk into one [`RoundApp`] and runs it to completion on the
+//! sequential [`NosWalkerEngine`], and (5) advances the [`ModelClock`] by
+//! the round's modeled duration. Latency, deadlines, retry-after hints
+//! and the shed decision all read that clock — never the host clock — so
+//! the same trace replays to an identical [`ServeReport`].
+
+use crate::admission::{Admission, AdmissionController};
+use crate::app::{QueryClass, QueryTable, RoundApp, ServeWalker};
+use noswalker_core::audit::{Trace, TraceEvent, TraceSink};
+use noswalker_core::{
+    audit_queries, EngineError, EngineOptions, LatencyHistogram, ModelClock, NosWalkerEngine,
+    OnDiskGraph, QueryId, QuerySource, QuerySpec, QueryStats, RunMetrics,
+};
+use noswalker_storage::MemoryBudget;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration for [`ServeEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Options for the per-round walk engine (the pool quota, step costs
+    /// and pre-sample knobs all apply unchanged).
+    pub engine: EngineOptions,
+    /// Admission-control knobs (queue bound, backoff, shed threshold).
+    pub admission: crate::admission::AdmissionOptions,
+    /// Base RNG seed; each round derives its own seed from it.
+    pub seed: u64,
+    /// Additional cap on walkers issued per round, so one giant query
+    /// cannot monopolize a round even when the pool quota is large.
+    pub round_walkers: u64,
+    /// Hard bound on serving rounds — a backstop against a misbehaving
+    /// [`QuerySource`] that keeps reporting future work it never yields.
+    pub max_rounds: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            engine: EngineOptions::default(),
+            admission: crate::admission::AdmissionOptions::default(),
+            seed: 42,
+            round_walkers: 4096,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+/// A serving-layer failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The per-round walk engine failed.
+    Engine(EngineError),
+    /// A query carried a class spec [`QueryClass::parse`] rejects.
+    BadQueryClass {
+        /// The offending query.
+        id: QueryId,
+        /// Its unparseable class spec.
+        class: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "serving round failed: {e}"),
+            ServeError::BadQueryClass { id, class } => {
+                write!(f, "query {id}: unknown query class {class:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// The terminal record of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The query.
+    pub id: QueryId,
+    /// Its reporting class (`"ppr"`, `"basic"`, …).
+    pub class: String,
+    /// Walker accounting (the per-query conservation law's input).
+    pub stats: QueryStats,
+    /// Arrival → completion in modeled nanoseconds (`None` when shed).
+    pub latency_ns: Option<u64>,
+    /// True when the result is partial: walkers were cancelled or budget
+    /// was left unissued at the deadline.
+    pub degraded: bool,
+    /// True when the deadline passed before the query finished.
+    pub deadline_missed: bool,
+    /// True when admission rejected the query outright.
+    pub shed: bool,
+    /// Backpressure hint returned with a shed (modeled ns).
+    pub retry_after_ns: Option<u64>,
+    /// Order-independent digest of the vertices the query's walkers
+    /// visited — the deterministic stand-in for its result payload.
+    pub digest: u64,
+}
+
+/// Everything a serving run produced.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// One entry per offered query, in termination order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Completion-latency histogram per query class.
+    pub histograms: BTreeMap<String, LatencyHistogram>,
+    /// All per-round [`RunMetrics`], merged.
+    pub metrics: RunMetrics,
+    /// Serving rounds executed.
+    pub rounds: u64,
+    /// Modeled time when the last query terminated.
+    pub end_ns: u64,
+}
+
+impl ServeReport {
+    /// Queries that ran to termination (admitted, not shed).
+    pub fn completed_count(&self) -> u64 {
+        self.outcomes.iter().filter(|o| !o.shed).count() as u64
+    }
+
+    /// Queries rejected by admission control.
+    pub fn shed_count(&self) -> u64 {
+        self.outcomes.iter().filter(|o| o.shed).count() as u64
+    }
+
+    /// Served queries whose deadline passed before they finished.
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.outcomes.iter().filter(|o| o.deadline_missed).count() as u64
+    }
+
+    /// Served queries returned partial/degraded.
+    pub fn degraded_count(&self) -> u64 {
+        self.outcomes.iter().filter(|o| o.degraded).count() as u64
+    }
+
+    /// Served queries per modeled second.
+    pub fn achieved_qps(&self) -> f64 {
+        self.completed_count() as f64 / (self.end_ns.max(1) as f64 / 1e9)
+    }
+
+    /// The walker accounting of every served query, for
+    /// [`audit_queries`].
+    pub fn query_stats(&self) -> Vec<QueryStats> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.shed)
+            .map(|o| o.stats.clone())
+            .collect()
+    }
+}
+
+/// A query in the active set: admitted, activated, not yet terminated.
+#[derive(Debug)]
+struct ActiveQuery {
+    spec: QuerySpec,
+    class: QueryClass,
+    stats: QueryStats,
+    digest: u64,
+    deadline_missed: bool,
+}
+
+impl ActiveQuery {
+    fn unissued(&self) -> u64 {
+        self.spec.walkers - self.stats.issued
+    }
+}
+
+/// The online serving engine (see module docs).
+pub struct ServeEngine {
+    graph: Arc<OnDiskGraph>,
+    budget: Arc<MemoryBudget>,
+    opts: ServeOptions,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+/// Mutable serving state threaded through the run's helpers.
+struct ServeState<'a> {
+    clock: ModelClock,
+    outcomes: Vec<QueryOutcome>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+    trace: Trace<'a>,
+}
+
+impl ServeState<'_> {
+    /// Terminates an active query: records its outcome, its latency
+    /// histogram sample, and the `QueryDeadlineMiss`/`QueryCompleted`
+    /// trace events.
+    fn finalize(&mut self, q: ActiveQuery) {
+        let now = self.clock.now_ns();
+        let degraded = q.stats.cancelled > 0 || q.stats.issued < q.spec.walkers;
+        if q.deadline_missed {
+            let deadline_ns = q.spec.deadline_ns.unwrap_or(now);
+            let query = q.spec.id;
+            self.trace.emit(|| TraceEvent::QueryDeadlineMiss {
+                query,
+                deadline_ns,
+                at_ns: now,
+            });
+        }
+        let latency = now.saturating_sub(q.spec.arrival_ns);
+        self.histograms
+            .entry(q.class.name().to_string())
+            .or_default()
+            .record(latency);
+        let (query, issued, completed, cancelled) = (
+            q.spec.id,
+            q.stats.issued,
+            q.stats.completed,
+            q.stats.cancelled,
+        );
+        self.trace.emit(|| TraceEvent::QueryCompleted {
+            query,
+            issued,
+            completed,
+            cancelled,
+            degraded,
+            at_ns: now,
+        });
+        self.outcomes.push(QueryOutcome {
+            id: q.spec.id,
+            class: q.class.name().to_string(),
+            stats: q.stats,
+            latency_ns: Some(latency),
+            degraded,
+            deadline_missed: q.deadline_missed,
+            shed: false,
+            retry_after_ns: None,
+            digest: q.digest,
+        });
+    }
+}
+
+impl ServeEngine {
+    /// Creates a serving engine over a stored graph.
+    pub fn new(graph: Arc<OnDiskGraph>, budget: Arc<MemoryBudget>, opts: ServeOptions) -> Self {
+        ServeEngine {
+            graph,
+            budget,
+            opts,
+        }
+    }
+
+    /// The serving options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// Serves every query `source` yields, to completion, and returns the
+    /// report. In debug builds the per-query conservation law
+    /// ([`audit_queries`]) and the per-round engine laws are asserted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Engine`] when a round fails;
+    /// [`ServeError::BadQueryClass`] when an admitted query's class spec
+    /// does not parse.
+    pub fn run(
+        &self,
+        source: &mut dyn QuerySource,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<ServeReport, ServeError> {
+        let quota = self.opts.engine.walker_pool_quota(
+            &self.budget,
+            std::mem::size_of::<ServeWalker>(),
+            u64::MAX,
+        );
+        let nv = self.graph.num_vertices() as u32;
+        let step_cost = self.opts.engine.step_cost();
+        let mut admission = AdmissionController::new(self.opts.admission.clone());
+        let mut active: Vec<ActiveQuery> = Vec::new();
+        let mut st = ServeState {
+            clock: ModelClock::new(),
+            outcomes: Vec::new(),
+            histograms: BTreeMap::new(),
+            trace: Trace::from_option(sink),
+        };
+        let mut metrics = RunMetrics::default();
+        let mut rounds = 0u64;
+
+        loop {
+            let now = st.clock.now_ns();
+
+            // (1) Drain time-ready arrivals through admission control.
+            while let Some(q) = source.next_ready(now, u64::MAX) {
+                match admission.offer(q.clone()) {
+                    Admission::Admitted => {
+                        let (query, walkers, deadline_ns) = (q.id, q.walkers, q.deadline_ns);
+                        st.trace.emit(|| TraceEvent::QueryAdmitted {
+                            query,
+                            walkers,
+                            deadline_ns,
+                            at_ns: now,
+                        });
+                    }
+                    Admission::Shed { retry_after_ns } => {
+                        let query = q.id;
+                        st.trace.emit(|| TraceEvent::QueryShed {
+                            query,
+                            retry_after_ns,
+                            at_ns: now,
+                        });
+                        st.outcomes.push(QueryOutcome {
+                            id: q.id,
+                            class: q.class.clone(),
+                            stats: QueryStats {
+                                id: q.id,
+                                budget: q.walkers,
+                                ..QueryStats::default()
+                            },
+                            latency_ns: None,
+                            degraded: false,
+                            deadline_missed: false,
+                            shed: true,
+                            retry_after_ns: Some(retry_after_ns),
+                            digest: 0,
+                        });
+                    }
+                }
+            }
+
+            // (2) Activate pending queries while the in-flight walker
+            // quota has room (a partially fitting query still activates —
+            // it just spans rounds).
+            let mut unissued: u64 = active.iter().map(ActiveQuery::unissued).sum();
+            while unissued < quota {
+                let Some(q) = admission.next_ready(now, quota - unissued) else {
+                    break;
+                };
+                let Some(class) = QueryClass::parse(&q.class) else {
+                    return Err(ServeError::BadQueryClass {
+                        id: q.id,
+                        class: q.class,
+                    });
+                };
+                unissued += q.walkers;
+                active.push(ActiveQuery {
+                    stats: QueryStats {
+                        id: q.id,
+                        budget: q.walkers,
+                        ..QueryStats::default()
+                    },
+                    class,
+                    digest: 0,
+                    deadline_missed: false,
+                    spec: q,
+                });
+            }
+
+            // (3) Expire at the round boundary: deadlines already past
+            // (partial, degraded results) and exhausted/empty budgets.
+            let mut i = 0;
+            while i < active.len() {
+                let q = &mut active[i];
+                let expired = q.spec.deadline_ns.is_some_and(|d| d <= now) && q.unissued() > 0;
+                if expired {
+                    q.deadline_missed = true;
+                }
+                if expired || q.unissued() == 0 {
+                    let q = active.remove(i);
+                    st.finalize(q);
+                } else {
+                    i += 1;
+                }
+            }
+
+            // EDF-then-FIFO priority for this round's pool shares.
+            active.sort_by_key(|q| {
+                (
+                    q.spec.deadline_ns.unwrap_or(u64::MAX),
+                    q.spec.arrival_ns,
+                    q.spec.id,
+                )
+            });
+
+            // (4) Carve the round's walker chunks.
+            let mut cap = quota.max(1).min(self.opts.round_walkers.max(1));
+            let mut entries = Vec::new();
+            let mut chunks = Vec::new();
+            let mut charged: Vec<(usize, u32, u64)> = Vec::new(); // (active idx, slot, count)
+            for (idx, q) in active.iter().enumerate() {
+                if cap == 0 {
+                    break;
+                }
+                let count = q.unissued().min(cap);
+                if count == 0 {
+                    continue;
+                }
+                cap -= count;
+                let slot = entries.len() as u32;
+                let allowance = q
+                    .spec
+                    .deadline_ns
+                    .map(|d| d.saturating_sub(now) / step_cost.max(1));
+                entries.push((q.class, q.spec.walk_length, allowance));
+                chunks.push((slot, q.stats.issued, count));
+                charged.push((idx, slot, count));
+            }
+
+            if chunks.is_empty() {
+                // Nothing runnable: jump to the next arrival or stop.
+                debug_assert!(active.is_empty(), "active queries always have work");
+                match source.next_pending_at(st.clock.now_ns()) {
+                    Some(t) if !source.is_exhausted() => {
+                        st.clock.advance_to(t.max(st.clock.now_ns() + 1));
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+
+            // (5) Run the round to completion on the sequential engine —
+            // deterministic under the derived per-round seed.
+            rounds += 1;
+            if rounds > self.opts.max_rounds {
+                break;
+            }
+            let table = Arc::new(QueryTable::new(entries));
+            let app = RoundApp::new(Arc::clone(&table), chunks, nv);
+            let seed = self
+                .opts
+                .seed
+                .wrapping_add(rounds.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let engine = NosWalkerEngine::new(
+                Arc::new(app),
+                Arc::clone(&self.graph),
+                self.opts.engine.clone(),
+                Arc::clone(&self.budget),
+            );
+            let round_metrics = engine.run(seed)?;
+            st.clock.advance(round_metrics.sim_ns);
+            metrics.merge(&round_metrics);
+            admission.observe_stall_rate(round_metrics.presample_stalls, round_metrics.steps);
+
+            // (6) Post-round accounting: fold the round's per-slot
+            // counters back into each query and terminate the finished
+            // ones.
+            let after = st.clock.now_ns();
+            let mut done: Vec<usize> = Vec::new();
+            for &(idx, slot, count) in &charged {
+                let q = &mut active[idx];
+                q.stats.issued += count;
+                q.stats.completed += table.completed_walkers(slot);
+                q.stats.cancelled += table.cancelled_walkers(slot);
+                q.digest = q.digest.wrapping_add(table.digest(slot));
+                let timed_out = table.is_cancelled(slot);
+                let missed = q.spec.deadline_ns.is_some_and(|d| d < after);
+                if timed_out || missed {
+                    q.deadline_missed = true;
+                }
+                // A timed-out query keeps its partial results and gives up
+                // its remaining budget; a finished one has nothing left.
+                if timed_out || q.unissued() == 0 {
+                    done.push(idx);
+                }
+            }
+            done.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in done {
+                let q = active.remove(idx);
+                st.finalize(q);
+            }
+        }
+
+        // The serving layer reports modeled time only: the inner rounds'
+        // host wall time would make otherwise bit-identical replays (and
+        // the bench artifacts built from them) differ run to run.
+        metrics.set_wall_ns(0);
+
+        let report = ServeReport {
+            end_ns: st.clock.now_ns(),
+            outcomes: st.outcomes,
+            histograms: st.histograms,
+            metrics,
+            rounds,
+        };
+        if cfg!(debug_assertions) {
+            audit_queries(&report.query_stats()).assert_clean();
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noswalker_core::StaticQuerySource;
+    use noswalker_graph::generators;
+    use noswalker_storage::{SimSsd, SsdProfile};
+
+    fn engine(budget_bytes: u64) -> ServeEngine {
+        let csr = generators::uniform_degree(64, 4, 11);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).expect("store"));
+        ServeEngine::new(
+            graph,
+            MemoryBudget::new(budget_bytes),
+            ServeOptions::default(),
+        )
+    }
+
+    fn spec(id: u64, class: &str, walkers: u64, arrival_ns: u64) -> QuerySpec {
+        QuerySpec {
+            id,
+            class: class.into(),
+            walkers,
+            walk_length: 5,
+            deadline_ns: None,
+            arrival_ns,
+        }
+    }
+
+    #[test]
+    fn serves_a_simple_query_stream_to_completion() {
+        let e = engine(64 << 10);
+        let mut src = StaticQuerySource::new(vec![
+            spec(1, "ppr:3", 40, 0),
+            spec(2, "basic", 30, 1_000),
+            spec(3, "deepwalk:0", 20, 2_000),
+        ]);
+        let report = e.run(&mut src, None).expect("serve");
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.completed_count(), 3);
+        assert_eq!(report.shed_count(), 0);
+        for o in &report.outcomes {
+            assert_eq!(o.stats.issued, o.stats.budget);
+            assert_eq!(o.stats.completed + o.stats.cancelled, o.stats.issued);
+            assert!(o.latency_ns.is_some());
+            assert_ne!(o.digest, 0);
+        }
+        assert!(report.histograms.contains_key("ppr"));
+        assert!(report.metrics.steps > 0);
+        assert_eq!(
+            report.metrics.walkers_finished + report.metrics.walkers_cancelled,
+            90
+        );
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let mk = || {
+            let e = engine(64 << 10);
+            let mut src = StaticQuerySource::new(vec![
+                spec(1, "ppr:3", 25, 0),
+                spec(2, "rwr:5:0.2", 25, 500),
+            ]);
+            e.run(&mut src, None).expect("serve")
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.end_ns, b.end_ns);
+        assert_eq!(a.metrics.steps, b.metrics.steps);
+    }
+
+    #[test]
+    fn impossible_deadline_returns_degraded_partial_results() {
+        let e = engine(64 << 10);
+        let mut q = spec(9, "basic", 3_000, 0);
+        q.deadline_ns = Some(1); // 1 ns for 15k steps: hopeless
+        let mut src = StaticQuerySource::new(vec![q]);
+        let report = e.run(&mut src, None).expect("serve");
+        assert_eq!(report.outcomes.len(), 1);
+        let o = &report.outcomes[0];
+        assert!(o.deadline_missed);
+        assert!(o.degraded);
+        assert!(!o.shed);
+        assert!(o.stats.issued < o.stats.budget || o.stats.cancelled > 0);
+        assert_eq!(o.stats.completed + o.stats.cancelled, o.stats.issued);
+        assert_eq!(report.deadline_miss_count(), 1);
+    }
+
+    #[test]
+    fn unknown_class_is_an_error() {
+        let e = engine(64 << 10);
+        let mut src = StaticQuerySource::new(vec![spec(1, "node2vec:0", 10, 0)]);
+        match e.run(&mut src, None) {
+            Err(ServeError::BadQueryClass { id, class }) => {
+                assert_eq!(id, 1);
+                assert_eq!(class, "node2vec:0");
+            }
+            other => panic!("expected BadQueryClass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_events_land_in_the_trace() {
+        let e = engine(64 << 10);
+        let mut src = StaticQuerySource::new(vec![spec(1, "basic", 10, 0)]);
+        let mut sink = noswalker_core::MemorySink::new();
+        e.run(&mut src, Some(&mut sink)).expect("serve");
+        let kinds: Vec<&'static str> = sink.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"query_admitted"), "{kinds:?}");
+        assert!(kinds.contains(&"query_completed"), "{kinds:?}");
+    }
+}

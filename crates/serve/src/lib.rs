@@ -1,0 +1,50 @@
+//! Online multi-query walk serving on top of the NosWalker engine.
+//!
+//! The paper's property (b) — walkers are independent and the engine only
+//! needs a handful runnable at once, generating new ones as old ones
+//! terminate (Algorithm 1) — makes the offline engine directly usable as
+//! the backend of an *online* service: queries (PPR, RWR, DeepWalk corpus
+//! slices, plain walks) arrive continuously and are multiplexed into the
+//! same bounded walker pool instead of being batched up front.
+//!
+//! The subsystem decomposes into three layers:
+//!
+//! ```text
+//!   QuerySource ──▶ AdmissionController ──▶ ServeEngine ──▶ ServeReport
+//!   (arrivals)      (bounded pending queue,  (round-based     (per-query
+//!                    EDF-then-FIFO order,     multiplexing     outcomes,
+//!                    reject-with-retry-after, over the pooled  per-class
+//!                    stall-rate shedding)     engine)          histograms)
+//! ```
+//!
+//! * [`admission::AdmissionController`] holds the *admitted but not yet
+//!   running* queries. It is itself a [`noswalker_core::QuerySource`], so
+//!   the engine activates queries by pulling from it; a full queue or a
+//!   stalling pre-sample pool sheds new arrivals with an explicit
+//!   retry-after hint instead of queueing without bound.
+//! * [`app::RoundApp`] multiplexes every active query's walkers into one
+//!   [`noswalker_core::Walk`] application per serving round. Deadline
+//!   enforcement happens *inside* the walk: a query that exhausts its
+//!   modeled step allowance flips a cancelled flag, and the engine retires
+//!   its remaining walkers through the `walkers_cancelled` path.
+//! * [`engine::ServeEngine`] owns the deterministic
+//!   [`noswalker_core::ModelClock`], drives rounds to completion, merges
+//!   per-round [`noswalker_core::RunMetrics`], tracks per-class latency
+//!   histograms, and emits the `Query*` trace events checked by
+//!   `noswalker_core::audit`.
+//!
+//! Determinism is load-bearing: no code in this crate reads the host
+//! clock or sleeps (nosw-lint rule L8 enforces this) — latency is modeled
+//! from round `sim_ns`, so a replayed trace produces identical reports.
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod app;
+pub mod engine;
+pub mod trace;
+
+pub use admission::{Admission, AdmissionController, AdmissionOptions};
+pub use app::{QueryClass, RoundApp, ServeWalker};
+pub use engine::{QueryOutcome, ServeEngine, ServeError, ServeOptions, ServeReport};
+pub use trace::{parse_script, render_report, ScriptError};

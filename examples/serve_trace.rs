@@ -1,0 +1,64 @@
+//! Online multi-query serving: replay a query trace against the
+//! [`noswalker::serve::ServeEngine`] and print its latency/shed report.
+//!
+//! ```text
+//! cargo run --release --example serve_trace
+//! ```
+//!
+//! The same trace format is accepted by the CLI
+//! (`noswalker serve <graph> --script <file>`): one query per line,
+//! `at_us class walkers length deadline_us` with `-` for no deadline.
+
+use noswalker::core::{OnDiskGraph, StaticQuerySource};
+use noswalker::graph::generators::{self, RmatParams};
+use noswalker::serve::{parse_script, render_report, AdmissionOptions, ServeEngine, ServeOptions};
+use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::sync::Arc;
+
+/// A bursty mixed-class trace: steady traffic with generous deadlines,
+/// one query that cannot possibly meet its deadline, and a t=800µs
+/// burst that overruns the (shallow) admission queue.
+const TRACE: &str = "\
+# at_us  class        walkers  length  deadline_us
+0        ppr:1        2000     10      60000
+120      rwr:1:0.15   1500     10      60000
+250      deepwalk:0   3000     10      -
+400      basic        1000     10      2500
+800      ppr:4242     2000     10      60000
+810      ppr:31337    2000     10      60000
+820      basic        2000     10      60000
+830      rwr:7:0.15   2000     10      60000
+840      deepwalk:64  2000     10      60000
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let csr = generators::rmat(15, 32, RmatParams::default(), 11);
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let graph = Arc::new(OnDiskGraph::store(
+        &csr,
+        device,
+        csr.edge_region_bytes() / 32,
+    )?);
+    let budget = MemoryBudget::new(csr.edge_region_bytes() / 2);
+
+    let specs = parse_script(TRACE)?;
+    println!("replaying {} queries...\n", specs.len());
+    let mut source = StaticQuerySource::new(specs);
+
+    let engine = ServeEngine::new(
+        graph,
+        budget,
+        ServeOptions {
+            seed: 23,
+            // A shallow queue so the t=800µs burst visibly sheds.
+            admission: AdmissionOptions {
+                max_pending: 3,
+                ..AdmissionOptions::default()
+            },
+            ..ServeOptions::default()
+        },
+    );
+    let report = engine.run(&mut source, None)?;
+    print!("{}", render_report(&report));
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! Multi-query serving: mixed application classes sharing one
+//! [`ServeEngine`], per-query conservation laws, deadline-miss flagging,
+//! and graceful shedding under an oversubscribed burst. These run in
+//! release builds too — the laws must hold without the engines' internal
+//! `debug_assertions` hook.
+
+use noswalker::core::audit::{audit_queries, MemorySink};
+use noswalker::core::{OnDiskGraph, QuerySpec, StaticQuerySource};
+use noswalker::graph::generators::{self, RmatParams};
+use noswalker::graph::Csr;
+use noswalker::serve::{AdmissionOptions, ServeEngine, ServeOptions, ServeReport};
+use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::sync::Arc;
+
+const LENGTH: u32 = 8;
+
+fn graph() -> Csr {
+    generators::rmat(10, 10, RmatParams::default(), 41)
+}
+
+fn engine(csr: &Csr, opts: ServeOptions) -> ServeEngine {
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let g = Arc::new(OnDiskGraph::store(csr, device, csr.edge_region_bytes() / 16).unwrap());
+    let budget = MemoryBudget::new((csr.edge_region_bytes() / 4).max(64 << 10));
+    ServeEngine::new(g, budget, opts)
+}
+
+fn spec(
+    id: u64,
+    class: &str,
+    walkers: u64,
+    arrival_ns: u64,
+    deadline_ns: Option<u64>,
+) -> QuerySpec {
+    QuerySpec {
+        id,
+        class: class.to_string(),
+        walkers,
+        walk_length: LENGTH,
+        deadline_ns,
+        arrival_ns,
+    }
+}
+
+/// Every non-shed query must satisfy the per-query conservation law:
+/// walkers issued = completed + cancelled, and issued never exceeds the
+/// query's budget.
+fn check_conservation(report: &ServeReport) {
+    audit_queries(&report.query_stats()).assert_clean();
+    for o in &report.outcomes {
+        if o.shed {
+            assert_eq!(o.stats.issued, 0, "query {}: shed but issued", o.id);
+            continue;
+        }
+        assert_eq!(
+            o.stats.issued,
+            o.stats.completed + o.stats.cancelled,
+            "query {}: issued != completed + cancelled",
+            o.id
+        );
+        assert!(o.stats.issued <= o.stats.budget, "query {}", o.id);
+    }
+}
+
+#[test]
+fn mixed_app_queries_share_one_engine() {
+    let csr = graph();
+    let e = engine(&csr, ServeOptions::default());
+    let specs = vec![
+        spec(1, "ppr:7", 120, 0, None),
+        spec(2, "basic", 90, 50, None),
+        spec(3, "deepwalk:0", 80, 100, None),
+        spec(4, "rwr:7:0.2", 70, 150, None),
+    ];
+    let mut src = StaticQuerySource::new(specs.clone());
+    let report = e.run(&mut src, None).expect("serve");
+
+    assert_eq!(report.completed_count(), 4);
+    assert_eq!(report.shed_count(), 0);
+    check_conservation(&report);
+    // Without deadlines every walker runs to completion.
+    for o in &report.outcomes {
+        let want = specs.iter().find(|s| s.id == o.id).unwrap().walkers;
+        assert_eq!(o.stats.completed, want, "query {}", o.id);
+        assert!(!o.degraded && !o.deadline_missed, "query {}", o.id);
+        assert!(o.latency_ns.is_some(), "query {}", o.id);
+    }
+    // One latency histogram per distinct class, each with one sample.
+    assert_eq!(report.histograms.len(), 4);
+    assert!(report.histograms.values().all(|h| h.count() == 1));
+    // The global counters agree with the per-query stats.
+    let issued: u64 = report.outcomes.iter().map(|o| o.stats.issued).sum();
+    assert_eq!(
+        report.metrics.walkers_finished + report.metrics.walkers_cancelled,
+        issued
+    );
+}
+
+#[test]
+fn impossible_deadlines_are_flagged_and_conserve_walkers() {
+    let csr = graph();
+    let e = engine(&csr, ServeOptions::default());
+    // Query 1 cannot finish by 1ns; query 2 is unconstrained.
+    let mut src = StaticQuerySource::new(vec![
+        spec(1, "ppr:7", 4000, 0, Some(1)),
+        spec(2, "basic", 60, 0, None),
+    ]);
+    let report = e.run(&mut src, None).expect("serve");
+    check_conservation(&report);
+
+    let o1 = report.outcomes.iter().find(|o| o.id == 1).unwrap();
+    assert!(o1.deadline_missed, "impossible deadline must be flagged");
+    assert!(o1.degraded, "partial results must be flagged degraded");
+    assert!(
+        o1.stats.issued < o1.stats.budget || o1.stats.cancelled > 0,
+        "deadline must cut the query short"
+    );
+    let o2 = report.outcomes.iter().find(|o| o.id == 2).unwrap();
+    assert!(!o2.deadline_missed && !o2.degraded);
+    assert_eq!(o2.stats.completed, 60);
+    assert_eq!(report.deadline_miss_count(), 1);
+}
+
+#[test]
+fn oversubscribed_burst_sheds_without_deadlock() {
+    let csr = graph();
+    let e = engine(
+        &csr,
+        ServeOptions {
+            admission: AdmissionOptions {
+                max_pending: 2,
+                retry_after_ns: 500,
+                ..AdmissionOptions::default()
+            },
+            ..ServeOptions::default()
+        },
+    );
+    // 12 queries all arriving at t=0 against a pending queue of 2: the
+    // burst must shed (bounded queue), the rest must complete, and the
+    // run must terminate.
+    let specs: Vec<QuerySpec> = (1..=12).map(|i| spec(i, "basic", 200, 0, None)).collect();
+    let mut sink = MemorySink::new();
+    let mut src = StaticQuerySource::new(specs);
+    let report = e.run(&mut src, Some(&mut sink)).expect("serve");
+    check_conservation(&report);
+
+    assert!(report.shed_count() > 0, "bounded queue must shed the burst");
+    assert!(report.completed_count() > 0, "shedding must not starve");
+    assert_eq!(
+        report.completed_count() + report.shed_count(),
+        12,
+        "every query is either served or shed"
+    );
+    for o in report.outcomes.iter().filter(|o| o.shed) {
+        assert!(o.retry_after_ns.unwrap_or(0) > 0, "shed carries retry hint");
+    }
+    // The trace records both admission decisions.
+    let kinds: Vec<&str> = sink.events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"query_shed"), "{kinds:?}");
+    assert!(kinds.contains(&"query_completed"), "{kinds:?}");
+}
+
+#[test]
+fn tight_deadlines_cancel_mid_run_and_count_cancellations() {
+    let csr = graph();
+    let e = engine(&csr, ServeOptions::default());
+    // A deadline past admission but far too early for 3000 walkers:
+    // walkers get issued, then cancelled mid-run by the step allowance.
+    let mut src = StaticQuerySource::new(vec![spec(1, "deepwalk:0", 3000, 0, Some(40_000))]);
+    let report = e.run(&mut src, None).expect("serve");
+    check_conservation(&report);
+
+    let o = &report.outcomes[0];
+    assert!(o.degraded, "partial results must be degraded");
+    assert!(o.deadline_missed);
+    assert!(
+        o.stats.cancelled > 0 || o.stats.issued < o.stats.budget,
+        "deadline must cancel or stop issuing: {:?}",
+        o.stats
+    );
+    assert_eq!(report.metrics.walkers_cancelled, o.stats.cancelled);
+}
