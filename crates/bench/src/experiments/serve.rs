@@ -1,28 +1,31 @@
 //! Online serving under load: a deterministic closed-loop load generator
-//! sweeping offered QPS against the `noswalker-serve` engine.
+//! sweeping offered QPS against the `noswalker-serve` engine, once per
+//! step-kernel backend.
 //!
-//! The sweep first calibrates the backend by serving one query alone
-//! (its modeled service time `S` is the capacity yardstick), then offers
-//! query streams at 0.5×, 1×, 4× and 16× the resulting capacity. The
-//! serving engine batches concurrent queries into shared rounds, so
-//! moderate oversubscription is absorbed; the 16× point is past what
-//! batching can hide, and with the admission queue bounded it must
-//! *shed* (reject with retry-after) rather than queue without bound,
-//! while continuing to serve — the acceptance check in
+//! For each backend the sweep first calibrates by serving one query alone
+//! (its modeled service time `S` is the capacity yardstick — the two
+//! backends charge the model clock differently, so each gets its own
+//! yardstick), then offers query streams at 0.5×, 1×, 4× and 16× the
+//! resulting capacity. The serving engine batches concurrent queries into
+//! shared rounds, so moderate oversubscription is absorbed; the 16× point
+//! is past what batching can hide, and with the admission queue bounded
+//! it must *shed* (reject with retry-after) rather than queue without
+//! bound, while continuing to serve — the acceptance check in
 //! `BENCH_serve.json` asserts exactly that (shed > 0 and achieved
-//! QPS > 0 at the top point). Everything runs on the serving layer's
-//! `ModelClock`, so repeated runs are bit-identical.
+//! QPS > 0 at the top point) for every backend. Everything runs on the
+//! serving layer's `ModelClock`, so repeated runs are bit-identical.
 
 use crate::datasets::{self, Scale};
 use crate::report::Report;
 use crate::runner::env;
 use noswalker_core::{QuerySpec, StaticQuerySource};
-use noswalker_serve::{AdmissionOptions, ServeEngine, ServeOptions, ServeReport};
+use noswalker_serve::{AdmissionOptions, Backend, ServeEngine, ServeOptions, ServeReport};
 
 const DATASET: &str = "k30";
 const WALK_LENGTH: u32 = 10;
 const SEED: u64 = 31;
 const QUERIES_PER_POINT: u64 = 24;
+const BACKENDS: &[Backend] = &[Backend::Seq, Backend::Par];
 
 /// The query-class mix offered round-robin.
 const MIX: &[&str] = &["ppr:7", "basic", "deepwalk:0", "rwr:7:0.15"];
@@ -51,7 +54,7 @@ impl Point {
 
     fn json(&self) -> String {
         format!(
-            "    {{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"served\": {}, \
+            "        {{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"served\": {}, \
              \"shed\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"deadline_miss_rate\": {:.3}, \
              \"degraded\": {}, \"rounds\": {}, \"metrics\": {}}}",
             self.offered_qps,
@@ -63,7 +66,42 @@ impl Point {
             self.miss_rate(),
             self.report.degraded_count(),
             self.report.rounds,
-            self.report.metrics.to_json(4),
+            self.report.metrics.to_json(8),
+        )
+    }
+}
+
+/// One backend's calibration + sweep results.
+struct BackendSweep {
+    backend: Backend,
+    service_ns: u64,
+    deadline_ns: u64,
+    points: Vec<Point>,
+}
+
+impl BackendSweep {
+    fn top(&self) -> &Point {
+        self.points.last().expect("sweep has points")
+    }
+
+    fn pass(&self) -> bool {
+        self.top().report.shed_count() > 0 && self.top().served() > 0
+    }
+
+    fn json(&self) -> String {
+        let rows: Vec<String> = self.points.iter().map(Point::json).collect();
+        format!(
+            "    {{\"backend\": \"{}\", \"calibrated_service_ns\": {}, \
+             \"capacity_qps\": {:.1}, \"deadline_ns\": {}, \"points\": [\n{}\n      ], \
+             \"top_shed\": {}, \"top_served\": {}, \"pass\": {}}}",
+            self.backend.name(),
+            self.service_ns,
+            1e9 / self.service_ns as f64,
+            self.deadline_ns,
+            rows.join(",\n"),
+            self.top().report.shed_count(),
+            self.top().served(),
+            self.pass(),
         )
     }
 }
@@ -85,14 +123,15 @@ fn stream(interarrival_ns: u64, walkers: u64, deadline_ns: u64) -> StaticQuerySo
     StaticQuerySource::new(specs)
 }
 
-/// Runs the serving sweep and writes `BENCH_serve.json`.
-pub fn run(scale: Scale) {
-    let d = datasets::get(DATASET, scale);
-    let budget = datasets::default_budget(scale);
-    let walkers = scale.walkers(2_000);
-
+fn sweep_backend(
+    backend: Backend,
+    d: &datasets::Dataset,
+    budget: u64,
+    walkers: u64,
+) -> Option<BackendSweep> {
     let serve_opts = |retry_after_ns: u64| ServeOptions {
         seed: SEED,
+        backend,
         admission: AdmissionOptions {
             max_pending: 4,
             retry_after_ns,
@@ -101,8 +140,8 @@ pub fn run(scale: Scale) {
         ..ServeOptions::default()
     };
 
-    // Calibrate: one query served alone gives the backend's service time.
-    let e = env(&d, budget);
+    // Calibrate: one query served alone gives this backend's service time.
+    let e = env(d, budget);
     let engine = ServeEngine::new(e.graph, e.budget, serve_opts(1_000));
     let mut solo = StaticQuerySource::new(vec![QuerySpec {
         id: 1,
@@ -115,11 +154,10 @@ pub fn run(scale: Scale) {
     let service_ns = match engine.run(&mut solo, None) {
         Ok(r) => r.end_ns.max(1),
         Err(err) => {
-            eprintln!("serve: calibration failed: {err}");
-            return;
+            eprintln!("serve: {} calibration failed: {err}", backend.name());
+            return None;
         }
     };
-    let capacity_qps = 1e9 / service_ns as f64;
 
     // Offered-QPS sweep: under-, at-, and over-subscribed (4× and 16×).
     let sweep: &[(&str, u64)] = &[
@@ -134,7 +172,7 @@ pub fn run(scale: Scale) {
     let deadline_ns = service_ns * 3;
     let mut points = Vec::new();
     for &(label, interarrival_ns) in sweep {
-        let e = env(&d, budget);
+        let e = env(d, budget);
         let engine = ServeEngine::new(e.graph, e.budget, serve_opts(service_ns / 2));
         let mut src = stream(interarrival_ns, walkers, deadline_ns);
         match engine.run(&mut src, None) {
@@ -143,17 +181,40 @@ pub fn run(scale: Scale) {
                 report,
             }),
             Err(err) => {
-                eprintln!("serve: {label} point failed: {err}");
-                return;
+                eprintln!("serve: {} {label} point failed: {err}", backend.name());
+                return None;
             }
+        }
+    }
+    Some(BackendSweep {
+        backend,
+        service_ns,
+        deadline_ns,
+        points,
+    })
+}
+
+/// Runs the serving sweep over every backend and writes
+/// `BENCH_serve.json`.
+pub fn run(scale: Scale) {
+    let d = datasets::get(DATASET, scale);
+    let budget = datasets::default_budget(scale);
+    let walkers = scale.walkers(2_000);
+
+    let mut sweeps = Vec::new();
+    for &backend in BACKENDS {
+        match sweep_backend(backend, &d, budget, walkers) {
+            Some(s) => sweeps.push(s),
+            None => return,
         }
     }
 
     let mut r = Report::new(
         "serve",
-        "Online serving: offered QPS sweep (modeled time, 16x point oversubscribed)",
+        "Online serving: offered QPS sweep per backend (modeled time, 16x oversubscribed)",
     );
     r.header([
+        "Backend",
         "Offered q/s",
         "Achieved q/s",
         "Served",
@@ -164,31 +225,32 @@ pub fn run(scale: Scale) {
         "Degraded",
         "Rounds",
     ]);
-    for p in &points {
-        r.row([
-            format!("{:.1}", p.offered_qps),
-            format!("{:.1}", p.report.achieved_qps()),
-            p.served().to_string(),
-            p.report.shed_count().to_string(),
-            format!("{:.1}", p.p(0.50) as f64 / 1e3),
-            format!("{:.1}", p.p(0.99) as f64 / 1e3),
-            format!("{:.3}", p.miss_rate()),
-            p.report.degraded_count().to_string(),
-            p.report.rounds.to_string(),
-        ]);
+    for s in &sweeps {
+        for p in &s.points {
+            r.row([
+                s.backend.name().to_string(),
+                format!("{:.1}", p.offered_qps),
+                format!("{:.1}", p.report.achieved_qps()),
+                p.served().to_string(),
+                p.report.shed_count().to_string(),
+                format!("{:.1}", p.p(0.50) as f64 / 1e3),
+                format!("{:.1}", p.p(0.99) as f64 / 1e3),
+                format!("{:.3}", p.miss_rate()),
+                p.report.degraded_count().to_string(),
+                p.report.rounds.to_string(),
+            ]);
+        }
     }
     r.finish();
 
-    let top = points.last().expect("sweep has points");
-    let pass = top.report.shed_count() > 0 && top.served() > 0;
-    let rows: Vec<String> = points.iter().map(Point::json).collect();
+    let pass = sweeps.iter().all(BackendSweep::pass);
+    let rows: Vec<String> = sweeps.iter().map(BackendSweep::json).collect();
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"dataset\": \"{}\",\n  \"scale\": \"{}\",\n  \
          \"queries_per_point\": {},\n  \"walkers_per_query\": {},\n  \"walk_length\": {},\n  \
-         \"calibrated_service_ns\": {},\n  \"capacity_qps\": {:.1},\n  \
-         \"deadline_ns\": {},\n  \"points\": [\n{}\n  ],\n  \
-         \"acceptance\": {{\"criterion\": \"oversubscribed point sheds (shed > 0) while still \
-         serving (served > 0)\", \"top_shed\": {}, \"top_served\": {}, \"pass\": {}}}\n}}\n",
+         \"backends\": [\n{}\n  ],\n  \
+         \"acceptance\": {{\"criterion\": \"every backend's oversubscribed point sheds \
+         (shed > 0) while still serving (served > 0)\", \"pass\": {}}}\n}}\n",
         DATASET,
         match scale {
             Scale::Default => "default",
@@ -197,27 +259,30 @@ pub fn run(scale: Scale) {
         QUERIES_PER_POINT,
         walkers,
         WALK_LENGTH,
-        service_ns,
-        capacity_qps,
-        deadline_ns,
         rows.join(",\n"),
-        top.report.shed_count(),
-        top.served(),
         pass,
     );
     match std::fs::write("BENCH_serve.json", &json) {
-        Ok(()) => println!(
-            "(wrote BENCH_serve.json, top point shed {} of {} offered)",
-            top.report.shed_count(),
-            QUERIES_PER_POINT
-        ),
+        Ok(()) => {
+            for s in &sweeps {
+                println!(
+                    "(BENCH_serve.json: backend {} top point shed {} of {} offered)",
+                    s.backend.name(),
+                    s.top().report.shed_count(),
+                    QUERIES_PER_POINT
+                );
+            }
+        }
         Err(err) => eprintln!("warning: cannot write BENCH_serve.json: {err}"),
     }
     if !pass {
-        eprintln!(
-            "serve: ACCEPTANCE FAILED — top point shed {} served {}",
-            top.report.shed_count(),
-            top.served()
-        );
+        for s in sweeps.iter().filter(|s| !s.pass()) {
+            eprintln!(
+                "serve: ACCEPTANCE FAILED — backend {} top point shed {} served {}",
+                s.backend.name(),
+                s.top().report.shed_count(),
+                s.top().served()
+            );
+        }
     }
 }

@@ -159,11 +159,21 @@ pub fn run(scale: Scale) {
         .unwrap_or(0.0);
     let four_speedup = if base > 0.0 { four / base } else { 0.0 };
     let pass = four_speedup >= 2.0;
+    // Report-only cross-kernel figure (no gate): how the 4-worker parallel
+    // kernel's modeled steps/s compares to the fully-modeled sequential
+    // engine — the serving layer's `--backend` choice in one number.
+    let seq = cells
+        .iter()
+        .find(|c| c.config == "sequential")
+        .map(|c| c.steps_per_sec())
+        .unwrap_or(0.0);
+    let par_vs_seq = if seq > 0.0 { four / seq } else { 0.0 };
 
     let rows: Vec<String> = cells.iter().map(|c| c.json(base)).collect();
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"{}\",\n  \"scale\": \"{}\",\n  \
          \"walkers\": {},\n  \"walk_length\": {},\n  \"configs\": [\n{}\n  ],\n  \
+         \"parallel_vs_sequential_steps_per_sec\": {:.3},\n  \
          \"acceptance\": {{\"criterion\": \"4-worker modeled steps/s >= 2x 1-worker\", \
          \"four_worker_speedup\": {:.3}, \"pass\": {}}}\n}}\n",
         DATASET,
@@ -174,6 +184,7 @@ pub fn run(scale: Scale) {
         walkers,
         WALK_LENGTH,
         rows.join(",\n"),
+        par_vs_seq,
         four_speedup,
         pass,
     );

@@ -68,6 +68,8 @@ pub enum Command {
         budget_pct: u32,
         /// RNG seed.
         seed: u64,
+        /// Step-kernel backend: `seq`, `par`, or `auto`.
+        backend: String,
     },
 }
 
@@ -95,6 +97,7 @@ USAGE:
                      [--length L] [--budget-pct P] [--seed S]
                      [--trace-out run.json|run.tsv]
   noswalker serve    <graph> --script <trace.txt> [--budget-pct P] [--seed S]
+                     [--backend seq|par|auto]
 
 APPS:     basic ppr rwr rwd graphlet deepwalk node2vec
 ENGINES:  noswalker (default) graphwalker drunkardmob graphene inmemory parallel
@@ -192,6 +195,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
             let mut script = None;
             let mut budget_pct = 12u32;
             let mut seed = 42u64;
+            let mut backend = "seq".to_string();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--script" => {
@@ -199,6 +203,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                     }
                     "--budget-pct" => budget_pct = parse_num("--budget-pct", it.next())?,
                     "--seed" => seed = parse_num("--seed", it.next())?,
+                    "--backend" => {
+                        backend = it.next().ok_or_else(|| bad("--backend needs a value"))?;
+                        if !matches!(backend.as_str(), "seq" | "par" | "auto") {
+                            return Err(bad(format!(
+                                "invalid value {backend:?} for --backend (expected seq, par or auto)"
+                            )));
+                        }
+                    }
                     other => return Err(bad(format!("unknown flag {other}"))),
                 }
             }
@@ -207,6 +219,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                 script: script.ok_or_else(|| bad("serve needs --script"))?,
                 budget_pct,
                 seed,
+                backend,
             }
         }
         "--help" | "-h" | "help" => return Err(bad(USAGE)),
@@ -313,7 +326,8 @@ mod tests {
                 graph: "g.csr".into(),
                 script: "trace.txt".into(),
                 budget_pct: 25,
-                seed: 9
+                seed: 9,
+                backend: "seq".into(),
             }
         );
         assert!(p("serve g.csr").unwrap_err().0.contains("--script"));
@@ -325,6 +339,25 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown flag"));
+    }
+
+    #[test]
+    fn parses_serve_backend() {
+        for b in ["seq", "par", "auto"] {
+            let cli = p(&format!("serve g.csr --script t.txt --backend {b}")).unwrap();
+            match cli.command {
+                Command::Serve { backend, .. } => assert_eq!(backend, b),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        assert!(p("serve g.csr --script t.txt --backend threads")
+            .unwrap_err()
+            .0
+            .contains("--backend"));
+        assert!(p("serve g.csr --script t.txt --backend")
+            .unwrap_err()
+            .0
+            .contains("--backend"));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use noswalker_core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, Wa
 use noswalker_graph::io::{load_csr, read_edge_list, save_csr};
 use noswalker_graph::stats::DegreeStats;
 use noswalker_graph::{generators, Csr};
-use noswalker_serve::{parse_script, render_report, ServeEngine, ServeOptions};
+use noswalker_serve::{parse_script, render_report, Backend, ServeEngine, ServeOptions};
 use noswalker_storage::{MemoryBudget, SimSsd, SsdProfile};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -324,7 +324,10 @@ pub fn run_serve(
     script_path: &str,
     budget_pct: u32,
     seed: u64,
+    backend: &str,
 ) -> Result<String, String> {
+    let backend = Backend::parse(backend)
+        .ok_or_else(|| format!("unknown backend {backend:?} (expected seq, par or auto)"))?;
     let csr = load_graph(graph_path)?;
     if csr.num_vertices() == 0 {
         return Err("graph has no vertices".into());
@@ -344,6 +347,7 @@ pub fn run_serve(
 
     let opts = ServeOptions {
         seed,
+        backend,
         ..ServeOptions::default()
     };
     let queries = specs.len();
@@ -351,7 +355,8 @@ pub fn run_serve(
     let mut source = StaticQuerySource::new(specs);
     let report = engine.run(&mut source, None).map_err(err)?;
     Ok(format!(
-        "{queries} queries from {script_path} on {graph_path} (budget {budget_pct}% = {budget_bytes} bytes)\n{}",
+        "{queries} queries from {script_path} on {graph_path} (backend {}, budget {budget_pct}% = {budget_bytes} bytes)\n{}",
+        backend.name(),
         render_report(&report)
     ))
 }
@@ -466,16 +471,23 @@ mod tests {
         )
         .unwrap();
 
-        let report = run_serve(&path, &script, 25, 3).unwrap();
-        assert!(report.contains("3 queries"), "{report}");
-        assert!(report.contains("served 3"), "{report}");
-        assert!(report.contains("ppr"), "{report}");
-        assert!(report.contains("p99="), "{report}");
-        // Same inputs, same report: the serving loop runs on modeled time.
-        assert_eq!(report, run_serve(&path, &script, 25, 3).unwrap());
+        for backend in ["seq", "par", "auto"] {
+            let report = run_serve(&path, &script, 25, 3, backend).unwrap();
+            assert!(report.contains("3 queries"), "{report}");
+            assert!(report.contains(&format!("backend {backend}")), "{report}");
+            assert!(report.contains("served 3"), "{report}");
+            assert!(report.contains("ppr"), "{report}");
+            assert!(report.contains("p99="), "{report}");
+            // Same inputs, same report: the serving loop runs on modeled
+            // time on every backend.
+            assert_eq!(report, run_serve(&path, &script, 25, 3, backend).unwrap());
+        }
 
+        assert!(run_serve(&path, &script, 25, 3, "threads")
+            .unwrap_err()
+            .contains("unknown backend"));
         std::fs::write(&script, "0 node2vec:0 4 4 -\n").unwrap();
-        assert!(run_serve(&path, &script, 25, 3)
+        assert!(run_serve(&path, &script, 25, 3, "seq")
             .unwrap_err()
             .contains("node2vec"));
         std::fs::remove_file(&path).ok();

@@ -62,6 +62,7 @@ pub fn run(cli: Cli) -> Result<String, String> {
             script,
             budget_pct,
             seed,
-        } => commands::run_serve(&graph, &script, budget_pct, seed),
+            backend,
+        } => commands::run_serve(&graph, &script, budget_pct, seed, &backend),
     }
 }

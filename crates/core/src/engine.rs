@@ -508,7 +508,9 @@ impl<'e, A: Walk> Run<'e, A> {
                     }
                 }
                 Peek::Raw(view) => {
-                    let dst = self.app.sample(&view, &mut self.rng);
+                    let dst =
+                        self.app
+                            .sample_for(live_mut(&mut self.slab, i), &view, &mut self.rng);
                     self.clock.advance_compute(self.opts.sample_cost());
                     // Unlike the `Sampled` arm, `consume` here is
                     // unconditional: raw retained slots never deplete
@@ -554,7 +556,9 @@ impl<'e, A: Walk> Run<'e, A> {
                 steps += self.chase_presamples(i);
                 break;
             };
-            let dst = self.app.sample(&view, &mut self.rng);
+            let dst = self
+                .app
+                .sample_for(live_mut(&mut self.slab, i), &view, &mut self.rng);
             self.clock.advance_compute(self.opts.sample_cost());
             steps += 1;
             if !self.step_to(i, dst, StepSource::Block).0 {

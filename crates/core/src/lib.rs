@@ -82,6 +82,7 @@ pub mod block;
 pub mod clock;
 pub mod disk_graph;
 pub mod engine;
+pub mod kernel;
 pub mod metrics;
 pub mod options;
 pub mod parallel;
@@ -95,6 +96,7 @@ pub use block::{BlockCache, FineLoad, LoadedBlock};
 pub use clock::{ModelClock, PipelineClock, WallTimer};
 pub use disk_graph::{OnDiskGraph, StoreError};
 pub use engine::{EngineError, NosWalkerEngine};
+pub use kernel::{Backend, ParallelKernel, RoundOutcome, SequentialKernel, StepKernel};
 pub use metrics::{LatencyHistogram, RunMetrics, StepSource};
 pub use options::EngineOptions;
 pub use query::{QueryId, QuerySource, QuerySpec, QueryStats, StaticQuerySource};

@@ -43,12 +43,12 @@
 use crate::audit::{RunAudit, Trace, TraceEvent, TraceSink};
 use crate::block::LoadedBlock;
 use crate::clock::WallTimer;
-use crate::disk_graph::OnDiskGraph;
+use crate::disk_graph::{LoadError, OnDiskGraph};
 use crate::engine::EngineError;
 use crate::metrics::{LocalCounters, RunMetrics, SharedMetrics, StepSource};
 use crate::options::EngineOptions;
 use crate::presample::{plan_quotas, Claim, PreSampleBuffer, PublishedBuffer};
-use crate::threaded::BackgroundLoader;
+use crate::threaded::{BackgroundLoader, LoaderError};
 use crate::walk::{Walk, WalkRng};
 use noswalker_graph::partition::BlockId;
 use noswalker_graph::VertexId;
@@ -399,6 +399,12 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         }
 
         generate!();
+        // Consecutive budget-failed loads tolerated before giving up: one
+        // full in-flight window can fail from a single scarcity episode
+        // (the loader computed those results before any eviction), plus
+        // slack for a refill racing the retry. Reset on every delivery.
+        let evict_retries = prefetch_depth + 3;
+        let mut retries_left = evict_retries;
         while live > 0 || next_id < total {
             // Demand-schedule the hottest block when nothing is in flight.
             if inflight.is_empty() {
@@ -411,7 +417,29 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             let Some((target, was_prefetch, issued_ns)) = inflight.pop_front() else {
                 break;
             };
-            let loaded = loader.recv().map_err(loader_err)?;
+            let loaded = match loader.recv() {
+                Ok(l) => {
+                    retries_left = evict_retries;
+                    l
+                }
+                // Budget pressure: the published pre-sample pool is the
+                // only memory the coordinator can reclaim (the sequential
+                // engine's block cache evicts in the same spot). Retire
+                // every published generation — readers holding an Arc
+                // finish their bucket first; the rest of the reservations
+                // free immediately — then re-queue the failed load behind
+                // the in-flight window so result order stays FIFO.
+                Err(LoaderError::Load(LoadError::Budget(_))) if retries_left > 0 => {
+                    retries_left -= 1;
+                    for b in 0..num_blocks {
+                        drop(pool.unpublish(b as BlockId));
+                    }
+                    loader.request(target).map_err(loader_err)?;
+                    inflight.push_back((target, was_prefetch, model.now));
+                    continue;
+                }
+                Err(e) => return Err(loader_err(e)),
+            };
             let done_ns = model.load_done(issued_ns, loaded.service_ns);
             let block = Arc::new(loaded.block);
             debug_assert_eq!(block.info().id, target);
@@ -541,7 +569,25 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         // Drain prefetches still in flight so their I/O is accounted and
         // the loader can shut down cleanly.
         while let Some((b, was_prefetch, issued_ns)) = inflight.pop_front() {
-            let loaded = loader.recv().map_err(loader_err)?;
+            let loaded = match loader.recv() {
+                Ok(l) => l,
+                // A prefetch that lost the budget race delivered nothing:
+                // no walker is waiting (the run is over), so it is just a
+                // wasted prefetch, not a run failure.
+                Err(LoaderError::Load(LoadError::Budget(_))) => {
+                    if was_prefetch {
+                        metrics.record_prefetch_wasted();
+                        let at = model.now;
+                        trace.emit(|| TraceEvent::Prefetch {
+                            block: b,
+                            hit: false,
+                            at_ns: at,
+                        });
+                    }
+                    continue;
+                }
+                Err(e) => return Err(loader_err(e)),
+            };
             let done_ns = model.load_done(issued_ns, loaded.service_ns);
             let bytes = loaded.block.info().byte_len();
             if bytes > 0 {
@@ -758,7 +804,7 @@ fn drive_on_block<A: Walk>(
         let Some(view) = ctx.block.vertex_edges(ctx.graph, loc) else {
             return OnBlock::Left;
         };
-        let dst = ctx.app.sample(&view, rng);
+        let dst = ctx.app.sample_for(w, &view, rng);
         ctx.app.action(w, dst, rng);
         local.record_step(StepSource::Block);
     }
@@ -826,7 +872,7 @@ fn drive_batch<A: Walk>(
                             local.record_step(StepSource::PreSample);
                         }
                         Claim::Raw(view) => {
-                            let dst = ctx.app.sample(&view, rng);
+                            let dst = ctx.app.sample_for(&mut w, &view, rng);
                             ctx.app.action(&mut w, dst, rng);
                             local.record_step(StepSource::Raw);
                         }
@@ -978,6 +1024,31 @@ mod tests {
         });
         let r = ParallelRunner::new(app, graph, EngineOptions::default(), MemoryBudget::new(64));
         assert!(r.run(1, 2).is_err());
+    }
+
+    #[test]
+    fn tight_budget_evicts_published_pool_instead_of_failing() {
+        // A power-law graph under all-raw retention makes published
+        // buffers nearly as large as the blocks they mirror, so on a
+        // tight budget they starve demand loads mid-run. The coordinator
+        // must retire published generations and retry the load — the
+        // sequential engine's eviction behaviour — not fail the run.
+        let csr = generators::rmat(10, 10, generators::RmatParams::default(), 19);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let app = Arc::new(Basic {
+            walkers: 2000,
+            length: 8,
+            n: 1024,
+            visits: A64::new(0),
+        });
+        let opts = EngineOptions {
+            low_degree_threshold: u32::MAX,
+            ..EngineOptions::default()
+        };
+        let r = ParallelRunner::new(Arc::clone(&app), graph, opts, MemoryBudget::new(24 << 10));
+        let m = r.run(17, 2).expect("tight budget must evict, not fail");
+        assert_eq!(m.walkers_finished + m.walkers_cancelled, 2000);
     }
 
     #[test]

@@ -62,6 +62,26 @@ pub trait Walk: Send + Sync {
     /// `sample` on an empty vertex (such walkers are retired instead).
     fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId;
 
+    /// Samples one destination *for a specific walker*. Engines call this
+    /// on every movement path where the walker is at hand (resident-block
+    /// steps and raw retained-edge steps); pre-fill draws, which have no
+    /// walker, still go through [`Walk::sample`].
+    ///
+    /// The default delegates to [`Walk::sample`], so plain applications
+    /// ignore it. Applications that need *engine-independent* movement —
+    /// the serving layer's cross-backend replay parity — override it to
+    /// draw from walker-private randomness instead of the engine's RNG,
+    /// making each walker's trajectory a pure function of its own state.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Walk::sample`]: engines never call this on an empty
+    /// vertex.
+    fn sample_for(&self, w: &mut Self::Walker, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
+        let _ = w;
+        self.sample(v, rng)
+    }
+
     /// Consumes a sampled destination: updates the walker (location, step
     /// counter, application bookkeeping). Returns `true` if the sample was
     /// consumed (the engine then pops it from the pre-sample buffer);

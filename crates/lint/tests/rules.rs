@@ -259,6 +259,24 @@ fn l7_atomics_flagged_outside_audited_core_modules() {
 }
 
 #[test]
+fn kernel_module_has_no_concurrency_exemptions() {
+    // The StepKernel seam (crates/core/src/kernel.rs) is pure delegation:
+    // it selects and drives an engine but owns no threads and no shared
+    // state. Pin that it never grows L4/L7 exemptions — planting a spawn
+    // or an atomic there must keep firing.
+    let vs = lint_files(
+        &[file("crates/core/src/kernel.rs", L4)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L4"], "{vs:?}");
+    let vs = lint_files(
+        &[file("crates/core/src/kernel.rs", L7)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L7", "L7"], "{vs:?}");
+}
+
+#[test]
 fn seeded_violation_in_clean_sources_is_caught() {
     // Plant one stray metrics write into an otherwise-clean engine file and
     // one unwrap into a storage file; both must surface with exact lines.

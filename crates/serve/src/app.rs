@@ -11,7 +11,6 @@
 //! balanced.
 
 use noswalker_core::apps_prelude::*;
-use rand::Rng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -97,6 +96,38 @@ impl QueryClass {
     }
 }
 
+/// One splitmix64 draw, advancing `state` in place. The serving layer's
+/// walkers each carry a private stream of these, so a walker's trajectory
+/// is a pure function of its own seed — identical on every step kernel,
+/// which is what makes cross-backend replay digests bit-identical.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform f32 in `[0, 1)` from one stream draw.
+fn u01(x: u64) -> f32 {
+    (x >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// The per-query stream seed: derived from the serving engine's base seed
+/// and the query id only — never from round state — so a query spanning
+/// several rounds (or carved differently by another backend's quota) still
+/// hands each of its walkers the same private stream.
+pub(crate) fn query_stream_seed(base: u64, query: u64) -> u64 {
+    let mut s = base ^ query.wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(&mut s)
+}
+
+/// Walker `k`'s private stream seed within its query's stream.
+fn walker_stream_seed(query_seed: u64, k: u64) -> u64 {
+    let mut s = query_seed ^ k.wrapping_mul(0x9E6C_63D0_876A_8AD1);
+    splitmix64(&mut s)
+}
+
 /// Per-round, per-query shared state read and written by walker callbacks.
 ///
 /// Callbacks take `&self`, so the mutable pieces are atomics; under the
@@ -109,6 +140,9 @@ struct Slot {
     /// Modeled steps the query may take this round before its deadline
     /// passes (`None` = no deadline).
     allowance: Option<u64>,
+    /// The owning query's private RNG stream seed (see
+    /// [`query_stream_seed`]).
+    walker_seed: u64,
     steps_taken: AtomicU64,
     cancel_flag: AtomicBool,
     completed_walkers: AtomicU64,
@@ -128,15 +162,16 @@ fn mix(v: VertexId) -> u64 {
 
 impl QueryTable {
     /// Builds the table; one entry per active query:
-    /// `(class, walk_length, step_allowance)`.
-    pub fn new(entries: Vec<(QueryClass, u32, Option<u64>)>) -> Self {
+    /// `(class, walk_length, step_allowance, walker_stream_seed)`.
+    pub fn new(entries: Vec<(QueryClass, u32, Option<u64>, u64)>) -> Self {
         QueryTable {
             slots: entries
                 .into_iter()
-                .map(|(class, length, allowance)| Slot {
+                .map(|(class, length, allowance, walker_seed)| Slot {
                     class,
                     length,
                     allowance,
+                    walker_seed,
                     steps_taken: AtomicU64::new(0),
                     cancel_flag: AtomicBool::new(false),
                     completed_walkers: AtomicU64::new(0),
@@ -203,6 +238,10 @@ pub struct ServeWalker {
     pub step: u32,
     /// Index of the owning query's slot in the round's [`QueryTable`].
     pub slot: u32,
+    /// Private splitmix64 stream state: every random decision this walker
+    /// makes (destination draws, RWR teleports) comes from here, so its
+    /// trajectory does not depend on which step kernel moves it.
+    pub rng: u64,
 }
 
 struct Chunk {
@@ -279,11 +318,15 @@ impl Walk for RoundApp {
 
     fn generate(&self, n: u64, _rng: &mut WalkRng) -> ServeWalker {
         let (chunk, k) = self.slot_of(n);
-        let class = self.table.slots[chunk.slot as usize].class;
+        let s = &self.table.slots[chunk.slot as usize];
         ServeWalker {
-            at: class.start_vertex(chunk.base + k, self.num_vertices),
+            at: s.class.start_vertex(chunk.base + k, self.num_vertices),
             step: 0,
             slot: chunk.slot,
+            // Seeded by the query's global walker index, not the round's,
+            // so chunking a query differently (other backend, other quota)
+            // never changes any walker's stream.
+            rng: walker_stream_seed(s.walker_seed, chunk.base + k),
         }
     }
 
@@ -300,7 +343,16 @@ impl Walk for RoundApp {
         uniform_sample(v, rng)
     }
 
-    fn action(&self, w: &mut ServeWalker, next: VertexId, rng: &mut WalkRng) -> bool {
+    fn sample_for(&self, w: &mut ServeWalker, v: &VertexEdges<'_>, _rng: &mut WalkRng) -> VertexId {
+        // Engine-independent movement: the destination comes from the
+        // walker's own stream, never the engine's RNG, so every step
+        // kernel walks this walker along the same trajectory.
+        let d = v.degree() as u64;
+        debug_assert!(d > 0, "engines never sample an empty vertex");
+        v.target((splitmix64(&mut w.rng) % d.max(1)) as usize)
+    }
+
+    fn action(&self, w: &mut ServeWalker, next: VertexId, _rng: &mut WalkRng) -> bool {
         let s = self.slot(w);
         let taken = s.steps_taken.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(allow) = s.allowance {
@@ -313,7 +365,7 @@ impl Walk for RoundApp {
             }
         }
         w.at = match s.class {
-            QueryClass::Rwr { source, restart } if rng.gen::<f32>() < restart => {
+            QueryClass::Rwr { source, restart } if u01(splitmix64(&mut w.rng)) < restart => {
                 source % self.num_vertices.max(1)
             }
             _ => next,
@@ -383,8 +435,8 @@ mod tests {
     #[test]
     fn walkers_map_to_their_chunk_and_start_vertex() {
         let table = Arc::new(QueryTable::new(vec![
-            (QueryClass::Ppr { source: 9 }, 4, None),
-            (QueryClass::DeepWalk { start: 2 }, 4, None),
+            (QueryClass::Ppr { source: 9 }, 4, None, 1),
+            (QueryClass::DeepWalk { start: 2 }, 4, None, 2),
         ]));
         // Query 1's chunk resumes at base walker index 10.
         let app = RoundApp::new(Arc::clone(&table), vec![(0, 0, 3), (1, 10, 2)], 16);
@@ -402,7 +454,7 @@ mod tests {
 
     #[test]
     fn exhausted_allowance_cancels_remaining_walkers_only() {
-        let table = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 3, Some(4))]));
+        let table = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 3, Some(4), 1)]));
         let app = RoundApp::new(Arc::clone(&table), vec![(0, 0, 2)], 8);
         let mut r = rng();
         // First walker finishes all 3 steps within the allowance.
@@ -436,6 +488,7 @@ mod tests {
             },
             8,
             None,
+            1,
         )]));
         let app = RoundApp::new(Arc::clone(&table), vec![(0, 0, 1)], 16);
         let mut r = rng();
@@ -445,8 +498,53 @@ mod tests {
     }
 
     #[test]
+    fn walker_streams_are_chunk_layout_invariant() {
+        // The same global walker index seeds the same private stream no
+        // matter how a round carved the query into chunks — the property
+        // that makes multi-round queries replay identically across
+        // backends with different per-round quotas.
+        let mk = |chunks: Vec<(u32, u64, u64)>| {
+            let t = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None, 99)]));
+            RoundApp::new(t, chunks, 16)
+        };
+        let whole = mk(vec![(0, 0, 8)]);
+        let resumed = mk(vec![(0, 5, 3)]);
+        let mut r = rng();
+        let a = whole.generate(6, &mut r); // global walker 6
+        let b = resumed.generate(1, &mut r); // base 5 + 1 = global walker 6
+        assert_eq!(a.rng, b.rng);
+        assert_eq!(a.at, b.at);
+        assert_ne!(whole.generate(0, &mut r).rng, whole.generate(1, &mut r).rng);
+    }
+
+    #[test]
+    fn sample_for_ignores_the_engine_rng() {
+        let t = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None, 7)]));
+        let app = RoundApp::new(t, vec![(0, 0, 1)], 16);
+        let targets = [3u32, 9, 27, 31];
+        let v = VertexEdges::Mem {
+            targets: &targets,
+            weights: None,
+            alias: None,
+        };
+        let mut r1 = rng();
+        let mut r2 = WalkRng::seed_from_u64(12345);
+        let mut w1 = app.generate(0, &mut r1);
+        let mut w2 = app.generate(0, &mut r2);
+        // Different engine RNGs, same walker: identical destination draws.
+        let d1: Vec<u32> = (0..6)
+            .map(|_| app.sample_for(&mut w1, &v, &mut r1))
+            .collect();
+        let d2: Vec<u32> = (0..6)
+            .map(|_| app.sample_for(&mut w2, &v, &mut r2))
+            .collect();
+        assert_eq!(d1, d2);
+        assert!(d1.iter().all(|d| targets.contains(d)));
+    }
+
+    #[test]
     fn digest_is_order_independent() {
-        let mk = || Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None)]));
+        let mk = || Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None, 1)]));
         let t1 = mk();
         let a1 = RoundApp::new(Arc::clone(&t1), vec![(0, 0, 2)], 16);
         let t2 = mk();

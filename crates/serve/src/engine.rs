@@ -6,18 +6,26 @@
 //! passed, (3) activates pending queries up to the in-flight walker quota
 //! ([`EngineOptions::walker_pool_quota`] — the same sizing rule the
 //! offline engine uses), (4) multiplexes every active query's next walker
-//! chunk into one [`RoundApp`] and runs it to completion on the
-//! sequential [`NosWalkerEngine`], and (5) advances the [`ModelClock`] by
-//! the round's modeled duration. Latency, deadlines, retry-after hints
-//! and the shed decision all read that clock — never the host clock — so
-//! the same trace replays to an identical [`ServeReport`].
+//! chunk into one [`RoundApp`] per selected backend and runs each to
+//! completion on a [`StepKernel`] — the sequential engine, the lock-free
+//! parallel runner, or both ([`Backend::Auto`] routes
+//! deadline-constrained queries to the sequential kernel and the rest to
+//! the parallel one) — and (5) advances the [`ModelClock`] by the
+//! kernels' deterministic `advance_ns` charges. Latency, deadlines,
+//! retry-after hints and the shed decision all read that clock — never
+//! the host clock — so the same trace replays to an identical
+//! [`ServeReport`] on every backend: walker movement draws only
+//! walker-private randomness (see [`crate::app`]), and serving rounds
+//! force all-raw pre-sample retention so no kernel ever consumes a
+//! pre-drawn slot whose value depends on refill scheduling.
 
 use crate::admission::{Admission, AdmissionController};
-use crate::app::{QueryClass, QueryTable, RoundApp, ServeWalker};
+use crate::app::{query_stream_seed, QueryClass, QueryTable, RoundApp, ServeWalker};
 use noswalker_core::audit::{Trace, TraceEvent, TraceSink};
 use noswalker_core::{
-    audit_queries, EngineError, EngineOptions, LatencyHistogram, ModelClock, NosWalkerEngine,
-    OnDiskGraph, QueryId, QuerySource, QuerySpec, QueryStats, RunMetrics,
+    audit_queries, Backend, EngineError, EngineOptions, LatencyHistogram, ModelClock, OnDiskGraph,
+    ParallelKernel, QueryId, QuerySource, QuerySpec, QueryStats, RunMetrics, SequentialKernel,
+    StepKernel,
 };
 use noswalker_storage::MemoryBudget;
 use std::collections::BTreeMap;
@@ -38,7 +46,19 @@ pub struct ServeOptions {
     pub round_walkers: u64,
     /// Hard bound on serving rounds — a backstop against a misbehaving
     /// [`QuerySource`] that keeps reporting future work it never yields.
+    /// On exhaustion every in-flight query terminates as a degraded
+    /// partial and the pending queue drains as shed, so each offered
+    /// query still gets an outcome.
     pub max_rounds: u64,
+    /// Which [`StepKernel`] executes rounds. [`Backend::Auto`] selects
+    /// per query class: deadline-constrained queries run on the
+    /// sequential kernel (whose cancellation timing is deterministic),
+    /// best-effort queries on the parallel one.
+    pub backend: Backend,
+    /// Worker threads for the parallel kernel. A fixed constant rather
+    /// than a host-derived figure, so a trace replays identically on any
+    /// machine.
+    pub par_workers: usize,
 }
 
 impl Default for ServeOptions {
@@ -49,9 +69,32 @@ impl Default for ServeOptions {
             seed: 42,
             round_walkers: 4096,
             max_rounds: 1_000_000,
+            backend: Backend::Seq,
+            par_workers: 4,
         }
     }
 }
+
+/// The one deadline predicate every serving site uses: a deadline landing
+/// exactly on the clock has passed. (The round boundary and post-round
+/// accounting previously disagreed on this edge — `d <= now` vs
+/// `d < after` — so an exact-deadline query was expired at a boundary but
+/// not flagged after a round.)
+fn deadline_passed(deadline_ns: Option<u64>, now_ns: u64) -> bool {
+    deadline_ns.is_some_and(|d| d <= now_ns)
+}
+
+/// Round-carve state for one kernel group: the [`QueryTable`] slot
+/// entries, the walker chunks `(slot, base, count)`, and the charge list
+/// `(active idx, slot, count)` used for post-round accounting.
+type RoundGroup = (
+    Vec<(QueryClass, u32, Option<u64>, u64)>,
+    Vec<(u32, u64, u64)>,
+    Vec<ChargeList>,
+);
+
+/// One charged chunk: (index into `active`, table slot, walkers issued).
+type ChargeList = (usize, u32, u64);
 
 /// A serving-layer failure.
 #[derive(Debug)]
@@ -287,6 +330,26 @@ impl ServeEngine {
         );
         let nv = self.graph.num_vertices() as u32;
         let step_cost = self.opts.engine.step_cost();
+        // Serving rounds force all-raw pre-sample retention: a pre-drawn
+        // sampled slot would embed the refill path's RNG into walker
+        // movement, and the refill path differs per kernel. With every
+        // retained buffer raw, destinations come only from
+        // `Walk::sample_for` (walker-private randomness) on either
+        // backend, which is what makes cross-backend digests
+        // bit-identical.
+        let mut round_opts = self.opts.engine.clone();
+        round_opts.low_degree_threshold = u32::MAX;
+        let seq_kernel = SequentialKernel::new(
+            Arc::clone(&self.graph),
+            round_opts.clone(),
+            Arc::clone(&self.budget),
+        );
+        let par_kernel = ParallelKernel::new(
+            Arc::clone(&self.graph),
+            round_opts,
+            Arc::clone(&self.budget),
+            self.opts.par_workers,
+        );
         let mut admission = AdmissionController::new(self.opts.admission.clone());
         let mut active: Vec<ActiveQuery> = Vec::new();
         let mut st = ServeState {
@@ -372,7 +435,7 @@ impl ServeEngine {
             let mut i = 0;
             while i < active.len() {
                 let q = &mut active[i];
-                let expired = q.spec.deadline_ns.is_some_and(|d| d <= now) && q.unissued() > 0;
+                let expired = deadline_passed(q.spec.deadline_ns, now) && q.unissued() > 0;
                 if expired {
                     q.deadline_missed = true;
                 }
@@ -393,11 +456,16 @@ impl ServeEngine {
                 )
             });
 
-            // (4) Carve the round's walker chunks.
+            // (4) Carve the round's walker chunks, one group per step
+            // kernel this round uses. The cap is global across groups
+            // (EDF order decides who gets pool share first); group
+            // membership follows the configured backend, with `Auto`
+            // routing deadline-constrained queries to the sequential
+            // kernel — its cancellation timing is deterministic — and
+            // best-effort ones to the parallel kernel.
             let mut cap = quota.max(1).min(self.opts.round_walkers.max(1));
-            let mut entries = Vec::new();
-            let mut chunks = Vec::new();
-            let mut charged: Vec<(usize, u32, u64)> = Vec::new(); // (active idx, slot, count)
+            // Index 0 = sequential, 1 = parallel.
+            let mut groups: [RoundGroup; 2] = Default::default();
             for (idx, q) in active.iter().enumerate() {
                 if cap == 0 {
                     break;
@@ -407,17 +475,28 @@ impl ServeEngine {
                     continue;
                 }
                 cap -= count;
+                let on_par = match self.opts.backend {
+                    Backend::Seq => false,
+                    Backend::Par => true,
+                    Backend::Auto => q.spec.deadline_ns.is_none(),
+                };
+                let (entries, chunks, charged) = &mut groups[usize::from(on_par)];
                 let slot = entries.len() as u32;
                 let allowance = q
                     .spec
                     .deadline_ns
                     .map(|d| d.saturating_sub(now) / step_cost.max(1));
-                entries.push((q.class, q.spec.walk_length, allowance));
+                entries.push((
+                    q.class,
+                    q.spec.walk_length,
+                    allowance,
+                    query_stream_seed(self.opts.seed, q.spec.id),
+                ));
                 chunks.push((slot, q.stats.issued, count));
                 charged.push((idx, slot, count));
             }
 
-            if chunks.is_empty() {
+            if groups.iter().all(|(entries, _, _)| entries.is_empty()) {
                 // Nothing runnable: jump to the next arrival or stop.
                 debug_assert!(active.is_empty(), "active queries always have work");
                 match source.next_pending_at(st.clock.now_ns()) {
@@ -429,49 +508,102 @@ impl ServeEngine {
                 }
             }
 
-            // (5) Run the round to completion on the sequential engine —
-            // deterministic under the derived per-round seed.
             rounds += 1;
             if rounds > self.opts.max_rounds {
+                // Round budget exhausted: nothing more will run. Every
+                // in-flight query terminates as a degraded partial and
+                // the pending queue drains as shed, so each offered query
+                // still reaches `ServeReport::outcomes` (and the audit).
+                rounds -= 1;
+                for q in active.drain(..) {
+                    st.finalize(q);
+                }
+                let retry_after_ns = admission.retry_after();
+                while let Some(q) = admission.next_ready(now, u64::MAX) {
+                    let query = q.id;
+                    st.trace.emit(|| TraceEvent::QueryShed {
+                        query,
+                        retry_after_ns,
+                        at_ns: now,
+                    });
+                    st.outcomes.push(QueryOutcome {
+                        id: q.id,
+                        class: q.class.clone(),
+                        stats: QueryStats {
+                            id: q.id,
+                            budget: q.walkers,
+                            ..QueryStats::default()
+                        },
+                        latency_ns: None,
+                        degraded: false,
+                        deadline_missed: false,
+                        shed: true,
+                        retry_after_ns: Some(retry_after_ns),
+                        digest: 0,
+                    });
+                }
                 break;
             }
-            let table = Arc::new(QueryTable::new(entries));
-            let app = RoundApp::new(Arc::clone(&table), chunks, nv);
+
+            // (5) Run each group to completion on its kernel — identical
+            // derived per-round seed for both; walker movement only draws
+            // walker-private randomness, so the engine seed steers
+            // scheduling, never trajectories. The clock is charged with
+            // the kernels' deterministic advance figures (sequential:
+            // modeled pipeline time; parallel: compute-only step model).
             let seed = self
                 .opts
                 .seed
                 .wrapping_add(rounds.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let engine = NosWalkerEngine::new(
-                Arc::new(app),
-                Arc::clone(&self.graph),
-                self.opts.engine.clone(),
-                Arc::clone(&self.budget),
-            );
-            let round_metrics = engine.run(seed)?;
-            st.clock.advance(round_metrics.sim_ns);
-            metrics.merge(&round_metrics);
-            admission.observe_stall_rate(round_metrics.presample_stalls, round_metrics.steps);
+            let mut advance_ns = 0u64;
+            let mut round_stalls = 0u64;
+            let mut round_steps = 0u64;
+            let mut ran: Vec<(Arc<QueryTable>, Vec<ChargeList>)> = Vec::new();
+            for (on_par, (entries, chunks, charged)) in groups.into_iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                let table = Arc::new(QueryTable::new(entries));
+                let app = Arc::new(RoundApp::new(Arc::clone(&table), chunks, nv));
+                let out = if on_par == 1 {
+                    par_kernel.run_round(app, seed)?
+                } else {
+                    seq_kernel.run_round(app, seed)?
+                };
+                advance_ns += out.advance_ns;
+                round_stalls += out.metrics.presample_stalls + out.metrics.pool_stalls;
+                round_steps += out.metrics.steps;
+                metrics.merge(&out.metrics);
+                ran.push((table, charged));
+            }
+            st.clock.advance(advance_ns);
+            admission.observe_stall_rate(round_stalls, round_steps);
 
             // (6) Post-round accounting: fold the round's per-slot
             // counters back into each query and terminate the finished
             // ones.
             let after = st.clock.now_ns();
             let mut done: Vec<usize> = Vec::new();
-            for &(idx, slot, count) in &charged {
-                let q = &mut active[idx];
-                q.stats.issued += count;
-                q.stats.completed += table.completed_walkers(slot);
-                q.stats.cancelled += table.cancelled_walkers(slot);
-                q.digest = q.digest.wrapping_add(table.digest(slot));
-                let timed_out = table.is_cancelled(slot);
-                let missed = q.spec.deadline_ns.is_some_and(|d| d < after);
-                if timed_out || missed {
-                    q.deadline_missed = true;
-                }
-                // A timed-out query keeps its partial results and gives up
-                // its remaining budget; a finished one has nothing left.
-                if timed_out || q.unissued() == 0 {
-                    done.push(idx);
+            for (table, charged) in &ran {
+                for &(idx, slot, count) in charged {
+                    let q = &mut active[idx];
+                    q.stats.issued += count;
+                    q.stats.completed += table.completed_walkers(slot);
+                    q.stats.cancelled += table.cancelled_walkers(slot);
+                    q.digest = q.digest.wrapping_add(table.digest(slot));
+                    let timed_out = table.is_cancelled(slot);
+                    let missed = deadline_passed(q.spec.deadline_ns, after);
+                    if timed_out || missed {
+                        q.deadline_missed = true;
+                    }
+                    // A timed-out or overdue query keeps its partial
+                    // results and gives up its remaining budget *now* —
+                    // leaving a missed query active would let it hold its
+                    // pool share for another activation pass before the
+                    // next boundary expiry caught it.
+                    if timed_out || missed || q.unissued() == 0 {
+                        done.push(idx);
+                    }
                 }
             }
             done.sort_unstable_by(|a, b| b.cmp(a));
@@ -508,14 +640,21 @@ mod tests {
     use noswalker_storage::{SimSsd, SsdProfile};
 
     fn engine(budget_bytes: u64) -> ServeEngine {
+        engine_with(budget_bytes, ServeOptions::default()).0
+    }
+
+    fn engine_with(budget_bytes: u64, opts: ServeOptions) -> (ServeEngine, Arc<MemoryBudget>) {
         let csr = generators::uniform_degree(64, 4, 11);
         let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
         let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).expect("store"));
-        ServeEngine::new(
-            graph,
-            MemoryBudget::new(budget_bytes),
-            ServeOptions::default(),
-        )
+        let budget = MemoryBudget::new(budget_bytes);
+        (ServeEngine::new(graph, Arc::clone(&budget), opts), budget)
+    }
+
+    fn pool_quota(e: &ServeEngine, budget: &MemoryBudget) -> u64 {
+        e.options()
+            .engine
+            .walker_pool_quota(budget, std::mem::size_of::<ServeWalker>(), u64::MAX)
     }
 
     fn spec(id: u64, class: &str, walkers: u64, arrival_ns: u64) -> QuerySpec {
@@ -600,6 +739,92 @@ mod tests {
             }
             other => panic!("expected BadQueryClass, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn a_deadline_landing_exactly_on_completion_counts_as_missed() {
+        // Regression: the round boundary used `d <= now` but post-round
+        // accounting used `d < after`, so a deadline falling exactly on
+        // the completion clock was silently not a miss.
+        let run = |deadline_ns: Option<u64>| {
+            let e = engine(64 << 10);
+            let mut q = spec(1, "basic", 10, 0);
+            q.deadline_ns = deadline_ns;
+            let mut src = StaticQuerySource::new(vec![q]);
+            e.run(&mut src, None).expect("serve")
+        };
+        let free = run(None);
+        let exact = run(Some(free.end_ns));
+        // The allowance is nowhere near exhausted, so the walk — and the
+        // modeled clock — replay identically with the deadline attached.
+        assert_eq!(exact.end_ns, free.end_ns);
+        let o = &exact.outcomes[0];
+        assert!(o.deadline_missed, "deadline == completion time is a miss");
+        assert!(!o.degraded);
+        assert_eq!(o.stats.issued, 10);
+        assert_eq!(o.stats.cancelled, 0);
+        assert_eq!(o.digest, free.outcomes[0].digest);
+    }
+
+    #[test]
+    fn exhausted_round_budget_still_gives_every_offered_query_an_outcome() {
+        // Regression: the `max_rounds` backstop broke out of the loop
+        // without finalizing in-flight queries or draining the pending
+        // queue, so offered queries vanished from the report.
+        let opts = ServeOptions {
+            max_rounds: 1,
+            ..ServeOptions::default()
+        };
+        let (e, budget) = engine_with(64 << 10, opts);
+        let quota = pool_quota(&e, &budget);
+        // Query 1 overfills the pool quota so query 2 stays pending in
+        // admission when the round budget runs out.
+        let mut src = StaticQuerySource::new(vec![
+            spec(1, "basic", quota * 2, 0),
+            spec(2, "ppr:3", 10, 0),
+        ]);
+        let report = e.run(&mut src, None).expect("serve");
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.outcomes.len(), 2, "every offered query reports");
+        let a = report.outcomes.iter().find(|o| o.id == 1).expect("q1");
+        assert!(!a.shed);
+        assert!(a.degraded, "in-flight work finalizes as a degraded partial");
+        assert!(a.stats.issued > 0 && a.stats.issued < a.stats.budget);
+        assert_eq!(a.stats.completed + a.stats.cancelled, a.stats.issued);
+        let b = report.outcomes.iter().find(|o| o.id == 2).expect("q2");
+        assert!(b.shed);
+        assert!(b.retry_after_ns.expect("hint") > 0);
+        assert!(b.latency_ns.is_none());
+    }
+
+    #[test]
+    fn a_missed_query_releases_its_pool_share_immediately() {
+        // Regression: a query flagged `deadline_missed` after a round —
+        // but neither cancelled mid-round nor exhausted — stayed in the
+        // active set holding its pool share, stranding pending queries.
+        let (e, budget) = engine_with(64 << 10, ServeOptions::default());
+        let quota = pool_quota(&e, &budget);
+        let chunk = quota.min(e.options().round_walkers);
+        // Deadline = the first round's compute-only time: the step
+        // allowance (deadline / step cost) comfortably covers the chunk,
+        // but the round's modeled I/O pushes the clock past the deadline,
+        // so the query misses without a single walker being cancelled.
+        let eng = &e.options().engine;
+        let d = chunk * 5 * (eng.step_cost() + eng.sample_cost());
+        let mut a = spec(1, "basic", quota * 2 + 10, 0);
+        a.deadline_ns = Some(d);
+        let mut src = StaticQuerySource::new(vec![a, spec(2, "ppr:3", 10, 0)]);
+        let report = e.run(&mut src, None).expect("serve");
+        assert_eq!(report.outcomes.len(), 2);
+        let a = report.outcomes.iter().find(|o| o.id == 1).expect("q1");
+        assert!(a.deadline_missed);
+        assert_eq!(a.stats.cancelled, 0, "the allowance was never exhausted");
+        assert_eq!(a.stats.issued, chunk, "exactly one round's chunk ran");
+        // The share freed by the miss lets the pending query run to
+        // completion instead of being stranded behind a dead query.
+        let b = report.outcomes.iter().find(|o| o.id == 2).expect("q2");
+        assert!(!b.shed && !b.degraded && !b.deadline_missed);
+        assert_eq!(b.stats.completed, 10);
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //!
 //! Determinism is load-bearing: no code in this crate reads the host
 //! clock or sleeps (nosw-lint rule L8 enforces this) — latency is modeled
-//! from round `sim_ns`, so a replayed trace produces identical reports.
+//! from each round's deterministic `advance_ns` charge, and walker
+//! movement draws only walker-private randomness, so a replayed trace
+//! produces identical reports on every [`Backend`].
 
 #![forbid(unsafe_code)]
 
@@ -47,4 +49,5 @@ pub mod trace;
 pub use admission::{Admission, AdmissionController, AdmissionOptions};
 pub use app::{QueryClass, RoundApp, ServeWalker};
 pub use engine::{QueryOutcome, ServeEngine, ServeError, ServeOptions, ServeReport};
+pub use noswalker_core::Backend;
 pub use trace::{parse_script, render_report, ScriptError};

@@ -8,7 +8,7 @@ use noswalker::core::audit::{audit_queries, MemorySink};
 use noswalker::core::{OnDiskGraph, QuerySpec, StaticQuerySource};
 use noswalker::graph::generators::{self, RmatParams};
 use noswalker::graph::Csr;
-use noswalker::serve::{AdmissionOptions, ServeEngine, ServeOptions, ServeReport};
+use noswalker::serve::{AdmissionOptions, Backend, ServeEngine, ServeOptions, ServeReport};
 use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
 use std::sync::Arc;
 
@@ -63,37 +63,51 @@ fn check_conservation(report: &ServeReport) {
 }
 
 #[test]
-fn mixed_app_queries_share_one_engine() {
+fn mixed_app_queries_share_one_engine_on_every_backend() {
     let csr = graph();
-    let e = engine(&csr, ServeOptions::default());
     let specs = vec![
         spec(1, "ppr:7", 120, 0, None),
         spec(2, "basic", 90, 50, None),
         spec(3, "deepwalk:0", 80, 100, None),
         spec(4, "rwr:7:0.2", 70, 150, None),
     ];
-    let mut src = StaticQuerySource::new(specs.clone());
-    let report = e.run(&mut src, None).expect("serve");
+    let mut digests: Vec<Vec<(u64, u64)>> = Vec::new();
+    for backend in [Backend::Seq, Backend::Par] {
+        let e = engine(
+            &csr,
+            ServeOptions {
+                backend,
+                ..ServeOptions::default()
+            },
+        );
+        let mut src = StaticQuerySource::new(specs.clone());
+        let report = e.run(&mut src, None).expect("serve");
 
-    assert_eq!(report.completed_count(), 4);
-    assert_eq!(report.shed_count(), 0);
-    check_conservation(&report);
-    // Without deadlines every walker runs to completion.
-    for o in &report.outcomes {
-        let want = specs.iter().find(|s| s.id == o.id).unwrap().walkers;
-        assert_eq!(o.stats.completed, want, "query {}", o.id);
-        assert!(!o.degraded && !o.deadline_missed, "query {}", o.id);
-        assert!(o.latency_ns.is_some(), "query {}", o.id);
+        assert_eq!(report.completed_count(), 4, "{backend:?}");
+        assert_eq!(report.shed_count(), 0, "{backend:?}");
+        check_conservation(&report);
+        // Without deadlines every walker runs to completion.
+        for o in &report.outcomes {
+            let want = specs.iter().find(|s| s.id == o.id).unwrap().walkers;
+            assert_eq!(o.stats.completed, want, "query {} ({backend:?})", o.id);
+            assert!(!o.degraded && !o.deadline_missed, "query {}", o.id);
+            assert!(o.latency_ns.is_some(), "query {}", o.id);
+        }
+        // One latency histogram per distinct class, each with one sample.
+        assert_eq!(report.histograms.len(), 4);
+        assert!(report.histograms.values().all(|h| h.count() == 1));
+        // The global counters agree with the per-query stats.
+        let issued: u64 = report.outcomes.iter().map(|o| o.stats.issued).sum();
+        assert_eq!(
+            report.metrics.walkers_finished + report.metrics.walkers_cancelled,
+            issued
+        );
+        let mut d: Vec<(u64, u64)> = report.outcomes.iter().map(|o| (o.id, o.digest)).collect();
+        d.sort_unstable();
+        digests.push(d);
     }
-    // One latency histogram per distinct class, each with one sample.
-    assert_eq!(report.histograms.len(), 4);
-    assert!(report.histograms.values().all(|h| h.count() == 1));
-    // The global counters agree with the per-query stats.
-    let issued: u64 = report.outcomes.iter().map(|o| o.stats.issued).sum();
-    assert_eq!(
-        report.metrics.walkers_finished + report.metrics.walkers_cancelled,
-        issued
-    );
+    // Both backends walk the same trajectories under the same seed.
+    assert_eq!(digests[0], digests[1], "cross-backend digest parity");
 }
 
 #[test]
@@ -122,42 +136,59 @@ fn impossible_deadlines_are_flagged_and_conserve_walkers() {
 }
 
 #[test]
-fn oversubscribed_burst_sheds_without_deadlock() {
+fn oversubscribed_burst_sheds_without_deadlock_on_every_backend() {
     let csr = graph();
-    let e = engine(
-        &csr,
-        ServeOptions {
-            admission: AdmissionOptions {
-                max_pending: 2,
-                retry_after_ns: 500,
-                ..AdmissionOptions::default()
+    // Per backend: (completed, shed, sorted (id, digest) pairs).
+    type BurstSummary = (u64, u64, Vec<(u64, u64)>);
+    let mut summaries: Vec<BurstSummary> = Vec::new();
+    for backend in [Backend::Seq, Backend::Par] {
+        let e = engine(
+            &csr,
+            ServeOptions {
+                admission: AdmissionOptions {
+                    max_pending: 2,
+                    retry_after_ns: 500,
+                    ..AdmissionOptions::default()
+                },
+                backend,
+                ..ServeOptions::default()
             },
-            ..ServeOptions::default()
-        },
-    );
-    // 12 queries all arriving at t=0 against a pending queue of 2: the
-    // burst must shed (bounded queue), the rest must complete, and the
-    // run must terminate.
-    let specs: Vec<QuerySpec> = (1..=12).map(|i| spec(i, "basic", 200, 0, None)).collect();
-    let mut sink = MemorySink::new();
-    let mut src = StaticQuerySource::new(specs);
-    let report = e.run(&mut src, Some(&mut sink)).expect("serve");
-    check_conservation(&report);
+        );
+        // 12 queries all arriving at t=0 against a pending queue of 2: the
+        // burst must shed (bounded queue), the rest must complete, and the
+        // run must terminate.
+        let specs: Vec<QuerySpec> = (1..=12).map(|i| spec(i, "basic", 200, 0, None)).collect();
+        let mut sink = MemorySink::new();
+        let mut src = StaticQuerySource::new(specs);
+        let report = e.run(&mut src, Some(&mut sink)).expect("serve");
+        check_conservation(&report);
 
-    assert!(report.shed_count() > 0, "bounded queue must shed the burst");
-    assert!(report.completed_count() > 0, "shedding must not starve");
-    assert_eq!(
-        report.completed_count() + report.shed_count(),
-        12,
-        "every query is either served or shed"
-    );
-    for o in report.outcomes.iter().filter(|o| o.shed) {
-        assert!(o.retry_after_ns.unwrap_or(0) > 0, "shed carries retry hint");
+        assert!(report.shed_count() > 0, "bounded queue must shed the burst");
+        assert!(report.completed_count() > 0, "shedding must not starve");
+        assert_eq!(
+            report.completed_count() + report.shed_count(),
+            12,
+            "every query is either served or shed"
+        );
+        for o in report.outcomes.iter().filter(|o| o.shed) {
+            assert!(o.retry_after_ns.unwrap_or(0) > 0, "shed carries retry hint");
+        }
+        // The trace records both admission decisions.
+        let kinds: Vec<&str> = sink.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"query_shed"), "{kinds:?}");
+        assert!(kinds.contains(&"query_completed"), "{kinds:?}");
+        let mut d: Vec<(u64, u64)> = report
+            .outcomes
+            .iter()
+            .filter(|o| !o.shed)
+            .map(|o| (o.id, o.digest))
+            .collect();
+        d.sort_unstable();
+        summaries.push((report.completed_count(), report.shed_count(), d));
     }
-    // The trace records both admission decisions.
-    let kinds: Vec<&str> = sink.events.iter().map(|e| e.kind()).collect();
-    assert!(kinds.contains(&"query_shed"), "{kinds:?}");
-    assert!(kinds.contains(&"query_completed"), "{kinds:?}");
+    // The burst arrives before any round runs, so the admission decisions
+    // — and the surviving queries' trajectories — are backend-invariant.
+    assert_eq!(summaries[0], summaries[1], "cross-backend burst parity");
 }
 
 #[test]
