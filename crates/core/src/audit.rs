@@ -634,6 +634,26 @@ impl RunAudit {
     /// 4. **load-byte-consistency** — bytes were loaded iff loads (and
     ///    I/O ops) were issued, in both directions.
     /// 5. **clock-sanity** — `stall_ns <= sim_ns`.
+    /// 6. **edge-accounting** — `edges_loaded <= edge_bytes_loaded`: an
+    ///    edge costs at least one byte, so the logical count can never
+    ///    exceed the byte count.
+    /// 7. **swap-attribution** — swap traffic (`swap_bytes`) implies the
+    ///    run had walkers to swap.
+    /// 8. **second-order-balance** — `accepts <= steps_on_block` (every
+    ///    accepted candidate is recorded as a resident-block step), and
+    ///    any rejection-sampling activity implies edge data was loaded.
+    /// 9. **prefetch-accounting** — `prefetch_hits <= coarse_loads`, and
+    ///    any prefetch outcome (hit or wasted) implies at least one
+    ///    coarse load (the first load is always a demand load).
+    /// 10. **pool-accounting** — a published pre-sample buffer
+    ///     (`pool_publishes`) is built from loaded block data, so it
+    ///     implies a coarse load.
+    /// 11. **stall-accounting** — a stalled walker survives its stall and
+    ///     eventually steps (or is cancelled), so stalls with zero steps
+    ///     and zero cancellations mean a walker was lost mid-stall.
+    /// 12. **budget-peak** — a recorded `peak_memory` can never be below
+    ///     the budget's pre-run floor (the peak is a running maximum over
+    ///     a quantity that starts at the floor).
     pub fn verify_metrics(&self, m: &RunMetrics) -> AuditReport {
         let mut violations = Vec::new();
         let mut fail = |law: &'static str, detail: String| {
@@ -691,6 +711,94 @@ impl RunAudit {
             fail(
                 "clock-sanity",
                 format!("stall_ns {} > sim_ns {}", m.stall_ns, m.sim_ns),
+            );
+        }
+        if m.edges_loaded > m.edge_bytes_loaded {
+            fail(
+                "edge-accounting",
+                format!(
+                    "edges_loaded {} > edge_bytes_loaded {} (an edge costs at least one byte)",
+                    m.edges_loaded, m.edge_bytes_loaded
+                ),
+            );
+        }
+        if m.swap_bytes > 0 && self.total_walkers == 0 {
+            fail(
+                "swap-attribution",
+                format!(
+                    "swap_bytes {} moved but the run had no walkers to swap",
+                    m.swap_bytes
+                ),
+            );
+        }
+        if m.accepts > m.steps_on_block {
+            fail(
+                "second-order-balance",
+                format!(
+                    "accepts {} > steps_on_block {} (every accepted candidate is a \
+                     resident-block step)",
+                    m.accepts, m.steps_on_block
+                ),
+            );
+        }
+        if m.accepts + m.rejects > 0 && loads == 0 {
+            fail(
+                "second-order-balance",
+                format!(
+                    "rejection sampling ran ({} accepts, {} rejects) with no loads — \
+                     candidate edges must come from loaded data",
+                    m.accepts, m.rejects
+                ),
+            );
+        }
+        if m.prefetch_hits > m.coarse_loads {
+            fail(
+                "prefetch-accounting",
+                format!(
+                    "prefetch_hits {} > coarse_loads {} (every hit is a coarse load \
+                     served early)",
+                    m.prefetch_hits, m.coarse_loads
+                ),
+            );
+        }
+        if m.prefetch_hits + m.prefetch_wasted > 0 && m.coarse_loads == 0 {
+            fail(
+                "prefetch-accounting",
+                format!(
+                    "prefetch outcomes recorded ({} hits, {} wasted) with no coarse \
+                     loads — the first load is always a demand load",
+                    m.prefetch_hits, m.prefetch_wasted
+                ),
+            );
+        }
+        if m.pool_publishes > 0 && m.coarse_loads == 0 {
+            fail(
+                "pool-accounting",
+                format!(
+                    "pool_publishes {} with no coarse loads — published buffers are \
+                     built from loaded block data",
+                    m.pool_publishes
+                ),
+            );
+        }
+        if m.presample_stalls + m.pool_stalls > 0 && m.steps == 0 && m.walkers_cancelled == 0 {
+            fail(
+                "stall-accounting",
+                format!(
+                    "stalls recorded ({} presample, {} pool) but the run took no steps \
+                     and cancelled no walkers — a stalled walker was lost",
+                    m.presample_stalls, m.pool_stalls
+                ),
+            );
+        }
+        if m.peak_memory != 0 && m.peak_memory < self.budget_floor {
+            fail(
+                "budget-peak",
+                format!(
+                    "peak_memory {} below the pre-run budget floor {} (the peak is a \
+                     running maximum starting at the floor)",
+                    m.peak_memory, self.budget_floor
+                ),
             );
         }
 
@@ -805,6 +913,112 @@ mod tests {
         let mut m = conserving_metrics();
         m.stall_ns = m.sim_ns + 1;
         assert_eq!(audit.verify_metrics(&m).violations[0].law, "clock-sanity");
+
+        let mut m = conserving_metrics();
+        m.edges_loaded = m.edge_bytes_loaded + 1;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "edge-accounting"
+        );
+
+        let no_walkers = RunAudit::with_floor(0, 0);
+        let m = RunMetrics {
+            swap_bytes: 128,
+            ..RunMetrics::default()
+        };
+        assert_eq!(
+            no_walkers.verify_metrics(&m).violations[0].law,
+            "swap-attribution"
+        );
+
+        let mut m = conserving_metrics();
+        m.accepts = m.steps_on_block + 1;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "second-order-balance"
+        );
+
+        let mut m = conserving_metrics();
+        m.rejects = 3;
+        m.coarse_loads = 0;
+        m.fine_loads = 0;
+        m.edge_bytes_loaded = 0;
+        m.io_ops = 0;
+        let laws: Vec<_> = audit
+            .verify_metrics(&m)
+            .violations
+            .iter()
+            .map(|v| v.law)
+            .collect();
+        assert!(laws.contains(&"second-order-balance"), "{laws:?}");
+
+        let mut m = conserving_metrics();
+        m.prefetch_hits = m.coarse_loads + 1;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "prefetch-accounting"
+        );
+
+        let mut m = conserving_metrics();
+        m.coarse_loads = 0;
+        m.fine_loads = 1; // keep load-byte-consistency satisfied
+        m.prefetch_wasted = 2;
+        let laws: Vec<_> = audit
+            .verify_metrics(&m)
+            .violations
+            .iter()
+            .map(|v| v.law)
+            .collect();
+        assert!(laws.contains(&"prefetch-accounting"), "{laws:?}");
+
+        let mut m = conserving_metrics();
+        m.coarse_loads = 0;
+        m.fine_loads = 1;
+        m.pool_publishes = 1;
+        let laws: Vec<_> = audit
+            .verify_metrics(&m)
+            .violations
+            .iter()
+            .map(|v| v.law)
+            .collect();
+        assert!(laws.contains(&"pool-accounting"), "{laws:?}");
+
+        let m = RunMetrics {
+            pool_stalls: 1,
+            ..RunMetrics::default()
+        };
+        let lost = RunAudit::with_floor(0, 0);
+        assert_eq!(
+            lost.verify_metrics(&m).violations[0].law,
+            "stall-accounting"
+        );
+
+        let floored = RunAudit::with_floor(10, 4096);
+        let mut m = conserving_metrics();
+        m.peak_memory = 4095;
+        assert_eq!(floored.verify_metrics(&m).violations[0].law, "budget-peak");
+        m.peak_memory = 4096;
+        floored.verify_metrics(&m).assert_clean();
+        m.peak_memory = 0; // runs that never record a peak stay exempt
+        floored.verify_metrics(&m).assert_clean();
+    }
+
+    #[test]
+    fn new_counters_stay_clean_on_a_conserving_run() {
+        // A run that exercises every new counter consistently passes.
+        let audit = RunAudit::with_floor(10, 100);
+        let mut m = conserving_metrics();
+        m.edges_loaded = 512; // 4096 bytes loaded
+        m.swap_bytes = 64;
+        m.accepts = 5;
+        m.rejects = 7;
+        m.prefetch_hits = 1;
+        m.prefetch_wasted = 1;
+        m.pool_publishes = 2;
+        m.pool_stalls = 1;
+        m.presample_stalls = 1;
+        m.peak_memory = 4096;
+        audit.verify_metrics(&m).assert_clean();
     }
 
     #[test]

@@ -668,6 +668,10 @@ fn refill_block<A: Walk>(
     if nv == 0 {
         return None;
     }
+    // LINT-ALLOW(L11): the refill gate must span the whole buffer build —
+    // holding it is what makes refills single-flight per block. It is a
+    // non-blocking try_lock: losers return immediately and steppers never
+    // wait on it, so the loop it crosses runs on private data only.
     let _gate = pool.slots[b as usize].refill_gate.try_lock()?;
     // Carry the previous generation's visit counters forward: claims count
     // both served steps and overflow stalls, which is exactly the demand

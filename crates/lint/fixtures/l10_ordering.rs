@@ -1,0 +1,20 @@
+//! Fixture: the three L10 shapes. A Relaxed counter bump (fine in the
+//! sanctioned modules, flagged elsewhere), an undocumented Acquire, and a
+//! Release carrying an anchored protocol comment (clean once the comment
+//! is registered under rule ORDERING).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn relaxed_bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn undocumented_acquire(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}
+
+pub fn documented_release(c: &AtomicU64) {
+    // ORDERING: the store publishes the filled buffer; it pairs with the
+    // Acquire load in `undocumented_acquire` on the reader side.
+    c.store(1, Ordering::Release);
+}

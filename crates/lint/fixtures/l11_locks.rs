@@ -1,0 +1,47 @@
+//! Fixture: lock-guard live ranges. `crosses_loop` and `calls_loader`
+//! violate the publish/acquire-only invariant; `scoped_ok` and
+//! `explicit_drop_ok` bound the guard correctly and must stay clean.
+
+pub fn crosses_loop(slots: &[Slot]) -> u64 {
+    let guard = slots[0].published.lock();
+    let mut sum = 0;
+    for v in guard.iter() {
+        sum += v;
+    }
+    sum
+}
+
+pub fn calls_loader(loader: &Loader, gate: &Mutex<()>) {
+    let _gate = gate.try_lock();
+    loader.request(0);
+}
+
+pub fn scoped_ok(gate: &Mutex<()>, n: u32) -> u32 {
+    {
+        let g = gate.lock();
+        publish(&g);
+    }
+    let mut done = 0;
+    for _ in 0..n {
+        done += step();
+    }
+    done
+}
+
+pub fn explicit_drop_ok(gate: &Mutex<()>) {
+    let g = gate.lock();
+    publish(&g);
+    drop(g);
+    while pending() {
+        step();
+    }
+}
+
+pub fn value_extraction_is_not_a_guard(slot: &Slot) -> u64 {
+    let snapshot = slot.published.lock().clone();
+    let mut sum = 0;
+    for v in snapshot.iter() {
+        sum += v;
+    }
+    sum
+}

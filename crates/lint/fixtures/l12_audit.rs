@@ -1,0 +1,6 @@
+//! Fixture: a miniature audit module whose laws cover `steps` and
+//! `steps_on_block` but never read `swap_bytes`.
+
+pub fn verify_metrics(m: &RunMetrics) -> bool {
+    m.steps == m.steps_on_block
+}

@@ -1,0 +1,18 @@
+//! Fixture: a miniature metrics module for the audit-coverage rule. The
+//! audit fixture references `steps` and `steps_on_block` but not
+//! `swap_bytes`, so `swap_bytes` trips L12. `wall_ns` (a clock aggregate)
+//! and `fine_mode_at_step` (not a `u64` counter) are exempt by type.
+
+/// Miniature RunMetrics.
+pub struct RunMetrics {
+    /// Total steps.
+    pub steps: u64,
+    /// Steps taken on resident blocks.
+    pub steps_on_block: u64,
+    /// Bytes of walker state swapped out.
+    pub swap_bytes: u64,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Step index of the coarse-to-fine switch, if it happened.
+    pub fine_mode_at_step: Option<u64>,
+}

@@ -1,0 +1,25 @@
+//! Fixture: nondeterminism on a digest-reachable path. `publish_digest`
+//! is a root (its name mentions the digest); it calls `unordered_helper`,
+//! whose HashMap and thread_rng must be flagged. `cold_path` is not
+//! reachable from any root, so its HashSet must NOT be flagged — that is
+//! the symbol-aware half of the rule.
+
+use std::collections::HashMap;
+
+pub fn publish_digest(result: u64) -> u64 {
+    let mixed = result ^ (result >> 31);
+    unordered_helper(mixed)
+}
+
+fn unordered_helper(seed: u64) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(seed, 1);
+    let noise = thread_rng();
+    m.len() as u64 + noise
+}
+
+fn cold_path() -> usize {
+    let mut s = std::collections::HashSet::new();
+    s.insert(1u32);
+    s.len()
+}

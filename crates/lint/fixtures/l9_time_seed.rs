@@ -1,0 +1,12 @@
+//! Fixture: a trace-emitting root whose helper seeds its RNG from the
+//! clock. The emit makes `emit_round` a root; `reseed` is reachable and
+//! its time-derived seed must be flagged.
+
+pub fn emit_round(trace: &mut Trace) {
+    trace.emit(|| TraceEvent::RunEnd { steps: 0 });
+    reseed(7);
+}
+
+fn reseed(salt: u64) -> WalkRng {
+    WalkRng::seed_from_u64(now_ns() ^ salt)
+}

@@ -1,0 +1,416 @@
+//! Phase-1 workspace symbol index.
+//!
+//! Built once from every [`Analysis`] before any pass runs, the index
+//! gives rule passes a cross-file view the raw token streams cannot:
+//! which functions exist, what each one calls (a name-based call graph,
+//! deliberately over-approximate), where `RunMetrics` declares its fields
+//! and with what types, where `TraceEvent` lives, every
+//! `Ordering::<X>` site, and every `let`-bound lock guard.
+//!
+//! Everything here is syntactic — no type resolution, no macro
+//! expansion. Passes that consume the index (L9 reachability, L10
+//! atomics, L11 locks, L12 audit coverage) are written to be sound
+//! against that over-approximation: a false edge in the call graph can
+//! only widen the set of functions a determinism rule inspects, never
+//! hide one.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::analysis::Analysis;
+
+/// Identifiers that look like calls (`ident (`) but are control-flow or
+/// binding keywords.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "move",
+    "unsafe", "ref", "mut", "pub", "use", "impl", "where", "struct", "enum", "trait", "type",
+    "const", "static", "crate", "super", "self", "Self", "dyn", "async", "await", "continue",
+    "break",
+];
+
+/// One function item: name, location, body token span, and callee names.
+#[derive(Debug)]
+pub(crate) struct FnInfo {
+    pub name: String,
+    /// Index into the analyses slice.
+    pub file: usize,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, inclusive of both braces.
+    pub body: (usize, usize),
+    /// Names this body appears to call (free functions and methods alike).
+    pub calls: Vec<String>,
+}
+
+/// One `RunMetrics` field with its declared type tokens.
+#[derive(Debug)]
+pub(crate) struct MetricsField {
+    pub name: String,
+    pub line: u32,
+    /// The type as a token sequence, e.g. `["u64"]` or `["Option", "<", "u64", ">"]`.
+    pub ty: Vec<String>,
+}
+
+/// One `Ordering::<X>` use site outside test code.
+#[derive(Debug)]
+pub(crate) struct OrderingSite {
+    pub file: usize,
+    pub line: u32,
+    /// The ordering name: `Relaxed`, `Acquire`, `Release`, `AcqRel`, `SeqCst`.
+    pub which: String,
+}
+
+/// One `let`-bound Mutex guard (`let g = …lock()…;`) outside test code.
+#[derive(Debug)]
+pub(crate) struct GuardSite {
+    pub file: usize,
+    pub name: String,
+    pub line: u32,
+    /// Token index just past the binding's `;` — where the live range starts.
+    pub start: usize,
+}
+
+/// The `TraceEvent` definition: where it lives and its variants.
+#[derive(Debug)]
+pub(crate) struct TraceInfo {
+    pub def_path: String,
+    pub variants: Vec<(String, u32)>,
+}
+
+/// The workspace symbol index handed to every pass.
+pub(crate) struct SymbolIndex {
+    pub fns: Vec<FnInfo>,
+    /// Function indices grouped by name (names are not unique).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `RunMetrics` fields parsed from the metrics module, with types.
+    pub metrics_fields: Vec<MetricsField>,
+    /// Path of the file that defines `RunMetrics`, when present.
+    pub metrics_path: Option<String>,
+    pub trace: Option<TraceInfo>,
+    pub ordering_sites: Vec<OrderingSite>,
+    pub guards: Vec<GuardSite>,
+}
+
+impl SymbolIndex {
+    pub fn build(files: &[Analysis]) -> Self {
+        let mut fns = Vec::new();
+        let mut ordering_sites = Vec::new();
+        let mut guards = Vec::new();
+        for (fi, a) in files.iter().enumerate() {
+            collect_fns(fi, a, &mut fns);
+            collect_ordering_sites(fi, a, &mut ordering_sites);
+            collect_guards(fi, a, &mut guards);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let (metrics_fields, metrics_path) = metrics_fields(files);
+        SymbolIndex {
+            fns,
+            by_name,
+            metrics_fields,
+            metrics_path,
+            trace: trace_info(files),
+            ordering_sites,
+            guards,
+        }
+    }
+
+    /// The set of function indices reachable from `roots` through the
+    /// name-based call graph, restricted to functions whose file satisfies
+    /// `in_scope`. Includes the roots themselves.
+    pub fn reachable(
+        &self,
+        files: &[Analysis],
+        roots: &[usize],
+        in_scope: impl Fn(&str) -> bool,
+    ) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+        while let Some(f) = queue.pop_front() {
+            for callee in &self.fns[f].calls {
+                let Some(cands) = self.by_name.get(callee) else {
+                    continue;
+                };
+                for &g in cands {
+                    if !in_scope(&files[self.fns[g].file].path) {
+                        continue;
+                    }
+                    if seen.insert(g) {
+                        queue.push_back(g);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Finds every `fn` item (including nested and trait-default bodies) and
+/// records its body span plus callee names.
+fn collect_fns(fi: usize, a: &Analysis, out: &mut Vec<FnInfo>) {
+    let toks = &a.lexed.tokens;
+    for i in 0..toks.len() {
+        // `fn` followed by a name; skips `fn(..)` pointer types.
+        if a.t(i) != "fn" || !a.is_ident(i + 1) {
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Scan the signature for the body `{` (or `;` for declarations).
+        let mut k = i + 2;
+        let mut open = None;
+        let mut paren = 0i32;
+        while k < toks.len() {
+            match a.t(k) {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                ";" if paren == 0 => break,
+                "{" if paren == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            continue;
+        };
+        let mut depth = 1i32;
+        let mut m = open + 1;
+        while m < toks.len() && depth > 0 {
+            match a.t(m) {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+            m += 1;
+        }
+        let close = m.saturating_sub(1);
+        let mut calls = Vec::new();
+        for (j, tok) in toks.iter().enumerate().take(close).skip(open + 1) {
+            if a.is_ident(j)
+                && a.t(j + 1) == "("
+                && a.t(j.wrapping_sub(1)) != "fn"
+                && !KEYWORDS.contains(&a.t(j))
+            {
+                calls.push(tok.text.clone());
+            }
+        }
+        calls.sort();
+        calls.dedup();
+        out.push(FnInfo {
+            name,
+            file: fi,
+            line: toks[i].line,
+            body: (open, close),
+            calls,
+        });
+    }
+}
+
+/// Records every non-test `Ordering::<X>` site.
+fn collect_ordering_sites(fi: usize, a: &Analysis, out: &mut Vec<OrderingSite>) {
+    let toks = &a.lexed.tokens;
+    for i in 0..toks.len() {
+        if a.t(i) == "Ordering" && a.t(i + 1) == "::" && a.is_ident(i + 2) {
+            let line = toks[i].line;
+            if a.is_test_line(line) {
+                continue;
+            }
+            out.push(OrderingSite {
+                file: fi,
+                line,
+                which: toks[i + 2].text.clone(),
+            });
+        }
+    }
+}
+
+/// Tail tokens allowed after the `lock()`/`try_lock()` call for the
+/// binding to still hold the guard (error adapters, not value extraction).
+const GUARD_TAILS: &[&str] = &["?", ".", "ok", "unwrap", "expect", "(", ")", "\"\""];
+
+/// Records every non-test `let g = …lock()…;` binding that holds a guard.
+/// Chains that keep going past the lock call (`.lock().clone()`) extract a
+/// value from a temporary guard and are not bindings of the guard itself.
+fn collect_guards(fi: usize, a: &Analysis, out: &mut Vec<GuardSite>) {
+    let toks = &a.lexed.tokens;
+    for i in 0..toks.len() {
+        if a.t(i) != "let" {
+            continue;
+        }
+        let mut j = i + 1;
+        if a.t(j) == "mut" {
+            j += 1;
+        }
+        if !a.is_ident(j) || a.t(j) == "_" || a.t(j + 1) != "=" {
+            continue;
+        }
+        let line = toks[i].line;
+        if a.is_test_line(line) {
+            continue;
+        }
+        // Find the statement-ending `;` at relative depth 0.
+        let mut depth = 0i32;
+        let mut end = None;
+        let mut k = j + 2;
+        while k < toks.len() {
+            match a.t(k) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => {
+                    end = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(end) = end else {
+            continue;
+        };
+        // Locate a `.lock(` / `.try_lock(` call in the initializer.
+        let mut lock_close = None;
+        for m in j + 2..end {
+            if a.t(m) == "."
+                && (a.t(m + 1) == "lock" || a.t(m + 1) == "try_lock")
+                && a.t(m + 2) == "("
+            {
+                // The call is always `()`, so the close follows the open.
+                lock_close = Some(m + 3);
+            }
+        }
+        let Some(lock_close) = lock_close else {
+            continue;
+        };
+        // Everything after the call up to `;` must be a guard-preserving
+        // tail; any other continuation extracts a value instead.
+        if (lock_close + 1..end).any(|m| !GUARD_TAILS.contains(&a.t(m))) {
+            continue;
+        }
+        out.push(GuardSite {
+            file: fi,
+            name: toks[j].text.clone(),
+            line,
+            start: end + 1,
+        });
+    }
+}
+
+/// Extracts the fields of `struct RunMetrics` (names, lines, type tokens)
+/// from the scanned metrics module.
+fn metrics_fields(files: &[Analysis]) -> (Vec<MetricsField>, Option<String>) {
+    let Some(a) = files
+        .iter()
+        .find(|a| a.path.ends_with("core/src/metrics.rs"))
+    else {
+        return (Vec::new(), None);
+    };
+    let toks = &a.lexed.tokens;
+    let Some(start) = (0..toks.len()).find(|&i| a.t(i) == "struct" && a.t(i + 1) == "RunMetrics")
+    else {
+        return (Vec::new(), None);
+    };
+    let Some(open) = (start..toks.len()).find(|&i| a.t(i) == "{") else {
+        return (Vec::new(), None);
+    };
+    let mut fields = Vec::new();
+    let mut depth = 1i32;
+    let mut k = open + 1;
+    while k < toks.len() && depth > 0 {
+        match a.t(k) {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {
+                if depth == 1 && a.is_ident(k) && a.t(k + 1) == ":" {
+                    // Collect type tokens to the field-separating `,` (or
+                    // the struct's `}`), honoring `<…>` nesting.
+                    let mut ty = Vec::new();
+                    let mut angle = 0i32;
+                    let mut m = k + 2;
+                    while m < toks.len() {
+                        match a.t(m) {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            ">>" => angle -= 2,
+                            "," | "}" if angle <= 0 => break,
+                            _ => {}
+                        }
+                        ty.push(toks[m].text.clone());
+                        m += 1;
+                    }
+                    fields.push(MetricsField {
+                        name: toks[k].text.clone(),
+                        line: toks[k].line,
+                        ty,
+                    });
+                    k = m;
+                    continue;
+                }
+            }
+        }
+        k += 1;
+    }
+    (fields, Some(a.path.clone()))
+}
+
+fn trace_info(files: &[Analysis]) -> Option<TraceInfo> {
+    for a in files {
+        let toks = &a.lexed.tokens;
+        let Some(start) = (0..toks.len()).find(|&i| a.t(i) == "enum" && a.t(i + 1) == "TraceEvent")
+        else {
+            continue;
+        };
+        let Some(open) = (start..toks.len()).find(|&i| a.t(i) == "{") else {
+            continue;
+        };
+        let mut variants = Vec::new();
+        let mut depth = 1i32;
+        let mut sep = true;
+        let mut k = open + 1;
+        while k < toks.len() && depth > 0 {
+            match a.t(k) {
+                "{" => {
+                    depth += 1;
+                    sep = false;
+                }
+                "}" => depth -= 1,
+                "," => {
+                    if depth == 1 {
+                        sep = true;
+                    }
+                }
+                "#" if depth == 1 && a.t(k + 1) == "[" => {
+                    // Skip attribute tokens so they don't clear `sep`.
+                    let mut d = 1i32;
+                    let mut m = k + 2;
+                    while m < toks.len() && d > 0 {
+                        match a.t(m) {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    k = m;
+                    continue;
+                }
+                _ => {
+                    if depth == 1 {
+                        if sep && a.is_ident(k) {
+                            variants.push((toks[k].text.clone(), toks[k].line));
+                        }
+                        sep = false;
+                    }
+                }
+            }
+            k += 1;
+        }
+        return Some(TraceInfo {
+            def_path: a.path.clone(),
+            variants,
+        });
+    }
+    None
+}

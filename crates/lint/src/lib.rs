@@ -11,11 +11,19 @@
 //! cargo run -p nosw-lint -- --check
 //! ```
 //!
-//! See [`rules`] for the rule catalogue (L1–L6) and
-//! `crates/lint/nosw-lint.allow` for the justified-exception register.
+//! The linter is a two-phase framework: phase 1 lexes every file
+//! ([`tokenizer`]), classifies test scopes and comment registers
+//! (`analysis`), and builds a workspace symbol index (`index`: functions,
+//! call sites, atomic orderings, lock guards, `RunMetrics` fields);
+//! phase 2 runs the pluggable rule passes (`passes`). See [`rules`] for
+//! the rule catalogue (L1–L12) and `crates/lint/nosw-lint.allow` for the
+//! justified-exception register.
 
 #![forbid(unsafe_code)]
 
+mod analysis;
+mod index;
+mod passes;
 pub mod rules;
 pub mod tokenizer;
 
@@ -36,7 +44,7 @@ pub struct SourceFile {
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `L1`–`L6`, or `ALLOW` for suppression bookkeeping.
+    /// Rule identifier: `L1`–`L12`, or `ALLOW` for suppression bookkeeping.
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -127,6 +135,57 @@ pub struct Report {
     pub files_scanned: usize,
     /// Violations found, sorted by path then line.
     pub violations: Vec<Violation>,
+    /// Canonical allowlist content matching the annotations actually
+    /// present in the sources (what `--prune-allow` writes).
+    pub suggested_allow: String,
+}
+
+impl Report {
+    /// Renders the report as machine-readable JSON (hand-rolled — the
+    /// crate stays dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
+                 \"hint\": {}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message),
+                json_str(&v.hint)
+            ));
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Walks `root` (the workspace checkout), lints every `.rs` file under
@@ -156,10 +215,11 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         Allowlist::empty()
     };
     let files_scanned = files.len();
-    let violations = lint_files(&files, &allow);
+    let output = rules::run_full(&files, &allow);
     Ok(Report {
         files_scanned,
-        violations,
+        violations: output.violations,
+        suggested_allow: output.suggested_allow,
     })
 }
 

@@ -9,25 +9,45 @@ const USAGE: &str = "\
 nosw-lint: static analysis enforcing NosWalker's engine invariants
 
 USAGE:
-    cargo run -p nosw-lint -- [--check] [--root <dir>]
+    cargo run -p nosw-lint -- [--check] [--root <dir>] [--format <text|json>] [--prune-allow]
 
 OPTIONS:
-    --check        Lint the workspace (default behavior; flag kept for CI clarity)
-    --root <dir>   Workspace root to scan (default: current directory)
-    -h, --help     Show this help
+    --check          Lint the workspace (default behavior; flag kept for CI clarity)
+    --root <dir>     Workspace root to scan (default: current directory)
+    --format <fmt>   Output format: text (default) or json
+    --prune-allow    Rewrite crates/lint/nosw-lint.allow to match the
+                     annotations actually present, then re-lint
+    -h, --help       Show this help
 
 Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut prune = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--check" => {}
+            "--prune-allow" => prune = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
                     eprintln!("nosw-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("nosw-lint: --format needs `text` or `json`, got {other:?}\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -41,24 +61,48 @@ fn main() -> ExitCode {
             }
         }
     }
-    match nosw_lint::lint_workspace(&root) {
-        Ok(report) if report.violations.is_empty() => {
-            println!(
-                "nosw-lint: clean — {} files, 0 violations",
-                report.files_scanned
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(report) => {
-            for v in &report.violations {
-                println!("{v}");
+    if prune {
+        // First pass derives the canonical register, then the normal run
+        // below re-lints against what was written.
+        match nosw_lint::lint_workspace(&root) {
+            Ok(report) => {
+                let allow_path = root.join("crates/lint/nosw-lint.allow");
+                if let Err(e) = std::fs::write(&allow_path, &report.suggested_allow) {
+                    eprintln!("nosw-lint: writing {}: {e}", allow_path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("nosw-lint: rewrote {}", allow_path.display());
             }
-            eprintln!(
-                "nosw-lint: {} violation(s) across {} files",
-                report.violations.len(),
-                report.files_scanned
-            );
-            ExitCode::FAILURE
+            Err(e) => {
+                eprintln!("nosw-lint: error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match nosw_lint::lint_workspace(&root) {
+        Ok(report) => {
+            if format == Format::Json {
+                print!("{}", report.to_json());
+            } else if report.violations.is_empty() {
+                println!(
+                    "nosw-lint: clean — {} files, 0 violations",
+                    report.files_scanned
+                );
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+            }
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "nosw-lint: {} violation(s) across {} files",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("nosw-lint: error: {e}");

@@ -1,0 +1,101 @@
+//! L3 — wall-clock reads only in `clock.rs`, `crates/bench`,
+//! `crates/cli` — and L8 — no `thread::sleep` or raw clock reads in
+//! `crates/serve/src` (serving hot paths use modeled time).
+
+use super::{Hit, Pass, PassCx};
+
+fn l3_exempt(path: &str) -> bool {
+    path.ends_with("/clock.rs")
+        || path.starts_with("crates/bench/")
+        || path.starts_with("crates/cli/")
+        // The serving crate is policed by the stricter L8 instead, so a raw
+        // clock read there fires exactly one rule.
+        || path.starts_with("crates/serve/")
+}
+
+fn l8_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
+}
+
+fn is_clock_read(a: &crate::analysis::Analysis, i: usize) -> bool {
+    a.is_ident(i)
+        && (a.t(i) == "Instant" || a.t(i) == "SystemTime")
+        && a.t(i + 1) == "::"
+        && a.t(i + 2) == "now"
+}
+
+pub(crate) struct ClockDiscipline;
+
+impl Pass for ClockDiscipline {
+    fn id(&self) -> &'static str {
+        "L3"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        for (fi, a) in cx.files.iter().enumerate() {
+            if l3_exempt(&a.path) {
+                continue;
+            }
+            for i in 0..a.lexed.tokens.len() {
+                let line = a.lexed.tokens[i].line;
+                if a.is_test_line(line) || !is_clock_read(a, i) {
+                    continue;
+                }
+                out.push(Hit {
+                    file: fi,
+                    rule: "L3",
+                    line,
+                    message: format!("raw clock read `{}::now` outside clock.rs", a.t(i)),
+                    hint: "take elapsed time through noswalker_core::WallTimer (or model it \
+                           with PipelineClock); only clock.rs touches std::time directly"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+pub(crate) struct ServeDeterminism;
+
+impl Pass for ServeDeterminism {
+    fn id(&self) -> &'static str {
+        "L8"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        for (fi, a) in cx.files.iter().enumerate() {
+            if !l8_scope(&a.path) {
+                continue;
+            }
+            for i in 0..a.lexed.tokens.len() {
+                let line = a.lexed.tokens[i].line;
+                if a.is_test_line(line) {
+                    continue;
+                }
+                if a.t(i) == "thread" && a.t(i + 1) == "::" && a.t(i + 2) == "sleep" {
+                    out.push(Hit {
+                        file: fi,
+                        rule: "L8",
+                        line,
+                        message: "`thread::sleep` in a serving hot path".into(),
+                        hint: "serve advances modeled time (now_ns) between rounds; pacing \
+                               belongs in the load generator, never as a blocking sleep"
+                            .into(),
+                    });
+                }
+                if is_clock_read(a, i) {
+                    out.push(Hit {
+                        file: fi,
+                        rule: "L8",
+                        line,
+                        message: format!("raw clock read `{}::now` in a serving hot path", a.t(i)),
+                        hint: "serve must stay replayable: derive time from the modeled clock \
+                               (query arrival_ns + per-round sim_ns), or measure through \
+                               noswalker_core::WallTimer at the CLI/bench boundary"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! L9 — determinism on digest/trace-reachable paths.
+//!
+//! The serving layer's cross-backend parity guarantee (bit-identical
+//! result digests regardless of engine) holds only if every function that
+//! can influence a digest or an emitted trace event is deterministic:
+//! walker movement routed through `Walk::sample_for`'s walker-private
+//! stream, no ambient randomness, and no iteration order leaking out of
+//! unordered containers.
+//!
+//! The pass finds *root* functions — any function in core/serve whose
+//! body mentions `TraceEvent::` or a digest identifier (or whose own name
+//! contains "digest") — walks the name-based call graph from the index,
+//! and flags nondeterminism sources in every reachable function:
+//!
+//! * ambient randomness: `thread_rng`, `from_entropy`, `OsRng`,
+//!   `rand::random`
+//! * time-seeded RNGs: `seed_from_u64(now…)` / `…elapsed…`
+//! * unordered containers: `HashMap` / `HashSet` (iteration order varies
+//!   run to run; use `BTreeMap`/`BTreeSet` or sort before folding)
+//!
+//! The call graph is name-based and over-approximate, which is the safe
+//! direction: a spurious edge can only widen the checked set.
+
+use super::{Hit, Pass, PassCx};
+
+const AMBIENT_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+const UNORDERED: &[&str] = &["HashMap", "HashSet"];
+
+fn l9_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/serve/src/")
+}
+
+pub(crate) struct DigestDeterminism;
+
+impl Pass for DigestDeterminism {
+    fn id(&self) -> &'static str {
+        "L9"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        // Roots: functions that touch a digest or emit trace events.
+        let mut roots = Vec::new();
+        for (i, f) in cx.index.fns.iter().enumerate() {
+            let a = &cx.files[f.file];
+            if !l9_scope(&a.path) || a.is_test_line(f.line) {
+                continue;
+            }
+            let named_digest = f.name.to_ascii_lowercase().contains("digest");
+            let body_roots = (f.body.0..=f.body.1).any(|k| {
+                (a.t(k) == "TraceEvent" && a.t(k + 1) == "::")
+                    || (a.is_ident(k) && a.t(k).to_ascii_lowercase().contains("digest"))
+            });
+            if named_digest || body_roots {
+                roots.push(i);
+            }
+        }
+        if roots.is_empty() {
+            return;
+        }
+        let reachable = cx.index.reachable(cx.files, &roots, l9_scope);
+        for &fid in &reachable {
+            let f = &cx.index.fns[fid];
+            let a = &cx.files[f.file];
+            if a.is_test_line(f.line) {
+                continue;
+            }
+            let toks = &a.lexed.tokens;
+            for k in f.body.0..=f.body.1 {
+                let line = toks[k].line;
+                if a.is_test_line(line) {
+                    continue;
+                }
+                if a.is_ident(k) && AMBIENT_RNG.contains(&a.t(k)) {
+                    out.push(Hit {
+                        file: f.file,
+                        rule: "L9",
+                        line,
+                        message: format!(
+                            "ambient randomness `{}` in `{}`, reachable from a \
+                             digest/trace path",
+                            a.t(k),
+                            f.name
+                        ),
+                        hint: "draw from the walker-private stream (Walk::sample_for) or a \
+                               seeded WalkRng threaded from the run configuration"
+                            .into(),
+                    });
+                }
+                if a.t(k) == "rand" && a.t(k + 1) == "::" && a.t(k + 2) == "random" {
+                    out.push(Hit {
+                        file: f.file,
+                        rule: "L9",
+                        line,
+                        message: format!(
+                            "`rand::random` in `{}`, reachable from a digest/trace path",
+                            f.name
+                        ),
+                        hint: "draw from the walker-private stream (Walk::sample_for) or a \
+                               seeded WalkRng threaded from the run configuration"
+                            .into(),
+                    });
+                }
+                if a.t(k) == "seed_from_u64" && a.t(k + 1) == "(" {
+                    // Scan the argument tokens for a time source.
+                    let mut depth = 1i32;
+                    let mut m = k + 2;
+                    let mut timey = None;
+                    while m < toks.len() && depth > 0 {
+                        match a.t(m) {
+                            "(" => depth += 1,
+                            ")" => depth -= 1,
+                            t if a.is_ident(m)
+                                && (t.starts_with("now") || t.contains("elapsed")) =>
+                            {
+                                timey = Some(t.to_string());
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    if let Some(src) = timey {
+                        out.push(Hit {
+                            file: f.file,
+                            rule: "L9",
+                            line,
+                            message: format!(
+                                "time-seeded RNG (`seed_from_u64({src}…)`) in `{}`, \
+                                 reachable from a digest/trace path",
+                                f.name
+                            ),
+                            hint: "seeds must come from the run configuration (a fixed seed \
+                                   or a derived per-walker stream), never from the clock"
+                                .into(),
+                        });
+                    }
+                }
+                if a.is_ident(k) && UNORDERED.contains(&a.t(k)) {
+                    out.push(Hit {
+                        file: f.file,
+                        rule: "L9",
+                        line,
+                        message: format!(
+                            "unordered container `{}` in `{}`, reachable from a \
+                             digest/trace path",
+                            a.t(k),
+                            f.name
+                        ),
+                        hint: "iteration order feeds the digest: use BTreeMap/BTreeSet, or \
+                               sort before folding results"
+                            .into(),
+                    });
+                }
+            }
+        }
+        out.dedup_by(|x, y| x.file == y.file && x.line == y.line && x.message == y.message);
+    }
+}

@@ -1,0 +1,91 @@
+//! L11 — lock discipline in the parallel runner and the serving layer.
+//!
+//! DESIGN.md §11's pool invariant is "Mutex held only at publish/acquire":
+//! a guard is taken, the protected pointer is swapped, and the guard drops
+//! in the same statement or binding block. This pass flags any `let`-bound
+//! Mutex guard whose live range (binding to enclosing-block close, or an
+//! explicit `drop(guard)`) crosses a loop body or a call into the loader —
+//! the two shapes that turn a cheap pointer-swap lock into a contention
+//! point that can stall steppers behind I/O.
+
+use super::{Hit, Pass, PassCx};
+
+/// Loader entry points a guard must never be held across: each can block
+/// on I/O or on the loader thread's queue.
+const LOADER_CALLS: &[&str] = &["request", "try_request", "recv"];
+
+fn l11_scope(path: &str) -> bool {
+    path.ends_with("core/src/parallel.rs") || path.starts_with("crates/serve/src/")
+}
+
+pub(crate) struct LockDiscipline;
+
+impl Pass for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "L11"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        for g in &cx.index.guards {
+            let a = &cx.files[g.file];
+            if !l11_scope(&a.path) {
+                continue;
+            }
+            let toks = &a.lexed.tokens;
+            let mut depth = 0i32;
+            let mut k = g.start;
+            while k < toks.len() {
+                match a.t(k) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break; // enclosing block closed: guard dropped
+                        }
+                    }
+                    "drop" if a.t(k + 1) == "(" && a.t(k + 2) == g.name && a.t(k + 3) == ")" => {
+                        break; // explicit early drop
+                    }
+                    kw @ ("for" | "while" | "loop") if a.is_ident(k) => {
+                        out.push(Hit {
+                            file: g.file,
+                            rule: "L11",
+                            line: g.line,
+                            message: format!(
+                                "lock guard `{}` is held across a `{kw}` loop",
+                                g.name
+                            ),
+                            hint: "drop the guard before iterating (scope the binding in a \
+                                   block or call drop(guard)); the pool invariant is \
+                                   \"Mutex held only at publish/acquire\""
+                                .into(),
+                        });
+                        break;
+                    }
+                    "." if a.is_ident(k + 1)
+                        && LOADER_CALLS.contains(&a.t(k + 1))
+                        && a.t(k + 2) == "(" =>
+                    {
+                        out.push(Hit {
+                            file: g.file,
+                            rule: "L11",
+                            line: g.line,
+                            message: format!(
+                                "lock guard `{}` is held across a loader call `.{}()`",
+                                g.name,
+                                a.t(k + 1)
+                            ),
+                            hint: "release the guard before touching the loader; a guard \
+                                   held across I/O turns the pointer-swap lock into a \
+                                   stall point for every stepper"
+                                .into(),
+                        });
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Phase-2 rule passes.
+//!
+//! Each pass consumes the per-file analyses and the workspace
+//! [`SymbolIndex`](crate::index::SymbolIndex) through a [`PassCx`] and
+//! emits raw [`Hit`]s. The driver in [`crate::rules`] owns everything
+//! that happens *after* a hit: suppression matching, allowlist
+//! cross-checks, and ordering of the final report — so a pass only has
+//! to express what is wrong, where, and how to fix it.
+
+pub(crate) mod atomics;
+pub(crate) mod clock;
+pub(crate) mod determinism;
+pub(crate) mod locks;
+pub(crate) mod metrics;
+pub(crate) mod panics;
+pub(crate) mod threads;
+pub(crate) mod trace;
+pub(crate) mod unsafety;
+
+use crate::analysis::Analysis;
+use crate::index::SymbolIndex;
+
+/// Shared read-only context handed to every pass.
+pub(crate) struct PassCx<'a> {
+    pub files: &'a [Analysis],
+    pub index: &'a SymbolIndex,
+}
+
+/// One raw rule hit before suppression is applied.
+pub(crate) struct Hit {
+    /// Index into `PassCx::files` of the file the hit is reported against.
+    pub file: usize,
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+    pub hint: String,
+}
+
+/// A pluggable rule pass.
+pub(crate) trait Pass {
+    /// Rule family the pass implements, for diagnostics.
+    fn id(&self) -> &'static str;
+    /// Scans the workspace and appends raw hits.
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>);
+}
+
+/// The full pass registry, in rule order.
+pub(crate) fn all() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(metrics::MetricsWrites),
+        Box::new(trace::TraceCoverage),
+        Box::new(clock::ClockDiscipline),
+        Box::new(threads::ThreadConfinement),
+        Box::new(panics::NoPanics),
+        Box::new(unsafety::UnsafeHygiene),
+        Box::new(atomics::AtomicConfinement),
+        Box::new(clock::ServeDeterminism),
+        Box::new(determinism::DigestDeterminism),
+        Box::new(atomics::OrderingDiscipline),
+        Box::new(locks::LockDiscipline),
+        Box::new(metrics::AuditCoverage),
+    ]
+}

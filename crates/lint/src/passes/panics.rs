@@ -1,0 +1,62 @@
+//! L5 — no `unwrap`/`expect`/`panic!` family in library code of
+//! core/storage/graph.
+
+use super::{Hit, Pass, PassCx};
+
+/// Panicking macros covered by L5 (`assert!` is deliberately excluded:
+/// contract assertions are part of the documented library API).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn in_l5_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/storage/src/")
+        || path.starts_with("crates/graph/src/")
+}
+
+pub(crate) struct NoPanics;
+
+impl Pass for NoPanics {
+    fn id(&self) -> &'static str {
+        "L5"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        for (fi, a) in cx.files.iter().enumerate() {
+            if !in_l5_scope(&a.path) {
+                continue;
+            }
+            let toks = &a.lexed.tokens;
+            for i in 0..toks.len() {
+                let line = toks[i].line;
+                if a.is_test_line(line) {
+                    continue;
+                }
+                if a.t(i) == "."
+                    && (a.t(i + 1) == "unwrap" || a.t(i + 1) == "expect")
+                    && a.t(i + 2) == "("
+                {
+                    out.push(Hit {
+                        file: fi,
+                        rule: "L5",
+                        line: toks[i + 1].line,
+                        message: format!("`.{}()` in library code", a.t(i + 1)),
+                        hint: "propagate a Result/Option to the caller, or justify the panic \
+                               with a suppression comment registered in nosw-lint.allow"
+                            .into(),
+                    });
+                }
+                if a.is_ident(i) && PANIC_MACROS.contains(&a.t(i)) && a.t(i + 1) == "!" {
+                    out.push(Hit {
+                        file: fi,
+                        rule: "L5",
+                        line,
+                        message: format!("`{}!` in library code", a.t(i)),
+                        hint: "return an error instead of panicking, or justify the panic \
+                               with a suppression comment registered in nosw-lint.allow"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}

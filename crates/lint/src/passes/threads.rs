@@ -1,0 +1,43 @@
+//! L4 — threads are only spawned in `threaded.rs` / `parallel.rs`.
+
+use super::{Hit, Pass, PassCx};
+
+fn l4_exempt(path: &str) -> bool {
+    path.ends_with("/threaded.rs") || path.ends_with("/parallel.rs")
+}
+
+pub(crate) struct ThreadConfinement;
+
+impl Pass for ThreadConfinement {
+    fn id(&self) -> &'static str {
+        "L4"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        for (fi, a) in cx.files.iter().enumerate() {
+            if l4_exempt(&a.path) {
+                continue;
+            }
+            for i in 0..a.lexed.tokens.len() {
+                let line = a.lexed.tokens[i].line;
+                if a.is_test_line(line) {
+                    continue;
+                }
+                if a.t(i) == "thread"
+                    && a.t(i + 1) == "::"
+                    && (a.t(i + 2) == "spawn" || a.t(i + 2) == "Builder")
+                {
+                    out.push(Hit {
+                        file: fi,
+                        rule: "L4",
+                        line,
+                        message: format!("thread spawned via `thread::{}`", a.t(i + 2)),
+                        hint: "background work goes through BackgroundLoader (threaded.rs) or \
+                               the worker pool (parallel.rs); do not spawn ad-hoc threads"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}

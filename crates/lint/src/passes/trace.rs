@@ -1,0 +1,75 @@
+//! L2 — every `TraceEvent` variant has an emit site (engine/baselines/
+//! serve) and a handling site (its defining module).
+
+use std::collections::HashMap;
+
+use super::{Hit, Pass, PassCx};
+
+pub(crate) struct TraceCoverage;
+
+impl Pass for TraceCoverage {
+    fn id(&self) -> &'static str {
+        "L2"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        let Some(tr) = &cx.index.trace else {
+            return;
+        };
+        let Some(def_fi) = cx.files.iter().position(|a| a.path == tr.def_path) else {
+            return;
+        };
+        let mut emits: HashMap<&str, u32> = HashMap::new();
+        let mut handles: HashMap<&str, u32> = HashMap::new();
+        for a in cx.files {
+            let is_def = a.path == tr.def_path;
+            let in_engine = a.path.starts_with("crates/core/src/")
+                || a.path.starts_with("crates/baselines/src/")
+                || a.path.starts_with("crates/serve/src/");
+            if !is_def && !in_engine {
+                continue;
+            }
+            for (i, tok) in a.lexed.tokens.iter().enumerate() {
+                if tok.text == "TraceEvent" && a.t(i + 1) == "::" && a.is_ident(i + 2) {
+                    if a.is_test_line(tok.line) {
+                        continue;
+                    }
+                    let v = a.t(i + 2);
+                    if let Some((name, _)) = tr.variants.iter().find(|(name, _)| name == v) {
+                        if is_def {
+                            *handles.entry(name.as_str()).or_default() += 1;
+                        } else {
+                            *emits.entry(name.as_str()).or_default() += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (v, line) in &tr.variants {
+            if emits.get(v.as_str()).copied().unwrap_or(0) == 0 {
+                out.push(Hit {
+                    file: def_fi,
+                    rule: "L2",
+                    line: *line,
+                    message: format!("TraceEvent::{v} is never emitted by engine/baseline code"),
+                    hint: format!(
+                        "emit the variant where the engine performs the action \
+                         (trace.emit(|| TraceEvent::{v} {{ .. }})) or remove it"
+                    ),
+                });
+            }
+            if handles.get(v.as_str()).copied().unwrap_or(0) == 0 {
+                out.push(Hit {
+                    file: def_fi,
+                    rule: "L2",
+                    line: *line,
+                    message: format!("TraceEvent::{v} has no handling site in its defining module"),
+                    hint: format!(
+                        "teach the audit layer about TraceEvent::{v} (name/replay \
+                         matches must cover every variant)"
+                    ),
+                });
+            }
+        }
+    }
+}

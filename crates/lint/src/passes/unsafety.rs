@@ -1,0 +1,124 @@
+//! L6 — every `unsafe` is preceded by a `SAFETY:` comment, and crates
+//! with no unsafe code `#![forbid(unsafe_code)]` so it cannot creep in.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{Hit, Pass, PassCx};
+use crate::analysis::Analysis;
+
+/// Crate key for a path: `crates/<name>` or `.` for the facade crate.
+fn crate_of(path: &str) -> Option<String> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        return Some(format!("crates/{name}"));
+    }
+    if path.starts_with("src/") {
+        return Some(".".to_string());
+    }
+    None
+}
+
+fn has_forbid_unsafe(a: &Analysis) -> bool {
+    let toks = &a.lexed.tokens;
+    (0..toks.len()).any(|i| {
+        a.t(i) == "#"
+            && a.t(i + 1) == "!"
+            && a.t(i + 2) == "["
+            && (a.t(i + 3) == "forbid" || a.t(i + 3) == "deny")
+            && a.t(i + 4) == "("
+            && a.t(i + 5) == "unsafe_code"
+    })
+}
+
+pub(crate) struct UnsafeHygiene;
+
+impl Pass for UnsafeHygiene {
+    fn id(&self) -> &'static str {
+        "L6"
+    }
+
+    fn run(&self, cx: &PassCx<'_>, out: &mut Vec<Hit>) {
+        // Site check: every `unsafe` needs a SAFETY comment above it.
+        for (fi, a) in cx.files.iter().enumerate() {
+            let comment_lines: BTreeSet<u32> = a.lexed.comments.iter().map(|c| c.line).collect();
+            for tok in a.lexed.tokens.iter().filter(|t| t.text == "unsafe") {
+                let line = tok.line;
+                if a.is_test_line(line) {
+                    continue;
+                }
+                let mut covered = false;
+                let mut l = line;
+                // Walk up through contiguous comment lines (and the same line).
+                loop {
+                    if a.lexed.comments.iter().any(|c| {
+                        c.line == l
+                            && c.text
+                                .trim_start_matches(['/', '!', '*'])
+                                .trim_start()
+                                .starts_with("SAFETY:")
+                    }) {
+                        covered = true;
+                        break;
+                    }
+                    if l == 0 {
+                        break;
+                    }
+                    l -= 1;
+                    if l < line && !comment_lines.contains(&l) {
+                        break;
+                    }
+                }
+                if !covered {
+                    out.push(Hit {
+                        file: fi,
+                        rule: "L6",
+                        line,
+                        message: "`unsafe` without a preceding SAFETY comment".into(),
+                        hint: "document the upheld invariant in a `// SAFETY:` comment \
+                               directly above the unsafe code"
+                            .into(),
+                    });
+                }
+            }
+        }
+
+        // Crate check: unsafe-free crates must forbid unsafe code.
+        let mut crates: BTreeMap<String, bool> = BTreeMap::new();
+        for a in cx.files {
+            if let Some(key) = crate_of(&a.path) {
+                let has_unsafe = a.lexed.tokens.iter().any(|t| t.text == "unsafe");
+                *crates.entry(key).or_insert(false) |= has_unsafe;
+            }
+        }
+        for (key, has_unsafe) in &crates {
+            if *has_unsafe {
+                continue;
+            }
+            let root = if key == "." {
+                "src/lib.rs".to_string()
+            } else {
+                format!("{key}/src/lib.rs")
+            };
+            let root_main = root.replace("lib.rs", "main.rs");
+            let Some(fi) = cx
+                .files
+                .iter()
+                .position(|a| a.path == root)
+                .or_else(|| cx.files.iter().position(|a| a.path == root_main))
+            else {
+                continue;
+            };
+            if !has_forbid_unsafe(&cx.files[fi]) {
+                out.push(Hit {
+                    file: fi,
+                    rule: "L6",
+                    line: 1,
+                    message: format!("crate `{key}` has no unsafe code but does not forbid it"),
+                    hint: "add #![forbid(unsafe_code)] to the crate root so unsafe cannot \
+                           creep in unannounced"
+                        .into(),
+                });
+            }
+        }
+    }
+}

@@ -1,5 +1,7 @@
-//! The eight nosw-lint rules (L1–L8) plus the suppression-annotation
-//! bookkeeping that backs the `LINT` `ALLOW` mechanism.
+//! The nosw-lint rule driver: phase 1 builds per-file analyses and the
+//! workspace [`SymbolIndex`](crate::index), phase 2 runs the pluggable
+//! passes in [`crate::passes`] and applies suppression/allowlist
+//! bookkeeping to their raw hits.
 //!
 //! | rule | invariant |
 //! |---|---|
@@ -11,672 +13,95 @@
 //! | L6 | every `unsafe` is preceded by a `SAFETY:` comment; unsafe-free crates `#![forbid(unsafe_code)]` |
 //! | L7 | `std::sync::atomic` types in `crates/core/src` only in `metrics.rs`, `presample.rs`, `parallel.rs` |
 //! | L8 | no `thread::sleep` or raw clock reads in `crates/serve/src` — serving hot paths use modeled time (`clock.rs` / `WallTimer`) |
+//! | L9 | no ambient/time-seeded randomness and no `HashMap`/`HashSet` in functions reachable from a digest or trace-emit path in core/serve |
+//! | L10 | `Ordering::Relaxed` only on sanctioned counter modules; Acquire/Release/SeqCst sites carry registered protocol comments |
+//! | L11 | `let`-bound Mutex guards in parallel.rs/serve drop within their binding block — never across a loop or a loader call |
+//! | L12 | every `RunMetrics` counter is referenced by a conservation law in `audit.rs` |
 //!
-//! Rules are *self-configuring*: the `RunMetrics` field set and the
-//! `TraceEvent` variant list are parsed out of the scanned sources, so
-//! adding a field or variant automatically extends enforcement.
+//! Rules are *self-configuring*: the `RunMetrics` field set, the
+//! `TraceEvent` variant list, the call graph, ordering sites and lock
+//! guards are all parsed out of the scanned sources, so adding a field,
+//! variant, or function automatically extends enforcement.
+//!
+//! Every hit is suppressible with an annotation comment (the `LINT`
+//! `ALLOW` marker with the rule in parentheses and a justification after
+//! a colon), cross-checked two-way against
+//! `crates/lint/nosw-lint.allow`. The same register also carries the
+//! `ORDERING` protocol-comment counts consumed by L10.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::tokenizer::{lex, Kind, Lexed, Token};
+use crate::analysis::Analysis;
+use crate::index::SymbolIndex;
+use crate::passes::{self, PassCx};
 use crate::{Allowlist, SourceFile, Violation};
 
-/// Methods that mutate an atomic counter (treated as writes under L1).
-const ATOMIC_WRITES: &[&str] = &["store", "fetch_add", "fetch_sub", "fetch_max", "fetch_min"];
-/// Compound and plain assignment operators.
-const ASSIGN_OPS: &[&str] = &[
-    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
-];
-/// Panicking macros covered by L5 (`assert!` is deliberately excluded:
-/// contract assertions are part of the documented library API).
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-/// The `std::sync::atomic` type names gated by L7: concurrent state in the
-/// core crate is confined to the modules whose invariants are documented
-/// and audited (metrics counters, the published pre-sample pool, the
-/// parallel runner).
-const ATOMIC_TYPES: &[&str] = &[
-    "AtomicBool",
-    "AtomicU8",
-    "AtomicU16",
-    "AtomicU32",
-    "AtomicU64",
-    "AtomicUsize",
-    "AtomicI8",
-    "AtomicI16",
-    "AtomicI32",
-    "AtomicI64",
-    "AtomicIsize",
-    "AtomicPtr",
-];
-
-/// One suppression annotation found in a comment.
+/// The full result of a rule run: the violations plus the canonical
+/// allowlist derived from the annotations actually present (what
+/// `--prune-allow` writes).
 #[derive(Debug)]
-struct Annotation {
-    rule: String,
-    line: u32,
-    /// The code line this annotation covers (same line if it carries code,
-    /// otherwise the next line that does).
-    target: Option<u32>,
-    reason_ok: bool,
-    used: bool,
-}
-
-/// Per-file lexed view plus derived line classifications.
-struct Analysis {
-    path: String,
-    lexed: Lexed,
-    /// Inclusive line ranges under `#[cfg(test)]` / `#[test]` items.
-    test_ranges: Vec<(u32, u32)>,
-    /// True for integration-test files (`tests/` directories).
-    whole_file_test: bool,
-    annotations: Vec<Annotation>,
-}
-
-impl Analysis {
-    fn new(file: &SourceFile) -> Self {
-        let path = file.path.replace('\\', "/");
-        let lexed = lex(&file.text);
-        let code_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
-        let test_ranges = test_ranges(&lexed.tokens);
-        let whole_file_test = path.starts_with("tests/") || path.contains("/tests/");
-        let annotations = parse_annotations(&lexed, &code_lines);
-        Analysis {
-            path,
-            lexed,
-            test_ranges,
-            whole_file_test,
-            annotations,
-        }
-    }
-
-    fn is_test_line(&self, line: u32) -> bool {
-        self.whole_file_test
-            || self
-                .test_ranges
-                .iter()
-                .any(|&(a, b)| a <= line && line <= b)
-    }
-
-    /// Token text at `i`, or "" past the end.
-    fn t(&self, i: usize) -> &str {
-        self.lexed.tokens.get(i).map_or("", |t| t.text.as_str())
-    }
-
-    fn is_ident(&self, i: usize) -> bool {
-        self.lexed
-            .tokens
-            .get(i)
-            .is_some_and(|t| t.kind == Kind::Ident)
-    }
-}
-
-/// The annotation marker. Assembled so the lint's own sources never contain
-/// the literal marker at the start of a comment.
-fn marker() -> String {
-    format!("{}-{}(", "LINT", "ALLOW")
-}
-
-fn parse_annotations(lexed: &Lexed, code_lines: &BTreeSet<u32>) -> Vec<Annotation> {
-    let marker = marker();
-    let mut out = Vec::new();
-    for c in &lexed.comments {
-        // Strip doc-comment sigils so `///`-style annotations also anchor.
-        let t = c.text.trim_start_matches(['/', '!', '*']).trim_start();
-        let Some(rest) = t.strip_prefix(marker.as_str()) else {
-            continue;
-        };
-        let Some(close) = rest.find(')') else {
-            continue;
-        };
-        let rule = rest[..close].trim().to_string();
-        let after = rest[close + 1..].trim_start();
-        let reason = after.strip_prefix(':').unwrap_or(after).trim();
-        let target = if code_lines.contains(&c.line) {
-            Some(c.line)
-        } else {
-            code_lines.range(c.line + 1..).next().copied()
-        };
-        out.push(Annotation {
-            rule,
-            line: c.line,
-            target,
-            reason_ok: !reason.is_empty(),
-            used: false,
-        });
-    }
-    out
-}
-
-/// Computes inclusive line ranges covered by `#[test]`-like or
-/// `#[cfg(test)]` attributes (the attribute line through the closing brace
-/// of the item body).
-fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if toks[i].text != "#" || toks.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
-            i += 1;
-            continue;
-        }
-        // Find the matching `]`.
-        let mut j = i + 2;
-        let mut depth = 1i32;
-        while j < toks.len() && depth > 0 {
-            match toks[j].text.as_str() {
-                "[" => depth += 1,
-                "]" => depth -= 1,
-                _ => {}
-            }
-            j += 1;
-        }
-        let content: Vec<&str> = toks[i + 2..j.saturating_sub(1)]
-            .iter()
-            .map(|t| t.text.as_str())
-            .collect();
-        let is_test = content.first().is_some_and(|f| f.ends_with("test"))
-            || (content.first() == Some(&"cfg") && content.contains(&"test"));
-        if is_test {
-            // Scan forward to the item body `{` (stopping at `;` for
-            // bodiless items like `#[cfg(test)] use …;`).
-            let mut k = j;
-            let mut open = None;
-            while k < toks.len() {
-                match toks[k].text.as_str() {
-                    ";" => break,
-                    "{" => {
-                        open = Some(k);
-                        break;
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            if let Some(open) = open {
-                let mut d = 1i32;
-                let mut m = open + 1;
-                while m < toks.len() && d > 0 {
-                    match toks[m].text.as_str() {
-                        "{" => d += 1,
-                        "}" => d -= 1,
-                        _ => {}
-                    }
-                    m += 1;
-                }
-                let end = toks[m.saturating_sub(1)].line;
-                out.push((toks[i].line, end));
-            }
-        }
-        i = j;
-    }
-    out
-}
-
-/// Extracts the public field names of `struct RunMetrics` from the scanned
-/// metrics module.
-fn metrics_fields(files: &[Analysis]) -> HashSet<String> {
-    let mut fields = HashSet::new();
-    let Some(a) = files
-        .iter()
-        .find(|a| a.path.ends_with("core/src/metrics.rs"))
-    else {
-        return fields;
-    };
-    let toks = &a.lexed.tokens;
-    let Some(start) = (0..toks.len()).find(|&i| a.t(i) == "struct" && a.t(i + 1) == "RunMetrics")
-    else {
-        return fields;
-    };
-    let Some(open) = (start..toks.len()).find(|&i| a.t(i) == "{") else {
-        return fields;
-    };
-    let mut depth = 1i32;
-    let mut k = open + 1;
-    while k < toks.len() && depth > 0 {
-        match a.t(k) {
-            "{" => depth += 1,
-            "}" => depth -= 1,
-            _ => {
-                if depth == 1 && a.is_ident(k) && a.t(k + 1) == ":" {
-                    fields.insert(toks[k].text.clone());
-                }
-            }
-        }
-        k += 1;
-    }
-    fields
-}
-
-/// The `TraceEvent` definition: where it lives and its variants.
-struct TraceInfo {
-    def_path: String,
-    variants: Vec<(String, u32)>,
-}
-
-fn trace_info(files: &[Analysis]) -> Option<TraceInfo> {
-    for a in files {
-        let toks = &a.lexed.tokens;
-        let Some(start) = (0..toks.len()).find(|&i| a.t(i) == "enum" && a.t(i + 1) == "TraceEvent")
-        else {
-            continue;
-        };
-        let Some(open) = (start..toks.len()).find(|&i| a.t(i) == "{") else {
-            continue;
-        };
-        let mut variants = Vec::new();
-        let mut depth = 1i32;
-        let mut sep = true;
-        let mut k = open + 1;
-        while k < toks.len() && depth > 0 {
-            match a.t(k) {
-                "{" => {
-                    depth += 1;
-                    sep = false;
-                }
-                "}" => depth -= 1,
-                "," => {
-                    if depth == 1 {
-                        sep = true;
-                    }
-                }
-                "#" if depth == 1 && a.t(k + 1) == "[" => {
-                    // Skip attribute tokens so they don't clear `sep`.
-                    let mut d = 1i32;
-                    let mut m = k + 2;
-                    while m < toks.len() && d > 0 {
-                        match a.t(m) {
-                            "[" => d += 1,
-                            "]" => d -= 1,
-                            _ => {}
-                        }
-                        m += 1;
-                    }
-                    k = m;
-                    continue;
-                }
-                _ => {
-                    if depth == 1 {
-                        if sep && a.is_ident(k) {
-                            variants.push((toks[k].text.clone(), toks[k].line));
-                        }
-                        sep = false;
-                    }
-                }
-            }
-            k += 1;
-        }
-        return Some(TraceInfo {
-            def_path: a.path.clone(),
-            variants,
-        });
-    }
-    None
-}
-
-/// One raw rule hit before suppression is applied.
-struct Hit {
-    rule: &'static str,
-    line: u32,
-    message: String,
-    hint: String,
-}
-
-fn in_l5_scope(path: &str) -> bool {
-    path.starts_with("crates/core/src/")
-        || path.starts_with("crates/storage/src/")
-        || path.starts_with("crates/graph/src/")
-}
-
-fn l3_exempt(path: &str) -> bool {
-    path.ends_with("/clock.rs")
-        || path.starts_with("crates/bench/")
-        || path.starts_with("crates/cli/")
-        // The serving crate is policed by the stricter L8 instead, so a raw
-        // clock read there fires exactly one rule.
-        || path.starts_with("crates/serve/")
-}
-
-fn l8_scope(path: &str) -> bool {
-    path.starts_with("crates/serve/src/")
-}
-
-fn l4_exempt(path: &str) -> bool {
-    path.ends_with("/threaded.rs") || path.ends_with("/parallel.rs")
-}
-
-fn l7_exempt(path: &str) -> bool {
-    !path.starts_with("crates/core/src/")
-        || path.ends_with("/metrics.rs")
-        || path.ends_with("/presample.rs")
-        || path.ends_with("/parallel.rs")
-}
-
-fn collect_hits(a: &Analysis, fields: &HashSet<String>) -> Vec<Hit> {
-    let mut hits = Vec::new();
-    let toks = &a.lexed.tokens;
-    let metrics_module = a.path.ends_with("core/src/metrics.rs");
-    // L1 only bites in files that handle `RunMetrics` at all; a field named
-    // `steps` on some unrelated walker struct is not a metrics write.
-    let l1_active = !metrics_module && toks.iter().any(|t| t.text == "RunMetrics");
-    let comment_lines: BTreeSet<u32> = a.lexed.comments.iter().map(|c| c.line).collect();
-    for i in 0..toks.len() {
-        let line = toks[i].line;
-        if a.is_test_line(line) {
-            continue;
-        }
-        // L1: direct writes to RunMetrics fields outside the metrics module.
-        if l1_active && a.t(i) == "." && a.is_ident(i + 1) && fields.contains(a.t(i + 1)) {
-            let field = a.t(i + 1).to_string();
-            if ASSIGN_OPS.contains(&a.t(i + 2)) {
-                hits.push(Hit {
-                    rule: "L1",
-                    line: toks[i + 1].line,
-                    message: format!("direct write to RunMetrics field `{field}`"),
-                    hint: format!(
-                        "route the update through a tracked RunMetrics helper \
-                         (record_*/set_*) in crates/core/src/metrics.rs instead of \
-                         assigning `{field}` here"
-                    ),
-                });
-            } else if a.t(i + 2) == "." && ATOMIC_WRITES.contains(&a.t(i + 3)) && a.t(i + 4) == "("
-            {
-                hits.push(Hit {
-                    rule: "L1",
-                    line: toks[i + 1].line,
-                    message: format!("atomic write to shared metrics field `{field}`"),
-                    hint: "mutate shared counters through SharedMetrics/LocalCounters in \
-                           crates/core/src/metrics.rs"
-                        .into(),
-                });
-            }
-        }
-        // L3: raw wall-clock reads outside the sanctioned gateway.
-        if !l3_exempt(&a.path)
-            && a.is_ident(i)
-            && (a.t(i) == "Instant" || a.t(i) == "SystemTime")
-            && a.t(i + 1) == "::"
-            && a.t(i + 2) == "now"
-        {
-            hits.push(Hit {
-                rule: "L3",
-                line,
-                message: format!("raw clock read `{}::now` outside clock.rs", a.t(i)),
-                hint: "take elapsed time through noswalker_core::WallTimer (or model it \
-                       with PipelineClock); only clock.rs touches std::time directly"
-                    .into(),
-            });
-        }
-        // L8: the online serving hot paths must stay deterministic — no
-        // blocking sleeps and no raw wall-clock reads. (L3 is waived for
-        // crates/serve so a clock read there is reported once, as L8.)
-        if l8_scope(&a.path) {
-            if a.t(i) == "thread" && a.t(i + 1) == "::" && a.t(i + 2) == "sleep" {
-                hits.push(Hit {
-                    rule: "L8",
-                    line,
-                    message: "`thread::sleep` in a serving hot path".into(),
-                    hint: "serve advances modeled time (now_ns) between rounds; pacing \
-                           belongs in the load generator, never as a blocking sleep"
-                        .into(),
-                });
-            }
-            if a.is_ident(i)
-                && (a.t(i) == "Instant" || a.t(i) == "SystemTime")
-                && a.t(i + 1) == "::"
-                && a.t(i + 2) == "now"
-            {
-                hits.push(Hit {
-                    rule: "L8",
-                    line,
-                    message: format!("raw clock read `{}::now` in a serving hot path", a.t(i)),
-                    hint: "serve must stay replayable: derive time from the modeled clock \
-                           (query arrival_ns + per-round sim_ns), or measure through \
-                           noswalker_core::WallTimer at the CLI/bench boundary"
-                        .into(),
-                });
-            }
-        }
-        // L4: thread spawns outside the sanctioned concurrency modules.
-        if !l4_exempt(&a.path)
-            && a.t(i) == "thread"
-            && a.t(i + 1) == "::"
-            && (a.t(i + 2) == "spawn" || a.t(i + 2) == "Builder")
-        {
-            hits.push(Hit {
-                rule: "L4",
-                line,
-                message: format!("thread spawned via `thread::{}`", a.t(i + 2)),
-                hint: "background work goes through BackgroundLoader (threaded.rs) or the \
-                       worker pool (parallel.rs); do not spawn ad-hoc threads"
-                    .into(),
-            });
-        }
-        // L5: panicking calls in library code of core/storage/graph.
-        if in_l5_scope(&a.path) {
-            if a.t(i) == "."
-                && (a.t(i + 1) == "unwrap" || a.t(i + 1) == "expect")
-                && a.t(i + 2) == "("
-            {
-                hits.push(Hit {
-                    rule: "L5",
-                    line: toks[i + 1].line,
-                    message: format!("`.{}()` in library code", a.t(i + 1)),
-                    hint: "propagate a Result/Option to the caller, or justify the panic \
-                           with a suppression comment registered in nosw-lint.allow"
-                        .into(),
-                });
-            }
-            if a.is_ident(i) && PANIC_MACROS.contains(&a.t(i)) && a.t(i + 1) == "!" {
-                hits.push(Hit {
-                    rule: "L5",
-                    line,
-                    message: format!("`{}!` in library code", a.t(i)),
-                    hint: "return an error instead of panicking, or justify the panic with \
-                           a suppression comment registered in nosw-lint.allow"
-                        .into(),
-                });
-            }
-        }
-        // L7: atomic state in the core crate stays in the audited modules.
-        if !l7_exempt(&a.path) && a.is_ident(i) && ATOMIC_TYPES.contains(&a.t(i)) {
-            hits.push(Hit {
-                rule: "L7",
-                line,
-                message: format!("`{}` outside the audited concurrency modules", a.t(i)),
-                hint: "shared counters belong in metrics.rs (SharedMetrics), lock-free \
-                       claim state in presample.rs (PublishedBuffer); route concurrent \
-                       state through those modules or parallel.rs"
-                    .into(),
-            });
-        }
-        // L6 (site check): every `unsafe` needs a SAFETY comment above it.
-        if a.is_ident(i) && a.t(i) == "unsafe" {
-            let mut covered = false;
-            let mut l = line;
-            // Walk up through contiguous comment lines (and the same line).
-            loop {
-                if a.lexed.comments.iter().any(|c| {
-                    c.line == l
-                        && c.text
-                            .trim_start_matches(['/', '!', '*'])
-                            .trim_start()
-                            .starts_with("SAFETY:")
-                }) {
-                    covered = true;
-                    break;
-                }
-                if l == 0 {
-                    break;
-                }
-                l -= 1;
-                if l < line && !comment_lines.contains(&l) {
-                    break;
-                }
-            }
-            if !covered {
-                hits.push(Hit {
-                    rule: "L6",
-                    line,
-                    message: "`unsafe` without a preceding SAFETY comment".into(),
-                    hint: "document the upheld invariant in a `// SAFETY:` comment \
-                           directly above the unsafe code"
-                        .into(),
-                });
-            }
-        }
-    }
-    hits
-}
-
-/// Crate key for a path: `crates/<name>` or `.` for the facade crate.
-fn crate_of(path: &str) -> Option<String> {
-    if let Some(rest) = path.strip_prefix("crates/") {
-        let name = rest.split('/').next()?;
-        return Some(format!("crates/{name}"));
-    }
-    if path.starts_with("src/") {
-        return Some(".".to_string());
-    }
-    None
-}
-
-fn has_forbid_unsafe(a: &Analysis) -> bool {
-    let toks = &a.lexed.tokens;
-    (0..toks.len()).any(|i| {
-        a.t(i) == "#"
-            && a.t(i + 1) == "!"
-            && a.t(i + 2) == "["
-            && (a.t(i + 3) == "forbid" || a.t(i + 3) == "deny")
-            && a.t(i + 4) == "("
-            && a.t(i + 5) == "unsafe_code"
-    })
+pub struct RunOutput {
+    /// Violations found, sorted by path, line, rule.
+    pub violations: Vec<Violation>,
+    /// Canonical `RULE PATH COUNT` register content matching the sources.
+    pub suggested_allow: String,
 }
 
 /// Runs every rule over the lexed files and cross-checks the allowlist.
 pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
+    run_full(files, allow).violations
+}
+
+/// Runs every rule and also returns the canonical allowlist content.
+pub fn run_full(files: &[SourceFile], allow: &Allowlist) -> RunOutput {
     let mut analyses: Vec<Analysis> = files.iter().map(Analysis::new).collect();
     analyses.sort_by(|a, b| a.path.cmp(&b.path));
-    let fields = metrics_fields(&analyses);
-    let trace = trace_info(&analyses);
+    let index = SymbolIndex::build(&analyses);
+
+    // Phase 2: run the pass registry over the shared context.
+    let mut hits = Vec::new();
+    {
+        let cx = PassCx {
+            files: &analyses,
+            index: &index,
+        };
+        for pass in passes::all() {
+            let before = hits.len();
+            pass.run(&cx, &mut hits);
+            debug_assert!(
+                hits[before..].iter().all(|h| h.rule == pass.id()),
+                "pass {} emitted a hit under a foreign rule id",
+                pass.id()
+            );
+        }
+    }
+
+    // Suppression: an annotation for the same rule anchored to the hit
+    // line consumes the hit.
     let mut out: Vec<Violation> = Vec::new();
-
-    // Per-file rules with suppression.
-    for a in &mut analyses {
-        let hits = collect_hits(a, &fields);
-        for h in hits {
-            let suppressed = a
-                .annotations
-                .iter_mut()
-                .find(|an| an.rule == h.rule && an.target == Some(h.line));
-            if let Some(an) = suppressed {
-                an.used = true;
-                continue;
-            }
-            out.push(Violation {
-                rule: h.rule,
-                path: a.path.clone(),
-                line: h.line,
-                message: h.message,
-                hint: h.hint,
-            });
-        }
-    }
-
-    // L2: every TraceEvent variant needs an emit site and a handling site.
-    if let Some(tr) = &trace {
-        let mut emits: HashMap<&str, u32> = HashMap::new();
-        let mut handles: HashMap<&str, u32> = HashMap::new();
-        for a in &analyses {
-            let is_def = a.path == tr.def_path;
-            let in_engine = a.path.starts_with("crates/core/src/")
-                || a.path.starts_with("crates/baselines/src/")
-                || a.path.starts_with("crates/serve/src/");
-            if !is_def && !in_engine {
-                continue;
-            }
-            for (i, tok) in a.lexed.tokens.iter().enumerate() {
-                if tok.text == "TraceEvent" && a.t(i + 1) == "::" && a.is_ident(i + 2) {
-                    if a.is_test_line(tok.line) {
-                        continue;
-                    }
-                    let v = a.t(i + 2);
-                    if let Some((name, _)) = tr.variants.iter().find(|(name, _)| name == v) {
-                        if is_def {
-                            *handles.entry(name.as_str()).or_default() += 1;
-                        } else {
-                            *emits.entry(name.as_str()).or_default() += 1;
-                        }
-                    }
-                }
-            }
-        }
-        for (v, line) in &tr.variants {
-            if emits.get(v.as_str()).copied().unwrap_or(0) == 0 {
-                out.push(Violation {
-                    rule: "L2",
-                    path: tr.def_path.clone(),
-                    line: *line,
-                    message: format!("TraceEvent::{v} is never emitted by engine/baseline code"),
-                    hint: format!(
-                        "emit the variant where the engine performs the action \
-                         (trace.emit(|| TraceEvent::{v} {{ .. }})) or remove it"
-                    ),
-                });
-            }
-            if handles.get(v.as_str()).copied().unwrap_or(0) == 0 {
-                out.push(Violation {
-                    rule: "L2",
-                    path: tr.def_path.clone(),
-                    line: *line,
-                    message: format!("TraceEvent::{v} has no handling site in its defining module"),
-                    hint: format!(
-                        "teach the audit layer about TraceEvent::{v} (name/replay \
-                         matches must cover every variant)"
-                    ),
-                });
-            }
-        }
-    }
-
-    // L6 (crate check): unsafe-free crates must forbid unsafe code.
-    let mut crates: BTreeMap<String, bool> = BTreeMap::new();
-    for a in &analyses {
-        if let Some(key) = crate_of(&a.path) {
-            let has_unsafe = a.lexed.tokens.iter().any(|t| t.text == "unsafe");
-            *crates.entry(key).or_insert(false) |= has_unsafe;
-        }
-    }
-    for (key, has_unsafe) in &crates {
-        if *has_unsafe {
+    for h in hits {
+        let a = &mut analyses[h.file];
+        let suppressed = a
+            .annotations
+            .iter_mut()
+            .find(|an| an.rule == h.rule && an.target == Some(h.line));
+        if let Some(an) = suppressed {
+            an.used = true;
             continue;
         }
-        let root = if key == "." {
-            "src/lib.rs".to_string()
-        } else {
-            format!("{key}/src/lib.rs")
-        };
-        let root_main = root.replace("lib.rs", "main.rs");
-        let Some(a) = analyses
-            .iter()
-            .find(|a| a.path == root)
-            .or_else(|| analyses.iter().find(|a| a.path == root_main))
-        else {
-            continue;
-        };
-        if !has_forbid_unsafe(a) {
-            out.push(Violation {
-                rule: "L6",
-                path: a.path.clone(),
-                line: 1,
-                message: format!("crate `{key}` has no unsafe code but does not forbid it"),
-                hint: "add #![forbid(unsafe_code)] to the crate root so unsafe cannot \
-                       creep in unannounced"
-                    .into(),
-            });
-        }
+        out.push(Violation {
+            rule: h.rule,
+            path: a.path.clone(),
+            line: h.line,
+            message: h.message,
+            hint: h.hint,
+        });
     }
 
-    // Annotation hygiene + allowlist cross-check.
-    let mut counts: HashMap<(String, String), u32> = HashMap::new();
+    // Annotation hygiene + the two-way allowlist cross-check. The counts
+    // map carries both suppression annotations (per rule) and L10's
+    // ordering-protocol comments (under the ORDERING key).
+    let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
     for a in &analyses {
         for an in &a.annotations {
             *counts.entry((an.rule.clone(), a.path.clone())).or_default() += 1;
@@ -706,8 +131,31 @@ pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
                 });
             }
         }
+        if passes::atomics::l10_scope(&a.path) {
+            for _c in &a.ordering_comments {
+                *counts
+                    .entry(("ORDERING".to_string(), a.path.clone()))
+                    .or_default() += 1;
+            }
+        }
     }
+    let scanned: BTreeSet<&str> = analyses.iter().map(|a| a.path.as_str()).collect();
     for e in &allow.entries {
+        if !scanned.contains(e.path.as_str()) {
+            out.push(Violation {
+                rule: "ALLOW",
+                path: e.path.clone(),
+                line: 1,
+                message: format!(
+                    "stale allowlist entry: `{}` is not part of the scanned source tree",
+                    e.path
+                ),
+                hint: "the file was moved or deleted; remove the entry, or run \
+                       `cargo run -p nosw-lint -- --prune-allow` to rewrite the register"
+                    .into(),
+            });
+            continue;
+        }
         let actual = counts
             .get(&(e.rule.clone(), e.path.clone()))
             .copied()
@@ -723,7 +171,7 @@ pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
                     e.count, e.rule
                 ),
                 hint: "update crates/lint/nosw-lint.allow to match the annotations \
-                       actually present"
+                       actually present, or run `cargo run -p nosw-lint -- --prune-allow`"
                     .into(),
             });
         }
@@ -734,19 +182,32 @@ pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
             .iter()
             .any(|e| &e.rule == rule && &e.path == path);
         if !registered {
+            let what = if rule == "ORDERING" {
+                format!("{count} ordering protocol comment(s) in this file are")
+            } else {
+                format!("{count} {rule} suppression(s) in this file are")
+            };
             out.push(Violation {
                 rule: "ALLOW",
                 path: path.clone(),
                 line: 1,
-                message: format!(
-                    "{count} {rule} suppression(s) in this file are not registered in \
-                     the allowlist"
-                ),
+                message: format!("{what} not registered in the allowlist"),
                 hint: "add a `RULE PATH COUNT` line to crates/lint/nosw-lint.allow".into(),
             });
         }
     }
 
+    let mut suggested_allow = String::from(
+        "# Justified exceptions, one `RULE PATH COUNT` per line.\n\
+         # Counts are exact both ways; regenerate with `--prune-allow`.\n",
+    );
+    for ((rule, path), count) in &counts {
+        suggested_allow.push_str(&format!("{rule} {path} {count}\n"));
+    }
+
     out.sort_by(|x, y| (&x.path, x.line, x.rule).cmp(&(&y.path, y.line, y.rule)));
-    out
+    RunOutput {
+        violations: out,
+        suggested_allow,
+    }
 }

@@ -139,11 +139,17 @@ pub fn lex(src: &str) -> Lexed {
         if ch == '\'' {
             let tok_line = line;
             if i + 1 < n && c[i + 1] == '\\' {
-                // Escaped char literal: scan to the closing quote.
+                // Escaped char literal: consume the escaped character first
+                // (so `'\\'` and `'\''` close on the *next* quote, not an
+                // escaped one), then run to the closing quote for the longer
+                // `'\x41'` / `'\u{…}'` forms.
                 let mut j = i + 2;
+                if j < n {
+                    j += 1;
+                }
                 while j < n && c[j] != '\'' {
-                    if c[j] == '\\' {
-                        j += 1;
+                    if c[j] == '\n' {
+                        line += 1;
                     }
                     j += 1;
                 }
@@ -241,9 +247,13 @@ pub fn lex(src: &str) -> Lexed {
                 continue;
             }
             if word == "b" && j < n && c[j] == '\'' {
-                // Byte char literal b'x'.
+                // Byte char literal b'x'. As with char literals, an escape
+                // consumes the escaped character before the quote scan so
+                // `b'\''` and `b'\\'` terminate correctly.
                 let mut k = j + 1;
                 if k < n && c[k] == '\\' {
+                    k += 2;
+                } else if k < n {
                     k += 1;
                 }
                 while k < n && c[k] != '\'' {
@@ -420,6 +430,44 @@ mod tests {
     fn nested_block_comments() {
         let toks = texts("/* outer /* inner */ still comment */ code");
         assert_eq!(toks, vec!["code"]);
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal_does_not_swallow_code() {
+        // Regression: `'\\'` used to step past its own closing quote and
+        // eat everything up to the next quote in the file.
+        assert_eq!(
+            texts(r"let c = '\\'; x.unwrap()"),
+            vec!["let", "c", "=", "''", ";", "x", ".", "unwrap", "(", ")"]
+        );
+        assert_eq!(
+            texts(r"m('\n', '\t')"),
+            vec!["m", "(", "''", ",", "''", ")"]
+        );
+    }
+
+    #[test]
+    fn byte_char_escapes_terminate_on_the_real_quote() {
+        assert_eq!(
+            texts(r"let b = b'\''; y += 1;"),
+            vec!["let", "b", "=", "''", ";", "y", "+=", "0", ";"]
+        );
+        assert_eq!(
+            texts(r"let b = b'\\'; z"),
+            vec!["let", "b", "=", "''", ";", "z"]
+        );
+    }
+
+    #[test]
+    fn multi_hash_raw_strings() {
+        // The `"#` inside must not close an `r##"…"##` string.
+        assert_eq!(texts("r##\"has \"# inside\"## tail"), vec!["\"\"", "tail"]);
+        assert_eq!(texts("br#\"bytes\"# x"), vec!["\"\"", "x"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        assert_eq!(texts("/* a /* b /* c */ d */ e */ tail"), vec!["tail"]);
     }
 
     #[test]

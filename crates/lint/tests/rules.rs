@@ -16,6 +16,12 @@ const L5_ALLOWED: &str = include_str!("../fixtures/l5_allowed.rs");
 const L6: &str = include_str!("../fixtures/l6_unsafe.rs");
 const L7: &str = include_str!("../fixtures/l7_atomics.rs");
 const L8: &str = include_str!("../fixtures/l8_blocking.rs");
+const L9: &str = include_str!("../fixtures/l9_determinism.rs");
+const L9_TIME: &str = include_str!("../fixtures/l9_time_seed.rs");
+const L10: &str = include_str!("../fixtures/l10_ordering.rs");
+const L11: &str = include_str!("../fixtures/l11_locks.rs");
+const L12_METRICS: &str = include_str!("../fixtures/l12_metrics.rs");
+const L12_AUDIT: &str = include_str!("../fixtures/l12_audit.rs");
 
 fn file(path: &str, text: &str) -> SourceFile {
     SourceFile {
@@ -302,6 +308,172 @@ fn seeded_violation_in_clean_sources_is_caught() {
         (vs[1].path.as_str(), vs[1].line),
         ("crates/storage/src/device.rs", 2)
     );
+}
+
+#[test]
+fn l9_flags_only_functions_reachable_from_a_digest_root() {
+    let vs = lint_files(&[file("crates/core/src/walk.rs", L9)], &Allowlist::empty());
+    // `unordered_helper` is reachable from `publish_digest`: its HashMap
+    // (line 15, deduped across the two mentions) and thread_rng (line 17)
+    // fire. `cold_path` is unreachable, so its HashSet (line 22) must not.
+    assert_eq!(rules_of(&vs), vec!["L9", "L9"], "{vs:?}");
+    assert_eq!(vs.iter().map(|v| v.line).collect::<Vec<_>>(), vec![15, 17]);
+    assert!(vs[0].message.contains("HashMap"));
+    assert!(vs[0].message.contains("unordered_helper"));
+    assert!(vs[1].message.contains("thread_rng"));
+    // The same nondeterminism with no digest/trace root in scope is not
+    // L9's business (other rules own ambient hygiene).
+    let vs = lint_files(&[file("crates/apps/src/sweep.rs", L9)], &Allowlist::empty());
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn l9_time_seeded_rng_is_flagged_behind_a_trace_emitting_root() {
+    let vs = lint_files(
+        &[file("crates/core/src/engine.rs", L9_TIME)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L9"], "{vs:?}");
+    assert_eq!(vs[0].line, 11); // seed_from_u64(now_ns() ^ salt)
+    assert!(vs[0].message.contains("time-seeded"));
+    assert!(vs[0].message.contains("reseed"));
+}
+
+#[test]
+fn l10_relaxed_and_undocumented_orderings_are_flagged() {
+    // The ordering-protocol comment in the fixture must itself be
+    // registered (two-way, like suppressions) for the run to focus on the
+    // real sites.
+    let allow = Allowlist::parse("ORDERING crates/core/src/parallel.rs 1").unwrap();
+    let vs = lint_files(&[file("crates/core/src/parallel.rs", L10)], &allow);
+    // Relaxed outside the sanctioned counter modules (line 9) and the
+    // undocumented Acquire (line 13); the documented Release (line 19) is
+    // clean.
+    assert_eq!(rules_of(&vs), vec!["L10", "L10"], "{vs:?}");
+    assert_eq!(vs.iter().map(|v| v.line).collect::<Vec<_>>(), vec![9, 13]);
+    assert!(vs[0].message.contains("Relaxed"));
+    assert!(vs[1].message.contains("Acquire"));
+    assert!(vs[1].message.contains("protocol comment"));
+}
+
+#[test]
+fn l10_relaxed_is_sanctioned_in_counter_modules() {
+    let allow = Allowlist::parse("ORDERING crates/core/src/presample.rs 1").unwrap();
+    let vs = lint_files(&[file("crates/core/src/presample.rs", L10)], &allow);
+    // Same source in a sanctioned counter module: the Relaxed bump is
+    // fine; only the undocumented Acquire remains.
+    assert_eq!(rules_of(&vs), vec!["L10"], "{vs:?}");
+    assert_eq!(vs[0].line, 13);
+}
+
+#[test]
+fn l10_ordering_comments_must_be_registered() {
+    let vs = lint_files(
+        &[file("crates/core/src/parallel.rs", L10)],
+        &Allowlist::empty(),
+    );
+    let allows: Vec<_> = vs.iter().filter(|v| v.rule == "ALLOW").collect();
+    assert_eq!(allows.len(), 1, "{vs:?}");
+    assert!(allows[0].message.contains("ordering protocol comment"));
+    assert!(allows[0].message.contains("not registered"));
+}
+
+#[test]
+fn l10_dangling_ordering_comment_is_flagged() {
+    let src = "pub fn quiet() -> u32 {\n    \
+               // ORDERING: pairs with nothing at all.\n    \
+               42\n}\n";
+    let allow = Allowlist::parse("ORDERING crates/core/src/engine.rs 1").unwrap();
+    let vs = lint_files(&[file("crates/core/src/engine.rs", src)], &allow);
+    assert_eq!(rules_of(&vs), vec!["L10"], "{vs:?}");
+    assert_eq!(vs[0].line, 2);
+    assert!(vs[0].message.contains("dangling"));
+}
+
+#[test]
+fn l11_guards_crossing_loops_or_loader_calls_are_flagged() {
+    let vs = lint_files(
+        &[file("crates/core/src/parallel.rs", L11)],
+        &Allowlist::empty(),
+    );
+    // `crosses_loop`'s guard (bound line 6) and `calls_loader`'s (line
+    // 15); the scoped, explicitly-dropped, and value-extracting shapes
+    // stay clean.
+    assert_eq!(rules_of(&vs), vec!["L11", "L11"], "{vs:?}");
+    assert_eq!(vs.iter().map(|v| v.line).collect::<Vec<_>>(), vec![6, 15]);
+    assert!(vs[0].message.contains("guard `guard`"));
+    assert!(vs[0].message.contains("`for` loop"));
+    assert!(vs[1].message.contains("loader call `.request()`"));
+}
+
+#[test]
+fn l11_is_scoped_to_the_runner_and_serve() {
+    // The same guard shapes in a crate outside the runner/serve scope are
+    // not L11's concern.
+    let vs = lint_files(
+        &[file("crates/storage/src/cache.rs", L11)],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn l12_uncovered_counter_is_flagged_at_its_declaration() {
+    let vs = lint_files(
+        &[
+            file("crates/core/src/metrics.rs", L12_METRICS),
+            file("crates/core/src/audit.rs", L12_AUDIT),
+        ],
+        &Allowlist::empty(),
+    );
+    // The audit fixture reads steps and steps_on_block but never
+    // swap_bytes; wall_ns (clock family) and fine_mode_at_step (not a
+    // u64 counter) are exempt by type.
+    assert_eq!(rules_of(&vs), vec!["L12"], "{vs:?}");
+    assert_eq!(vs[0].path, "crates/core/src/metrics.rs");
+    assert_eq!(vs[0].line, 13); // swap_bytes declaration
+    assert!(vs[0].message.contains("swap_bytes"));
+    assert!(vs[0].hint.contains("verify_metrics"));
+    // Covering the counter in the audit module clears the rule.
+    let covered =
+        format!("{L12_AUDIT}\npub fn swap_law(m: &RunMetrics) -> u64 {{ m.swap_bytes }}\n");
+    let vs = lint_files(
+        &[
+            file("crates/core/src/metrics.rs", L12_METRICS),
+            file("crates/core/src/audit.rs", &covered),
+        ],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn stale_allowlist_entry_is_a_hard_error() {
+    let allow = Allowlist::parse("L5 crates/core/src/gone.rs 1").unwrap();
+    let vs = lint_files(
+        &[file("crates/core/src/walk.rs", "pub fn f() {}\n")],
+        &allow,
+    );
+    assert_eq!(rules_of(&vs), vec!["ALLOW"], "{vs:?}");
+    assert!(vs[0].message.contains("stale allowlist entry"));
+    assert!(vs[0].message.contains("crates/core/src/gone.rs"));
+    assert!(vs[0].hint.contains("--prune-allow"));
+}
+
+#[test]
+fn workspace_report_renders_json_and_a_canonical_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = nosw_lint::lint_workspace(&root).expect("workspace scan");
+    let json = report.to_json();
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"violations\": []"));
+    // The suggested allowlist round-trips through the parser and carries
+    // every registered suppression in the canonical RULE PATH COUNT form.
+    let parsed = Allowlist::parse(&report.suggested_allow).expect("suggested allowlist parses");
+    assert!(!parsed.entries.is_empty());
+    assert!(report
+        .suggested_allow
+        .contains("L11 crates/core/src/parallel.rs 1"));
 }
 
 #[test]

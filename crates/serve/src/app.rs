@@ -133,6 +133,15 @@ fn walker_stream_seed(query_seed: u64, k: u64) -> u64 {
 /// Callbacks take `&self`, so the mutable pieces are atomics; under the
 /// sequential engine they are plain interior mutability and every round is
 /// deterministic.
+///
+/// Every access here is `Ordering::Relaxed`, and this file is one of the
+/// lint's sanctioned-Relaxed modules (L10): each atomic is a commutative
+/// per-query tally (step counts, walker completions, the xor/add digest
+/// mix) or a monotonic cancel latch, never a publication handshake. The
+/// round barrier in the serving loop joins all steppers before any slot is
+/// folded into query results, so that join — not the atomics — provides
+/// the happens-before edge readers rely on; ordering inside the round
+/// genuinely does not matter.
 #[derive(Debug)]
 struct Slot {
     class: QueryClass,
