@@ -59,9 +59,9 @@ fn bench_presample_buffer(c: &mut Criterion) {
     let degrees: Vec<u64> = (0..nv).map(|i| 8 + (i as u64 % 64)).collect();
     let weights = vec![1u32; nv];
     group.bench_function("plan_quotas_2048v", |b| {
-        b.iter(|| plan_quotas(&degrees, &weights, 65_536, 4, 64));
+        b.iter(|| plan_quotas(&degrees, &weights, 65_536, 4, u32::MAX, 64));
     });
-    let plan = plan_quotas(&degrees, &weights, 65_536, 4, 64);
+    let plan = plan_quotas(&degrees, &weights, 65_536, 4, u32::MAX, 64);
     group.throughput(Throughput::Elements(plan.total_slots));
     group.bench_function("build_and_drain", |b| {
         b.iter(|| {

@@ -42,8 +42,23 @@ pub const ALL: &[&str] = &[
     "serve",
 ];
 
-/// Dispatches an experiment by id. Returns `false` for unknown ids.
-pub fn dispatch(id: &str, scale: Scale) -> bool {
+/// Dispatches an experiment by id. Returns `None` for unknown ids,
+/// otherwise whether the experiment's acceptance gates passed
+/// (experiments without a gate always pass, so the CLI's exit code only
+/// ratchets on gated benches).
+pub fn dispatch(id: &str, scale: Scale) -> Option<bool> {
+    // Gated experiments report their acceptance verdict.
+    match id {
+        "throughput" => return Some(throughput::run(scale)),
+        "all" => {
+            let mut ok = true;
+            for id in ALL {
+                ok &= dispatch(id, scale).unwrap_or(true);
+            }
+            return Some(ok);
+        }
+        _ => {}
+    }
     match id {
         "table1" => table1::run(scale),
         "fig2" => fig2::run(scale),
@@ -62,14 +77,8 @@ pub fn dispatch(id: &str, scale: Scale) -> bool {
         "ablation-lowdeg" => ablations::run_lowdeg(scale),
         "ablation-ssds" => ablations::run_ssds(scale),
         "ablation-g25" => ablations::run_g25(scale),
-        "throughput" => throughput::run(scale),
         "serve" => serve::run(scale),
-        "all" => {
-            for id in ALL {
-                dispatch(id, scale);
-            }
-        }
-        _ => return false,
+        _ => return None,
     }
-    true
+    Some(true)
 }

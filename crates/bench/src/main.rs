@@ -38,14 +38,24 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
+    let mut all_pass = true;
     for id in &ids {
         let start = std::time::Instant::now();
-        if !experiments::dispatch(id, scale) {
-            eprintln!("unknown experiment: {id}");
-            usage();
-            return ExitCode::FAILURE;
+        match experiments::dispatch(id, scale) {
+            None => {
+                eprintln!("unknown experiment: {id}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            // Keep running the remaining experiments so one regression
+            // does not hide another; the exit code ratchets at the end.
+            Some(pass) => all_pass &= pass,
         }
         eprintln!("[{id} took {:.1}s wall]", start.elapsed().as_secs_f64());
     }
-    ExitCode::SUCCESS
+    if all_pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -629,8 +629,9 @@ impl RunAudit {
     /// 2. **walker-completion** — `walkers_finished + walkers_cancelled ==
     ///    total_walkers`: every walker either completed its walk or was
     ///    explicitly cancelled; no path may silently drop one.
-    /// 3. **presample-balance** — `presamples_consumed <=
-    ///    presamples_filled`: consumption cannot outrun production.
+    /// 3. **presample-balance** — `presamples_consumed + claims_burned <=
+    ///    presamples_filled`: consumption (served or burned) cannot outrun
+    ///    production.
     /// 4. **load-byte-consistency** — bytes were loaded iff loads (and
     ///    I/O ops) were issued, in both directions.
     /// 5. **clock-sanity** — `stall_ns <= sim_ns`.
@@ -648,12 +649,21 @@ impl RunAudit {
     /// 10. **pool-accounting** — a published pre-sample buffer
     ///     (`pool_publishes`) is built from loaded block data, so it
     ///     implies a coarse load.
-    /// 11. **stall-accounting** — a stalled walker survives its stall and
-    ///     eventually steps (or is cancelled), so stalls with zero steps
-    ///     and zero cancellations mean a walker was lost mid-stall.
+    /// 11. **stall-accounting** — a stalled or deferred walker survives
+    ///     and eventually steps (or is cancelled), so stalls or
+    ///     deferrals (`pool_deferrals` — visits that found no published
+    ///     generation at all) with zero steps and zero cancellations
+    ///     mean a walker was lost mid-wait.
     /// 12. **budget-peak** — a recorded `peak_memory` can never be below
     ///     the budget's pre-run floor (the peak is a running maximum over
     ///     a quantity that starts at the floor).
+    /// 13. **claim-conservation** — every slot claimed from the shared
+    ///     pool (plus every stalled visit) must end up consumed by a
+    ///     step, burned as a batch leftover, or recorded as a stall:
+    ///     `pool_attempts <= presamples_consumed + claims_burned +
+    ///     pool_stalls`. A claimed slot cannot leak. (One-directional
+    ///     because merged sequential runs consume pre-samples without
+    ///     pool attempts.)
     pub fn verify_metrics(&self, m: &RunMetrics) -> AuditReport {
         let mut violations = Vec::new();
         let mut fail = |law: &'static str, detail: String| {
@@ -679,12 +689,23 @@ impl RunAudit {
                 ),
             );
         }
-        if m.presamples_consumed > m.presamples_filled {
+        if m.presamples_consumed + m.claims_burned > m.presamples_filled {
             fail(
                 "presample-balance",
                 format!(
-                    "presamples_consumed {} > presamples_filled {}",
-                    m.presamples_consumed, m.presamples_filled
+                    "presamples_consumed {} + claims_burned {} > presamples_filled {}",
+                    m.presamples_consumed, m.claims_burned, m.presamples_filled
+                ),
+            );
+        }
+        if m.pool_attempts > m.presamples_consumed + m.claims_burned + m.pool_stalls {
+            fail(
+                "claim-conservation",
+                format!(
+                    "pool_attempts {} > presamples_consumed {} + claims_burned {} + \
+                     pool_stalls {} — a claimed slot leaked without being consumed, \
+                     burned, or stalled",
+                    m.pool_attempts, m.presamples_consumed, m.claims_burned, m.pool_stalls
                 ),
             );
         }
@@ -781,13 +802,16 @@ impl RunAudit {
                 ),
             );
         }
-        if m.presample_stalls + m.pool_stalls > 0 && m.steps == 0 && m.walkers_cancelled == 0 {
+        if m.presample_stalls + m.pool_stalls + m.pool_deferrals > 0
+            && m.steps == 0
+            && m.walkers_cancelled == 0
+        {
             fail(
                 "stall-accounting",
                 format!(
-                    "stalls recorded ({} presample, {} pool) but the run took no steps \
-                     and cancelled no walkers — a stalled walker was lost",
-                    m.presample_stalls, m.pool_stalls
+                    "stalls recorded ({} presample, {} pool, {} deferred) but the run \
+                     took no steps and cancelled no walkers — a waiting walker was lost",
+                    m.presample_stalls, m.pool_stalls, m.pool_deferrals
                 ),
             );
         }
@@ -855,6 +879,9 @@ mod tests {
             walkers_finished: 10,
             presamples_filled: 50,
             presamples_consumed: 30,
+            pool_stalls: 5,
+            pool_attempts: 20,
+            claims_burned: 2,
             edge_bytes_loaded: 4096,
             coarse_loads: 2,
             io_ops: 2,
@@ -893,6 +920,22 @@ mod tests {
         assert_eq!(
             audit.verify_metrics(&m).violations[0].law,
             "presample-balance"
+        );
+
+        // Burned claims weigh into the balance too: burning more than the
+        // fill covers is a violation even with modest consumption.
+        let mut m = conserving_metrics();
+        m.claims_burned = m.presamples_filled - m.presamples_consumed + 1;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "presample-balance"
+        );
+
+        let mut m = conserving_metrics();
+        m.pool_attempts = m.presamples_consumed + m.claims_burned + m.pool_stalls + 1;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "claim-conservation"
         );
 
         let mut m = conserving_metrics();

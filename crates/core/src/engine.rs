@@ -799,6 +799,7 @@ impl<'e, A: Walk> Run<'e, A> {
                 &weights,
                 capacity_slots,
                 self.opts.low_degree_threshold,
+                self.opts.alias_degree_threshold,
                 self.opts.presample_cap_per_vertex,
             );
             if plan.total_slots == 0 {

@@ -80,10 +80,28 @@ pub struct RunMetrics {
     /// Pre-sample buffer generations published to the parallel runner's
     /// lock-free shared pool.
     pub pool_publishes: u64,
-    /// Walker visits that found no usable pre-sample in the shared pool
-    /// (no generation published yet, or the slots were depleted) and fell
-    /// back to the coordinator.
+    /// Walker visits that claimed against a *live* published generation
+    /// and found its sampled slots depleted: the quota planner's
+    /// actionable miss signal (it sized this vertex's quota too small for
+    /// the demand that materialized). The walker falls back to the
+    /// coordinator.
     pub pool_stalls: u64,
+    /// Walker visits that found no published generation at all for their
+    /// destination block — warmup before the block's first residency, a
+    /// budget-pressure eviction, or a refill skipped for lack of a
+    /// worthwhile share. There was no pool to claim from, so these are
+    /// not pool attempts; the walker defers to the block's next
+    /// residency and is served on-block.
+    pub pool_deferrals: u64,
+    /// Pool demand in slots: sampled slots claimed from published buffers
+    /// plus one per stalled visit. The claim-conservation audit law checks
+    /// `pool_attempts <= presamples_consumed + claims_burned + pool_stalls`
+    /// — a claimed slot must end up consumed, burned, or stalled.
+    pub pool_attempts: u64,
+    /// Claimed pre-sampled slots retired without serving a step: batch
+    /// leftovers swept when a walker bucket ends (rejected-hop slots are
+    /// returned to the batch first, so a rejection alone no longer burns).
+    pub claims_burned: u64,
     /// Prefetched coarse blocks that a waiting walker bucket consumed.
     pub prefetch_hits: u64,
     /// Prefetched coarse blocks discarded because no walker needed them by
@@ -286,6 +304,9 @@ impl RunMetrics {
         self.presamples_consumed += other.presamples_consumed;
         self.pool_publishes += other.pool_publishes;
         self.pool_stalls += other.pool_stalls;
+        self.pool_deferrals += other.pool_deferrals;
+        self.pool_attempts += other.pool_attempts;
+        self.claims_burned += other.claims_burned;
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_wasted += other.prefetch_wasted;
         self.accepts += other.accepts;
@@ -344,7 +365,12 @@ impl RunMetrics {
     /// a new counter shows up everywhere at once instead of drifting
     /// between hand-rolled copies.
     pub fn snapshot_fields(&self) -> Vec<(&'static str, String)> {
-        let opt = |v: Option<u64>| v.map_or_else(|| "null".into(), |s| s.to_string());
+        // Unset optionals render as 0, not `null`: every engine then emits
+        // the same scalar shape and downstream tooling needs no
+        // per-backend special case (0 is unambiguous — a real fine-mode
+        // switch at step 0 would mean "before any step", which no engine
+        // produces).
+        let opt = |v: Option<u64>| v.unwrap_or(0).to_string();
         vec![
             ("sim_ns", self.sim_ns.to_string()),
             ("wall_ns", self.wall_ns.to_string()),
@@ -368,6 +394,9 @@ impl RunMetrics {
             ("presamples_consumed", self.presamples_consumed.to_string()),
             ("pool_publishes", self.pool_publishes.to_string()),
             ("pool_stalls", self.pool_stalls.to_string()),
+            ("pool_deferrals", self.pool_deferrals.to_string()),
+            ("pool_attempts", self.pool_attempts.to_string()),
+            ("claims_burned", self.claims_burned.to_string()),
             ("prefetch_hits", self.prefetch_hits.to_string()),
             ("prefetch_wasted", self.prefetch_wasted.to_string()),
             ("accepts", self.accepts.to_string()),
@@ -400,8 +429,8 @@ impl RunMetrics {
             .join("\t")
     }
 
-    /// The snapshot as one tab-separated row (`null` for an unset
-    /// optional).
+    /// The snapshot as one tab-separated row (unset optionals render as
+    /// 0, same as the JSON writer).
     pub fn to_tsv_row(&self) -> String {
         self.snapshot_fields()
             .iter()
@@ -562,6 +591,9 @@ pub(crate) struct SharedMetrics {
     presamples_consumed: AtomicU64,
     pool_publishes: AtomicU64,
     pool_stalls: AtomicU64,
+    pool_deferrals: AtomicU64,
+    pool_attempts: AtomicU64,
+    claims_burned: AtomicU64,
     finished: AtomicU64,
     cancelled: AtomicU64,
 }
@@ -597,6 +629,9 @@ impl SharedMetrics {
         m.presamples_consumed = self.presamples_consumed.load(Ordering::Relaxed);
         m.pool_publishes = self.pool_publishes.load(Ordering::Relaxed);
         m.pool_stalls = self.pool_stalls.load(Ordering::Relaxed);
+        m.pool_deferrals = self.pool_deferrals.load(Ordering::Relaxed);
+        m.pool_attempts = self.pool_attempts.load(Ordering::Relaxed);
+        m.claims_burned = self.claims_burned.load(Ordering::Relaxed);
         m.walkers_finished = self.finished.load(Ordering::Relaxed);
         m.walkers_cancelled = self.cancelled.load(Ordering::Relaxed);
     }
@@ -612,6 +647,9 @@ pub(crate) struct LocalCounters {
     steps_on_raw: u64,
     presamples_consumed: u64,
     pool_stalls: u64,
+    pool_deferrals: u64,
+    pool_attempts: u64,
+    claims_burned: u64,
     finished: u64,
     cancelled: u64,
 }
@@ -633,10 +671,32 @@ impl LocalCounters {
         self.presamples_consumed += 1;
     }
 
-    /// Records a walker visit the shared pool could not serve (missing or
-    /// depleted buffer): the walker falls back to the coordinator.
+    /// Records a walker visit that claimed against a live published
+    /// buffer and found its slots depleted: the walker falls back to the
+    /// coordinator. A stall is also one pool attempt, keeping the
+    /// claim-conservation law structurally balanced.
     pub(crate) fn record_pool_stall(&mut self) {
         self.pool_stalls += 1;
+        self.pool_attempts += 1;
+    }
+
+    /// Records `n` walker visits that found no published generation at
+    /// all for their block: not pool attempts (there was nothing to
+    /// claim from) — the walkers defer to the block's next residency.
+    pub(crate) fn record_pool_deferrals(&mut self, n: u64) {
+        self.pool_deferrals += n;
+    }
+
+    /// Records `n` sampled slots claimed from a published buffer (batched
+    /// claims pass the batch length).
+    pub(crate) fn record_pool_attempts(&mut self, n: u64) {
+        self.pool_attempts += n;
+    }
+
+    /// Records `n` claimed slots retired unserved when a walker bucket
+    /// ends (batch leftovers).
+    pub(crate) fn record_claims_burned(&mut self, n: u64) {
+        self.claims_burned += n;
     }
 
     /// Records one walker reaching its end state.
@@ -680,6 +740,15 @@ impl LocalCounters {
         shared
             .pool_stalls
             .fetch_add(self.pool_stalls, Ordering::Relaxed);
+        shared
+            .pool_deferrals
+            .fetch_add(self.pool_deferrals, Ordering::Relaxed);
+        shared
+            .pool_attempts
+            .fetch_add(self.pool_attempts, Ordering::Relaxed);
+        shared
+            .claims_burned
+            .fetch_add(self.claims_burned, Ordering::Relaxed);
         shared.finished.fetch_add(self.finished, Ordering::Relaxed);
         shared
             .cancelled
@@ -740,6 +809,8 @@ mod tests {
         local.record_step(StepSource::PreSample);
         local.record_presample_consumed();
         local.record_pool_stall();
+        local.record_pool_attempts(3);
+        local.record_claims_burned(2);
         local.record_finished();
         assert_eq!(local.steps_total(), 2);
         assert_eq!(local.samples_total(), 1); // pre-sample steps draw nothing
@@ -756,6 +827,9 @@ mod tests {
         assert_eq!(m.presamples_filled, 7);
         assert_eq!(m.pool_publishes, 1);
         assert_eq!(m.pool_stalls, 1);
+        // The stall ticked one attempt on top of the three explicit ones.
+        assert_eq!(m.pool_attempts, 4);
+        assert_eq!(m.claims_burned, 2);
         assert_eq!(m.walkers_finished, 3);
     }
 
@@ -770,11 +844,15 @@ mod tests {
         other.record_prefetch_wasted();
         other.pool_publishes = 3;
         other.pool_stalls = 5;
+        other.pool_attempts = 11;
+        other.claims_burned = 4;
         m.merge(&other);
         assert_eq!(m.prefetch_hits, 3);
         assert_eq!(m.prefetch_wasted, 2);
         assert_eq!(m.pool_publishes, 3);
         assert_eq!(m.pool_stalls, 5);
+        assert_eq!(m.pool_attempts, 11);
+        assert_eq!(m.claims_burned, 4);
     }
 
     #[test]
@@ -859,9 +937,11 @@ mod tests {
         let json = m.to_json(2);
         assert!(json.contains("\"walkers_cancelled\": 1"));
         assert!(json.contains("\"fine_mode_at_step\": 0"));
+        // Unset optionals also render as 0 — every backend emits the same
+        // scalar shape (no `null` special case downstream).
         assert!(RunMetrics::default()
             .to_json(2)
-            .contains("\"fine_mode_at_step\": null"));
+            .contains("\"fine_mode_at_step\": 0"));
         let header = RunMetrics::tsv_header();
         let row = m.to_tsv_row();
         assert_eq!(

@@ -32,6 +32,17 @@ pub struct EngineOptions {
     pub low_degree_threshold: u32,
     /// Hard cap of pre-sample slots per vertex per refill.
     pub presample_cap_per_vertex: u32,
+    /// Hub retention: vertices with degree ≥ this get their *whole* edge
+    /// list retained raw (with an O(1) alias table on weighted graphs,
+    /// ThunderRW-style) when it fits the refill budget, so the hottest
+    /// vertices never deplete their slots. `u32::MAX` disables hub
+    /// retention.
+    pub alias_degree_threshold: u32,
+    /// Sampled slots a parallel phase-B worker claims per atomic RMW once
+    /// a vertex shows reuse within its walker bucket (batched claim
+    /// amortization). Leftover slots are burned (`claims_burned`) when the
+    /// bucket retires; 1 disables batching.
+    pub claim_batch: u32,
     /// Fraction of the *remaining* memory budget (after block buffers)
     /// given to pre-sample buffers.
     pub presample_budget_fraction: f64,
@@ -70,8 +81,10 @@ impl Default for EngineOptions {
             enable_presample: true,
             alpha: 4,
             low_degree_threshold: 4,
-            presample_cap_per_vertex: 512,
-            presample_budget_fraction: 0.7,
+            presample_cap_per_vertex: 4096,
+            alias_degree_threshold: 64,
+            claim_batch: 2,
+            presample_budget_fraction: 0.9,
             step_ns: 120,
             sample_ns: 40,
             threads: 16,

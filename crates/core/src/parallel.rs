@@ -23,19 +23,36 @@
 //! serialized per block by a try-lock gate) and then *published* as an
 //! immutable [`PublishedBuffer`] behind an `Arc`. Consumption is lock-free:
 //! a worker acquires the `Arc` once per walker bucket and then claims
-//! slots with a single `fetch_add` per step ([`PublishedBuffer::claim`]).
-//! The per-slot mutex of the sequential engine's pool never appears on the
-//! step path — the only locks are the brief pointer swap at publish time
-//! and the pointer clone at bucket-acquire time. See `DESIGN.md` §11 for
-//! the full protocol and its ordering argument.
+//! sampled slots in small batches — one `fetch_add` covers up to
+//! [`EngineOptions::claim_batch`] hops once a vertex shows reuse inside
+//! the bucket ([`PublishedBuffer::claim_batch`]). Slots the application
+//! declines (e.g. restarts) return to the bucket's claim cache for the
+//! next walker; slots still cached when the bucket retires are surfaced
+//! as `claims_burned`, so `pool_attempts` stays conserved against
+//! consumption, burn, and stalls (`DESIGN.md` §10, law 13).
+//!
+//! Refills are scheduled by *demand*: each block tallies claims and
+//! stalls against its current generation
+//! ([`crate::presample::BlockDemand`]), and the coordinator dispatches a
+//! refill as soon as the remaining slots dip under a demand-derived low
+//! watermark — proactively, while workers still chew on the round, not
+//! only after the pool runs dry. The refill's slot budget is split across
+//! blocks proportionally to that same demand signal. The per-slot mutex
+//! of the sequential engine's pool never appears on the step path — the
+//! only locks are the brief pointer swap at publish time and the pointer
+//! clone at bucket-acquire time. See `DESIGN.md` §11 for the full
+//! protocol and its ordering argument.
 //!
 //! # The simulated clock
 //!
 //! Wall-clock timing on a shared host measures the host, not the
 //! architecture — so, like the sequential engine, this runner reports
 //! `sim_ns` from a deterministic model: each round of walk jobs charges
-//! `max(longest job, total work / workers)` of compute, and block loads
-//! flow through a single-channel FIFO device timeline fed by the storage
+//! `max(longest job, total work / workers)` of compute — priced with the
+//! same per-thread [`EngineOptions::step_cost`] /
+//! [`EngineOptions::sample_cost`] the sequential engine charges, so the
+//! two `sim_ns` figures are directly comparable — and block loads flow
+//! through a single-channel FIFO device timeline fed by the storage
 //! device's own service times. `wall_ns` still reports honest wall time.
 //! Walk *semantics* are identical to the sequential engine (same `Walk`
 //! contract), which the tests check.
@@ -47,7 +64,7 @@ use crate::disk_graph::{LoadError, OnDiskGraph};
 use crate::engine::EngineError;
 use crate::metrics::{LocalCounters, RunMetrics, SharedMetrics, StepSource};
 use crate::options::EngineOptions;
-use crate::presample::{plan_quotas, Claim, PreSampleBuffer, PublishedBuffer};
+use crate::presample::{plan_quotas, BatchClaim, BlockDemand, PreSampleBuffer, PublishedBuffer};
 use crate::threaded::{BackgroundLoader, LoaderError};
 use crate::walk::{Walk, WalkRng};
 use noswalker_graph::partition::BlockId;
@@ -56,6 +73,7 @@ use noswalker_storage::MemoryBudget;
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One block's slot in the published pool.
@@ -67,23 +85,53 @@ struct PoolSlot {
     /// Serializes refills per block: a contended gate means another worker
     /// is already rebuilding this buffer, so the loser just skips.
     refill_gate: Mutex<()>,
+    /// Demand observed against the current generation (sampled claims and
+    /// stalls since the last publish) — the low-watermark refill signal
+    /// and the weight of this block's share of the refill budget.
+    demand: BlockDemand,
+    /// Visit cursors of the last *retired* generation, so a budget-pressure
+    /// eviction does not erase the popularity history the next quota plan
+    /// feeds on. Taken (and cleared) by the next refill. Deliberately NOT
+    /// blended across healthy refills: walk demand here is non-stationary
+    /// (walkers finish and move on), and measured stall rates are lower
+    /// when quotas track only the latest generation's cursors.
+    carried_weights: Mutex<Option<Vec<u32>>>,
+    /// Set while a refill job for this block is queued or running, so the
+    /// coordinator schedules at most one refill per block at a time.
+    refill_pending: AtomicBool,
 }
 
 /// The published pre-sample pool: one slot per coarse block.
 #[derive(Debug)]
 struct SharedPool {
     slots: Vec<PoolSlot>,
+    /// Bytes held by the currently published generations (in-flight reader
+    /// `Arc`s briefly keep retired generations alive beyond this figure —
+    /// the refill planner's budget fraction leaves slack for exactly
+    /// that). Lets refills self-limit so the pool never squeezes the
+    /// loader's block buffers into a budget failure.
+    published_bytes: AtomicU64,
+    /// The pool's total byte budget, fixed at run start: the memory
+    /// budget minus the walker pool's hold and the loader's block working
+    /// set, scaled by `presample_budget_fraction`. Refills split this
+    /// figure demand-weighted; `published_bytes` must stay under it.
+    byte_budget: u64,
 }
 
 impl SharedPool {
-    fn new(num_blocks: usize) -> Self {
+    fn new(num_blocks: usize, byte_budget: u64) -> Self {
         SharedPool {
             slots: (0..num_blocks)
                 .map(|_| PoolSlot {
                     published: Mutex::new(None),
                     refill_gate: Mutex::new(()),
+                    demand: BlockDemand::default(),
+                    carried_weights: Mutex::new(None),
+                    refill_pending: AtomicBool::new(false),
                 })
                 .collect(),
+            published_bytes: AtomicU64::new(0),
+            byte_budget,
         }
     }
 
@@ -95,13 +143,107 @@ impl SharedPool {
 
     /// Swaps in a freshly built generation, returning the old one.
     fn publish(&self, b: BlockId, buf: Arc<PublishedBuffer>) -> Option<Arc<PublishedBuffer>> {
-        self.slots[b as usize].published.lock().replace(buf)
+        // The byte tally is an advisory planning input (refills size
+        // their next share from it), never a synchronization edge; the
+        // generation swap itself is ordered by the slot mutex.
+        let added = buf.memory_bytes();
+        // LINT-ALLOW(L10): mergeable advisory counter, see above.
+        self.published_bytes.fetch_add(added, Ordering::Relaxed);
+        let old = self.slots[b as usize].published.lock().replace(buf);
+        if let Some(old) = &old {
+            let freed = old.memory_bytes();
+            // LINT-ALLOW(L10): same advisory byte tally as above.
+            self.published_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+        old
     }
 
     /// Retires the current generation (its memory reservation is released
-    /// once the last outstanding `Arc` drops).
+    /// once the last outstanding `Arc` drops), snapshotting its visit
+    /// cursors into the slot so the next refill still plans with the
+    /// demand the eviction would otherwise erase.
     fn unpublish(&self, b: BlockId) -> Option<Arc<PublishedBuffer>> {
-        self.slots[b as usize].published.lock().take()
+        let slot = &self.slots[b as usize];
+        let buf = slot.published.lock().take();
+        if let Some(buf) = &buf {
+            *slot.carried_weights.lock() = Some(buf.visit_weights_snapshot());
+            let freed = buf.memory_bytes();
+            // LINT-ALLOW(L10): advisory byte tally, see `publish`.
+            self.published_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+        buf
+    }
+
+    /// Bytes currently committed to published generations. Refills cap
+    /// their plans so this never exceeds the pool's budget share — the
+    /// loader's block working set must never be squeezed by the pool,
+    /// because a budget-pressure eviction darkens whole blocks (every
+    /// claim on them stalls) until their next residency.
+    fn published_bytes(&self) -> u64 {
+        // LINT-ALLOW(L10): advisory byte tally, see `publish`.
+        self.published_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Takes the visit history saved by an eviction-time [`Self::unpublish`]
+    /// (cleared so it feeds exactly one rebuild).
+    fn take_carried_weights(&self, b: BlockId) -> Option<Vec<u32>> {
+        self.slots[b as usize].carried_weights.lock().take()
+    }
+
+    /// The demand tally for block `b`, fed by the phase-B kernel and read
+    /// by the refill planner.
+    fn demand(&self, b: BlockId) -> &BlockDemand {
+        &self.slots[b as usize].demand
+    }
+
+    /// Total demand pressure across all blocks — the denominator of the
+    /// demand-weighted refill budget split.
+    fn total_demand(&self) -> u64 {
+        self.slots.iter().map(|s| s.demand.pressure()).sum()
+    }
+
+    /// The low-watermark refill policy (§3.3.2): a block wants a refill
+    /// when it has no published generation at all, or when its remaining
+    /// sampled slots dip under a watermark derived from the demand seen
+    /// against the current generation. The watermark is clamped to
+    /// `[cap/8, cap/2]`, so an idle block still refills when seven
+    /// eighths drained and a hammered one refills no earlier than half —
+    /// the refill always lands *before* walkers hit a dry pool.
+    fn needs_refill(&self, b: BlockId) -> bool {
+        let slot = &self.slots[b as usize];
+        let Some(buf) = slot.published.lock().clone() else {
+            return true;
+        };
+        let cap = buf.sampled_capacity();
+        if cap == 0 {
+            return false;
+        }
+        let watermark = slot.demand.pressure().clamp(cap / 8, cap / 2).max(1);
+        buf.remaining_sampled() < watermark
+    }
+
+    /// Claims the right to schedule one refill job for `b`. Returns false
+    /// while an earlier refill is still queued or running.
+    fn try_begin_refill(&self, b: BlockId) -> bool {
+        let pending = &self.slots[b as usize].refill_pending;
+        // ORDERING: the Acquire success ordering pairs with the Release
+        // store in `end_refill`, so the scheduler that wins the flag
+        // observes everything the previous refill wrote (the swapped-in
+        // generation and the reset demand tally) before dispatching the
+        // next job; failure also loads Acquire so a losing check never
+        // reads stale state either.
+        let won = pending.compare_exchange(false, true, Ordering::Acquire, Ordering::Acquire);
+        won.is_ok()
+    }
+
+    /// Re-arms refill scheduling for `b` once its refill job finished
+    /// (whether or not it published a new generation).
+    fn end_refill(&self, b: BlockId) {
+        let pending = &self.slots[b as usize].refill_pending;
+        // ORDERING: Release pairs with the Acquire compare-exchange in
+        // `try_begin_refill`: the publish and the demand reset performed
+        // by this refill happen-before the next refill of the same block.
+        pending.store(false, Ordering::Release);
     }
 }
 
@@ -255,7 +397,6 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         let num_blocks = self.graph.num_blocks();
         let total = self.app.total_walkers();
         let shared = Arc::new(SharedMetrics::default());
-        let pool = Arc::new(SharedPool::new(num_blocks));
         let mut metrics = RunMetrics::default();
         let mut model = ModelClock::default();
 
@@ -266,6 +407,33 @@ impl<A: Walk + 'static> ParallelRunner<A> {
             .opts
             .walker_pool_quota(&self.budget, self.app.state_bytes(), total);
         let _pool_hold = self.budget.try_reserve(cap * state)?;
+
+        // The pre-sample pool's fixed byte budget: whatever the walker
+        // hold and the loader's block working set (the resident target
+        // plus `prefetch_depth + 1` loads queued or in flight) leave of
+        // the limit, scaled by the configured fraction (whose slack
+        // covers retired generations briefly kept alive by in-flight
+        // reader `Arc`s). Sized once here — where every other
+        // subsystem's hold is known — so refills never squeeze the
+        // loader into a budget failure, whose eviction fallback darkens
+        // whole blocks.
+        let max_block_bytes = self
+            .graph
+            .partition()
+            .blocks()
+            .iter()
+            .map(|b| b.byte_len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let working_set = (self.opts.prefetch_depth as u64 + 1).saturating_mul(max_block_bytes);
+        let headroom = self
+            .budget
+            .limit()
+            .saturating_sub(cap * state)
+            .saturating_sub(working_set);
+        let pool_bytes = (headroom as f64 * self.opts.presample_budget_fraction) as u64;
+        let pool = Arc::new(SharedPool::new(num_blocks, pool_bytes));
 
         // The loader queue holds the demand load plus the prefetch window.
         let prefetch_depth = self.opts.prefetch_depth as usize;
@@ -314,6 +482,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                                         graph: &graph,
                                         block: block.as_ref(),
                                         pool: &pool,
+                                        batch: opts.claim_batch,
                                     };
                                     let survivors =
                                         drive_batch(&ctx, &mut local, &mut wrng, walkers);
@@ -328,6 +497,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                                     }
                                 }
                                 Job::Refill(block) => {
+                                    let b = block.info().id;
                                     if let Some(rep) = refill_block(
                                         &*app, &graph, &pool, &budget, &opts, &block, &mut wrng,
                                     ) {
@@ -335,6 +505,10 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                                         shared.add_pool_publish();
                                         let _ = refill_tx.send(rep);
                                     }
+                                    // Re-arm scheduling even when nothing
+                                    // was published (gate lost, above the
+                                    // watermark, or out of budget).
+                                    pool.end_refill(b);
                                 }
                             }
                         }
@@ -425,14 +599,36 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                 // Budget pressure: the published pre-sample pool is the
                 // only memory the coordinator can reclaim (the sequential
                 // engine's block cache evicts in the same spot). Retire
-                // every published generation — readers holding an Arc
-                // finish their bucket first; the rest of the reservations
-                // free immediately — then re-queue the failed load behind
-                // the in-flight window so result order stays FIFO.
+                // the *coldest half* of the published generations first —
+                // readers holding an Arc finish their bucket first; the
+                // rest of the reservations free immediately — so the hot
+                // blocks keep their buffers and, crucially, the visit
+                // cursors the next quota plan feeds on. Only a repeat
+                // failure escalates to retiring everything. Then re-queue
+                // the failed load behind the in-flight window so result
+                // order stays FIFO.
                 Err(LoaderError::Load(LoadError::Budget(_))) if retries_left > 0 => {
+                    let first_try = retries_left == evict_retries;
                     retries_left -= 1;
-                    for b in 0..num_blocks {
-                        drop(pool.unpublish(b as BlockId));
+                    if first_try {
+                        // Mostly-drained generations hold memory but serve
+                        // little; fresh full ones are the pool's working
+                        // capital. (The eviction keeps every generation's
+                        // visit cursors via `unpublish`.) Keys are sampled
+                        // once up front: workers keep ticking the claim
+                        // cursors while we sort, and a comparator that
+                        // re-reads them would not be a total order.
+                        let mut victims: Vec<(u64, BlockId)> = (0..num_blocks as BlockId)
+                            .map(|b| (pool.acquire(b).map_or(0, |buf| buf.remaining_sampled()), b))
+                            .collect();
+                        victims.sort_unstable();
+                        for &(_, b) in &victims[..num_blocks.div_ceil(2)] {
+                            drop(pool.unpublish(b));
+                        }
+                    } else {
+                        for b in 0..num_blocks {
+                            drop(pool.unpublish(b as BlockId));
+                        }
                     }
                     loader.request(target).map_err(loader_err)?;
                     inflight.push_back((target, was_prefetch, model.now));
@@ -527,17 +723,32 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                 }
             }
 
+            // Proactive refill (④): if the block's buffer is already
+            // under its demand watermark, schedule the rebuild while the
+            // workers still chew on this round's walkers. The pending
+            // flag keeps refills single-flight per block.
+            if self.opts.enable_presample
+                && pool.needs_refill(target)
+                && pool.try_begin_refill(target)
+            {
+                job_tx
+                    .send(Job::Refill(Arc::clone(&block)))
+                    .map_err(|_| worker_died())?;
+            }
+
             let mut survivors = Vec::new();
             let mut job_costs: Vec<u64> = Vec::with_capacity(jobs + 1);
             for _ in 0..jobs {
                 let out = res_rx.recv().map_err(|_| worker_died())?;
-                job_costs.push(out.steps * self.opts.step_ns + out.samples * self.opts.sample_ns);
+                job_costs.push(
+                    out.steps * self.opts.step_cost() + out.samples * self.opts.sample_cost(),
+                );
                 survivors.extend(out.survivors);
             }
             // Refills that completed since the last round bill their
             // drawing work into this round and surface as publishes.
             while let Ok(rep) = refill_rx.try_recv() {
-                job_costs.push(rep.draws * self.opts.sample_ns);
+                job_costs.push(rep.draws * self.opts.sample_cost());
                 let at = model.now;
                 trace.emit(|| TraceEvent::PoolPublish {
                     block: rep.block,
@@ -555,9 +766,14 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                 buckets[b].push(w);
             }
 
-            // Refill the block's pre-sample buffer (④) asynchronously;
-            // the block Arc keeps the data alive until the refill runs.
-            if self.opts.enable_presample {
+            // Post-round check: this round's phase-B claims may have
+            // pushed the buffer under its watermark; schedule the rebuild
+            // before the block leaves memory (the Arc keeps the data
+            // alive until the refill job runs).
+            if self.opts.enable_presample
+                && pool.needs_refill(target)
+                && pool.try_begin_refill(target)
+            {
                 job_tx
                     .send(Job::Refill(Arc::clone(&block)))
                     .map_err(|_| worker_died())?;
@@ -618,7 +834,7 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         // worker; bill the compute too).
         let mut tail_costs: Vec<u64> = Vec::new();
         while let Ok(rep) = refill_rx.try_recv() {
-            tail_costs.push(rep.draws * self.opts.sample_ns);
+            tail_costs.push(rep.draws * self.opts.sample_cost());
             let at = model.now;
             trace.emit(|| TraceEvent::PoolPublish {
                 block: rep.block,
@@ -651,8 +867,9 @@ impl<A: Walk + 'static> ParallelRunner<A> {
 /// losers skip rather than queue). The build happens entirely on private
 /// data; readers of the previous generation are never blocked.
 ///
-/// Returns `None` when nothing was published (gate contended, buffer still
-/// mostly full, or no budget even after retiring the old generation).
+/// Returns `None` when nothing was published (gate contended, remaining
+/// slots still above the demand watermark, or no budget even after
+/// retiring the old generation).
 fn refill_block<A: Walk>(
     app: &A,
     graph: &OnDiskGraph,
@@ -673,25 +890,78 @@ fn refill_block<A: Walk>(
     // non-blocking try_lock: losers return immediately and steppers never
     // wait on it, so the loop it crosses runs on private data only.
     let _gate = pool.slots[b as usize].refill_gate.try_lock()?;
+    let demand = pool.demand(b);
     // Carry the previous generation's visit counters forward: claims count
     // both served steps and overflow stalls, which is exactly the demand
-    // signal `plan_quotas` wants (§3.3.2).
-    let weights: Vec<u32> = match pool.acquire(b) {
+    // signal `plan_quotas` wants (§3.3.2). The old generation's footprint
+    // counts as reclaimable headroom below — publishing its successor
+    // retires it.
+    let (weights, own_bytes): (Vec<u32>, u64) = match pool.acquire(b) {
         Some(prev) => {
             let cap = prev.sampled_capacity();
-            if cap > 0 && prev.remaining_sampled() * 4 > cap {
-                return None; // still mostly full
+            if cap > 0 {
+                // Re-check the watermark under the gate: the coordinator's
+                // `needs_refill` ran earlier and demand may have moved.
+                let watermark = demand.pressure().clamp(cap / 8, cap / 2).max(1);
+                if prev.remaining_sampled() >= watermark {
+                    return None; // comfortably above the watermark
+                }
             }
-            prev.visit_weights_snapshot()
+            (prev.visit_weights_snapshot(), prev.memory_bytes())
         }
-        None => vec![0; nv],
+        // Evicted under budget pressure: plan from the cursors the retired
+        // generation saved on its way out (zeros only on a true first
+        // build).
+        None => (
+            pool.take_carried_weights(b)
+                .filter(|w| w.len() == nv)
+                .unwrap_or_else(|| vec![0; nv]),
+            0,
+        ),
     };
     let degrees: Vec<u64> = (0..nv)
         .map(|i| graph.degree(info.vertex_start + i as VertexId))
         .collect();
-    let avail = (budget.available() as f64 * opts.presample_budget_fraction) as u64
-        / graph.num_blocks().max(1) as u64;
+    // Demand-weighted split of the *stable* pool budget fixed at run
+    // start. Sizing shares from `budget.available()` self-throttles: once
+    // every block holds a published generation, "available" is only the
+    // slack between generations, so each refill shrinks towards the
+    // metadata floor and the pool starves at ~100 slots per publish.
+    let total_budget = pool.byte_budget;
+    // A block's share is proportional to the pressure it reported since
+    // its last publish, clamped to [even/4, total/2] so no block starves
+    // and none monopolizes — then capped by *need*: twice the claims the
+    // last generation actually saw (plus metadata), so a block whose
+    // relative pressure is high only because the run just started cannot
+    // grab half the pool, starve the loader, and trigger the mass-retire
+    // fallback that wipes every block's visit history. With no demand
+    // signal yet, fall back to an even split.
     let meta = nv as u64 * 9 + 4;
+    let even = total_budget / graph.num_blocks().max(1) as u64;
+    let total_demand = pool.total_demand();
+    let pressure = demand.pressure();
+    let share = if total_demand == 0 || pressure == 0 {
+        even
+    } else {
+        let s = (total_budget as u128 * pressure as u128 / total_demand as u128) as u64;
+        let need = meta + pressure.saturating_mul(8);
+        s.clamp(even / 4, total_budget / 2).min(need)
+    };
+    // Never plan past what is actually reservable right now: the free
+    // budget plus this block's own generation (retired on publish). The
+    // stable split says what the block *deserves*; the headroom says what
+    // the run can *afford* this instant. The pool additionally
+    // self-limits to `total_budget` across all generations — without
+    // that cap the pool creeps into the loader's working set, the next
+    // load fails on budget pressure, and the eviction fallback darkens
+    // half the pool (every claim on an unpublished block is a stall
+    // until its next residency).
+    let pool_free = total_budget
+        .saturating_sub(pool.published_bytes())
+        .saturating_add(own_bytes);
+    let avail = share
+        .min(pool_free)
+        .min(budget.available().saturating_add(own_bytes));
     if avail <= meta {
         return None;
     }
@@ -700,6 +970,7 @@ fn refill_block<A: Walk>(
         &weights,
         (avail - meta) / 4,
         opts.low_degree_threshold,
+        opts.alias_degree_threshold,
         opts.presample_cap_per_vertex,
     );
     if plan.total_slots == 0 {
@@ -735,6 +1006,9 @@ fn refill_block<A: Walk>(
     );
     buf.set_reservation(reservation);
     drop(pool.publish(b, Arc::new(buf.into_published())));
+    // A fresh generation starts with a clean demand tally: the watermark
+    // should reflect pressure against *this* buffer, not its ancestors.
+    demand.reset();
     Some(RefillReport {
         block: b,
         slots: plan.total_slots,
@@ -767,6 +1041,9 @@ struct StepCtx<'a, A: Walk> {
     graph: &'a OnDiskGraph,
     block: &'a LoadedBlock,
     pool: &'a SharedPool,
+    /// Sampled slots to claim per atomic RMW once a vertex shows reuse
+    /// inside a bucket (see [`EngineOptions::claim_batch`]).
+    batch: u32,
 }
 
 /// Why a walker stopped moving on the resident block.
@@ -814,21 +1091,62 @@ fn drive_on_block<A: Walk>(
     }
 }
 
+/// A batch of claimed sampled slots being served to one bucket's walkers.
+struct Cached<'a> {
+    dsts: &'a [VertexId],
+    next: usize,
+}
+
+impl Cached<'_> {
+    /// Serves the next claimed slot, if one is left.
+    fn pop(&mut self) -> Option<VertexId> {
+        let d = self.dsts.get(self.next).copied();
+        if d.is_some() {
+            self.next += 1;
+        }
+        d
+    }
+
+    /// Returns the most recently popped slot (the app declined the hop),
+    /// so the next walker at this vertex re-serves it instead of burning
+    /// a fresh claim.
+    fn unpop(&mut self) {
+        self.next = self.next.saturating_sub(1);
+    }
+
+    /// Claimed slots never served — burned when the bucket retires.
+    fn leftover(&self) -> u64 {
+        (self.dsts.len() - self.next) as u64
+    }
+}
+
 /// The batched step kernel: runs a whole chunk of walkers to quiescence.
 ///
 /// Alternates two phases until no walker can move: (A) every walker on the
 /// resident block runs to exhaustion against the in-memory edges; (B) the
 /// walkers that left are grouped by destination block and each group
 /// drains the published pre-sample pool — *one* buffer acquire per group,
-/// then lock-free [`PublishedBuffer::claim`]s per step. Walkers that land
-/// back on the resident block return to phase A; walkers that hop to a
-/// third block join that bucket for the next phase-B sweep.
+/// then lock-free batched [`PublishedBuffer::claim_batch`]es. The first
+/// claim for a vertex takes a single slot; once a vertex shows reuse
+/// inside the bucket (its cache entry ran dry), claims escalate to
+/// [`StepCtx::batch`] slots per RMW, amortizing cursor traffic on hot
+/// vertices while bounding tail waste on cold ones. Slots the app
+/// declines (e.g. restarts) are returned to the cache; slots still cached
+/// when the bucket retires are recorded as `claims_burned`, keeping
+/// `pool_attempts == presamples_consumed + claims_burned + pool_stalls`
+/// conserved. Walkers that land back on the resident block return to
+/// phase A; walkers that hop to a third block join that bucket for the
+/// next phase-B sweep.
 ///
-/// Returns the walkers that stalled (no published buffer, or sampled
-/// slots exhausted) — the coordinator re-buckets them for a future block
-/// schedule. Every stall is recorded via
-/// [`LocalCounters::record_pool_stall`], including the missing-buffer
-/// case, so refill quota planning sees the full demand signal.
+/// Returns the walkers the pool could not move — the coordinator
+/// re-buckets them for a future block schedule. Two causes are counted
+/// apart: a claim against a live generation whose slots ran dry is a
+/// *stall* ([`LocalCounters::record_pool_stall`], a quota-planning miss),
+/// while a group whose block has no published generation at all *defers*
+/// ([`LocalCounters::record_pool_deferrals`] — nothing existed to claim
+/// from, so it is not a pool attempt). Both are tallied into the block's
+/// [`BlockDemand`], so refill scheduling and quota planning see the full
+/// demand signal either way.
 fn drive_batch<A: Walk>(
     ctx: &StepCtx<'_, A>,
     local: &mut LocalCounters,
@@ -852,39 +1170,69 @@ fn drive_batch<A: Walk>(
         }
         // Phase B: each destination bucket drains the published pool.
         for (b, group) in std::mem::take(&mut buckets) {
+            let demand = ctx.pool.demand(b);
             let Some(buf) = ctx.pool.acquire(b) else {
-                // No generation published for this block yet: every
-                // walker in the group stalls (and says so, feeding the
-                // refill demand signal).
-                for w in group {
-                    local.record_pool_stall();
-                    stalled.push(w);
-                }
+                // No generation published for this block at all: there is
+                // no pool to claim from, so the group *defers* to the
+                // block's next residency rather than stalling a claim.
+                // The demand tally still sees the visits — absence of a
+                // generation is exactly what the refill scheduler must
+                // learn about.
+                demand.note_stalls(group.len() as u64);
+                local.record_pool_deferrals(group.len() as u64);
+                stalled.extend(group);
                 continue;
             };
+            // Per-bucket claim cache: batched claims land here and are
+            // served slot by slot across the bucket's walkers.
+            let mut cache: BTreeMap<VertexId, Cached<'_>> = BTreeMap::new();
+            let mut claimed = 0u64;
+            let mut stalls = 0u64;
             'walkers: for mut w in group {
                 loop {
                     let loc = ctx.app.location(&w);
-                    match buf.claim(loc) {
-                        Claim::Sampled(dst) => {
-                            // The slot burns on claim either way; it only
-                            // counts as consumed when the app really took
-                            // the step (e.g. restarts decline it).
-                            if ctx.app.action(&mut w, dst, rng) {
-                                local.record_presample_consumed();
+                    let mut served = cache.get_mut(&loc).and_then(Cached::pop);
+                    if served.is_none() {
+                        // First claim for a vertex takes one slot; a dry
+                        // cache entry is evidence of reuse and escalates
+                        // to a full batch.
+                        let n = if cache.contains_key(&loc) {
+                            ctx.batch
+                        } else {
+                            1
+                        };
+                        match buf.claim_batch(loc, n) {
+                            BatchClaim::Sampled(dsts) => {
+                                local.record_pool_attempts(dsts.len() as u64);
+                                claimed += dsts.len() as u64;
+                                let mut c = Cached { dsts, next: 0 };
+                                served = c.pop();
+                                cache.insert(loc, c);
                             }
-                            local.record_step(StepSource::PreSample);
+                            BatchClaim::Raw(view) => {
+                                let dst = ctx.app.sample_for(&mut w, &view, rng);
+                                ctx.app.action(&mut w, dst, rng);
+                                local.record_step(StepSource::Raw);
+                            }
+                            BatchClaim::Stalled => {
+                                local.record_pool_stall();
+                                stalls += 1;
+                                stalled.push(w);
+                                continue 'walkers;
+                            }
                         }
-                        Claim::Raw(view) => {
-                            let dst = ctx.app.sample_for(&mut w, &view, rng);
-                            ctx.app.action(&mut w, dst, rng);
-                            local.record_step(StepSource::Raw);
+                    }
+                    if let Some(dst) = served {
+                        // A slot only counts as consumed when the app
+                        // really took the step; a declined hop (e.g. a
+                        // restart) returns the slot to the cache for the
+                        // next walker at this vertex.
+                        if ctx.app.action(&mut w, dst, rng) {
+                            local.record_presample_consumed();
+                        } else if let Some(c) = cache.get_mut(&loc) {
+                            c.unpop();
                         }
-                        Claim::Stalled => {
-                            local.record_pool_stall();
-                            stalled.push(w);
-                            continue 'walkers;
-                        }
+                        local.record_step(StepSource::PreSample);
                     }
                     if !ctx.app.is_active(&w) {
                         finish(ctx.app, local, w);
@@ -904,9 +1252,19 @@ fn drive_batch<A: Walk>(
                         buckets.entry(nb).or_default().push(w);
                         continue 'walkers;
                     }
-                    // Still on block `b`: claim again from the buffer we
-                    // already hold.
+                    // Still on block `b`: serve again from the cache or
+                    // the buffer we already hold.
                 }
+            }
+            // Bucket retires: burn the claimed-but-unserved slots so the
+            // claim-conservation law stays balanced, and report demand.
+            let leftover: u64 = cache.values().map(Cached::leftover).sum();
+            if leftover > 0 {
+                local.record_claims_burned(leftover);
+            }
+            demand.note_claims(claimed);
+            if stalls > 0 {
+                demand.note_stalls(stalls);
             }
         }
     }
@@ -1073,6 +1431,117 @@ mod tests {
         });
         assert_eq!(hits, m.prefetch_hits);
         assert_eq!(wasted, m.prefetch_wasted);
+    }
+
+    #[test]
+    fn watermark_schedules_refill_before_depletion() {
+        let pool = SharedPool::new(1, 1 << 20);
+        assert!(
+            pool.needs_refill(0),
+            "an unpublished slot always wants a refill"
+        );
+        let degrees = vec![100u64; 4];
+        let weights = vec![1u32; 4];
+        let plan = plan_quotas(&degrees, &weights, 64, 0, u32::MAX, 64);
+        let (buf, _) = PreSampleBuffer::build(0, &plan, false, |_| 1, |_, _, _| unreachable!());
+        pool.publish(0, Arc::new(buf.into_published()));
+        assert!(
+            !pool.needs_refill(0),
+            "a fresh generation sits above the watermark"
+        );
+        let buf = pool.acquire(0).unwrap();
+        let cap = buf.sampled_capacity();
+        assert!(cap > 0);
+        // Drain slots while feeding the demand tally, the way phase B
+        // does: the watermark must trip strictly before the pool is dry.
+        let mut drained = 0u64;
+        while !pool.needs_refill(0) {
+            assert!(drained < 2 * cap, "watermark never tripped");
+            match buf.claim_batch((drained % 4) as u32, 1) {
+                BatchClaim::Sampled(dsts) => pool.demand(0).note_claims(dsts.len() as u64),
+                BatchClaim::Stalled => pool.demand(0).note_stalls(1),
+                BatchClaim::Raw(_) => unreachable!("no raw vertices planned"),
+            }
+            drained += 1;
+        }
+        assert!(
+            buf.remaining_sampled() > 0,
+            "the watermark must trip while slots remain, not after the pool runs dry"
+        );
+        assert!(pool.try_begin_refill(0));
+        assert!(
+            !pool.try_begin_refill(0),
+            "refill scheduling is single-flight per block"
+        );
+        pool.end_refill(0);
+        assert!(pool.try_begin_refill(0), "end_refill re-arms scheduling");
+    }
+
+    /// Declines every third hop (like PPR restarts): steps still advance
+    /// so walks terminate, but a declined pre-sampled slot must be
+    /// re-served or burned — never silently lost or double-charged.
+    #[derive(Debug)]
+    struct Decliner {
+        walkers: u64,
+        length: u32,
+        n: u32,
+    }
+    impl Walk for Decliner {
+        type Walker = W;
+        fn total_walkers(&self) -> u64 {
+            self.walkers
+        }
+        fn generate(&self, i: u64, _r: &mut WalkRng) -> W {
+            W {
+                at: (i % self.n as u64) as u32,
+                step: 0,
+            }
+        }
+        fn location(&self, w: &W) -> u32 {
+            w.at
+        }
+        fn is_active(&self, w: &W) -> bool {
+            w.step < self.length
+        }
+        fn sample(&self, v: &noswalker_graph::layout::VertexEdges<'_>, r: &mut WalkRng) -> u32 {
+            crate::walk::uniform_sample(v, r)
+        }
+        fn action(&self, w: &mut W, next: u32, _r: &mut WalkRng) -> bool {
+            w.step += 1;
+            if w.step.is_multiple_of(3) {
+                return false; // decline the hop, stay put
+            }
+            w.at = next;
+            true
+        }
+    }
+
+    #[test]
+    fn declined_claims_conserve_pool_attempts() {
+        let csr = generators::uniform_degree(512, 8, 7);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let app = Arc::new(Decliner {
+            walkers: 4000,
+            length: 9,
+            n: 512,
+        });
+        let r = ParallelRunner::new(
+            app,
+            graph,
+            EngineOptions::default(),
+            MemoryBudget::new(1 << 20),
+        );
+        let m = r.run(21, 1).unwrap();
+        assert_eq!(m.walkers_finished, 4000);
+        assert!(m.pool_attempts > 0, "phase B must claim from the pool");
+        // Exact conservation (law 13 holds with equality inside one run):
+        // every claimed slot was consumed or burned, and every stalled
+        // attempt was counted.
+        assert_eq!(
+            m.pool_attempts,
+            m.presamples_consumed + m.claims_burned + m.pool_stalls
+        );
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //!   see DESIGN.md §11 for the publish/claim protocol).
 
 use noswalker_graph::layout::VertexEdges;
-use noswalker_graph::VertexId;
+use noswalker_graph::{AliasTable, VertexId};
 use noswalker_storage::Reservation;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// What a vertex's pre-sample slots currently offer.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +45,11 @@ pub struct QuotaPlan {
     pub quotas: Vec<u32>,
     /// Whether each vertex's slots hold raw edges rather than samples.
     pub raw: Vec<bool>,
+    /// Hub-retained vertices: raw retention granted *above* the alias
+    /// degree threshold, where the buffer additionally builds a per-vertex
+    /// alias table on weighted graphs so sampling stays O(1). Always a
+    /// subset of `raw`.
+    pub alias: Vec<bool>,
     /// Total slots planned.
     pub total_slots: u64,
 }
@@ -56,17 +62,29 @@ pub struct QuotaPlan {
 /// degree); the rest split `capacity_slots` proportionally to their visit
 /// weight (uniformly if no vertex has been visited yet), clamped to
 /// `cap_per_vertex`.
+///
+/// Hub retention: vertices with degree ≥ `alias_degree_threshold` — plus
+/// *self-funding* vertices whose visit weight matches or exceeds their
+/// degree, for whom retention is no more memory than the sampled slots
+/// their traffic would claim — are admitted hottest-first into raw
+/// retention too, as long as their whole edge list fits within three
+/// quarters of the post-raw slot budget. A retained hub never depletes —
+/// the dominant source of per-vertex slot exhaustion on skewed graphs —
+/// and on weighted graphs the build step attaches an O(1) alias table
+/// (ThunderRW-style), so retention costs no sampling speed.
 pub fn plan_quotas(
     degrees: &[u64],
     visit_weights: &[u32],
     capacity_slots: u64,
     low_degree_threshold: u32,
+    alias_degree_threshold: u32,
     cap_per_vertex: u32,
 ) -> QuotaPlan {
     assert_eq!(degrees.len(), visit_weights.len());
     let n = degrees.len();
     let mut quotas = vec![0u32; n];
     let mut raw = vec![false; n];
+    let mut alias = vec![false; n];
     let mut raw_slots = 0u64;
     for i in 0..n {
         if degrees[i] > 0 && degrees[i] <= low_degree_threshold as u64 {
@@ -75,9 +93,47 @@ pub fn plan_quotas(
             raw_slots += degrees[i];
         }
     }
-    let budget = capacity_slots.saturating_sub(raw_slots);
+    let mut budget = capacity_slots.saturating_sub(raw_slots);
+    // `u32::MAX` is the documented "hub retention off" sentinel: it must
+    // disable the self-funding admission too, not just the degree test.
+    let mut hubs: Vec<usize> = (0..n)
+        .filter(|&i| {
+            !raw[i]
+                && alias_degree_threshold != u32::MAX
+                && degrees[i] > low_degree_threshold as u64
+                && (degrees[i] >= alias_degree_threshold as u64
+                    // Self-funding: retention costs `degree` slots once and
+                    // serves unboundedly; a vertex already claiming at
+                    // least that many slots per generation is cheaper
+                    // retained than sampled, whatever its degree.
+                    || visit_weights[i] as u64 >= degrees[i])
+        })
+        .collect();
+    if !hubs.is_empty() && budget > 0 {
+        // Hottest-first admission (degree as the cold-start proxy, local
+        // index as the deterministic tie-break), bounded to three quarters
+        // of the remaining budget so hub retention cannot fully starve the
+        // sampled vertices it shares the buffer with.
+        hubs.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(visit_weights[i]),
+                std::cmp::Reverse(degrees[i]),
+                i,
+            )
+        });
+        let mut alias_budget = budget - budget / 4;
+        for &i in &hubs {
+            if degrees[i] <= alias_budget && degrees[i] <= u32::MAX as u64 {
+                alias[i] = true;
+                raw[i] = true;
+                quotas[i] = degrees[i] as u32;
+                alias_budget -= degrees[i];
+                budget -= degrees[i];
+            }
+        }
+    }
     let eligible: Vec<usize> = (0..n)
-        .filter(|&i| degrees[i] > low_degree_threshold as u64)
+        .filter(|&i| !raw[i] && degrees[i] > low_degree_threshold as u64)
         .collect();
     if !eligible.is_empty() && budget > 0 {
         let sum_w: u64 = eligible.iter().map(|&i| visit_weights[i] as u64).sum();
@@ -114,7 +170,44 @@ pub fn plan_quotas(
     QuotaPlan {
         quotas,
         raw,
+        alias,
         total_slots,
+    }
+}
+
+/// Per-block demand tally since the last publish, feeding the refill
+/// watermark and the demand-weighted budget split.
+///
+/// Both fields are commutative Relaxed counters folded at refill time (the
+/// publish mutex is the barrier), exactly like the claim cursors above.
+#[derive(Debug, Default)]
+pub struct BlockDemand {
+    claims: AtomicU64,
+    stalls: AtomicU64,
+}
+
+impl BlockDemand {
+    /// Records `n` sampled-slot claims against this block.
+    pub fn note_claims(&self, n: u64) {
+        self.claims.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` stalled visits against this block (dry pool or missing
+    /// buffer) — stalls weigh into demand just like served claims, so a
+    /// starved block's pressure is visible even when it serves nothing.
+    pub fn note_stalls(&self, n: u64) {
+        self.stalls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Slots' worth of demand seen since the last [`BlockDemand::reset`].
+    pub fn pressure(&self) -> u64 {
+        self.claims.load(Ordering::Relaxed) + self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the tally (called when a fresh generation is published) and
+    /// returns the pressure it had accumulated.
+    pub fn reset(&self) -> u64 {
+        self.claims.swap(0, Ordering::Relaxed) + self.stalls.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -132,6 +225,10 @@ pub struct PreSampleBuffer {
     /// Parallel raw-edge weights (only populated for raw vertices of
     /// weighted graphs).
     weights: Option<Vec<f32>>,
+    /// Per-hub alias tables (local vertex index → slot-parallel prob/alias
+    /// arrays), built once per generation for weighted alias-retained
+    /// vertices so their sampling is O(1).
+    alias: BTreeMap<u32, (Vec<f32>, Vec<u32>)>,
     /// Budget reservation covering this buffer, if the owner charges one.
     reservation: Option<Reservation>,
 }
@@ -157,6 +254,7 @@ impl PreSampleBuffer {
         let mut idx = Vec::with_capacity(n + 1);
         let mut edges = Vec::with_capacity(plan.total_slots as usize);
         let mut weights = weighted.then(Vec::new);
+        let mut alias = BTreeMap::new();
         let mut draws = 0u64;
         idx.push(0u32);
         for i in 0..n {
@@ -167,6 +265,16 @@ impl PreSampleBuffer {
                 debug_assert_eq!(edges.len() - before, plan.quotas[i] as usize);
                 if let Some(w) = &mut weights {
                     w.resize(edges.len(), 1.0);
+                    if plan.alias[i] {
+                        // Build the hub's alias structure once per
+                        // generation; sampling then costs one table lookup
+                        // per hop instead of an O(degree) weight scan.
+                        let slice = &w[before..edges.len()];
+                        if !slice.is_empty() && slice.iter().any(|&x| x > 0.0) {
+                            let (prob, idx_of) = AliasTable::new(slice).into_parts();
+                            alias.insert(i as u32, (prob, idx_of));
+                        }
+                    }
                 }
             } else {
                 for _ in 0..plan.quotas[i] {
@@ -187,6 +295,7 @@ impl PreSampleBuffer {
                 raw: plan.raw.clone(),
                 edges,
                 weights,
+                alias,
                 reservation: None,
             },
             draws,
@@ -214,7 +323,9 @@ impl PreSampleBuffer {
     /// that size reduction is the whole point of pre-sampling on weighted
     /// graphs (§4.4: "the pre-sampled edges stored in memory are notably
     /// smaller than the entire graph with edge properties"). Raw-retained
-    /// slots of weighted graphs pay 4 B extra for their weight.
+    /// slots of weighted graphs pay 4 B extra for their weight, and
+    /// alias-retained hub slots pay 8 B more for the alias table's
+    /// prob/alias pair.
     pub fn memory_bytes(&self) -> u64 {
         let sampled = self.edges.len() as u64 * 4;
         let raw_weights = if self.weights.is_some() {
@@ -225,8 +336,13 @@ impl PreSampleBuffer {
         } else {
             0
         };
+        let alias_bytes: u64 = self
+            .alias
+            .values()
+            .map(|(p, a)| (p.len() + a.len()) as u64 * 4)
+            .sum();
         let meta = (self.idx.len() + self.cnt.len()) as u64 * 4 + self.raw.len() as u64;
-        sampled + raw_weights + meta
+        sampled + raw_weights + alias_bytes + meta
     }
 
     /// Estimated memory for a planned buffer (before building).
@@ -235,7 +351,15 @@ impl PreSampleBuffer {
             .filter(|&i| plan.raw[i])
             .map(|i| plan.quotas[i] as u64)
             .sum();
-        let extra = if weighted { raw_slots * 4 } else { 0 };
+        let alias_slots: u64 = (0..plan.quotas.len())
+            .filter(|&i| plan.alias[i])
+            .map(|i| plan.quotas[i] as u64)
+            .sum();
+        let extra = if weighted {
+            raw_slots * 4 + alias_slots * 8
+        } else {
+            0
+        };
         plan.total_slots * 4 + extra + (plan.quotas.len() as u64) * 9 + 4
     }
 
@@ -258,7 +382,10 @@ impl PreSampleBuffer {
             return Peek::Raw(VertexEdges::Mem {
                 targets: &self.edges[s..e],
                 weights: self.weights.as_ref().map(|w| &w[s..e]),
-                alias: None,
+                alias: self
+                    .alias
+                    .get(&(i as u32))
+                    .map(|(p, a)| (p.as_slice(), a.as_slice())),
             });
         }
         let used = self.cnt[i] as usize;
@@ -318,6 +445,7 @@ impl PreSampleBuffer {
             raw: self.raw,
             edges: self.edges,
             weights: self.weights,
+            alias: self.alias,
             _reservation: self.reservation,
         }
     }
@@ -336,6 +464,19 @@ pub enum Claim<'a> {
     Raw(VertexEdges<'a>),
     /// No usable slots: the walker stalls here (the visit was still
     /// recorded, feeding the next refill's quota plan).
+    Stalled,
+}
+
+/// What a batched [`PublishedBuffer::claim_batch`] produced.
+#[derive(Debug)]
+pub enum BatchClaim<'a> {
+    /// `1..=n` contiguous pre-sampled destinations this caller now
+    /// exclusively owns. Unspent entries must be accounted by the caller
+    /// (consumed later or reported as `claims_burned`).
+    Sampled(&'a [VertexId]),
+    /// The vertex's raw retained edges: sample freely, they never deplete.
+    Raw(VertexEdges<'a>),
+    /// No usable slots: the whole batch stalls (recorded as one visit).
     Stalled,
 }
 
@@ -368,6 +509,8 @@ pub struct PublishedBuffer {
     raw: Vec<bool>,
     edges: Vec<VertexId>,
     weights: Option<Vec<f32>>,
+    /// Frozen per-hub alias tables (see [`PreSampleBuffer`]).
+    alias: BTreeMap<u32, (Vec<f32>, Vec<u32>)>,
     /// RAII hold on the budget bytes; released when the last `Arc` to this
     /// generation drops. Never read, only owned.
     _reservation: Option<Reservation>,
@@ -407,17 +550,58 @@ impl PublishedBuffer {
             if s == e {
                 return Claim::Stalled;
             }
-            return Claim::Raw(VertexEdges::Mem {
-                targets: &self.edges[s..e],
-                weights: self.weights.as_ref().map(|w| &w[s..e]),
-                alias: None,
-            });
+            return Claim::Raw(self.raw_view(i, s, e));
         }
         if s + prev < e {
             Claim::Sampled(self.edges[s + prev])
         } else {
             Claim::Stalled
         }
+    }
+
+    fn raw_view(&self, i: usize, s: usize, e: usize) -> VertexEdges<'_> {
+        VertexEdges::Mem {
+            targets: &self.edges[s..e],
+            weights: self.weights.as_ref().map(|w| &w[s..e]),
+            alias: self
+                .alias
+                .get(&(i as u32))
+                .map(|(p, a)| (p.as_slice(), a.as_slice())),
+        }
+    }
+
+    /// Claims up to `n` slots for vertex `v` in one atomic RMW — the
+    /// batched variant of [`PublishedBuffer::claim`] that amortizes the
+    /// `fetch_add` across several hops at a hot vertex.
+    ///
+    /// The cursor still means "visits": a batch that served `k` slots nets
+    /// the cursor `+k`, and a fully-stalled batch nets `+1` (one stall
+    /// tick), by subtracting the overshoot right back. The transient
+    /// overshoot between the add and the sub can only make concurrent
+    /// claimers see *fewer* remaining slots, never hand a slot out twice —
+    /// the cursor never drops below the next-unserved index.
+    pub fn claim_batch(&self, v: VertexId, n: u32) -> BatchClaim<'_> {
+        let i = self.local(v);
+        let (s, e) = (self.idx[i] as usize, self.idx[i + 1] as usize);
+        if self.raw[i] {
+            self.cursors[i].fetch_add(1, Ordering::Relaxed);
+            if s == e {
+                return BatchClaim::Stalled;
+            }
+            return BatchClaim::Raw(self.raw_view(i, s, e));
+        }
+        let n = n.max(1);
+        let prev = self.cursors[i].fetch_add(n, Ordering::Relaxed) as usize;
+        let quota = e - s;
+        if prev >= quota {
+            self.cursors[i].fetch_sub(n - 1, Ordering::Relaxed);
+            return BatchClaim::Stalled;
+        }
+        let k = (quota - prev).min(n as usize);
+        if k < n as usize {
+            self.cursors[i].fetch_sub(n - k as u32, Ordering::Relaxed);
+        }
+        BatchClaim::Sampled(&self.edges[s + prev..s + prev + k])
     }
 
     /// Snapshot of the visit counters, fed to [`plan_quotas`] at refill
@@ -462,8 +646,13 @@ impl PublishedBuffer {
         } else {
             0
         };
+        let alias_bytes: u64 = self
+            .alias
+            .values()
+            .map(|(p, a)| (p.len() + a.len()) as u64 * 4)
+            .sum();
         let meta = (self.idx.len() + self.cursors.len()) as u64 * 4 + self.raw.len() as u64;
-        sampled + raw_weights + meta
+        sampled + raw_weights + alias_bytes + meta
     }
 }
 
@@ -471,9 +660,12 @@ impl PublishedBuffer {
 mod tests {
     use super::*;
 
+    use crate::walk::{alias_sample, WalkRng};
+    use rand::SeedableRng;
+
     fn simple_plan() -> QuotaPlan {
         // 4 vertices: deg 0, deg 2 (raw), deg 10, deg 20
-        plan_quotas(&[0, 2, 10, 20], &[0, 0, 0, 0], 12, 2, 64)
+        plan_quotas(&[0, 2, 10, 20], &[0, 0, 0, 0], 12, 2, u32::MAX, 64)
     }
 
     #[test]
@@ -490,21 +682,21 @@ mod tests {
 
     #[test]
     fn plan_weights_proportionally_after_visits() {
-        let p = plan_quotas(&[10, 10], &[30, 10], 40, 0, 64);
+        let p = plan_quotas(&[10, 10], &[30, 10], 40, 0, u32::MAX, 64);
         assert_eq!(p.quotas[0], 30);
         assert_eq!(p.quotas[1], 10);
     }
 
     #[test]
     fn plan_unvisited_vertices_get_nothing_once_weights_exist() {
-        let p = plan_quotas(&[10, 10, 10], &[8, 0, 2], 100, 0, 64);
+        let p = plan_quotas(&[10, 10, 10], &[8, 0, 2], 100, 0, u32::MAX, 64);
         assert!(p.quotas[0] > p.quotas[2]);
         assert_eq!(p.quotas[1], 0);
     }
 
     #[test]
     fn plan_caps_per_vertex() {
-        let p = plan_quotas(&[100], &[50], 1000, 0, 16);
+        let p = plan_quotas(&[100], &[50], 1000, 0, u32::MAX, 16);
         assert_eq!(p.quotas[0], 16);
     }
 
@@ -512,7 +704,7 @@ mod tests {
     fn plan_visited_vertex_gets_at_least_one_slot() {
         // Vertex 1 has tiny weight; proportional share rounds to 0 but it
         // must still receive one slot.
-        let p = plan_quotas(&[10, 10], &[1000, 1], 10, 0, 64);
+        let p = plan_quotas(&[10, 10], &[1000, 1], 10, 0, u32::MAX, 64);
         assert!(p.quotas[1] >= 1);
     }
 
@@ -655,7 +847,7 @@ mod tests {
 
     #[test]
     fn weighted_raw_edges_keep_weights() {
-        let plan = plan_quotas(&[2], &[0], 10, 2, 8);
+        let plan = plan_quotas(&[2], &[0], 10, 2, u32::MAX, 8);
         let (buf, _) = PreSampleBuffer::build(
             0,
             &plan,
@@ -676,5 +868,165 @@ mod tests {
             }
             other => panic!("expected raw, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn plan_admits_hubs_hottest_first_greedy_with_skip() {
+        // Three hubs (deg 40, 30, 10) over threshold 10, capacity 80:
+        // alias budget = 60. Hottest-first by degree admits 40 (20 left),
+        // skips 30 (does not fit), then still admits 10 — greedy with
+        // skip, not first-fit-then-stop.
+        let p = plan_quotas(&[40, 30, 10, 5], &[0, 0, 0, 0], 80, 2, 10, 8);
+        assert!(p.alias[0] && p.raw[0]);
+        assert_eq!(p.quotas[0], 40);
+        assert!(!p.alias[1] && !p.raw[1]);
+        assert!(p.alias[2] && p.raw[2]);
+        assert_eq!(p.quotas[2], 10);
+        // The rejected hub and the mid-degree vertex fall back to capped
+        // sampled quotas from the remaining budget.
+        assert!(p.quotas[1] >= 1 && p.quotas[1] <= 8);
+        assert!(!p.alias[3]);
+        assert!(p.total_slots <= 80);
+    }
+
+    #[test]
+    fn plan_admits_self_funding_hot_vertices_below_threshold() {
+        // Degree-8 vertices far below the degree threshold (1000):
+        // vertex 0's visit weight (8) covers its retention cost, so it is
+        // admitted raw and never depletes; vertex 1's traffic (2) does not
+        // pay for retention and stays on capped sampled slots.
+        let p = plan_quotas(&[8, 8], &[8, 2], 100, 2, 1000, 8);
+        assert!(p.raw[0] && p.alias[0]);
+        assert_eq!(p.quotas[0], 8);
+        assert!(!p.raw[1] && !p.alias[1]);
+        assert!(p.quotas[1] >= 1 && p.quotas[1] <= 8);
+    }
+
+    #[test]
+    fn plan_alias_threshold_disabled_matches_old_behavior() {
+        let with = plan_quotas(&[0, 2, 10, 20], &[0; 4], 12, 2, u32::MAX, 64);
+        assert!(with.alias.iter().all(|&a| !a));
+        assert_eq!(with, simple_plan());
+    }
+
+    #[test]
+    fn plan_alias_admission_prefers_visited_hubs() {
+        // Same degree, alias budget 30 fits only one hub — vertex 1 has
+        // visit history, so it is admitted first.
+        let p = plan_quotas(&[30, 30], &[0, 5], 40, 0, 10, 8);
+        assert!(!p.alias[0]);
+        assert!(p.alias[1]);
+    }
+
+    #[test]
+    fn batch_claim_hands_each_slot_once_and_nets_visit_ticks() {
+        let buf = build_simple().into_published();
+        // Vertex 3 has 6 sampled slots (104..=109); batches of 4.
+        let BatchClaim::Sampled(first) = buf.claim_batch(3, 4) else {
+            panic!("expected sampled batch");
+        };
+        assert_eq!(first, &[104, 105, 106, 107]);
+        // Second batch is truncated to the 2 remaining slots, and the
+        // cursor nets back down to served-count.
+        let BatchClaim::Sampled(rest) = buf.claim_batch(3, 4) else {
+            panic!("expected sampled batch");
+        };
+        assert_eq!(rest, &[108, 109]);
+        assert_eq!(buf.remaining_sampled(), 3); // vertex 2's slots remain
+        assert_eq!(buf.visit_weights_snapshot()[3], 6);
+        // Depleted: one stall tick, not n.
+        assert!(matches!(buf.claim_batch(3, 4), BatchClaim::Stalled));
+        assert_eq!(buf.visit_weights_snapshot()[3], 7);
+    }
+
+    #[test]
+    fn batch_claim_raw_vertex_ticks_once_per_visit() {
+        let buf = build_simple().into_published();
+        for _ in 0..3 {
+            match buf.claim_batch(1, 4) {
+                BatchClaim::Raw(view) => assert_eq!(view.degree(), 2),
+                other => panic!("expected raw, got {other:?}"),
+            }
+        }
+        assert_eq!(buf.visit_weights_snapshot()[1], 3);
+        assert!(matches!(buf.claim_batch(0, 4), BatchClaim::Stalled));
+    }
+
+    #[test]
+    fn block_demand_accumulates_and_resets() {
+        let d = BlockDemand::default();
+        assert_eq!(d.pressure(), 0);
+        d.note_claims(5);
+        d.note_stalls(3);
+        assert_eq!(d.pressure(), 8);
+        assert_eq!(d.reset(), 8);
+        assert_eq!(d.pressure(), 0);
+    }
+
+    /// Chi-square goodness-of-fit: alias-table sampling on a retained hub
+    /// must reproduce the exact edge-weight distribution (seeded,
+    /// deterministic).
+    #[test]
+    fn alias_hub_sampling_matches_edge_weights_chi_square() {
+        let weights_in = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let plan = plan_quotas(&[8], &[0], 64, 0, 4, 32);
+        assert!(plan.alias[0] && plan.raw[0]);
+        let (buf, draws) = PreSampleBuffer::build(
+            0,
+            &plan,
+            true,
+            |_v| 0,
+            |_v, edges, weights| {
+                for t in 0..8u32 {
+                    edges.push(100 + t);
+                }
+                let w = weights.expect("weighted build passes weight vec");
+                w.extend_from_slice(&weights_in);
+            },
+        );
+        assert_eq!(draws, 0, "retained hub costs no sample draws");
+        let published = buf.into_published();
+        let Claim::Raw(view) = published.claim(0) else {
+            panic!("expected raw hub view");
+        };
+        assert!(view.alias_slot(0).is_some(), "alias seam must be filled");
+        const N: u64 = 80_000;
+        let mut rng = WalkRng::seed_from_u64(42);
+        let mut counts = [0u64; 8];
+        for _ in 0..N {
+            let d = alias_sample(&view, &mut rng);
+            counts[(d - 100) as usize] += 1;
+        }
+        let total_w: f64 = weights_in.iter().map(|&w| w as f64).sum();
+        let mut chi = 0.0;
+        for (t, &c) in counts.iter().enumerate() {
+            let expected = N as f64 * weights_in[t] as f64 / total_w;
+            chi += (c as f64 - expected).powi(2) / expected;
+        }
+        // 7 degrees of freedom, p = 0.001 critical value.
+        assert!(chi < 24.32, "chi-square statistic too large: {chi}");
+    }
+
+    #[test]
+    fn alias_memory_accounting_covers_tables() {
+        let plan = plan_quotas(&[8], &[0], 64, 0, 4, 32);
+        let (buf, _) = PreSampleBuffer::build(
+            0,
+            &plan,
+            true,
+            |_v| 0,
+            |_v, edges, weights| {
+                for t in 0..8u32 {
+                    edges.push(t);
+                }
+                let w = weights.expect("weighted build passes weight vec");
+                w.extend_from_slice(&[1.0; 8]);
+            },
+        );
+        // 8 slots*4 + 8 raw weights*4 + 8 alias pairs*8 + meta.
+        let mem = buf.memory_bytes();
+        assert_eq!(mem, 32 + 32 + 64 + (2 + 1) * 4 + 1);
+        assert!(PreSampleBuffer::planned_bytes(&plan, true) >= mem);
+        assert_eq!(buf.into_published().memory_bytes(), mem);
     }
 }

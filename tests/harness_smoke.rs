@@ -7,20 +7,22 @@ use noswalker_bench::experiments;
 #[test]
 fn tiny_scale_key_experiments_run() {
     for id in ["table1", "fig2", "fig14"] {
-        assert!(experiments::dispatch(id, Scale::Tiny), "{id}");
+        assert_eq!(experiments::dispatch(id, Scale::Tiny), Some(true), "{id}");
     }
 }
 
 #[test]
 fn unknown_experiment_is_rejected() {
-    assert!(!experiments::dispatch("fig99", Scale::Tiny));
+    assert_eq!(experiments::dispatch("fig99", Scale::Tiny), None);
 }
 
-/// The full suite at tiny scale (slower; run with `--ignored`).
+/// The full suite at tiny scale (slower; run with `--ignored`). `Some(true)`
+/// means every experiment ran AND every gated bench (throughput, with its
+/// ratcheted ratio floor and stall ceiling) passed its acceptance.
 #[test]
 #[ignore = "runs every experiment; ~a minute"]
 fn tiny_scale_full_suite_runs() {
-    assert!(experiments::dispatch("all", Scale::Tiny));
+    assert_eq!(experiments::dispatch("all", Scale::Tiny), Some(true));
 }
 
 #[test]

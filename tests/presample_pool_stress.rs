@@ -3,7 +3,7 @@
 //! and the claim cursors must account for every attempt (successes plus
 //! stalls), because the refill planner reads them back as demand weights.
 
-use noswalker::core::presample::{plan_quotas, Claim, PreSampleBuffer};
+use noswalker::core::presample::{plan_quotas, BatchClaim, Claim, PreSampleBuffer};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -30,8 +30,9 @@ fn env_scale(var: &str, default: usize) -> usize {
 fn build_published() -> (Arc<noswalker::core::presample::PublishedBuffer>, Vec<u32>) {
     let degrees = vec![100u64; NV];
     let weights = vec![1u32; NV];
-    // Threshold 0: no raw retention, every vertex gets sampled slots.
-    let plan = plan_quotas(&degrees, &weights, 200, 0, 64);
+    // Threshold 0 (and alias retention disabled): no raw retention, every
+    // vertex gets sampled slots.
+    let plan = plan_quotas(&degrees, &weights, 200, 0, u32::MAX, 64);
     assert!(plan.total_slots > 0);
     assert!(plan.quotas.iter().all(|&q| q > 0));
     let mut next = 10_000u32;
@@ -119,4 +120,59 @@ fn concurrent_claims_hand_out_each_slot_at_most_once() {
         "not every sampled slot was handed out"
     );
     assert_eq!(buf.remaining_sampled(), 0);
+}
+
+#[test]
+fn concurrent_batch_claims_hand_out_each_slot_at_most_once() {
+    let (buf, _quotas) = build_published();
+    let threads = env_scale("NOSW_STRESS_THREADS", THREADS);
+    let attempts_per_thread = env_scale("NOSW_STRESS_ATTEMPTS", ATTEMPTS);
+    let handles: Vec<_> = (0..threads)
+        .map(|ti| {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                let mut got: Vec<u32> = Vec::new();
+                let mut served = vec![0u64; NV];
+                let mut stalls = vec![0u64; NV];
+                for round in 0..attempts_per_thread {
+                    for v in 0..NV {
+                        // Vary the batch size per caller so truncated and
+                        // over-claimed batches both happen under contention.
+                        let n = 1 + ((ti + round + v) % 5) as u32;
+                        match buf.claim_batch(v as u32, n) {
+                            BatchClaim::Sampled(dsts) => {
+                                served[v] += dsts.len() as u64;
+                                got.extend_from_slice(dsts);
+                            }
+                            BatchClaim::Stalled => stalls[v] += 1,
+                            BatchClaim::Raw(_) => panic!("no raw vertices planned"),
+                        }
+                    }
+                }
+                (got, served, stalls)
+            })
+        })
+        .collect();
+
+    let mut seen = HashSet::new();
+    let mut total_served = [0u64; NV];
+    for h in handles {
+        let (got, served, _stalls) = h.join().unwrap();
+        for (v, &s) in served.iter().enumerate() {
+            total_served[v] += s;
+        }
+        for dst in got {
+            assert!(seen.insert(dst), "slot value {dst} claimed twice");
+        }
+    }
+    // Batches drove every vertex past depletion, so every sampled slot was
+    // handed out exactly once across all threads.
+    assert_eq!(seen.len() as u64, buf.sampled_capacity());
+    assert_eq!(buf.remaining_sampled(), 0);
+    let snapshot = buf.visit_weights_snapshot();
+    for v in 0..NV {
+        // The cursor still means "visits": at least one tick per serving
+        // batch or stall, and never below the served-slot count.
+        assert!(u64::from(snapshot[v]) >= total_served[v]);
+    }
 }

@@ -88,15 +88,23 @@ proptest! {
         degrees in prop::collection::vec(0u64..200, 1..50),
         capacity in 0u64..2000,
         low in 0u32..6,
+        alias in 8u32..200,
         cap in 1u32..64,
     ) {
         let weights = vec![0u32; degrees.len()];
-        let plan = plan_quotas(&degrees, &weights, capacity, low, cap);
+        let plan = plan_quotas(&degrees, &weights, capacity, low, alias, cap);
         for (i, &deg) in degrees.iter().enumerate() {
             if deg == 0 {
                 prop_assert_eq!(plan.quotas[i], 0);
             } else if deg <= low as u64 {
                 prop_assert!(plan.raw[i]);
+                prop_assert!(!plan.alias[i]);
+                prop_assert_eq!(plan.quotas[i] as u64, deg);
+            } else if plan.alias[i] {
+                // Hub retention: raw, whole edge list, only over the
+                // alias threshold.
+                prop_assert!(plan.raw[i]);
+                prop_assert!(deg >= alias as u64);
                 prop_assert_eq!(plan.quotas[i] as u64, deg);
             } else {
                 prop_assert!(!plan.raw[i]);
