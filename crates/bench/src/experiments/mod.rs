@@ -50,6 +50,7 @@ pub fn dispatch(id: &str, scale: Scale) -> Option<bool> {
     // Gated experiments report their acceptance verdict.
     match id {
         "throughput" => return Some(throughput::run(scale)),
+        "serve" => return Some(serve::run(scale)),
         "all" => {
             let mut ok = true;
             for id in ALL {
@@ -77,7 +78,6 @@ pub fn dispatch(id: &str, scale: Scale) -> Option<bool> {
         "ablation-lowdeg" => ablations::run_lowdeg(scale),
         "ablation-ssds" => ablations::run_ssds(scale),
         "ablation-g25" => ablations::run_g25(scale),
-        "serve" => serve::run(scale),
         _ => return None,
     }
     Some(true)

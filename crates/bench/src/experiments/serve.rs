@@ -20,12 +20,17 @@ use crate::report::Report;
 use crate::runner::env;
 use noswalker_core::{QuerySpec, StaticQuerySource};
 use noswalker_serve::{AdmissionOptions, Backend, ServeEngine, ServeOptions, ServeReport};
+use noswalker_shard::ShardPlane;
+use noswalker_storage::{per_shard_devices, SsdProfile};
 
 const DATASET: &str = "k30";
 const WALK_LENGTH: u32 = 10;
 const SEED: u64 = 31;
 const QUERIES_PER_POINT: u64 = 24;
 const BACKENDS: &[Backend] = &[Backend::Seq, Backend::Par];
+
+/// Shard counts for the sharded serve-plane sweep.
+const SHARD_COUNTS: &[usize] = &[1, 2, 4];
 
 /// The query-class mix offered round-robin.
 const MIX: &[&str] = &["ppr:7", "basic", "deepwalk:0", "rwr:7:0.15"];
@@ -123,6 +128,146 @@ fn stream(interarrival_ns: u64, walkers: u64, deadline_ns: u64) -> StaticQuerySo
     StaticQuerySource::new(specs)
 }
 
+/// The sharded sweep's query class for query `i`: the same four-way mix,
+/// but with start vertices spread across the vertex space so queries
+/// route to every shard and walkers actually cross partition boundaries.
+fn spread_class(i: u64, nv: u32) -> String {
+    let nv = nv.max(1) as u64;
+    let v = i.wrapping_mul(nv / QUERIES_PER_POINT.max(1)) % nv;
+    match i % 4 {
+        0 => format!("ppr:{v}"),
+        1 => "basic".to_string(),
+        2 => format!("deepwalk:{v}"),
+        _ => format!("rwr:{v}:0.15"),
+    }
+}
+
+fn spread_stream(
+    interarrival_ns: u64,
+    walkers: u64,
+    deadline_ns: u64,
+    nv: u32,
+) -> StaticQuerySource {
+    let specs: Vec<QuerySpec> = (0..QUERIES_PER_POINT)
+        .map(|i| {
+            let arrival_ns = i * interarrival_ns;
+            QuerySpec {
+                id: i + 1,
+                class: spread_class(i, nv),
+                walkers,
+                walk_length: WALK_LENGTH,
+                deadline_ns: Some(arrival_ns + deadline_ns),
+                arrival_ns,
+            }
+        })
+        .collect();
+    StaticQuerySource::new(specs)
+}
+
+/// One point of the sharded sweep: the merged report plus handoff totals.
+struct ShardPoint {
+    point: Point,
+    emigrated: u64,
+    immigrated: u64,
+}
+
+/// One shard count's offered-QPS sweep on the sharded serve plane.
+struct ShardSweep {
+    shards: usize,
+    points: Vec<ShardPoint>,
+}
+
+impl ShardSweep {
+    fn top(&self) -> &ShardPoint {
+        self.points.last().expect("sweep has points")
+    }
+
+    fn json(&self) -> String {
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                let base = p.point.json();
+                let tail = format!(
+                    ", \"walkers_emigrated\": {}, \"walkers_immigrated\": {}}}",
+                    p.emigrated, p.immigrated
+                );
+                // Splice the handoff totals into the point object: drop
+                // only its outermost closing brace (a blanket trim would
+                // also eat the nested metrics object's).
+                let cut = base.rfind('}').map_or(base.len(), |i| i);
+                format!("{}{}", &base[..cut], tail)
+            })
+            .collect();
+        format!(
+            "    {{\"shards\": {}, \"points\": [\n{}\n      ], \
+             \"top_achieved_qps\": {:.1}, \"top_served\": {}}}",
+            self.shards,
+            rows.join(",\n"),
+            self.top().point.report.achieved_qps(),
+            self.top().point.served(),
+        )
+    }
+}
+
+/// Sweeps offered QPS on an N-shard serve plane, reusing the calibrated
+/// single-shard service time so every shard count faces the identical
+/// offered load.
+fn sweep_shards(
+    shards: usize,
+    d: &datasets::Dataset,
+    budget: u64,
+    walkers: u64,
+    service_ns: u64,
+) -> Option<ShardSweep> {
+    let nv = d.csr.num_vertices() as u32;
+    let block_bytes = datasets::default_block_bytes(d);
+    let deadline_ns = service_ns * 3;
+    let sweep: &[(&str, u64)] = &[
+        ("0.5x", service_ns * 2),
+        ("1x", service_ns),
+        ("4x", (service_ns / 4).max(1)),
+        ("16x", (service_ns / 16).max(1)),
+    ];
+    let opts = ServeOptions {
+        seed: SEED,
+        backend: Backend::Seq,
+        admission: AdmissionOptions {
+            max_pending: 4,
+            retry_after_ns: service_ns / 2,
+            ..AdmissionOptions::default()
+        },
+        ..ServeOptions::default()
+    };
+    let mut points = Vec::new();
+    for &(label, interarrival_ns) in sweep {
+        let devices = per_shard_devices(shards, 1, SsdProfile::nvme_p4618(), 64 << 10);
+        let plane = match ShardPlane::build(&d.csr, devices, budget, block_bytes, opts.clone()) {
+            Ok(p) => p,
+            Err(err) => {
+                eprintln!("serve: {shards}-shard plane build failed: {err}");
+                return None;
+            }
+        };
+        let mut src = spread_stream(interarrival_ns, walkers, deadline_ns, nv);
+        match plane.run(&mut src, None) {
+            Ok(r) => points.push(ShardPoint {
+                point: Point {
+                    offered_qps: 1e9 / interarrival_ns as f64,
+                    report: r.report,
+                },
+                emigrated: r.walkers_emigrated,
+                immigrated: r.walkers_immigrated,
+            }),
+            Err(err) => {
+                eprintln!("serve: {shards}-shard {label} point failed: {err}");
+                return None;
+            }
+        }
+    }
+    Some(ShardSweep { shards, points })
+}
+
 fn sweep_backend(
     backend: Backend,
     d: &datasets::Dataset,
@@ -194,9 +339,10 @@ fn sweep_backend(
     })
 }
 
-/// Runs the serving sweep over every backend and writes
-/// `BENCH_serve.json`.
-pub fn run(scale: Scale) {
+/// Runs the serving sweep over every backend plus the shard-count sweep
+/// on the sharded serve plane, writes `BENCH_serve.json`, and returns the
+/// acceptance verdict (backend shed gates and the shard-scaling gate).
+pub fn run(scale: Scale) -> bool {
     let d = datasets::get(DATASET, scale);
     let budget = datasets::default_budget(scale);
     let walkers = scale.walkers(2_000);
@@ -205,7 +351,21 @@ pub fn run(scale: Scale) {
     for &backend in BACKENDS {
         match sweep_backend(backend, &d, budget, walkers) {
             Some(s) => sweeps.push(s),
-            None => return,
+            None => return false,
+        }
+    }
+
+    // Shard sweep, calibrated on the sequential backend so every shard
+    // count faces the identical offered load.
+    let seq_service_ns = sweeps
+        .iter()
+        .find(|s| s.backend == Backend::Seq)
+        .map_or(1, |s| s.service_ns);
+    let mut shard_sweeps = Vec::new();
+    for &shards in SHARD_COUNTS {
+        match sweep_shards(shards, &d, budget, walkers, seq_service_ns) {
+            Some(s) => shard_sweeps.push(s),
+            None => return false,
         }
     }
 
@@ -241,16 +401,47 @@ pub fn run(scale: Scale) {
             ]);
         }
     }
+    for s in &shard_sweeps {
+        for p in &s.points {
+            r.row([
+                format!("{} shards", s.shards),
+                format!("{:.1}", p.point.offered_qps),
+                format!("{:.1}", p.point.report.achieved_qps()),
+                p.point.served().to_string(),
+                p.point.report.shed_count().to_string(),
+                format!("{:.1}", p.point.p(0.50) as f64 / 1e3),
+                format!("{:.1}", p.point.p(0.99) as f64 / 1e3),
+                format!("{:.3}", p.point.miss_rate()),
+                p.point.report.degraded_count().to_string(),
+                p.point.report.rounds.to_string(),
+            ]);
+        }
+    }
     r.finish();
 
-    let pass = sweeps.iter().all(BackendSweep::pass);
+    // Shard-scaling gate: at the 16× overload point, the 4-shard plane
+    // must serve strictly more queries per modeled second than 1 shard.
+    let top_qps = |n: usize| {
+        shard_sweeps
+            .iter()
+            .find(|s| s.shards == n)
+            .map_or(0.0, |s| s.top().point.report.achieved_qps())
+    };
+    let shard_pass = top_qps(4) > top_qps(1);
+    let pass = sweeps.iter().all(BackendSweep::pass) && shard_pass;
     let rows: Vec<String> = sweeps.iter().map(BackendSweep::json).collect();
+    let shard_rows: Vec<String> = shard_sweeps.iter().map(ShardSweep::json).collect();
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"dataset\": \"{}\",\n  \"scale\": \"{}\",\n  \
          \"queries_per_point\": {},\n  \"walkers_per_query\": {},\n  \"walk_length\": {},\n  \
          \"backends\": [\n{}\n  ],\n  \
+         \"shard_sweep\": [\n{}\n  ],\n  \
+         \"shard_acceptance\": {{\"criterion\": \"4-shard achieved QPS strictly above 1-shard \
+         at the 16x overload point\", \"one_shard_qps\": {:.1}, \"four_shard_qps\": {:.1}, \
+         \"pass\": {}}},\n  \
          \"acceptance\": {{\"criterion\": \"every backend's oversubscribed point sheds \
-         (shed > 0) while still serving (served > 0)\", \"pass\": {}}}\n}}\n",
+         (shed > 0) while still serving (served > 0), and the 4-shard plane out-serves \
+         1 shard at overload\", \"pass\": {}}}\n}}\n",
         DATASET,
         match scale {
             Scale::Default => "default",
@@ -260,6 +451,10 @@ pub fn run(scale: Scale) {
         walkers,
         WALK_LENGTH,
         rows.join(",\n"),
+        shard_rows.join(",\n"),
+        top_qps(1),
+        top_qps(4),
+        shard_pass,
         pass,
     );
     match std::fs::write("BENCH_serve.json", &json) {
@@ -270,6 +465,14 @@ pub fn run(scale: Scale) {
                     s.backend.name(),
                     s.top().report.shed_count(),
                     QUERIES_PER_POINT
+                );
+            }
+            for s in &shard_sweeps {
+                println!(
+                    "(BENCH_serve.json: {} shards top point {:.1} q/s, {} handoffs)",
+                    s.shards,
+                    s.top().point.report.achieved_qps(),
+                    s.top().emigrated,
                 );
             }
         }
@@ -284,5 +487,13 @@ pub fn run(scale: Scale) {
                 s.top().served()
             );
         }
+        if !shard_pass {
+            eprintln!(
+                "serve: ACCEPTANCE FAILED — 4-shard top point {:.1} q/s does not beat 1-shard {:.1} q/s",
+                top_qps(4),
+                top_qps(1)
+            );
+        }
     }
+    pass
 }

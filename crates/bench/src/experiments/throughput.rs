@@ -91,6 +91,14 @@ impl Cell {
         self.m.steps as f64 / (self.m.wall_ns.max(1) as f64 / 1e9)
     }
 
+    /// Report-only: pool visits that found no published generation at
+    /// all, per executed step. Measures residency latency (how often
+    /// walkers outrun the warm-up/refill pipeline), not quota planning —
+    /// that actionable miss rate is `pool_stalls / steps`, the ratchet.
+    fn deferrals_per_step(&self) -> f64 {
+        self.m.pool_deferrals as f64 / self.m.steps.max(1) as f64
+    }
+
     fn json(&self, base_steps_per_sec: f64, seq_wall_steps_per_sec: f64) -> String {
         let sp = if base_steps_per_sec > 0.0 {
             self.steps_per_sec() / base_steps_per_sec
@@ -111,13 +119,15 @@ impl Cell {
         format!(
             "    {{\"config\": \"{}\", \"workers\": {}, \"steps_per_sec\": {:.1}, \
              \"wall_steps_per_sec\": {:.1}, \"wall_steps_per_sec_ratio\": {:.3}, \
-             \"speedup_vs_1w\": {:.3}, \"metrics\": {}}}",
+             \"speedup_vs_1w\": {:.3}, \"pool_deferrals_per_step\": {:.3}, \
+             \"metrics\": {}}}",
             self.config,
             self.workers,
             self.steps_per_sec(),
             self.wall_steps_per_sec(),
             wall_ratio,
             sp,
+            self.deferrals_per_step(),
             self.m.to_json(4),
         )
     }
@@ -192,6 +202,7 @@ pub fn run(scale: Scale) -> bool {
         "Msteps/s",
         "Speedup vs 1w",
         "Pool stalls",
+        "Deferrals/step",
         "Prefetch hit/wasted",
     ]);
     for c in &cells {
@@ -211,6 +222,7 @@ pub fn run(scale: Scale) -> bool {
                 "-".to_string()
             },
             c.m.pool_stalls.to_string(),
+            format!("{:.3}", c.deferrals_per_step()),
             format!("{}/{}", c.m.prefetch_hits, c.m.prefetch_wasted),
         ]);
     }

@@ -70,6 +70,8 @@ pub enum Command {
         seed: u64,
         /// Step-kernel backend: `seq`, `par`, or `auto`.
         backend: String,
+        /// Number of serve-plane shards (1 = the unsharded engine).
+        shards: u32,
     },
 }
 
@@ -97,7 +99,7 @@ USAGE:
                      [--length L] [--budget-pct P] [--seed S]
                      [--trace-out run.json|run.tsv]
   noswalker serve    <graph> --script <trace.txt> [--budget-pct P] [--seed S]
-                     [--backend seq|par|auto]
+                     [--backend seq|par|auto] [--shards N]
 
 APPS:     basic ppr rwr rwd graphlet deepwalk node2vec
 ENGINES:  noswalker (default) graphwalker drunkardmob graphene inmemory parallel
@@ -196,6 +198,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
             let mut budget_pct = 12u32;
             let mut seed = 42u64;
             let mut backend = "seq".to_string();
+            let mut shards = 1u32;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--script" => {
@@ -211,6 +214,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                             )));
                         }
                     }
+                    "--shards" => {
+                        shards = parse_num("--shards", it.next())?;
+                        if shards == 0 {
+                            return Err(bad("--shards must be at least 1"));
+                        }
+                    }
                     other => return Err(bad(format!("unknown flag {other}"))),
                 }
             }
@@ -220,6 +229,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                 budget_pct,
                 seed,
                 backend,
+                shards,
             }
         }
         "--help" | "-h" | "help" => return Err(bad(USAGE)),
@@ -328,6 +338,7 @@ mod tests {
                 budget_pct: 25,
                 seed: 9,
                 backend: "seq".into(),
+                shards: 1,
             }
         );
         assert!(p("serve g.csr").unwrap_err().0.contains("--script"));
@@ -358,6 +369,27 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--backend"));
+    }
+
+    #[test]
+    fn parses_serve_shards() {
+        let cli = p("serve g.csr --script t.txt --shards 4").unwrap();
+        match cli.command {
+            Command::Serve { shards, .. } => assert_eq!(shards, 4),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p("serve g.csr --script t.txt --shards 0")
+            .unwrap_err()
+            .0
+            .contains("--shards"));
+        assert!(p("serve g.csr --script t.txt --shards")
+            .unwrap_err()
+            .0
+            .contains("--shards"));
+        assert!(p("serve g.csr --script t.txt --shards four")
+            .unwrap_err()
+            .0
+            .contains("invalid value"));
     }
 
     #[test]

@@ -13,7 +13,8 @@ use noswalker_graph::io::{load_csr, read_edge_list, save_csr};
 use noswalker_graph::stats::DegreeStats;
 use noswalker_graph::{generators, Csr};
 use noswalker_serve::{parse_script, render_report, Backend, ServeEngine, ServeOptions};
-use noswalker_storage::{MemoryBudget, SimSsd, SsdProfile};
+use noswalker_shard::ShardPlane;
+use noswalker_storage::{per_shard_devices, MemoryBudget, SimSsd, SsdProfile};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
@@ -314,17 +315,21 @@ pub fn run_walk(
     Ok(report)
 }
 
-/// `noswalker serve <graph> --script <trace.txt>`.
+/// `noswalker serve <graph> --script <trace.txt> [--shards N]`.
 ///
 /// Replays a query trace against the online serving engine and prints a
 /// latency / shed report. The trace file format is one query per line:
 /// `at_us class walkers length [deadline_us|-]` (`#` starts a comment).
+/// With `--shards N > 1` the trace runs on the sharded serve plane: one
+/// simulated device and walker-pool share per shard, cross-shard walker
+/// handoff between rounds.
 pub fn run_serve(
     graph_path: &str,
     script_path: &str,
     budget_pct: u32,
     seed: u64,
     backend: &str,
+    shards: u32,
 ) -> Result<String, String> {
     let backend = Backend::parse(backend)
         .ok_or_else(|| format!("unknown backend {backend:?} (expected seq, par or auto)"))?;
@@ -340,25 +345,37 @@ pub fn run_serve(
     }
 
     let budget_bytes = (csr.edge_region_bytes() * budget_pct as u64 / 100).max(64 << 10);
-    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
     let block_bytes = (csr.num_edges() * 4 / 32).max(4096);
-    let graph = Arc::new(OnDiskGraph::store(&csr, device, block_bytes).map_err(err)?);
-    let budget = MemoryBudget::new(budget_bytes);
-
     let opts = ServeOptions {
         seed,
         backend,
         ..ServeOptions::default()
     };
     let queries = specs.len();
-    let engine = ServeEngine::new(graph, budget, opts);
     let mut source = StaticQuerySource::new(specs);
-    let report = engine.run(&mut source, None).map_err(err)?;
-    Ok(format!(
-        "{queries} queries from {script_path} on {graph_path} (backend {}, budget {budget_pct}% = {budget_bytes} bytes)\n{}",
-        backend.name(),
-        render_report(&report)
-    ))
+    let header = format!(
+        "{queries} queries from {script_path} on {graph_path} (backend {}, budget {budget_pct}% = {budget_bytes} bytes",
+        backend.name()
+    );
+    if shards <= 1 {
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, block_bytes).map_err(err)?);
+        let budget = MemoryBudget::new(budget_bytes);
+        let engine = ServeEngine::new(graph, budget, opts);
+        let report = engine.run(&mut source, None).map_err(err)?;
+        Ok(format!("{header})\n{}", render_report(&report)))
+    } else {
+        let devices = per_shard_devices(shards as usize, 1, SsdProfile::nvme_p4618(), 64 << 10);
+        let plane =
+            ShardPlane::build(&csr, devices, budget_bytes, block_bytes, opts).map_err(err)?;
+        let r = plane.run(&mut source, None).map_err(err)?;
+        Ok(format!(
+            "{header}, {shards} shards)\n{}\nhandoffs: {} walkers emigrated, {} re-admitted",
+            render_report(&r.report),
+            r.walkers_emigrated,
+            r.walkers_immigrated
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -472,7 +489,7 @@ mod tests {
         .unwrap();
 
         for backend in ["seq", "par", "auto"] {
-            let report = run_serve(&path, &script, 25, 3, backend).unwrap();
+            let report = run_serve(&path, &script, 25, 3, backend, 1).unwrap();
             assert!(report.contains("3 queries"), "{report}");
             assert!(report.contains(&format!("backend {backend}")), "{report}");
             assert!(report.contains("served 3"), "{report}");
@@ -480,16 +497,43 @@ mod tests {
             assert!(report.contains("p99="), "{report}");
             // Same inputs, same report: the serving loop runs on modeled
             // time on every backend.
-            assert_eq!(report, run_serve(&path, &script, 25, 3, backend).unwrap());
+            assert_eq!(
+                report,
+                run_serve(&path, &script, 25, 3, backend, 1).unwrap()
+            );
         }
 
-        assert!(run_serve(&path, &script, 25, 3, "threads")
+        assert!(run_serve(&path, &script, 25, 3, "threads", 1)
             .unwrap_err()
             .contains("unknown backend"));
         std::fs::write(&script, "0 node2vec:0 4 4 -\n").unwrap();
-        assert!(run_serve(&path, &script, 25, 3, "seq")
+        assert!(run_serve(&path, &script, 25, 3, "seq", 1)
             .unwrap_err()
             .contains("node2vec"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&script).ok();
+    }
+
+    #[test]
+    fn serve_runs_sharded_and_reports_handoffs() {
+        let path = tmp("shards.csr");
+        generate("uniform", 9, 6, &path, 7).unwrap();
+        let script = tmp("shards.txt");
+        std::fs::write(
+            &script,
+            "0    ppr:3    40 8 -\n\
+             100  basic    40 8 -\n\
+             200  ppr:400  40 8 -\n",
+        )
+        .unwrap();
+
+        let sharded = run_serve(&path, &script, 25, 3, "seq", 4).unwrap();
+        assert!(sharded.contains("4 shards"), "{sharded}");
+        assert!(sharded.contains("served 3"), "{sharded}");
+        assert!(sharded.contains("walkers emigrated"), "{sharded}");
+        // Deterministic: replaying the same trace reproduces the report.
+        assert_eq!(sharded, run_serve(&path, &script, 25, 3, "seq", 4).unwrap());
+
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&script).ok();
     }

@@ -63,6 +63,7 @@ pub fn run(cli: Cli) -> Result<String, String> {
             budget_pct,
             seed,
             backend,
-        } => commands::run_serve(&graph, &script, budget_pct, seed, &backend),
+            shards,
+        } => commands::run_serve(&graph, &script, budget_pct, seed, &backend, shards),
     }
 }

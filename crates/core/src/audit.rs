@@ -182,6 +182,21 @@ pub enum TraceEvent {
         /// Simulated time the miss was observed.
         at_ns: u64,
     },
+    /// A batch of walkers crossed a shard partition boundary and was
+    /// drained into the destination shard's handoff queue (sharded
+    /// serving). The handoff-conservation law balances these against
+    /// re-admissions: `walkers_emigrated == walkers_immigrated +
+    /// in_flight`, with `in_flight` drained to zero by run end.
+    ShardHandoff {
+        /// Shard the walkers emigrated from.
+        from_shard: u32,
+        /// Shard the walkers will be re-admitted on next round.
+        to_shard: u32,
+        /// Walkers in the batch.
+        walkers: u64,
+        /// Simulated time the batch was drained.
+        at_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -203,6 +218,7 @@ impl TraceEvent {
             TraceEvent::QueryCompleted { .. } => "query_completed",
             TraceEvent::QueryShed { .. } => "query_shed",
             TraceEvent::QueryDeadlineMiss { .. } => "query_deadline_miss",
+            TraceEvent::ShardHandoff { .. } => "shard_handoff",
         }
     }
 
@@ -345,6 +361,17 @@ impl TraceEvent {
             } => vec![
                 ("query", query.to_string()),
                 ("deadline_ns", deadline_ns.to_string()),
+                ("at_ns", at_ns.to_string()),
+            ],
+            TraceEvent::ShardHandoff {
+                from_shard,
+                to_shard,
+                walkers,
+                at_ns,
+            } => vec![
+                ("from_shard", from_shard.to_string()),
+                ("to_shard", to_shard.to_string()),
+                ("walkers", walkers.to_string()),
                 ("at_ns", at_ns.to_string()),
             ],
         }
@@ -664,6 +691,13 @@ impl RunAudit {
     ///     pool_stalls`. A claimed slot cannot leak. (One-directional
     ///     because merged sequential runs consume pre-samples without
     ///     pool attempts.)
+    /// 14. **handoff-conservation** — cross-shard walker handoff cannot
+    ///     invent walkers: `walkers_immigrated <= walkers_emigrated`
+    ///     (re-admission never outruns emigration; the difference is the
+    ///     in-flight queue depth, which [`audit_handoffs`] checks exactly
+    ///     round by round), and every emigrated walker was retired on its
+    ///     source shard via the cancellation path, so
+    ///     `walkers_emigrated <= walkers_cancelled`.
     pub fn verify_metrics(&self, m: &RunMetrics) -> AuditReport {
         let mut violations = Vec::new();
         let mut fail = |law: &'static str, detail: String| {
@@ -815,6 +849,26 @@ impl RunAudit {
                 ),
             );
         }
+        if m.walkers_immigrated > m.walkers_emigrated {
+            fail(
+                "handoff-conservation",
+                format!(
+                    "walkers_immigrated {} > walkers_emigrated {} — a shard re-admitted \
+                     a walker that never crossed a boundary",
+                    m.walkers_immigrated, m.walkers_emigrated
+                ),
+            );
+        }
+        if m.walkers_emigrated > m.walkers_cancelled {
+            fail(
+                "handoff-conservation",
+                format!(
+                    "walkers_emigrated {} > walkers_cancelled {} — every emigrated walker \
+                     is retired on its source shard via the cancellation path",
+                    m.walkers_emigrated, m.walkers_cancelled
+                ),
+            );
+        }
         if m.peak_memory != 0 && m.peak_memory < self.budget_floor {
             fail(
                 "budget-peak",
@@ -828,6 +882,26 @@ impl RunAudit {
 
         AuditReport { violations }
     }
+}
+
+/// Checks the exact cross-shard handoff conservation law at a point in
+/// time: `walkers_emigrated == walkers_immigrated + in_flight`, where
+/// `in_flight` is the summed depth of every handoff queue. The sharded
+/// serve plane runs this in debug builds after every round (queues may
+/// hold walkers mid-run) and again at run end with `in_flight == 0` —
+/// a walker drained into a queue must be re-admitted exactly once.
+pub fn audit_handoffs(emigrated: u64, immigrated: u64, in_flight: u64) -> AuditReport {
+    let mut violations = Vec::new();
+    if emigrated != immigrated + in_flight {
+        violations.push(Violation {
+            law: "handoff-conservation",
+            detail: format!(
+                "walkers_emigrated {emigrated} != walkers_immigrated {immigrated} + \
+                 in_flight {in_flight} — a handed-off walker was lost or duplicated",
+            ),
+        });
+    }
+    AuditReport { violations }
 }
 
 /// Checks the per-query conservation law over a finished serving run:
@@ -1124,6 +1198,63 @@ mod tests {
         let r = audit_queries(&[over]);
         assert_eq!(r.violations.len(), 1);
         assert!(r.violations[0].detail.contains("exceeds"));
+    }
+
+    #[test]
+    fn handoff_conservation_law() {
+        let audit = RunAudit::with_floor(10, 0);
+
+        // Immigration outrunning emigration is a fabricated walker.
+        let mut m = conserving_metrics();
+        m.walkers_emigrated = 2;
+        m.walkers_immigrated = 3;
+        m.walkers_cancelled = 2;
+        m.walkers_finished = 8;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "handoff-conservation"
+        );
+
+        // An emigrated walker must have retired via the cancellation path.
+        let mut m = conserving_metrics();
+        m.walkers_emigrated = 1;
+        assert_eq!(
+            audit.verify_metrics(&m).violations[0].law,
+            "handoff-conservation"
+        );
+
+        // Balanced handoff traffic passes.
+        let mut m = conserving_metrics();
+        m.walkers_emigrated = 3;
+        m.walkers_immigrated = 3;
+        m.walkers_cancelled = 3;
+        m.walkers_finished = 7;
+        audit.verify_metrics(&m).assert_clean();
+
+        // The exact point-in-time law accounts for queued walkers.
+        audit_handoffs(5, 3, 2).assert_clean();
+        audit_handoffs(0, 0, 0).assert_clean();
+        let r = audit_handoffs(5, 3, 1);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].law, "handoff-conservation");
+        assert!(r.violations[0].detail.contains("lost or duplicated"));
+    }
+
+    #[test]
+    fn shard_handoff_event_exports_cleanly() {
+        let mut sink = MemorySink::new();
+        sink.record(&TraceEvent::ShardHandoff {
+            from_shard: 0,
+            to_shard: 2,
+            walkers: 17,
+            at_ns: 42,
+        });
+        let json = sink.to_json();
+        assert!(json.contains(
+            "{\"event\":\"shard_handoff\",\"from_shard\":0,\"to_shard\":2,\"walkers\":17,\"at_ns\":42}"
+        ));
+        let tsv = sink.to_tsv();
+        assert!(tsv.contains("shard_handoff\tfrom_shard=0\tto_shard=2\twalkers=17\tat_ns=42"));
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub mod query;
 pub mod threaded;
 pub mod walk;
 
-pub use audit::{audit_queries, AuditReport, MemorySink, RunAudit, Trace, TraceEvent, TraceSink};
+pub use audit::{
+    audit_handoffs, audit_queries, AuditReport, MemorySink, RunAudit, Trace, TraceEvent, TraceSink,
+};
 pub use block::{BlockCache, FineLoad, LoadedBlock};
 pub use clock::{ModelClock, PipelineClock, WallTimer};
 pub use disk_graph::{OnDiskGraph, StoreError};

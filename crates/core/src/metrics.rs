@@ -107,6 +107,15 @@ pub struct RunMetrics {
     /// Prefetched coarse blocks discarded because no walker needed them by
     /// the time they arrived.
     pub prefetch_wasted: u64,
+    /// Walkers that crossed a shard boundary and were drained into a
+    /// cross-shard handoff queue (sharded serving only). The handoff
+    /// conservation audit law balances emigration against immigration:
+    /// `walkers_emigrated == walkers_immigrated + in_flight`, with
+    /// `in_flight` reaching zero by the end of every run.
+    pub walkers_emigrated: u64,
+    /// Walkers re-admitted on their destination shard after a cross-shard
+    /// handoff (sharded serving only; see `walkers_emigrated`).
+    pub walkers_immigrated: u64,
     /// Second-order candidates accepted.
     pub accepts: u64,
     /// Second-order candidates rejected.
@@ -218,6 +227,21 @@ impl RunMetrics {
         self.prefetch_wasted += 1;
     }
 
+    /// Records `n` walkers drained into cross-shard handoff queues after
+    /// hopping over a partition boundary. Every emigration path must tick
+    /// this counter — the handoff-conservation audit law balances it
+    /// against `walkers_immigrated`.
+    pub fn record_walkers_emigrated(&mut self, n: u64) {
+        self.walkers_emigrated += n;
+    }
+
+    /// Records `n` walkers re-admitted on their destination shard after a
+    /// cross-shard handoff (the receiving half of the handoff-conservation
+    /// audit law).
+    pub fn record_walkers_immigrated(&mut self, n: u64) {
+        self.walkers_immigrated += n;
+    }
+
     /// Marks the switch to fine-grained I/O at the current step count
     /// (§3.3.1); the first call wins.
     pub fn mark_fine_mode_switch(&mut self) {
@@ -309,6 +333,8 @@ impl RunMetrics {
         self.claims_burned += other.claims_burned;
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_wasted += other.prefetch_wasted;
+        self.walkers_emigrated += other.walkers_emigrated;
+        self.walkers_immigrated += other.walkers_immigrated;
         self.accepts += other.accepts;
         self.rejects += other.rejects;
         self.peak_memory = self.peak_memory.max(other.peak_memory);
@@ -399,6 +425,8 @@ impl RunMetrics {
             ("claims_burned", self.claims_burned.to_string()),
             ("prefetch_hits", self.prefetch_hits.to_string()),
             ("prefetch_wasted", self.prefetch_wasted.to_string()),
+            ("walkers_emigrated", self.walkers_emigrated.to_string()),
+            ("walkers_immigrated", self.walkers_immigrated.to_string()),
             ("accepts", self.accepts.to_string()),
             ("rejects", self.rejects.to_string()),
             ("peak_memory", self.peak_memory.to_string()),
@@ -909,6 +937,22 @@ mod tests {
         shared.drain_into(&mut m);
         assert_eq!(m.walkers_cancelled, 3);
         assert_eq!(m.walkers_finished, 1);
+    }
+
+    #[test]
+    fn handoff_counters_are_tracked_and_merged() {
+        let mut m = RunMetrics::default();
+        m.record_walkers_emigrated(3);
+        m.record_walkers_immigrated(2);
+        let mut other = RunMetrics::default();
+        other.record_walkers_emigrated(1);
+        other.record_walkers_immigrated(2);
+        m.merge(&other);
+        assert_eq!(m.walkers_emigrated, 4);
+        assert_eq!(m.walkers_immigrated, 4);
+        let json = m.to_json(2);
+        assert!(json.contains("\"walkers_emigrated\": 4"));
+        assert!(json.contains("\"walkers_immigrated\": 4"));
     }
 
     #[test]

@@ -573,6 +573,10 @@ impl<A: Walk + 'static> ParallelRunner<A> {
         }
 
         generate!();
+        // Private stream for warm-up pre-sampling below: the coordinator's
+        // `rng` is the walker-generation stream and must not be perturbed
+        // by how many blocks happened to need a first generation.
+        let mut warm_rng = WalkRng::seed_from_u64(seed ^ 0xD6E8_FEB8_6659_FD93);
         // Consecutive budget-failed loads tolerated before giving up: one
         // full in-flight window can fail from a single scarcity episode
         // (the loader computed those results before any eviction), plus
@@ -691,6 +695,41 @@ impl<A: Walk + 'static> ParallelRunner<A> {
                 });
             }
 
+            // Warm-up pre-sampling: a block delivered with no published
+            // generation would push every walker of its first dispatch
+            // through the raw-sampling deferral path. The load just
+            // arrived and the workers are idle, so build the first
+            // generation here on the coordinator before fanning out; the
+            // draw cost is billed into this round like any refill.
+            let mut warm: Option<RefillReport> = None;
+            if self.opts.enable_presample
+                && pool.acquire(target).is_none()
+                && pool.try_begin_refill(target)
+            {
+                warm = refill_block(
+                    &*self.app,
+                    &self.graph,
+                    &pool,
+                    &self.budget,
+                    &self.opts,
+                    &block,
+                    &mut warm_rng,
+                );
+                pool.end_refill(target);
+                if let Some(rep) = &warm {
+                    shared.add_presamples_filled(rep.draws);
+                    shared.add_pool_publish();
+                    let at = model.now;
+                    let (blk, slots, draws) = (rep.block, rep.slots, rep.draws);
+                    trace.emit(|| TraceEvent::PoolPublish {
+                        block: blk,
+                        slots,
+                        draws,
+                        at_ns: at,
+                    });
+                }
+            }
+
             // Fan the block's walkers out to the persistent workers. Chunks
             // are kept coarse (at most one per worker) so per-job overhead
             // stays negligible next to the walking itself.
@@ -738,6 +777,9 @@ impl<A: Walk + 'static> ParallelRunner<A> {
 
             let mut survivors = Vec::new();
             let mut job_costs: Vec<u64> = Vec::with_capacity(jobs + 1);
+            if let Some(rep) = &warm {
+                job_costs.push(rep.draws * self.opts.sample_cost());
+            }
             for _ in 0..jobs {
                 let out = res_rx.recv().map_err(|_| worker_died())?;
                 job_costs.push(
@@ -1542,6 +1584,61 @@ mod tests {
             m.pool_attempts,
             m.presamples_consumed + m.claims_burned + m.pool_stalls
         );
+    }
+
+    #[test]
+    fn first_generation_publishes_at_load_delivery() {
+        // Warm-up pre-sampling builds a block's first generation on the
+        // coordinator the moment its load is delivered — before the first
+        // walk-job fan-out — instead of queueing an async refill behind
+        // the walk jobs. Pinned via the trace: each block's first
+        // `PoolPublish` carries the same model timestamp as a
+        // `CoarseLoad` of that same block (publish-at-delivery), and
+        // every block gets a generation.
+        let csr = generators::uniform_degree(512, 8, 7);
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, 2048).unwrap());
+        let num_blocks = graph.num_blocks();
+        let app = Arc::new(Basic {
+            walkers: 3000,
+            length: 9,
+            n: 512,
+            visits: A64::new(0),
+        });
+        let r = ParallelRunner::new(
+            app,
+            graph,
+            EngineOptions::default(),
+            MemoryBudget::new(1 << 20),
+        );
+        let mut sink = MemorySink::new();
+        let m = r.run_with_sink(9, 1, Some(&mut sink)).unwrap();
+        assert_eq!(m.walkers_finished, 3000);
+        assert!(
+            m.pool_publishes >= num_blocks as u64,
+            "every block must get a first generation ({} publishes, {num_blocks} blocks)",
+            m.pool_publishes
+        );
+        let mut loads: BTreeMap<BlockId, Vec<u64>> = BTreeMap::new();
+        let mut first_publish: BTreeMap<BlockId, u64> = BTreeMap::new();
+        for e in &sink.events {
+            match *e {
+                TraceEvent::CoarseLoad { block, at_ns, .. } => {
+                    loads.entry(block).or_default().push(at_ns);
+                }
+                TraceEvent::PoolPublish { block, at_ns, .. } => {
+                    first_publish.entry(block).or_insert(at_ns);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(first_publish.len(), num_blocks);
+        for (&b, &at) in &first_publish {
+            assert!(
+                loads.get(&b).is_some_and(|ts| ts.contains(&at)),
+                "block {b}: first publish at {at} ns must coincide with its load delivery"
+            );
+        }
     }
 
     #[test]

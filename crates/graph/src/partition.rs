@@ -191,6 +191,48 @@ impl Partition {
         (csr.edge_start(v) * rec)..(csr.edge_start(v + 1) * rec)
     }
 
+    /// Places a graph onto `shards` shards: contiguous vertex ranges,
+    /// byte-balanced over the edge region the same way coarse blocks are
+    /// carved (complete out-edge sets are never split). Always returns
+    /// exactly `shards` ranges covering `0..num_vertices` in order; when
+    /// the graph has at least `shards` vertices every range is non-empty.
+    ///
+    /// This is the placement the sharded serve plane uses: shard `s` owns
+    /// vertices `ranges[s]`, and a deterministic router maps a vertex to
+    /// its owner by binary search over the range starts.
+    pub fn shard_ranges(
+        csr: &Csr,
+        format: EdgeFormat,
+        shards: u32,
+    ) -> Vec<std::ops::Range<VertexId>> {
+        let shards = shards.max(1) as usize;
+        let n = csr.num_vertices();
+        let rec = format.record_bytes() as u64;
+        let total = csr.num_edges() * rec;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut v = 0usize;
+        for s in 0..shards {
+            let start = v;
+            if s + 1 == shards {
+                v = n;
+            } else {
+                // Cut at the ideal cumulative byte boundary for shard s.
+                let target = total * (s as u64 + 1) / shards as u64;
+                while v < n && csr.edge_start(v as VertexId + 1) * rec < target {
+                    v += 1;
+                }
+                // Keep every shard non-empty when the vertex count allows:
+                // take at least one vertex, but leave one per later shard.
+                let remaining = shards - s - 1;
+                let max_end = n.saturating_sub(remaining).max(start);
+                let min_end = (start + 1).min(max_end);
+                v = v.clamp(min_end, max_end);
+            }
+            ranges.push(start as VertexId..v as VertexId);
+        }
+        ranges
+    }
+
     /// The fine-page index range (within block `b`) covering vertex `v`'s
     /// records: which 4 KiB pages must be loaded so `v` is fully readable.
     ///
@@ -307,5 +349,67 @@ mod tests {
         let g = chain(10);
         let p = Partition::by_block_bytes(&g, EdgeFormat::WeightedAlias, 1 << 20);
         assert_eq!(p.total_bytes(), 10 * 12);
+    }
+
+    #[test]
+    fn shard_ranges_cover_vertices_contiguously() {
+        let g = chain(100);
+        for shards in [1u32, 2, 3, 4, 7, 16] {
+            let ranges = Partition::shard_ranges(&g, EdgeFormat::Unweighted, shards);
+            assert_eq!(ranges.len(), shards as usize);
+            let mut v = 0;
+            for r in &ranges {
+                assert_eq!(r.start, v);
+                assert!(!r.is_empty(), "shard range {r:?} empty for {shards} shards");
+                v = r.end;
+            }
+            assert_eq!(v, 100);
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let g = chain(64);
+        let ranges = Partition::shard_ranges(&g, EdgeFormat::Unweighted, 1);
+        assert_eq!(ranges, vec![0..64]);
+    }
+
+    #[test]
+    fn shard_ranges_balance_skewed_bytes() {
+        // Vertex 0 owns half the edges; the first shard should not swallow
+        // everything and later shards must still be non-empty.
+        let mut b = CsrBuilder::new(16);
+        for i in 0..64 {
+            b.push_edge(0, i % 16);
+        }
+        for v in 1..16 {
+            b.push_edge(v, (v + 1) % 16);
+        }
+        let g = b.build();
+        let ranges = Partition::shard_ranges(&g, EdgeFormat::Unweighted, 4);
+        assert_eq!(ranges.len(), 4);
+        let mut v = 0;
+        for r in &ranges {
+            assert_eq!(r.start, v);
+            assert!(!r.is_empty());
+            v = r.end;
+        }
+        assert_eq!(v, 16);
+    }
+
+    #[test]
+    fn more_shards_than_vertices_yields_some_empty_ranges() {
+        let g = chain(3);
+        let ranges = Partition::shard_ranges(&g, EdgeFormat::Unweighted, 5);
+        assert_eq!(ranges.len(), 5);
+        assert_eq!(ranges.last().unwrap().end, 3);
+        let mut v = 0;
+        for r in &ranges {
+            assert!(r.start <= r.end);
+            assert!(r.start == v || r.is_empty());
+            v = v.max(r.end);
+        }
+        let owned: u32 = ranges.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(owned, 3);
     }
 }

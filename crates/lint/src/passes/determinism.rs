@@ -27,7 +27,9 @@ const AMBIENT_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
 const UNORDERED: &[&str] = &["HashMap", "HashSet"];
 
 fn l9_scope(path: &str) -> bool {
-    path.starts_with("crates/core/src/") || path.starts_with("crates/serve/src/")
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/shard/src/")
 }
 
 pub(crate) struct DigestDeterminism;

@@ -25,7 +25,8 @@ impl Pass for TraceCoverage {
             let is_def = a.path == tr.def_path;
             let in_engine = a.path.starts_with("crates/core/src/")
                 || a.path.starts_with("crates/baselines/src/")
-                || a.path.starts_with("crates/serve/src/");
+                || a.path.starts_with("crates/serve/src/")
+                || a.path.starts_with("crates/shard/src/");
             if !is_def && !in_engine {
                 continue;
             }

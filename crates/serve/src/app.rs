@@ -11,8 +11,9 @@
 //! balanced.
 
 use noswalker_core::apps_prelude::*;
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The application a query binds its walkers to.
 ///
@@ -116,14 +117,17 @@ fn u01(x: u64) -> f32 {
 /// The per-query stream seed: derived from the serving engine's base seed
 /// and the query id only — never from round state — so a query spanning
 /// several rounds (or carved differently by another backend's quota) still
-/// hands each of its walkers the same private stream.
-pub(crate) fn query_stream_seed(base: u64, query: u64) -> u64 {
+/// hands each of its walkers the same private stream. Public so the
+/// sharded serve plane seeds queries identically to [`crate::ServeEngine`]
+/// (the N=1 parity contract).
+pub fn query_stream_seed(base: u64, query: u64) -> u64 {
     let mut s = base ^ query.wrapping_mul(0xA24B_AED4_963E_E407);
     splitmix64(&mut s)
 }
 
-/// Walker `k`'s private stream seed within its query's stream.
-fn walker_stream_seed(query_seed: u64, k: u64) -> u64 {
+/// Walker `k`'s private stream seed within its query's stream. Public for
+/// the same reason as [`query_stream_seed`].
+pub fn walker_stream_seed(query_seed: u64, k: u64) -> u64 {
     let mut s = query_seed ^ k.wrapping_mul(0x9E6C_63D0_876A_8AD1);
     splitmix64(&mut s)
 }
@@ -156,6 +160,10 @@ struct Slot {
     cancel_flag: AtomicBool,
     completed_walkers: AtomicU64,
     cancelled_walkers: AtomicU64,
+    /// Walkers parked at a vertex outside the round's owned shard range:
+    /// retired through the engine's cancellation path here, then handed
+    /// off to the owning shard (sharded serving only).
+    emigrated_walkers: AtomicU64,
     digest: AtomicU64,
 }
 
@@ -185,6 +193,7 @@ impl QueryTable {
                     cancel_flag: AtomicBool::new(false),
                     completed_walkers: AtomicU64::new(0),
                     cancelled_walkers: AtomicU64::new(0),
+                    emigrated_walkers: AtomicU64::new(0),
                     digest: AtomicU64::new(0),
                 })
                 .collect(),
@@ -221,6 +230,26 @@ impl QueryTable {
         self.slots[slot as usize]
             .cancelled_walkers
             .load(Ordering::Relaxed)
+    }
+
+    /// Walkers of `slot` parked for cross-shard handoff this round
+    /// (counted as neither completed nor cancelled at the query level —
+    /// they resume on their destination shard next round).
+    pub fn emigrated_walkers(&self, slot: u32) -> u64 {
+        self.slots[slot as usize]
+            .emigrated_walkers
+            .load(Ordering::Relaxed)
+    }
+
+    /// Pre-cancels `slot` before the round runs: its walkers retire
+    /// through the cancellation path on first contact. The sharded plane
+    /// uses this to drain handed-off walkers of a query whose deadline
+    /// already fired (the query stays active until every in-flight walker
+    /// is accounted for, keeping the query-conservation law balanced).
+    pub fn cancel(&self, slot: u32) {
+        self.slots[slot as usize]
+            .cancel_flag
+            .store(true, Ordering::Relaxed);
     }
 
     /// Steps taken by `slot`'s walkers this round.
@@ -264,6 +293,16 @@ struct Chunk {
 
 /// One serving round's walk application: the union of every active query's
 /// walker chunk, multiplexed into the engine's single bounded pool.
+///
+/// Under sharded serving ([`RoundApp::sharded`]) the app additionally owns
+/// a contiguous vertex range: walkers whose current vertex falls outside
+/// it go inactive, retire through the engine's cancellation path (keeping
+/// the per-round walker-completion law balanced), and are parked in the
+/// emigrant list for the plane to hand off; walkers handed off *to* this
+/// shard in a previous round are injected ahead of the fresh chunks with
+/// their full state (vertex, step count, private RNG stream) intact, so a
+/// walker's trajectory is identical whether or not it ever crossed a
+/// boundary.
 pub struct RoundApp {
     table: Arc<QueryTable>,
     chunks: Vec<Chunk>,
@@ -271,6 +310,16 @@ pub struct RoundApp {
     prefix: Vec<u64>,
     total: u64,
     num_vertices: u32,
+    /// Vertices this round's shard owns; walkers outside it emigrate.
+    /// The unsharded engine owns everything (`0..num_vertices`).
+    owned: Range<u32>,
+    /// Walkers resuming after a cross-shard handoff, occupying generation
+    /// indices `0..resumed.len()` ahead of the chunk walkers.
+    resumed: Vec<ServeWalker>,
+    /// Walkers parked mid-walk at a foreign vertex this round, in
+    /// retirement order (the plane sorts them on a deterministic key
+    /// before re-admission, so parallel retirement order never leaks).
+    emigrants: Mutex<Vec<ServeWalker>>,
 }
 
 impl std::fmt::Debug for RoundApp {
@@ -287,13 +336,26 @@ impl RoundApp {
     /// `(slot, base_walker_index, walker_count)`; zero-count chunks are
     /// dropped.
     pub fn new(table: Arc<QueryTable>, chunks: Vec<(u32, u64, u64)>, num_vertices: u32) -> Self {
+        Self::sharded(table, chunks, num_vertices, 0..num_vertices, Vec::new())
+    }
+
+    /// Builds a shard's round application: like [`RoundApp::new`] but the
+    /// app owns only `owned` of the vertex space and starts with `resumed`
+    /// walkers handed off from other shards in earlier rounds.
+    pub fn sharded(
+        table: Arc<QueryTable>,
+        chunks: Vec<(u32, u64, u64)>,
+        num_vertices: u32,
+        owned: Range<u32>,
+        resumed: Vec<ServeWalker>,
+    ) -> Self {
         let chunks: Vec<Chunk> = chunks
             .into_iter()
             .filter(|&(_, _, count)| count > 0)
             .map(|(slot, base, count)| Chunk { slot, base, count })
             .collect();
         let mut prefix = Vec::with_capacity(chunks.len());
-        let mut total = 0u64;
+        let mut total = resumed.len() as u64;
         for c in &chunks {
             prefix.push(total);
             total += c.count;
@@ -304,7 +366,19 @@ impl RoundApp {
             prefix,
             total,
             num_vertices,
+            owned,
+            resumed,
+            emigrants: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Drains the walkers parked for cross-shard handoff this round.
+    pub fn take_emigrants(&self) -> Vec<ServeWalker> {
+        std::mem::take(&mut *self.emigrants.lock().expect("emigrant list poisoned"))
+    }
+
+    fn owns(&self, v: VertexId) -> bool {
+        self.owned.contains(&v)
     }
 
     fn slot_of(&self, n: u64) -> (&Chunk, u64) {
@@ -326,6 +400,11 @@ impl Walk for RoundApp {
     }
 
     fn generate(&self, n: u64, _rng: &mut WalkRng) -> ServeWalker {
+        if let Some(w) = self.resumed.get(n as usize) {
+            // A handed-off walker resumes exactly where it parked: same
+            // vertex, same step count, same private stream state.
+            return w.clone();
+        }
         let (chunk, k) = self.slot_of(n);
         let s = &self.table.slots[chunk.slot as usize];
         ServeWalker {
@@ -345,7 +424,7 @@ impl Walk for RoundApp {
 
     fn is_active(&self, w: &ServeWalker) -> bool {
         let s = self.slot(w);
-        w.step < s.length && !s.cancel_flag.load(Ordering::Relaxed)
+        w.step < s.length && !s.cancel_flag.load(Ordering::Relaxed) && self.owns(w.at)
     }
 
     fn sample(&self, v: &VertexEdges<'_>, rng: &mut WalkRng) -> VertexId {
@@ -388,17 +467,29 @@ impl Walk for RoundApp {
         let s = self.slot(w);
         // Same predicate as `is_cancelled`: a walker that already took all
         // its steps finished naturally even if its query got cancelled in
-        // the same round; dead-end retirements also count as completed.
+        // the same round; dead-end retirements also count as completed. A
+        // mid-walk walker parked at a foreign vertex is an emigrant: it is
+        // neither completed nor cancelled at the query level — the plane
+        // hands it to the owning shard, where it resumes next round.
         if s.cancel_flag.load(Ordering::Relaxed) && w.step < s.length {
             s.cancelled_walkers.fetch_add(1, Ordering::Relaxed);
+        } else if w.step < s.length && !self.owns(w.at) {
+            s.emigrated_walkers.fetch_add(1, Ordering::Relaxed);
+            self.emigrants
+                .lock()
+                .expect("emigrant list poisoned")
+                .push(w.clone());
         } else {
             s.completed_walkers.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     fn is_cancelled(&self, w: &ServeWalker) -> bool {
+        // Emigrants count as cancelled *at the engine level* (so each
+        // kernel round's walker-completion law balances); the query-level
+        // attribution above keeps them out of the cancelled tally.
         let s = self.slot(w);
-        s.cancel_flag.load(Ordering::Relaxed) && w.step < s.length
+        w.step < s.length && (s.cancel_flag.load(Ordering::Relaxed) || !self.owns(w.at))
     }
 }
 
@@ -549,6 +640,68 @@ mod tests {
             .collect();
         assert_eq!(d1, d2);
         assert!(d1.iter().all(|d| targets.contains(d)));
+    }
+
+    #[test]
+    fn foreign_walkers_park_as_emigrants_and_resume_intact() {
+        let table = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None, 5)]));
+        // Shard owning vertices 0..8 of a 16-vertex graph.
+        let app = RoundApp::sharded(Arc::clone(&table), vec![(0, 0, 1)], 16, 0..8, Vec::new());
+        let mut r = rng();
+        let mut w = app.generate(0, &mut r);
+        assert!(app.is_active(&w));
+        // Step onto a foreign vertex: inactive, engine-cancelled, parked.
+        app.action(&mut w, 12, &mut r);
+        assert!(!app.is_active(&w));
+        assert!(app.is_cancelled(&w));
+        app.on_terminate(&w);
+        assert_eq!(table.emigrated_walkers(0), 1);
+        assert_eq!(table.completed_walkers(0), 0);
+        assert_eq!(table.cancelled_walkers(0), 0);
+        let parked = app.take_emigrants();
+        assert_eq!(parked.len(), 1);
+        assert_eq!((parked[0].at, parked[0].step), (12, 1));
+        assert_eq!(parked[0].rng, w.rng);
+        assert!(app.take_emigrants().is_empty(), "drained once");
+
+        // The destination shard resumes the walker with identical state.
+        let t2 = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None, 5)]));
+        let app2 = RoundApp::sharded(Arc::clone(&t2), Vec::new(), 16, 8..16, parked);
+        assert_eq!(app2.total_walkers(), 1);
+        let resumed = app2.generate(0, &mut r);
+        assert_eq!((resumed.at, resumed.step, resumed.rng), (12, 1, w.rng));
+        assert!(app2.is_active(&resumed));
+
+        // A walker that finishes its last step onto a foreign vertex
+        // completed — the walk is over, nothing to hand off.
+        let t3 = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 1, None, 5)]));
+        let app3 = RoundApp::sharded(Arc::clone(&t3), vec![(0, 0, 1)], 16, 0..8, Vec::new());
+        let mut w = app3.generate(0, &mut r);
+        app3.action(&mut w, 12, &mut r);
+        assert!(!app3.is_cancelled(&w));
+        app3.on_terminate(&w);
+        assert_eq!(t3.completed_walkers(0), 1);
+        assert_eq!(t3.emigrated_walkers(0), 0);
+    }
+
+    #[test]
+    fn precancelled_slot_drains_resumed_walkers_as_cancelled() {
+        let table = Arc::new(QueryTable::new(vec![(QueryClass::Basic, 8, None, 5)]));
+        table.cancel(0);
+        let resumed = vec![ServeWalker {
+            at: 9,
+            step: 3,
+            slot: 0,
+            rng: 77,
+        }];
+        let app = RoundApp::sharded(Arc::clone(&table), Vec::new(), 16, 8..16, resumed);
+        let mut r = rng();
+        let w = app.generate(0, &mut r);
+        assert!(!app.is_active(&w));
+        assert!(app.is_cancelled(&w));
+        app.on_terminate(&w);
+        assert_eq!(table.cancelled_walkers(0), 1);
+        assert_eq!(table.emigrated_walkers(0), 0);
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod engine;
 pub mod trace;
 
 pub use admission::{Admission, AdmissionController, AdmissionOptions};
-pub use app::{QueryClass, RoundApp, ServeWalker};
+pub use app::{
+    query_stream_seed, walker_stream_seed, QueryClass, QueryTable, RoundApp, ServeWalker,
+};
 pub use engine::{QueryOutcome, ServeEngine, ServeError, ServeOptions, ServeReport};
 pub use noswalker_core::Backend;
 pub use trace::{parse_script, render_report, ScriptError};

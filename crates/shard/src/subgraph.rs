@@ -1,0 +1,93 @@
+//! Per-shard sub-CSR construction.
+
+use noswalker_graph::{Csr, CsrBuilder, VertexId};
+use std::ops::Range;
+
+/// Builds shard `owned`'s sub-CSR: the **full** vertex-id space of `csr`
+/// (so vertex ids, RWR teleport anchors, and `v % |V|` start-vertex
+/// arithmetic stay globally meaningful), but with edges only for the
+/// owned contiguous range. Weights and alias tables are carried over for
+/// the owned edges, preserving the source's edge format.
+///
+/// Foreign vertices have degree zero on this shard; the serving round app
+/// never samples them — a walker parked at one is inactive here and is
+/// handed off to the owning shard instead.
+pub fn shard_subgraph(csr: &Csr, owned: Range<VertexId>) -> Csr {
+    let mut b = CsrBuilder::new(csr.num_vertices());
+    let mut weights = Vec::new();
+    for v in owned {
+        for &t in csr.neighbors(v) {
+            b.push_edge(v, t);
+        }
+        if let Some(ws) = csr.edge_weights(v) {
+            weights.extend_from_slice(ws);
+        }
+    }
+    let mut sub = b.build();
+    if csr.is_weighted() {
+        sub = sub.with_weights(weights);
+    }
+    if csr.has_alias_tables() {
+        sub = sub.build_alias_tables();
+    }
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32) -> Csr {
+        let mut b = CsrBuilder::new(n as usize);
+        for v in 0..n {
+            b.push_edge(v, (v + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn keeps_full_vertex_space_with_owned_edges_only() {
+        let g = chain(16);
+        let sub = shard_subgraph(&g, 4..8);
+        assert_eq!(sub.num_vertices(), 16);
+        assert_eq!(sub.num_edges(), 4);
+        for v in 0..16u32 {
+            if (4..8).contains(&v) {
+                assert_eq!(sub.neighbors(v), g.neighbors(v), "owned vertex {v}");
+            } else {
+                assert_eq!(sub.degree(v), 0, "foreign vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_reproduces_the_source_graph() {
+        let g = chain(12);
+        let sub = shard_subgraph(&g, 0..12);
+        assert_eq!(sub.num_vertices(), g.num_vertices());
+        assert_eq!(sub.num_edges(), g.num_edges());
+        assert_eq!(sub.offsets(), g.offsets());
+        assert_eq!(sub.targets(), g.targets());
+        assert_eq!(sub.edge_format(), g.edge_format());
+    }
+
+    #[test]
+    fn weights_and_alias_tables_carry_over() {
+        let mut b = CsrBuilder::new(4);
+        for v in 0..4u32 {
+            b.push_edge(v, (v + 1) % 4);
+            b.push_edge(v, (v + 2) % 4);
+        }
+        let g = b
+            .build()
+            .with_weights(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .build_alias_tables();
+        let sub = shard_subgraph(&g, 2..4);
+        assert!(sub.is_weighted());
+        assert!(sub.has_alias_tables());
+        assert_eq!(sub.edge_format(), g.edge_format());
+        assert_eq!(sub.edge_weights(2), g.edge_weights(2));
+        assert_eq!(sub.edge_weights(3), g.edge_weights(3));
+        assert_eq!(sub.edge_weights(0), Some(&[][..]));
+    }
+}

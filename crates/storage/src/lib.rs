@@ -34,5 +34,5 @@ pub use budget::{BudgetExceeded, MemoryBudget, Reservation};
 pub use device::{Device, DeviceError, IoStats, IoStatsSnapshot, MemDevice};
 pub use economics::StoragePrices;
 pub use file::FileDevice;
-pub use raid::Raid0;
+pub use raid::{per_shard_devices, Raid0};
 pub use sim::{SimSsd, SsdProfile};

@@ -91,6 +91,35 @@ impl Raid0 {
     }
 }
 
+/// Builds one independent device per shard for the sharded serve plane: a
+/// plain [`SimSsd`] when `members_per_shard == 1`, otherwise a [`Raid0`] of
+/// that many members. Shards never share a device, so their I/O service
+/// times are modeled independently and the plane's round time is the
+/// slowest shard's — the modeled-parallelism assumption behind multi-shard
+/// throughput scaling.
+///
+/// # Panics
+///
+/// Panics if `shards`, `members_per_shard`, or `stripe_bytes` is zero.
+pub fn per_shard_devices(
+    shards: usize,
+    members_per_shard: usize,
+    profile: SsdProfile,
+    stripe_bytes: u64,
+) -> Vec<Arc<dyn Device>> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(members_per_shard > 0, "need at least one member per shard");
+    (0..shards)
+        .map(|_| -> Arc<dyn Device> {
+            if members_per_shard == 1 {
+                Arc::new(SimSsd::new(profile))
+            } else {
+                Arc::new(Raid0::new(members_per_shard, profile, stripe_bytes))
+            }
+        })
+        .collect()
+}
+
 impl Device for Raid0 {
     fn len(&self) -> u64 {
         // Logical length = sum of member lengths is an overestimate when the
@@ -178,5 +207,26 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn zero_members_rejected() {
         let _ = Raid0::new(0, SsdProfile::default(), 1024);
+    }
+
+    #[test]
+    fn per_shard_devices_are_independent() {
+        let devices = per_shard_devices(3, 1, SsdProfile::default(), 1 << 16);
+        assert_eq!(devices.len(), 3);
+        devices[0].write(0, &[7u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        devices[1].read(0, &mut buf).unwrap_or(0);
+        assert_ne!(buf, [7u8; 64], "shard devices must not share storage");
+    }
+
+    #[test]
+    fn per_shard_devices_compose_raid() {
+        let devices = per_shard_devices(2, 4, SsdProfile::default(), 1 << 16);
+        assert_eq!(devices.len(), 2);
+        let payload: Vec<u8> = (0..255u8).collect();
+        devices[0].write(0, &payload).unwrap();
+        let mut buf = vec![0u8; payload.len()];
+        devices[0].read(0, &mut buf).unwrap();
+        assert_eq!(buf, payload);
     }
 }

@@ -14,4 +14,5 @@ pub use noswalker_baselines as baselines;
 pub use noswalker_core as core;
 pub use noswalker_graph as graph;
 pub use noswalker_serve as serve;
+pub use noswalker_shard as shard;
 pub use noswalker_storage as storage;
