@@ -18,7 +18,7 @@
 use crate::datasets::{self, Scale};
 use crate::report::Report;
 use crate::runner::env;
-use noswalker_core::{QuerySpec, StaticQuerySource};
+use noswalker_core::{QuerySpec, StaticQuerySource, WallTimer};
 use noswalker_serve::{AdmissionOptions, Backend, ServeEngine, ServeOptions, ServeReport};
 use noswalker_shard::ShardPlane;
 use noswalker_storage::{per_shard_devices, SsdProfile};
@@ -250,15 +250,22 @@ fn sweep_shards(
             }
         };
         let mut src = spread_stream(interarrival_ns, walkers, deadline_ns, nv);
+        // The plane runs on modeled time and reports wall_ns = 0; stamp
+        // real elapsed time here, at the measurement boundary, so the
+        // per-point JSON separates simulated cost from bench runtime.
+        let wall = WallTimer::start();
         match plane.run(&mut src, None) {
-            Ok(r) => points.push(ShardPoint {
-                point: Point {
-                    offered_qps: 1e9 / interarrival_ns as f64,
-                    report: r.report,
-                },
-                emigrated: r.walkers_emigrated,
-                immigrated: r.walkers_immigrated,
-            }),
+            Ok(mut r) => {
+                r.report.metrics.finalize_wall(&wall);
+                points.push(ShardPoint {
+                    point: Point {
+                        offered_qps: 1e9 / interarrival_ns as f64,
+                        report: r.report,
+                    },
+                    emigrated: r.walkers_emigrated,
+                    immigrated: r.walkers_immigrated,
+                });
+            }
             Err(err) => {
                 eprintln!("serve: {shards}-shard {label} point failed: {err}");
                 return None;
@@ -320,11 +327,18 @@ fn sweep_backend(
         let e = env(d, budget);
         let engine = ServeEngine::new(e.graph, e.budget, serve_opts(service_ns / 2));
         let mut src = stream(interarrival_ns, walkers, deadline_ns);
+        // Lockstep serving runs entirely on modeled time, so the engine
+        // reports wall_ns = 0; stamp real elapsed time at the bench
+        // boundary (the sanctioned WallTimer gateway for measurement).
+        let wall = WallTimer::start();
         match engine.run(&mut src, None) {
-            Ok(report) => points.push(Point {
-                offered_qps: 1e9 / interarrival_ns as f64,
-                report,
-            }),
+            Ok(mut report) => {
+                report.metrics.finalize_wall(&wall);
+                points.push(Point {
+                    offered_qps: 1e9 / interarrival_ns as f64,
+                    report,
+                });
+            }
             Err(err) => {
                 eprintln!("serve: {} {label} point failed: {err}", backend.name());
                 return None;

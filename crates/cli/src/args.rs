@@ -72,6 +72,12 @@ pub enum Command {
         backend: String,
         /// Number of serve-plane shards (1 = the unsharded engine).
         shards: u32,
+        /// Serving mode: `lockstep` (deterministic modeled-time replay)
+        /// or `realtime` (background tick thread, wall-paced arrivals).
+        mode: String,
+        /// Realtime only: hard wall-time cap in milliseconds (0 = serve
+        /// the whole trace).
+        duration_ms: u64,
     },
 }
 
@@ -100,6 +106,7 @@ USAGE:
                      [--trace-out run.json|run.tsv]
   noswalker serve    <graph> --script <trace.txt> [--budget-pct P] [--seed S]
                      [--backend seq|par|auto] [--shards N]
+                     [--mode lockstep|realtime] [--duration-ms D]
 
 APPS:     basic ppr rwr rwd graphlet deepwalk node2vec
 ENGINES:  noswalker (default) graphwalker drunkardmob graphene inmemory parallel
@@ -199,6 +206,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
             let mut seed = 42u64;
             let mut backend = "seq".to_string();
             let mut shards = 1u32;
+            let mut mode = "lockstep".to_string();
+            let mut duration_ms = 0u64;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--script" => {
@@ -220,8 +229,23 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                             return Err(bad("--shards must be at least 1"));
                         }
                     }
+                    "--mode" => {
+                        mode = it.next().ok_or_else(|| bad("--mode needs a value"))?;
+                        if !matches!(mode.as_str(), "lockstep" | "realtime") {
+                            return Err(bad(format!(
+                                "invalid value {mode:?} for --mode (expected lockstep or realtime)"
+                            )));
+                        }
+                    }
+                    "--duration-ms" => duration_ms = parse_num("--duration-ms", it.next())?,
                     other => return Err(bad(format!("unknown flag {other}"))),
                 }
+            }
+            if duration_ms != 0 && mode != "realtime" {
+                return Err(bad("--duration-ms requires --mode realtime"));
+            }
+            if mode == "realtime" && shards != 1 {
+                return Err(bad("--mode realtime serves unsharded (drop --shards)"));
             }
             Command::Serve {
                 graph,
@@ -230,6 +254,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, ParseError>
                 seed,
                 backend,
                 shards,
+                mode,
+                duration_ms,
             }
         }
         "--help" | "-h" | "help" => return Err(bad(USAGE)),
@@ -339,6 +365,8 @@ mod tests {
                 seed: 9,
                 backend: "seq".into(),
                 shards: 1,
+                mode: "lockstep".into(),
+                duration_ms: 0,
             }
         );
         assert!(p("serve g.csr").unwrap_err().0.contains("--script"));
@@ -390,6 +418,34 @@ mod tests {
             .unwrap_err()
             .0
             .contains("invalid value"));
+    }
+
+    #[test]
+    fn parses_serve_mode_and_duration() {
+        let cli = p("serve g.csr --script t.txt --mode realtime --duration-ms 250").unwrap();
+        match cli.command {
+            Command::Serve {
+                mode, duration_ms, ..
+            } => {
+                assert_eq!(mode, "realtime");
+                assert_eq!(duration_ms, 250);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p("serve g.csr --script t.txt --mode turbo")
+            .unwrap_err()
+            .0
+            .contains("--mode"));
+        // A duration cap is a realtime concept; lockstep replays run on
+        // modeled time, so wall caps there are a user error.
+        assert!(p("serve g.csr --script t.txt --duration-ms 5")
+            .unwrap_err()
+            .0
+            .contains("--mode realtime"));
+        assert!(p("serve g.csr --script t.txt --mode realtime --shards 2")
+            .unwrap_err()
+            .0
+            .contains("unsharded"));
     }
 
     #[test]

@@ -8,11 +8,14 @@ use noswalker_baselines::{DrunkardMob, GraphWalker, Graphene, InMemory};
 use noswalker_core::audit::{MemorySink, TraceSink};
 use noswalker_core::parallel::ParallelRunner;
 use noswalker_core::StaticQuerySource;
-use noswalker_core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, Walk};
+use noswalker_core::{EngineOptions, NosWalkerEngine, OnDiskGraph, RunMetrics, Walk, WallTimer};
 use noswalker_graph::io::{load_csr, read_edge_list, save_csr};
 use noswalker_graph::stats::DegreeStats;
 use noswalker_graph::{generators, Csr};
-use noswalker_serve::{parse_script, render_report, Backend, ServeEngine, ServeOptions};
+use noswalker_serve::{
+    parse_script, render_report, Backend, RealtimeOptions, RealtimeServer, ServeEngine,
+    ServeOptions,
+};
 use noswalker_shard::ShardPlane;
 use noswalker_storage::{per_shard_devices, MemoryBudget, SimSsd, SsdProfile};
 use std::fs::File;
@@ -315,14 +318,20 @@ pub fn run_walk(
     Ok(report)
 }
 
-/// `noswalker serve <graph> --script <trace.txt> [--shards N]`.
+/// `noswalker serve <graph> --script <trace.txt> [--shards N]
+/// [--mode lockstep|realtime]`.
 ///
 /// Replays a query trace against the online serving engine and prints a
 /// latency / shed report. The trace file format is one query per line:
 /// `at_us class walkers length [deadline_us|-]` (`#` starts a comment).
 /// With `--shards N > 1` the trace runs on the sharded serve plane: one
 /// simulated device and walker-pool share per shard, cross-shard walker
-/// handoff between rounds.
+/// handoff between rounds. With `--mode realtime` the trace is *paced*:
+/// a background tick thread serves continuously while this thread
+/// submits each query when its `at_us` of wall time has elapsed;
+/// `--duration-ms` caps the run, shutting the server down mid-serve
+/// (in-flight queries report degraded partials, nothing is lost).
+#[allow(clippy::too_many_arguments)]
 pub fn run_serve(
     graph_path: &str,
     script_path: &str,
@@ -330,6 +339,8 @@ pub fn run_serve(
     seed: u64,
     backend: &str,
     shards: u32,
+    mode: &str,
+    duration_ms: u64,
 ) -> Result<String, String> {
     let backend = Backend::parse(backend)
         .ok_or_else(|| format!("unknown backend {backend:?} (expected seq, par or auto)"))?;
@@ -352,11 +363,17 @@ pub fn run_serve(
         ..ServeOptions::default()
     };
     let queries = specs.len();
-    let mut source = StaticQuerySource::new(specs);
     let header = format!(
         "{queries} queries from {script_path} on {graph_path} (backend {}, budget {budget_pct}% = {budget_bytes} bytes",
         backend.name()
     );
+    if mode == "realtime" {
+        let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+        let graph = Arc::new(OnDiskGraph::store(&csr, device, block_bytes).map_err(err)?);
+        let budget = MemoryBudget::new(budget_bytes);
+        return run_serve_realtime(graph, budget, opts, specs, duration_ms, &header);
+    }
+    let mut source = StaticQuerySource::new(specs);
     if shards <= 1 {
         let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
         let graph = Arc::new(OnDiskGraph::store(&csr, device, block_bytes).map_err(err)?);
@@ -376,6 +393,67 @@ pub fn run_serve(
             r.walkers_immigrated
         ))
     }
+}
+
+/// The realtime leg of `run_serve`: a background tick thread serves
+/// while this thread paces the script's arrivals against the wall clock
+/// (the CLI is the sanctioned wall-time boundary). With a duration cap
+/// the server is shut down when the cap elapses — whatever is in flight
+/// reports a degraded partial, and every submitted query still gets
+/// exactly one outcome.
+fn run_serve_realtime(
+    graph: Arc<OnDiskGraph>,
+    budget: Arc<MemoryBudget>,
+    opts: ServeOptions,
+    specs: Vec<noswalker_core::QuerySpec>,
+    duration_ms: u64,
+    header: &str,
+) -> Result<String, String> {
+    let queries = specs.len();
+    let cap_ns = if duration_ms == 0 {
+        u64::MAX
+    } else {
+        duration_ms.saturating_mul(1_000_000)
+    };
+    let server = RealtimeServer::single(graph, budget, opts, RealtimeOptions::default());
+    let wall = WallTimer::start();
+    let handle = server.start();
+    let mut submitted = 0usize;
+    for q in specs {
+        if q.arrival_ns >= cap_ns {
+            break; // arrives after the cap: the run ends first
+        }
+        let now = wall.elapsed_ns();
+        if q.arrival_ns > now {
+            std::thread::sleep(std::time::Duration::from_nanos(q.arrival_ns - now));
+        }
+        if handle.submit_blocking(q).is_err() {
+            break; // server stopped (round backstop); report what we have
+        }
+        submitted += 1;
+    }
+    let capped = cap_ns != u64::MAX;
+    if capped {
+        let now = wall.elapsed_ns();
+        if cap_ns > now {
+            std::thread::sleep(std::time::Duration::from_nanos(cap_ns - now));
+        }
+    }
+    let t = if capped {
+        handle.shutdown_and_join().map_err(err)?
+    } else {
+        handle.drain_and_join().map_err(err)?
+    };
+    let wall_ms = wall.elapsed_ns() / 1_000_000;
+    let cap = if capped {
+        format!(", cap {duration_ms} ms")
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "{header}, mode realtime)\n{}\nrealtime: {submitted}/{queries} submitted, wall {wall_ms} ms{cap}",
+        render_report(&t.report)
+    ))
 }
 
 #[cfg(test)]
@@ -489,7 +567,7 @@ mod tests {
         .unwrap();
 
         for backend in ["seq", "par", "auto"] {
-            let report = run_serve(&path, &script, 25, 3, backend, 1).unwrap();
+            let report = run_serve(&path, &script, 25, 3, backend, 1, "lockstep", 0).unwrap();
             assert!(report.contains("3 queries"), "{report}");
             assert!(report.contains(&format!("backend {backend}")), "{report}");
             assert!(report.contains("served 3"), "{report}");
@@ -499,17 +577,46 @@ mod tests {
             // time on every backend.
             assert_eq!(
                 report,
-                run_serve(&path, &script, 25, 3, backend, 1).unwrap()
+                run_serve(&path, &script, 25, 3, backend, 1, "lockstep", 0).unwrap()
             );
         }
 
-        assert!(run_serve(&path, &script, 25, 3, "threads", 1)
-            .unwrap_err()
-            .contains("unknown backend"));
+        assert!(
+            run_serve(&path, &script, 25, 3, "threads", 1, "lockstep", 0)
+                .unwrap_err()
+                .contains("unknown backend")
+        );
         std::fs::write(&script, "0 node2vec:0 4 4 -\n").unwrap();
-        assert!(run_serve(&path, &script, 25, 3, "seq", 1)
+        assert!(run_serve(&path, &script, 25, 3, "seq", 1, "lockstep", 0)
             .unwrap_err()
             .contains("node2vec"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&script).ok();
+    }
+
+    #[test]
+    fn serve_realtime_drains_and_caps() {
+        let path = tmp("rt.csr");
+        generate("uniform", 9, 6, &path, 7).unwrap();
+        let script = tmp("rt.txt");
+        std::fs::write(
+            &script,
+            "0   ppr:3 40 8 -\n\
+             200 basic 40 8 -\n",
+        )
+        .unwrap();
+
+        // Uncapped: pace the whole trace, drain, serve everything.
+        let report = run_serve(&path, &script, 25, 3, "seq", 1, "realtime", 0).unwrap();
+        assert!(report.contains("mode realtime"), "{report}");
+        assert!(report.contains("served 2"), "{report}");
+        assert!(report.contains("2/2 submitted"), "{report}");
+
+        // Capped: the run is cut off by wall time, but every submitted
+        // query still reports exactly one outcome (possibly degraded).
+        let capped = run_serve(&path, &script, 25, 3, "seq", 1, "realtime", 50).unwrap();
+        assert!(capped.contains("cap 50 ms"), "{capped}");
+
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&script).ok();
     }
@@ -527,12 +634,15 @@ mod tests {
         )
         .unwrap();
 
-        let sharded = run_serve(&path, &script, 25, 3, "seq", 4).unwrap();
+        let sharded = run_serve(&path, &script, 25, 3, "seq", 4, "lockstep", 0).unwrap();
         assert!(sharded.contains("4 shards"), "{sharded}");
         assert!(sharded.contains("served 3"), "{sharded}");
         assert!(sharded.contains("walkers emigrated"), "{sharded}");
         // Deterministic: replaying the same trace reproduces the report.
-        assert_eq!(sharded, run_serve(&path, &script, 25, 3, "seq", 4).unwrap());
+        assert_eq!(
+            sharded,
+            run_serve(&path, &script, 25, 3, "seq", 4, "lockstep", 0).unwrap()
+        );
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&script).ok();

@@ -64,6 +64,17 @@ pub fn run(cli: Cli) -> Result<String, String> {
             seed,
             backend,
             shards,
-        } => commands::run_serve(&graph, &script, budget_pct, seed, &backend, shards),
+            mode,
+            duration_ms,
+        } => commands::run_serve(
+            &graph,
+            &script,
+            budget_pct,
+            seed,
+            &backend,
+            shards,
+            &mode,
+            duration_ms,
+        ),
     }
 }

@@ -173,6 +173,17 @@ pub enum TraceEvent {
         /// Simulated shed time.
         at_ns: u64,
     },
+    /// A caller cancelled a query mid-flight (realtime ingress `Cancel`
+    /// command). The query still reaches `ServeReport::outcomes` — as a
+    /// degraded partial when it was already active, or with zero issued
+    /// walkers when it was still queued — so the per-query conservation
+    /// law stays exact.
+    QueryCancelled {
+        /// Query id.
+        query: u64,
+        /// Simulated (or wall, in realtime mode) time of the cancel.
+        at_ns: u64,
+    },
     /// A query's deadline passed before its walkers finished.
     QueryDeadlineMiss {
         /// Query id.
@@ -217,6 +228,7 @@ impl TraceEvent {
             TraceEvent::QueryAdmitted { .. } => "query_admitted",
             TraceEvent::QueryCompleted { .. } => "query_completed",
             TraceEvent::QueryShed { .. } => "query_shed",
+            TraceEvent::QueryCancelled { .. } => "query_cancelled",
             TraceEvent::QueryDeadlineMiss { .. } => "query_deadline_miss",
             TraceEvent::ShardHandoff { .. } => "shard_handoff",
         }
@@ -354,6 +366,9 @@ impl TraceEvent {
                 ("retry_after_ns", retry_after_ns.to_string()),
                 ("at_ns", at_ns.to_string()),
             ],
+            TraceEvent::QueryCancelled { query, at_ns } => {
+                vec![("query", query.to_string()), ("at_ns", at_ns.to_string())]
+            }
             TraceEvent::QueryDeadlineMiss {
                 query,
                 deadline_ns,

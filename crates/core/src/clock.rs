@@ -151,6 +151,53 @@ impl ModelClock {
     }
 }
 
+/// The clock a round-based serving driver runs on — the seam that lets
+/// the same per-round state machine (`TickCore` in `noswalker-serve`)
+/// execute in *lockstep* mode (deterministic [`ModelClock`], bit-identical
+/// replays) or *realtime* mode (a wall clock confined to the realtime
+/// driver module).
+///
+/// The contract mirrors how the lockstep loops already use `ModelClock`:
+/// the driver reads [`now_ns`](TickClock::now_ns) at the top of each tick,
+/// charges the round's deterministic modeled duration with
+/// [`advance_round`](TickClock::advance_round) after the kernels run, and
+/// calls [`advance_idle`](TickClock::advance_idle) when nothing is
+/// runnable before a known future arrival. A wall clock ignores both
+/// advances — real time passes on its own — and signals via
+/// `advance_idle`'s return value that the driver must actually wait.
+pub trait TickClock {
+    /// Current time in nanoseconds on this clock's base (modeled ns for
+    /// deterministic clocks, host ns since start for wall clocks).
+    fn now_ns(&mut self) -> u64;
+
+    /// Charges one completed round's deterministic modeled duration.
+    /// Deterministic clocks advance by exactly `advance_ns`; wall clocks
+    /// ignore it (the round's real duration already elapsed).
+    fn advance_round(&mut self, advance_ns: u64);
+
+    /// Nothing is runnable before absolute time `t_ns`. Deterministic
+    /// clocks jump forward (at least one tick past `now`, matching the
+    /// lockstep loops' idle jump) and return `true`; wall clocks return
+    /// `false` — the driver owns the real waiting.
+    fn advance_idle(&mut self, t_ns: u64) -> bool;
+}
+
+impl TickClock for ModelClock {
+    fn now_ns(&mut self) -> u64 {
+        ModelClock::now_ns(self)
+    }
+
+    fn advance_round(&mut self, advance_ns: u64) {
+        self.advance(advance_ns);
+    }
+
+    fn advance_idle(&mut self, t_ns: u64) -> bool {
+        let target = t_ns.max(ModelClock::now_ns(self) + 1);
+        self.advance_to(target);
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +210,22 @@ mod tests {
         assert_eq!(c.now_ns(), 50);
         c.advance_to(120);
         assert_eq!(c.now_ns(), 120);
+    }
+
+    #[test]
+    fn model_clock_drives_the_tick_clock_seam() {
+        let mut c = ModelClock::new();
+        let t: &mut dyn TickClock = &mut c;
+        assert_eq!(t.now_ns(), 0);
+        t.advance_round(500);
+        assert_eq!(t.now_ns(), 500);
+        // Idle with a future arrival jumps exactly to it.
+        assert!(t.advance_idle(2_000));
+        assert_eq!(t.now_ns(), 2_000);
+        // Idle with a stale arrival still makes progress (the lockstep
+        // loops' `t.max(now + 1)` jump, so an idle loop can never spin).
+        assert!(t.advance_idle(1_000));
+        assert_eq!(t.now_ns(), 2_001);
     }
 
     #[test]

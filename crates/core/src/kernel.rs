@@ -65,6 +65,19 @@ impl Backend {
             Backend::Auto => "auto",
         }
     }
+
+    /// Whether a unit of work with (`has_deadline`) runs on the parallel
+    /// kernel under this backend — the per-query routing rule every
+    /// serving driver shares. [`Backend::Auto`] keeps deadline-constrained
+    /// work on the sequential kernel, whose cancellation timing is
+    /// deterministic.
+    pub fn routes_to_par(self, has_deadline: bool) -> bool {
+        match self {
+            Backend::Seq => false,
+            Backend::Par => true,
+            Backend::Auto => !has_deadline,
+        }
+    }
 }
 
 /// What one [`StepKernel::run_round`] invocation produced.
@@ -248,6 +261,16 @@ mod tests {
         }
         assert_eq!(Backend::parse("threads"), None);
         assert_eq!(Backend::default(), Backend::Seq);
+    }
+
+    #[test]
+    fn auto_routes_deadline_work_to_the_sequential_kernel() {
+        assert!(!Backend::Seq.routes_to_par(false));
+        assert!(!Backend::Seq.routes_to_par(true));
+        assert!(Backend::Par.routes_to_par(false));
+        assert!(Backend::Par.routes_to_par(true));
+        assert!(Backend::Auto.routes_to_par(false));
+        assert!(!Backend::Auto.routes_to_par(true));
     }
 
     #[test]

@@ -95,13 +95,15 @@ pub use audit::{
     audit_handoffs, audit_queries, AuditReport, MemorySink, RunAudit, Trace, TraceEvent, TraceSink,
 };
 pub use block::{BlockCache, FineLoad, LoadedBlock};
-pub use clock::{ModelClock, PipelineClock, WallTimer};
+pub use clock::{ModelClock, PipelineClock, TickClock, WallTimer};
 pub use disk_graph::{OnDiskGraph, StoreError};
 pub use engine::{EngineError, NosWalkerEngine};
 pub use kernel::{Backend, ParallelKernel, RoundOutcome, SequentialKernel, StepKernel};
 pub use metrics::{LatencyHistogram, RunMetrics, StepSource};
 pub use options::EngineOptions;
-pub use query::{QueryId, QuerySource, QuerySpec, QueryStats, StaticQuerySource};
+pub use query::{
+    BufferedQuerySource, QueryId, QuerySource, QuerySpec, QueryStats, StaticQuerySource,
+};
 pub use walk::{uniform_sample, SecondOrderWalk, Walk, WalkRng};
 
 /// Convenience prelude for implementing applications.

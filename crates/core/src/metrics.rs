@@ -32,7 +32,10 @@ pub struct RunMetrics {
     /// stalls under the engine's pipeline model).
     pub sim_ns: u64,
     /// Wall-clock time the simulation itself took (host seconds, for
-    /// curiosity only).
+    /// curiosity only — never an input to any modeled figure). The
+    /// serving layer zeroes it internally so replays stay bit-identical;
+    /// the bench/CLI boundary re-stamps it with the measured replay time
+    /// via [`RunMetrics::set_wall_ns`].
     pub wall_ns: u64,
     /// Time spent stalled on I/O.
     pub stall_ns: u64,

@@ -125,6 +125,80 @@ impl QuerySource for StaticQuerySource {
     }
 }
 
+/// A pushable [`QuerySource`] for drivers whose arrivals come from a live
+/// ingress queue rather than a fixed schedule (the realtime serving
+/// driver feeds one from its command channel). Queries are served in
+/// ascending `arrival_ns` order, FIFO among equal arrivals — the same
+/// order [`StaticQuerySource`] produces for the same specs — and the
+/// source only reports exhaustion once [`close`](Self::close) has been
+/// called *and* the queue is empty: an open ingress may always produce
+/// more work.
+#[derive(Debug, Default)]
+pub struct BufferedQuerySource {
+    queue: VecDeque<QuerySpec>,
+    closed: bool,
+}
+
+impl BufferedQuerySource {
+    /// An empty, open source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a query, keeping ascending-arrival order (FIFO among
+    /// equal arrivals).
+    pub fn push(&mut self, q: QuerySpec) {
+        let pos = self
+            .queue
+            .iter()
+            .position(|p| p.arrival_ns > q.arrival_ns)
+            .unwrap_or(self.queue.len());
+        self.queue.insert(pos, q);
+    }
+
+    /// Removes a not-yet-served query (a cancellation that raced ahead of
+    /// admission); returns it if it was still queued.
+    pub fn remove(&mut self, id: QueryId) -> Option<QuerySpec> {
+        let pos = self.queue.iter().position(|p| p.id == id)?;
+        self.queue.remove(pos)
+    }
+
+    /// Marks the ingress closed: no further [`push`](Self::push) is
+    /// expected, so the source is exhausted once drained.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Queries not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl QuerySource for BufferedQuerySource {
+    fn next_ready(&mut self, now_ns: u64, room: u64) -> Option<QuerySpec> {
+        let head = self.queue.front()?;
+        if head.arrival_ns <= now_ns && head.walkers <= room {
+            self.queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn next_pending_at(&self, now_ns: u64) -> Option<u64> {
+        self.queue.front().map(|s| s.arrival_ns.max(now_ns))
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.closed && self.queue.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +229,53 @@ mod tests {
         assert_eq!(src.next_ready(60, 8).unwrap().id, 2);
         assert!(src.is_exhausted());
         assert_eq!(src.next_pending_at(60), None);
+    }
+
+    #[test]
+    fn buffered_source_orders_by_arrival_and_stays_open_until_closed() {
+        let mut src = BufferedQuerySource::new();
+        assert!(!src.is_exhausted(), "an open empty ingress is not done");
+        src.push(spec(2, 50, 8));
+        src.push(spec(1, 10, 8));
+        src.push(spec(3, 50, 8)); // ties serve FIFO: 2 before 3
+        assert_eq!(src.next_pending_at(0), Some(10));
+        assert_eq!(src.next_ready(60, 100).unwrap().id, 1);
+        assert_eq!(src.next_ready(60, 100).unwrap().id, 2);
+        assert_eq!(src.next_ready(60, 100).unwrap().id, 3);
+        assert!(!src.is_exhausted());
+        src.close();
+        assert!(src.is_closed());
+        assert!(src.is_exhausted());
+    }
+
+    #[test]
+    fn buffered_source_matches_static_order_for_the_same_specs() {
+        let specs = vec![
+            spec(2, 50, 8),
+            spec(1, 10, 8),
+            spec(4, 50, 8),
+            spec(3, 0, 8),
+        ];
+        let mut st = StaticQuerySource::new(specs.clone());
+        let mut buf = BufferedQuerySource::new();
+        for q in specs {
+            buf.push(q);
+        }
+        buf.close();
+        while let Some(a) = st.next_ready(u64::MAX, u64::MAX) {
+            let b = buf.next_ready(u64::MAX, u64::MAX).expect("same length");
+            assert_eq!(a, b);
+        }
+        assert!(buf.is_exhausted());
+    }
+
+    #[test]
+    fn buffered_source_removes_queued_queries() {
+        let mut src = BufferedQuerySource::new();
+        src.push(spec(1, 10, 8));
+        src.push(spec(2, 20, 8));
+        assert_eq!(src.remove(2).map(|q| q.id), Some(2));
+        assert_eq!(src.remove(2), None);
+        assert_eq!(src.remaining(), 1);
     }
 }

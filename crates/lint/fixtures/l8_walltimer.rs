@@ -1,0 +1,8 @@
+//! Fixture: holds a WallTimer in serving code (permitted only in the
+//! realtime driver module).
+use noswalker_core::WallTimer;
+
+pub fn paced() -> u64 {
+    let wall = WallTimer::start();
+    wall.elapsed_ns()
+}

@@ -1,6 +1,8 @@
 //! L3 — wall-clock reads only in `clock.rs`, `crates/bench`,
 //! `crates/cli` — and L8 — no `thread::sleep` or raw clock reads in
-//! `crates/serve/src` (serving hot paths use modeled time).
+//! `crates/serve/src` (serving hot paths use modeled time), with
+//! `WallTimer` permitted only in the explicitly wall-clocked
+//! `realtime.rs` driver.
 
 use super::{Hit, Pass, PassCx};
 
@@ -15,6 +17,14 @@ fn l3_exempt(path: &str) -> bool {
 
 fn l8_scope(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
+}
+
+/// The realtime driver is the one module in the serving crate allowed to
+/// *hold* wall time (through a `WallTimer`); raw `std::time` reads and
+/// sleeps stay banned even there, so pacing is interruptible and clock
+/// reads stay funneled through the single audited gateway.
+fn l8_wall_exempt(path: &str) -> bool {
+    path == "crates/serve/src/realtime.rs"
 }
 
 fn is_clock_read(a: &crate::analysis::Analysis, i: usize) -> bool {
@@ -92,6 +102,18 @@ impl Pass for ServeDeterminism {
                         hint: "serve must stay replayable: derive time from the modeled clock \
                                (query arrival_ns + per-round sim_ns), or measure through \
                                noswalker_core::WallTimer at the CLI/bench boundary"
+                            .into(),
+                    });
+                }
+                if !l8_wall_exempt(&a.path) && a.is_ident(i) && a.t(i) == "WallTimer" {
+                    out.push(Hit {
+                        file: fi,
+                        rule: "L8",
+                        line,
+                        message: "wall-clock timer `WallTimer` outside the realtime driver".into(),
+                        hint: "wall time in crates/serve is confined to realtime.rs (the \
+                               WallClock driver); lockstep serving code models time with \
+                               TickClock::now_ns and never observes the host clock"
                             .into(),
                     });
                 }

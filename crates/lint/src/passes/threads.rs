@@ -1,9 +1,14 @@
-//! L4 — threads are only spawned in `threaded.rs` / `parallel.rs`.
+//! L4 — threads are only spawned in `threaded.rs` / `parallel.rs`, plus
+//! the realtime serving driver's single tick thread.
 
 use super::{Hit, Pass, PassCx};
 
 fn l4_exempt(path: &str) -> bool {
-    path.ends_with("/threaded.rs") || path.ends_with("/parallel.rs")
+    path.ends_with("/threaded.rs")
+        || path.ends_with("/parallel.rs")
+        // The realtime serving driver owns exactly one background tick
+        // thread; it is the sanctioned spawn site in crates/serve.
+        || path == "crates/serve/src/realtime.rs"
 }
 
 pub(crate) struct ThreadConfinement;

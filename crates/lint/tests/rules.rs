@@ -16,6 +16,7 @@ const L5_ALLOWED: &str = include_str!("../fixtures/l5_allowed.rs");
 const L6: &str = include_str!("../fixtures/l6_unsafe.rs");
 const L7: &str = include_str!("../fixtures/l7_atomics.rs");
 const L8: &str = include_str!("../fixtures/l8_blocking.rs");
+const L8_WALL: &str = include_str!("../fixtures/l8_walltimer.rs");
 const L9: &str = include_str!("../fixtures/l9_determinism.rs");
 const L9_TIME: &str = include_str!("../fixtures/l9_time_seed.rs");
 const L10: &str = include_str!("../fixtures/l10_ordering.rs");
@@ -152,6 +153,34 @@ fn l8_is_scoped_to_the_serve_crate() {
 }
 
 #[test]
+fn l8_wall_timers_are_confined_to_the_realtime_driver() {
+    // A WallTimer anywhere else in the serving crate is flagged — the
+    // `use` and the construction site both fire.
+    let vs = lint_files(
+        &[file("crates/serve/src/tick.rs", L8_WALL)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L8", "L8"], "{vs:?}");
+    assert_eq!(vs.iter().map(|v| v.line).collect::<Vec<_>>(), vec![3, 6]);
+    assert!(vs[0].message.contains("WallTimer"));
+    assert!(vs[0].hint.contains("realtime.rs"));
+    // The realtime driver is the sanctioned holder of wall time.
+    let vs = lint_files(
+        &[file("crates/serve/src/realtime.rs", L8_WALL)],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    // ...but raw clock reads and sleeps stay banned even there: all wall
+    // time funnels through the one WallTimer gateway, and pacing must be
+    // interruptible (recv_timeout), never a blocking sleep.
+    let vs = lint_files(
+        &[file("crates/serve/src/realtime.rs", L8)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L8", "L8"], "{vs:?}");
+}
+
+#[test]
 fn l4_thread_spawn_is_flagged_outside_sanctioned_modules() {
     let vs = lint_files(
         &[file("crates/core/src/engine.rs", L4)],
@@ -163,6 +192,22 @@ fn l4_thread_spawn_is_flagged_outside_sanctioned_modules() {
         let vs = lint_files(&[file(exempt, L4)], &Allowlist::empty());
         assert!(vs.is_empty(), "{exempt}: {vs:?}");
     }
+}
+
+#[test]
+fn l4_realtime_driver_may_spawn_its_tick_thread() {
+    let vs = lint_files(
+        &[file("crates/serve/src/realtime.rs", L4)],
+        &Allowlist::empty(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    // The exemption is the driver module alone, not the serving crate:
+    // its siblings stay thread-confined.
+    let vs = lint_files(
+        &[file("crates/serve/src/engine.rs", L4)],
+        &Allowlist::empty(),
+    );
+    assert_eq!(rules_of(&vs), vec!["L4"], "{vs:?}");
 }
 
 #[test]

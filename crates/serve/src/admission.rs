@@ -136,6 +136,14 @@ impl AdmissionController {
         self.pending.len()
     }
 
+    /// Removes a pending query by id (a cancellation arriving before
+    /// activation); returns it if it was still queued. The freed slot is
+    /// immediately available to later offers.
+    pub fn remove(&mut self, id: noswalker_core::QueryId) -> Option<QuerySpec> {
+        let at = self.pending.iter().position(|p| p.id == id)?;
+        self.pending.remove(at)
+    }
+
     /// Total queries shed so far.
     pub fn shed_count(&self) -> u64 {
         self.shed

@@ -1,31 +1,29 @@
-//! The serving loop: deterministic round-based multiplexing of live
-//! queries over the pooled NosWalker engine.
+//! The lockstep serving engine: deterministic round-based multiplexing
+//! of live queries over the pooled NosWalker engine.
 //!
-//! Each round the engine (1) drains time-ready arrivals through the
-//! admission controller, (2) expires queries whose deadline already
-//! passed, (3) activates pending queries up to the in-flight walker quota
-//! ([`EngineOptions::walker_pool_quota`] — the same sizing rule the
-//! offline engine uses), (4) multiplexes every active query's next walker
-//! chunk into one [`RoundApp`] per selected backend and runs each to
-//! completion on a [`StepKernel`] — the sequential engine, the lock-free
-//! parallel runner, or both ([`Backend::Auto`] routes
-//! deadline-constrained queries to the sequential kernel and the rest to
-//! the parallel one) — and (5) advances the [`ModelClock`] by the
-//! kernels' deterministic `advance_ns` charges. Latency, deadlines,
-//! retry-after hints and the shed decision all read that clock — never
-//! the host clock — so the same trace replays to an identical
-//! [`ServeReport`] on every backend: walker movement draws only
-//! walker-private randomness (see [`crate::app`]), and serving rounds
-//! force all-raw pre-sample retention so no kernel ever consumes a
-//! pre-drawn slot whose value depends on refill scheduling.
+//! The round state machine itself — drain arrivals through admission,
+//! activate up to the walker-pool quota
+//! ([`EngineOptions::walker_pool_quota`]), expire deadlines, carve walker
+//! chunks per backend ([`Backend::Auto`] routes deadline-constrained
+//! queries to the sequential kernel and the rest to the parallel one),
+//! run each group on a `StepKernel`, and finalize — lives in
+//! [`TickCore`](crate::tick::TickCore), shared with the shard plane and
+//! the realtime driver. [`ServeEngine`] is the *lockstep* shell around
+//! it: one single-lane core driven by a [`ModelClock`], advancing by the
+//! kernels' deterministic `advance_ns` charges and jumping idle gaps to
+//! the next arrival. Latency, deadlines, retry-after hints and the shed
+//! decision all read that clock — never the host clock — so the same
+//! trace replays to an identical [`ServeReport`] on every backend: walker
+//! movement draws only walker-private randomness (see [`crate::app`]),
+//! and serving rounds force all-raw pre-sample retention so no kernel
+//! ever consumes a pre-drawn slot whose value depends on refill
+//! scheduling.
 
-use crate::admission::{Admission, AdmissionController};
-use crate::app::{query_stream_seed, QueryClass, QueryTable, RoundApp, ServeWalker};
-use noswalker_core::audit::{Trace, TraceEvent, TraceSink};
+use crate::tick::{LaneConfig, SingleLane, Tick, TickCore};
+use noswalker_core::audit::{Trace, TraceSink};
 use noswalker_core::{
-    audit_queries, Backend, EngineError, EngineOptions, LatencyHistogram, ModelClock, OnDiskGraph,
-    ParallelKernel, QueryId, QuerySource, QuerySpec, QueryStats, RunMetrics, SequentialKernel,
-    StepKernel,
+    Backend, EngineError, EngineOptions, LatencyHistogram, ModelClock, OnDiskGraph, QueryId,
+    QuerySource, QueryStats, RunMetrics, TickClock,
 };
 use noswalker_storage::MemoryBudget;
 use std::collections::BTreeMap;
@@ -74,27 +72,6 @@ impl Default for ServeOptions {
         }
     }
 }
-
-/// The one deadline predicate every serving site uses: a deadline landing
-/// exactly on the clock has passed. (The round boundary and post-round
-/// accounting previously disagreed on this edge — `d <= now` vs
-/// `d < after` — so an exact-deadline query was expired at a boundary but
-/// not flagged after a round.)
-fn deadline_passed(deadline_ns: Option<u64>, now_ns: u64) -> bool {
-    deadline_ns.is_some_and(|d| d <= now_ns)
-}
-
-/// Round-carve state for one kernel group: the [`QueryTable`] slot
-/// entries, the walker chunks `(slot, base, count)`, and the charge list
-/// `(active idx, slot, count)` used for post-round accounting.
-type RoundGroup = (
-    Vec<(QueryClass, u32, Option<u64>, u64)>,
-    Vec<(u32, u64, u64)>,
-    Vec<ChargeList>,
-);
-
-/// One charged chunk: (index into `active`, table slot, walkers issued).
-type ChargeList = (usize, u32, u64);
 
 /// A serving-layer failure.
 #[derive(Debug)]
@@ -196,29 +173,13 @@ impl ServeReport {
     }
 
     /// The walker accounting of every served query, for
-    /// [`audit_queries`].
+    /// [`noswalker_core::audit_queries`].
     pub fn query_stats(&self) -> Vec<QueryStats> {
         self.outcomes
             .iter()
             .filter(|o| !o.shed)
             .map(|o| o.stats.clone())
             .collect()
-    }
-}
-
-/// A query in the active set: admitted, activated, not yet terminated.
-#[derive(Debug)]
-struct ActiveQuery {
-    spec: QuerySpec,
-    class: QueryClass,
-    stats: QueryStats,
-    digest: u64,
-    deadline_missed: bool,
-}
-
-impl ActiveQuery {
-    fn unissued(&self) -> u64 {
-        self.spec.walkers - self.stats.issued
     }
 }
 
@@ -234,63 +195,6 @@ impl std::fmt::Debug for ServeEngine {
         f.debug_struct("ServeEngine")
             .field("opts", &self.opts)
             .finish()
-    }
-}
-
-/// Mutable serving state threaded through the run's helpers.
-struct ServeState<'a> {
-    clock: ModelClock,
-    outcomes: Vec<QueryOutcome>,
-    histograms: BTreeMap<String, LatencyHistogram>,
-    trace: Trace<'a>,
-}
-
-impl ServeState<'_> {
-    /// Terminates an active query: records its outcome, its latency
-    /// histogram sample, and the `QueryDeadlineMiss`/`QueryCompleted`
-    /// trace events.
-    fn finalize(&mut self, q: ActiveQuery) {
-        let now = self.clock.now_ns();
-        let degraded = q.stats.cancelled > 0 || q.stats.issued < q.spec.walkers;
-        if q.deadline_missed {
-            let deadline_ns = q.spec.deadline_ns.unwrap_or(now);
-            let query = q.spec.id;
-            self.trace.emit(|| TraceEvent::QueryDeadlineMiss {
-                query,
-                deadline_ns,
-                at_ns: now,
-            });
-        }
-        let latency = now.saturating_sub(q.spec.arrival_ns);
-        self.histograms
-            .entry(q.class.name().to_string())
-            .or_default()
-            .record(latency);
-        let (query, issued, completed, cancelled) = (
-            q.spec.id,
-            q.stats.issued,
-            q.stats.completed,
-            q.stats.cancelled,
-        );
-        self.trace.emit(|| TraceEvent::QueryCompleted {
-            query,
-            issued,
-            completed,
-            cancelled,
-            degraded,
-            at_ns: now,
-        });
-        self.outcomes.push(QueryOutcome {
-            id: q.spec.id,
-            class: q.class.name().to_string(),
-            stats: q.stats,
-            latency_ns: Some(latency),
-            degraded,
-            deadline_missed: q.deadline_missed,
-            shed: false,
-            retry_after_ns: None,
-            digest: q.digest,
-        });
     }
 }
 
@@ -311,7 +215,8 @@ impl ServeEngine {
 
     /// Serves every query `source` yields, to completion, and returns the
     /// report. In debug builds the per-query conservation law
-    /// ([`audit_queries`]) and the per-round engine laws are asserted.
+    /// ([`noswalker_core::audit_queries`]) and the per-round engine laws
+    /// are asserted.
     ///
     /// # Errors
     ///
@@ -323,319 +228,41 @@ impl ServeEngine {
         source: &mut dyn QuerySource,
         sink: Option<&mut dyn TraceSink>,
     ) -> Result<ServeReport, ServeError> {
-        let quota = self.opts.engine.walker_pool_quota(
-            &self.budget,
-            std::mem::size_of::<ServeWalker>(),
-            u64::MAX,
-        );
         let nv = self.graph.num_vertices() as u32;
-        let step_cost = self.opts.engine.step_cost();
-        // Serving rounds force all-raw pre-sample retention: a pre-drawn
-        // sampled slot would embed the refill path's RNG into walker
-        // movement, and the refill path differs per kernel. With every
-        // retained buffer raw, destinations come only from
-        // `Walk::sample_for` (walker-private randomness) on either
-        // backend, which is what makes cross-backend digests
-        // bit-identical.
-        let mut round_opts = self.opts.engine.clone();
-        round_opts.low_degree_threshold = u32::MAX;
-        let seq_kernel = SequentialKernel::new(
-            Arc::clone(&self.graph),
-            round_opts.clone(),
-            Arc::clone(&self.budget),
+        let mut core = TickCore::new(
+            vec![LaneConfig {
+                graph: Arc::clone(&self.graph),
+                budget: Arc::clone(&self.budget),
+                owned: 0..nv,
+            }],
+            Box::new(SingleLane),
+            self.opts.clone(),
         );
-        let par_kernel = ParallelKernel::new(
-            Arc::clone(&self.graph),
-            round_opts,
-            Arc::clone(&self.budget),
-            self.opts.par_workers,
-        );
-        let mut admission = AdmissionController::new(self.opts.admission.clone());
-        let mut active: Vec<ActiveQuery> = Vec::new();
-        let mut st = ServeState {
-            clock: ModelClock::new(),
-            outcomes: Vec::new(),
-            histograms: BTreeMap::new(),
-            trace: Trace::from_option(sink),
-        };
-        let mut metrics = RunMetrics::default();
-        let mut rounds = 0u64;
-
+        let mut clock = ModelClock::new();
+        let mut trace = Trace::from_option(sink);
         loop {
-            let now = st.clock.now_ns();
-
-            // (1) Drain time-ready arrivals through admission control.
-            while let Some(q) = source.next_ready(now, u64::MAX) {
-                match admission.offer(q.clone()) {
-                    Admission::Admitted => {
-                        let (query, walkers, deadline_ns) = (q.id, q.walkers, q.deadline_ns);
-                        st.trace.emit(|| TraceEvent::QueryAdmitted {
-                            query,
-                            walkers,
-                            deadline_ns,
-                            at_ns: now,
-                        });
-                    }
-                    Admission::Shed { retry_after_ns } => {
-                        let query = q.id;
-                        st.trace.emit(|| TraceEvent::QueryShed {
-                            query,
-                            retry_after_ns,
-                            at_ns: now,
-                        });
-                        st.outcomes.push(QueryOutcome {
-                            id: q.id,
-                            class: q.class.clone(),
-                            stats: QueryStats {
-                                id: q.id,
-                                budget: q.walkers,
-                                ..QueryStats::default()
-                            },
-                            latency_ns: None,
-                            degraded: false,
-                            deadline_missed: false,
-                            shed: true,
-                            retry_after_ns: Some(retry_after_ns),
-                            digest: 0,
-                        });
-                    }
-                }
-            }
-
-            // (2) Activate pending queries while the in-flight walker
-            // quota has room (a partially fitting query still activates —
-            // it just spans rounds).
-            let mut unissued: u64 = active.iter().map(ActiveQuery::unissued).sum();
-            while unissued < quota {
-                let Some(q) = admission.next_ready(now, quota - unissued) else {
-                    break;
-                };
-                let Some(class) = QueryClass::parse(&q.class) else {
-                    return Err(ServeError::BadQueryClass {
-                        id: q.id,
-                        class: q.class,
-                    });
-                };
-                unissued += q.walkers;
-                active.push(ActiveQuery {
-                    stats: QueryStats {
-                        id: q.id,
-                        budget: q.walkers,
-                        ..QueryStats::default()
-                    },
-                    class,
-                    digest: 0,
-                    deadline_missed: false,
-                    spec: q,
-                });
-            }
-
-            // (3) Expire at the round boundary: deadlines already past
-            // (partial, degraded results) and exhausted/empty budgets.
-            let mut i = 0;
-            while i < active.len() {
-                let q = &mut active[i];
-                let expired = deadline_passed(q.spec.deadline_ns, now) && q.unissued() > 0;
-                if expired {
-                    q.deadline_missed = true;
-                }
-                if expired || q.unissued() == 0 {
-                    let q = active.remove(i);
-                    st.finalize(q);
-                } else {
-                    i += 1;
-                }
-            }
-
-            // EDF-then-FIFO priority for this round's pool shares.
-            active.sort_by_key(|q| {
-                (
-                    q.spec.deadline_ns.unwrap_or(u64::MAX),
-                    q.spec.arrival_ns,
-                    q.spec.id,
-                )
-            });
-
-            // (4) Carve the round's walker chunks, one group per step
-            // kernel this round uses. The cap is global across groups
-            // (EDF order decides who gets pool share first); group
-            // membership follows the configured backend, with `Auto`
-            // routing deadline-constrained queries to the sequential
-            // kernel — its cancellation timing is deterministic — and
-            // best-effort ones to the parallel kernel.
-            let mut cap = quota.max(1).min(self.opts.round_walkers.max(1));
-            // Index 0 = sequential, 1 = parallel.
-            let mut groups: [RoundGroup; 2] = Default::default();
-            for (idx, q) in active.iter().enumerate() {
-                if cap == 0 {
-                    break;
-                }
-                let count = q.unissued().min(cap);
-                if count == 0 {
-                    continue;
-                }
-                cap -= count;
-                let on_par = match self.opts.backend {
-                    Backend::Seq => false,
-                    Backend::Par => true,
-                    Backend::Auto => q.spec.deadline_ns.is_none(),
-                };
-                let (entries, chunks, charged) = &mut groups[usize::from(on_par)];
-                let slot = entries.len() as u32;
-                let allowance = q
-                    .spec
-                    .deadline_ns
-                    .map(|d| d.saturating_sub(now) / step_cost.max(1));
-                entries.push((
-                    q.class,
-                    q.spec.walk_length,
-                    allowance,
-                    query_stream_seed(self.opts.seed, q.spec.id),
-                ));
-                chunks.push((slot, q.stats.issued, count));
-                charged.push((idx, slot, count));
-            }
-
-            if groups.iter().all(|(entries, _, _)| entries.is_empty()) {
-                // Nothing runnable: jump to the next arrival or stop.
-                debug_assert!(active.is_empty(), "active queries always have work");
-                match source.next_pending_at(st.clock.now_ns()) {
+            match core.tick(&mut clock, source, &mut trace)? {
+                Tick::Ran => {}
+                Tick::Exhausted => break,
+                Tick::Idle { next_arrival_ns } => match next_arrival_ns {
+                    // Nothing runnable: jump to the next arrival or stop.
                     Some(t) if !source.is_exhausted() => {
-                        st.clock.advance_to(t.max(st.clock.now_ns() + 1));
-                        continue;
+                        clock.advance_idle(t);
                     }
                     _ => break,
-                }
-            }
-
-            rounds += 1;
-            if rounds > self.opts.max_rounds {
-                // Round budget exhausted: nothing more will run. Every
-                // in-flight query terminates as a degraded partial and
-                // the pending queue drains as shed, so each offered query
-                // still reaches `ServeReport::outcomes` (and the audit).
-                rounds -= 1;
-                for q in active.drain(..) {
-                    st.finalize(q);
-                }
-                let retry_after_ns = admission.retry_after();
-                while let Some(q) = admission.next_ready(now, u64::MAX) {
-                    let query = q.id;
-                    st.trace.emit(|| TraceEvent::QueryShed {
-                        query,
-                        retry_after_ns,
-                        at_ns: now,
-                    });
-                    st.outcomes.push(QueryOutcome {
-                        id: q.id,
-                        class: q.class.clone(),
-                        stats: QueryStats {
-                            id: q.id,
-                            budget: q.walkers,
-                            ..QueryStats::default()
-                        },
-                        latency_ns: None,
-                        degraded: false,
-                        deadline_missed: false,
-                        shed: true,
-                        retry_after_ns: Some(retry_after_ns),
-                        digest: 0,
-                    });
-                }
-                break;
-            }
-
-            // (5) Run each group to completion on its kernel — identical
-            // derived per-round seed for both; walker movement only draws
-            // walker-private randomness, so the engine seed steers
-            // scheduling, never trajectories. The clock is charged with
-            // the kernels' deterministic advance figures (sequential:
-            // modeled pipeline time; parallel: compute-only step model).
-            let seed = self
-                .opts
-                .seed
-                .wrapping_add(rounds.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let mut advance_ns = 0u64;
-            let mut round_stalls = 0u64;
-            let mut round_steps = 0u64;
-            let mut ran: Vec<(Arc<QueryTable>, Vec<ChargeList>)> = Vec::new();
-            for (on_par, (entries, chunks, charged)) in groups.into_iter().enumerate() {
-                if entries.is_empty() {
-                    continue;
-                }
-                let table = Arc::new(QueryTable::new(entries));
-                let app = Arc::new(RoundApp::new(Arc::clone(&table), chunks, nv));
-                let out = if on_par == 1 {
-                    par_kernel.run_round(app, seed)?
-                } else {
-                    seq_kernel.run_round(app, seed)?
-                };
-                advance_ns += out.advance_ns;
-                round_stalls += out.metrics.presample_stalls + out.metrics.pool_stalls;
-                round_steps += out.metrics.steps;
-                metrics.merge(&out.metrics);
-                ran.push((table, charged));
-            }
-            st.clock.advance(advance_ns);
-            admission.observe_stall_rate(round_stalls, round_steps);
-
-            // (6) Post-round accounting: fold the round's per-slot
-            // counters back into each query and terminate the finished
-            // ones.
-            let after = st.clock.now_ns();
-            let mut done: Vec<usize> = Vec::new();
-            for (table, charged) in &ran {
-                for &(idx, slot, count) in charged {
-                    let q = &mut active[idx];
-                    q.stats.issued += count;
-                    q.stats.completed += table.completed_walkers(slot);
-                    q.stats.cancelled += table.cancelled_walkers(slot);
-                    q.digest = q.digest.wrapping_add(table.digest(slot));
-                    let timed_out = table.is_cancelled(slot);
-                    let missed = deadline_passed(q.spec.deadline_ns, after);
-                    if timed_out || missed {
-                        q.deadline_missed = true;
-                    }
-                    // A timed-out or overdue query keeps its partial
-                    // results and gives up its remaining budget *now* —
-                    // leaving a missed query active would let it hold its
-                    // pool share for another activation pass before the
-                    // next boundary expiry caught it.
-                    if timed_out || missed || q.unissued() == 0 {
-                        done.push(idx);
-                    }
-                }
-            }
-            done.sort_unstable_by(|a, b| b.cmp(a));
-            for idx in done {
-                let q = active.remove(idx);
-                st.finalize(q);
+                },
             }
         }
-
-        // The serving layer reports modeled time only: the inner rounds'
-        // host wall time would make otherwise bit-identical replays (and
-        // the bench artifacts built from them) differ run to run.
-        metrics.set_wall_ns(0);
-
-        let report = ServeReport {
-            end_ns: st.clock.now_ns(),
-            outcomes: st.outcomes,
-            histograms: st.histograms,
-            metrics,
-            rounds,
-        };
-        if cfg!(debug_assertions) {
-            audit_queries(&report.query_stats()).assert_clean();
-        }
-        Ok(report)
+        let end_ns = TickClock::now_ns(&mut clock);
+        Ok(core.finish(end_ns).report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noswalker_core::StaticQuerySource;
+    use crate::app::ServeWalker;
+    use noswalker_core::{QuerySpec, StaticQuerySource};
     use noswalker_graph::generators;
     use noswalker_storage::{SimSsd, SsdProfile};
 

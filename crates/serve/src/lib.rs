@@ -33,17 +33,30 @@
 //!   histograms, and emits the `Query*` trace events checked by
 //!   `noswalker_core::audit`.
 //!
-//! Determinism is load-bearing: no code in this crate reads the host
-//! clock or sleeps (nosw-lint rule L8 enforces this) — latency is modeled
-//! from each round's deterministic `advance_ns` charge, and walker
-//! movement draws only walker-private randomness, so a replayed trace
-//! produces identical reports on every [`Backend`].
+//! The round loop itself lives in [`tick::TickCore`], a mode-agnostic
+//! state machine shared by every serving driver: [`engine::ServeEngine`]
+//! (lockstep, unsharded), the shard plane in `noswalker-shard` (lockstep,
+//! N lanes), and [`realtime::RealtimeServer`] (an autonomous background
+//! thread ticking against the wall clock, with a bounded command ingress
+//! and a streamed result egress).
+//!
+//! Determinism is load-bearing: outside the explicitly wall-clocked
+//! [`realtime`] module, no code in this crate reads the host clock or
+//! sleeps (nosw-lint rule L8 enforces this) — latency is modeled from
+//! each round's deterministic `advance_ns` charge, and walker movement
+//! draws only walker-private randomness, so a replayed trace produces
+//! identical reports on every [`Backend`]. The realtime driver reuses the
+//! same state machine and confines wall time to pacing, which is why a
+//! replayed ingress trace under a scripted clock is bit-identical to a
+//! lockstep run (the `serve_realtime` parity test pins this).
 
 #![forbid(unsafe_code)]
 
 pub mod admission;
 pub mod app;
 pub mod engine;
+pub mod realtime;
+pub mod tick;
 pub mod trace;
 
 pub use admission::{Admission, AdmissionController, AdmissionOptions};
@@ -52,4 +65,9 @@ pub use app::{
 };
 pub use engine::{QueryOutcome, ServeEngine, ServeError, ServeOptions, ServeReport};
 pub use noswalker_core::Backend;
+pub use realtime::{
+    IngressError, IngressMode, IngressSender, RealtimeHandle, RealtimeOptions, RealtimeServer,
+    ServeSnapshot, WallClock,
+};
+pub use tick::{LaneConfig, LaneRouter, SingleLane, Tick, TickCore, TickReport};
 pub use trace::{parse_script, render_report, ScriptError};

@@ -1,54 +1,38 @@
-//! The sharded serving loop: N single-shard round engines under one
+//! The sharded serving plane: N single-shard lanes under one
 //! deterministic clock, stitched together by walker handoff.
 //!
-//! Each round the plane mirrors the six phases of
-//! [`noswalker_serve::ServeEngine`] — drain arrivals (routed to their
-//! home shard's admission controller), activate per-shard up to each
-//! shard's walker-pool quota, expire at the boundary, carve fresh walker
-//! chunks per shard in global EDF order, run every shard's round on its
-//! own kernel, fold per-slot results back — plus the sharded extras:
-//! walkers parked at foreign vertices drain into per-destination handoff
-//! queues ([`TraceEvent::ShardHandoff`]) and re-enter on the owning shard
-//! next round; a query whose deadline fires while walkers are in flight
-//! *drains* (its handed-off walkers retire through pre-cancelled slots)
-//! instead of finalizing early, keeping the query-conservation law exact.
-//! The clock advances by the **maximum** of the shards' `advance_ns`
-//! charges: shards are parallel in the model. With one shard every phase
-//! degenerates to the unsharded engine's behavior bit-for-bit.
+//! The round state machine — drain arrivals (routed to their home
+//! shard's admission controller), activate per-shard up to each shard's
+//! walker-pool quota, expire at the boundary, carve fresh walker chunks
+//! per shard in global EDF order, run every shard's round on its own
+//! kernel, fold per-slot results back, and drain emigrants into
+//! per-destination handoff queues ([`TraceEvent::ShardHandoff`]) — lives
+//! in [`noswalker_serve::TickCore`], shared with the unsharded engine
+//! and the realtime driver. [`ShardPlane`] is the N-lane *lockstep*
+//! shell: it builds one [`LaneConfig`] per shard, injects a
+//! [`LaneRouter`] backed by the range-lookup [`ShardRouter`], and drives
+//! ticks with a [`ModelClock`]. A query whose deadline fires while
+//! walkers are in flight *drains* (its handed-off walkers retire through
+//! pre-cancelled slots) instead of finalizing early, keeping the
+//! query-conservation law exact. The clock advances by the **maximum**
+//! of the shards' `advance_ns` charges: shards are parallel in the
+//! model. With one shard every phase degenerates to the unsharded
+//! engine's behavior bit-for-bit.
 
 use crate::router::ShardRouter;
 use crate::subgraph::shard_subgraph;
-use noswalker_core::audit::{Trace, TraceEvent, TraceSink};
+use noswalker_core::audit::{Trace, TraceSink};
 use noswalker_core::{
-    audit_handoffs, audit_queries, Backend, LatencyHistogram, ModelClock, OnDiskGraph,
-    ParallelKernel, QuerySource, QuerySpec, QueryStats, RunMetrics, SequentialKernel, StepKernel,
-    StoreError,
+    LatencyHistogram, ModelClock, OnDiskGraph, QuerySource, QuerySpec, StoreError, TickClock,
 };
 use noswalker_graph::{Csr, Partition, VertexId};
 use noswalker_serve::{
-    query_stream_seed, Admission, AdmissionController, QueryClass, QueryOutcome, QueryTable,
-    RoundApp, ServeError, ServeOptions, ServeReport, ServeWalker,
+    LaneConfig, LaneRouter, QueryClass, ServeError, ServeOptions, ServeReport, Tick, TickCore,
 };
 use noswalker_storage::{Device, MemoryBudget};
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
-
-/// Same deadline edge rule as the unsharded engine: a deadline landing
-/// exactly on the clock has passed.
-fn deadline_passed(deadline_ns: Option<u64>, now_ns: u64) -> bool {
-    deadline_ns.is_some_and(|d| d <= now_ns)
-}
-
-/// Whether `spec` runs on the parallel kernel under `backend` — the same
-/// per-query routing rule as the unsharded engine.
-fn on_par(backend: Backend, spec: &QuerySpec) -> bool {
-    match backend {
-        Backend::Seq => false,
-        Backend::Par => true,
-        Backend::Auto => spec.deadline_ns.is_none(),
-    }
-}
 
 /// One shard's immutable serving substrate: its sub-graph on its own
 /// device, its share of the memory budget, and its owned vertex range.
@@ -58,138 +42,25 @@ struct ShardHome {
     owned: Range<VertexId>,
 }
 
-/// A query in the plane's active set.
-struct ActiveQuery {
-    spec: QuerySpec,
-    class: QueryClass,
-    stats: QueryStats,
-    digest: u64,
-    deadline_missed: bool,
-    /// The shard that admitted the query and issues its fresh walkers.
-    home: u32,
-    /// Deadline fired but walkers are still in flight across shards: no
-    /// more fresh walkers are issued, handed-off walkers retire through
-    /// pre-cancelled slots, and the query finalizes once every issued
-    /// walker is accounted for.
-    draining: bool,
+/// The plane's [`LaneRouter`]: a query's home shard owns its first
+/// walker's start vertex; a walker's owner is looked up by vertex range.
+/// Unparseable class specs route to shard 0 (the error surfaces at
+/// activation, as in the unsharded engine).
+#[derive(Debug, Clone)]
+struct PlaneRouter {
+    router: ShardRouter,
+    nv: u32,
 }
 
-impl ActiveQuery {
-    /// Budget still issuable as fresh walkers (zero once draining — a
-    /// missed query surrenders its remaining budget, like the unsharded
-    /// engine's immediate finalize).
-    fn fresh_unissued(&self) -> u64 {
-        if self.draining {
-            0
-        } else {
-            self.spec.walkers - self.stats.issued
-        }
+impl LaneRouter for PlaneRouter {
+    fn home_of(&self, q: &QuerySpec) -> usize {
+        QueryClass::parse(&q.class)
+            .map(|c| self.router.shard_of(c.start_vertex(0, self.nv)))
+            .unwrap_or(0)
     }
 
-    /// Issued walkers not yet terminated: parked in a handoff queue.
-    fn in_flight(&self) -> u64 {
-        self.stats.issued - self.stats.completed - self.stats.cancelled
-    }
-}
-
-/// Per-(shard, kernel) round-carve state.
-#[derive(Default)]
-struct Group {
-    entries: Vec<(QueryClass, u32, Option<u64>, u64)>,
-    chunks: Vec<(u32, u64, u64)>,
-    /// `(index into active, table slot, fresh walkers issued)`; immigrant
-    /// -only slots charge zero fresh walkers.
-    charged: Vec<(usize, u32, u64)>,
-    resumed: Vec<ServeWalker>,
-    /// Slots to pre-cancel before the round runs (draining queries).
-    precancel: Vec<u32>,
-    /// `query id → slot` for this group (linear scan; tiny and
-    /// deterministic — no hash maps in the digest path, lint rule L9).
-    slot_of_query: Vec<(u64, u32)>,
-}
-
-/// Mutable plane state threaded through the run's helpers.
-struct PlaneState<'a> {
-    clock: ModelClock,
-    outcomes: Vec<QueryOutcome>,
-    /// Per-shard completion-latency histograms (by query class), merged
-    /// into the global report at run end.
-    shard_histograms: Vec<BTreeMap<String, LatencyHistogram>>,
-    trace: Trace<'a>,
-}
-
-impl PlaneState<'_> {
-    /// Terminates an active query — identical bookkeeping to the
-    /// unsharded engine, except the latency sample lands in the query's
-    /// *home shard's* histogram.
-    fn finalize(&mut self, q: ActiveQuery) {
-        let now = self.clock.now_ns();
-        let degraded = q.stats.cancelled > 0 || q.stats.issued < q.spec.walkers;
-        if q.deadline_missed {
-            let deadline_ns = q.spec.deadline_ns.unwrap_or(now);
-            let query = q.spec.id;
-            self.trace.emit(|| TraceEvent::QueryDeadlineMiss {
-                query,
-                deadline_ns,
-                at_ns: now,
-            });
-        }
-        let latency = now.saturating_sub(q.spec.arrival_ns);
-        self.shard_histograms[q.home as usize]
-            .entry(q.class.name().to_string())
-            .or_default()
-            .record(latency);
-        let (query, issued, completed, cancelled) = (
-            q.spec.id,
-            q.stats.issued,
-            q.stats.completed,
-            q.stats.cancelled,
-        );
-        self.trace.emit(|| TraceEvent::QueryCompleted {
-            query,
-            issued,
-            completed,
-            cancelled,
-            degraded,
-            at_ns: now,
-        });
-        self.outcomes.push(QueryOutcome {
-            id: q.spec.id,
-            class: q.class.name().to_string(),
-            stats: q.stats,
-            latency_ns: Some(latency),
-            degraded,
-            deadline_missed: q.deadline_missed,
-            shed: false,
-            retry_after_ns: None,
-            digest: q.digest,
-        });
-    }
-
-    /// Records a shed outcome (admission rejection or backstop drain).
-    fn shed(&mut self, q: QuerySpec, retry_after_ns: u64) {
-        let now = self.clock.now_ns();
-        let query = q.id;
-        self.trace.emit(|| TraceEvent::QueryShed {
-            query,
-            retry_after_ns,
-            at_ns: now,
-        });
-        self.outcomes.push(QueryOutcome {
-            id: q.id,
-            class: q.class.clone(),
-            stats: QueryStats {
-                id: q.id,
-                budget: q.walkers,
-                ..QueryStats::default()
-            },
-            latency_ns: None,
-            degraded: false,
-            deadline_missed: false,
-            shed: true,
-            retry_after_ns: Some(retry_after_ns),
-            digest: 0,
-        });
+    fn lane_of(&self, v: VertexId) -> usize {
+        self.router.shard_of(v)
     }
 }
 
@@ -291,461 +162,62 @@ impl ShardPlane {
         self.shards[s].owned.clone()
     }
 
-    /// The home shard of a query: the shard owning its first walker's
-    /// start vertex. Unparseable class specs route to shard 0 (the error
-    /// surfaces at activation, as in the unsharded engine).
-    fn route(&self, q: &QuerySpec) -> usize {
-        QueryClass::parse(&q.class)
-            .map(|c| self.router.shard_of(c.start_vertex(0, self.nv)))
-            .unwrap_or(0)
-    }
-
     /// Serves every query `source` yields across all shards and returns
     /// the merged report. In debug builds the handoff conservation law
-    /// ([`audit_handoffs`]) is asserted after every round and at run end,
-    /// and the per-query conservation law ([`audit_queries`]) on the
-    /// final report.
+    /// ([`noswalker_core::audit_handoffs`]) is asserted after every round
+    /// and at run end, and the per-query conservation law
+    /// ([`noswalker_core::audit_queries`]) on the final report.
     ///
     /// # Errors
     ///
     /// [`ServeError::Engine`] when a shard's round fails;
     /// [`ServeError::BadQueryClass`] when an admitted query's class spec
     /// does not parse.
-    #[allow(clippy::too_many_lines)] // One round-loop, mirrored phase by phase on ServeEngine::run.
     pub fn run(
         &self,
         source: &mut dyn QuerySource,
         sink: Option<&mut dyn TraceSink>,
     ) -> Result<ShardReport, ServeError> {
-        let n = self.shards.len();
-        let step_cost = self.opts.engine.step_cost();
-        // All-raw pre-sample retention, as in the unsharded engine: keeps
-        // walker movement independent of refill scheduling on any kernel.
-        let mut round_opts = self.opts.engine.clone();
-        round_opts.low_degree_threshold = u32::MAX;
-        let mut quotas = Vec::with_capacity(n);
-        let mut seq_kernels = Vec::with_capacity(n);
-        let mut par_kernels = Vec::with_capacity(n);
-        let mut admissions = Vec::with_capacity(n);
-        for sh in &self.shards {
-            quotas.push(self.opts.engine.walker_pool_quota(
-                &sh.budget,
-                std::mem::size_of::<ServeWalker>(),
-                u64::MAX,
-            ));
-            seq_kernels.push(SequentialKernel::new(
-                Arc::clone(&sh.graph),
-                round_opts.clone(),
-                Arc::clone(&sh.budget),
-            ));
-            par_kernels.push(ParallelKernel::new(
-                Arc::clone(&sh.graph),
-                round_opts.clone(),
-                Arc::clone(&sh.budget),
-                self.opts.par_workers,
-            ));
-            admissions.push(AdmissionController::new(self.opts.admission.clone()));
-        }
-        let mut active: Vec<ActiveQuery> = Vec::new();
-        let mut st = PlaneState {
-            clock: ModelClock::new(),
-            outcomes: Vec::new(),
-            shard_histograms: vec![BTreeMap::new(); n],
-            trace: Trace::from_option(sink),
-        };
-        let mut metrics = RunMetrics::default();
-        let mut rounds = 0u64;
-        /// One parked walker: the owning query and its full mobile state.
-        type Parked = (u64, ServeWalker);
-        let mut inbox: Vec<Vec<Parked>> = vec![Vec::new(); n];
-        let mut total_emigrated = 0u64;
-        let mut total_immigrated = 0u64;
-
+        let lanes = self
+            .shards
+            .iter()
+            .map(|sh| LaneConfig {
+                graph: Arc::clone(&sh.graph),
+                budget: Arc::clone(&sh.budget),
+                owned: sh.owned.clone(),
+            })
+            .collect();
+        let mut core = TickCore::new(
+            lanes,
+            Box::new(PlaneRouter {
+                router: self.router.clone(),
+                nv: self.nv,
+            }),
+            self.opts.clone(),
+        );
+        let mut clock = ModelClock::new();
+        let mut trace = Trace::from_option(sink);
         loop {
-            let now = st.clock.now_ns();
-
-            // (1) Drain time-ready arrivals into their home shard's
-            // admission controller.
-            while let Some(q) = source.next_ready(now, u64::MAX) {
-                let home = self.route(&q);
-                match admissions[home].offer(q.clone()) {
-                    Admission::Admitted => {
-                        let (query, walkers, deadline_ns) = (q.id, q.walkers, q.deadline_ns);
-                        st.trace.emit(|| TraceEvent::QueryAdmitted {
-                            query,
-                            walkers,
-                            deadline_ns,
-                            at_ns: now,
-                        });
-                    }
-                    Admission::Shed { retry_after_ns } => st.shed(q, retry_after_ns),
-                }
-            }
-
-            // (2) Activate per shard while that shard's walker quota has
-            // room.
-            for (s, adm) in admissions.iter_mut().enumerate() {
-                let mut unissued: u64 = active
-                    .iter()
-                    .filter(|q| q.home as usize == s)
-                    .map(ActiveQuery::fresh_unissued)
-                    .sum();
-                while unissued < quotas[s] {
-                    let Some(q) = adm.next_ready(now, quotas[s] - unissued) else {
-                        break;
-                    };
-                    let Some(class) = QueryClass::parse(&q.class) else {
-                        return Err(ServeError::BadQueryClass {
-                            id: q.id,
-                            class: q.class,
-                        });
-                    };
-                    unissued += q.walkers;
-                    active.push(ActiveQuery {
-                        stats: QueryStats {
-                            id: q.id,
-                            budget: q.walkers,
-                            ..QueryStats::default()
-                        },
-                        class,
-                        digest: 0,
-                        deadline_missed: false,
-                        home: s as u32,
-                        draining: false,
-                        spec: q,
-                    });
-                }
-            }
-
-            // (3) Boundary expiry. A query whose deadline passed starts
-            // draining; it finalizes only once no walker is in flight
-            // (immediately, when none are — the unsharded behavior).
-            let mut i = 0;
-            while i < active.len() {
-                let q = &mut active[i];
-                let expired = deadline_passed(q.spec.deadline_ns, now) && q.fresh_unissued() > 0;
-                if expired {
-                    q.deadline_missed = true;
-                    q.draining = true;
-                }
-                if (expired || q.fresh_unissued() == 0) && q.in_flight() == 0 {
-                    let q = active.remove(i);
-                    st.finalize(q);
-                } else {
-                    i += 1;
-                }
-            }
-
-            // Global EDF-then-FIFO priority; per-shard carving below
-            // preserves this relative order.
-            active.sort_by_key(|q| {
-                (
-                    q.spec.deadline_ns.unwrap_or(u64::MAX),
-                    q.spec.arrival_ns,
-                    q.spec.id,
-                )
-            });
-
-            // (4) Carve fresh walker chunks per shard, EDF order first,
-            // under each shard's per-round cap.
-            let mut groups: Vec<[Group; 2]> = (0..n).map(|_| Default::default()).collect();
-            let mut caps: Vec<u64> = quotas
-                .iter()
-                .map(|&q| q.max(1).min(self.opts.round_walkers.max(1)))
-                .collect();
-            for (idx, q) in active.iter().enumerate() {
-                let s = q.home as usize;
-                if caps[s] == 0 {
-                    continue;
-                }
-                let count = q.fresh_unissued().min(caps[s]);
-                if count == 0 {
-                    continue;
-                }
-                caps[s] -= count;
-                let g = &mut groups[s][usize::from(on_par(self.opts.backend, &q.spec))];
-                let slot = g.entries.len() as u32;
-                let allowance = q
-                    .spec
-                    .deadline_ns
-                    .map(|d| d.saturating_sub(now) / step_cost.max(1));
-                g.entries.push((
-                    q.class,
-                    q.spec.walk_length,
-                    allowance,
-                    query_stream_seed(self.opts.seed, q.spec.id),
-                ));
-                g.chunks.push((slot, q.stats.issued, count));
-                g.charged.push((idx, slot, count));
-                g.slot_of_query.push((q.spec.id, slot));
-            }
-
-            let idle = groups
-                .iter()
-                .all(|gs| gs.iter().all(|g| g.entries.is_empty()))
-                && inbox.iter().all(|b| b.is_empty());
-            if idle {
-                // Nothing runnable anywhere: jump to the next arrival or
-                // stop.
-                debug_assert!(active.is_empty(), "active queries always have work");
-                match source.next_pending_at(st.clock.now_ns()) {
+            match core.tick(&mut clock, source, &mut trace)? {
+                Tick::Ran => {}
+                Tick::Exhausted => break,
+                Tick::Idle { next_arrival_ns } => match next_arrival_ns {
+                    // Nothing runnable anywhere: jump to the next arrival
+                    // or stop.
                     Some(t) if !source.is_exhausted() => {
-                        st.clock.advance_to(t.max(st.clock.now_ns() + 1));
-                        continue;
+                        clock.advance_idle(t);
                     }
                     _ => break,
-                }
-            }
-
-            rounds += 1;
-            if rounds > self.opts.max_rounds {
-                // Backstop: purge the handoff queues (each parked walker
-                // counts as re-admitted and immediately cancelled, so
-                // both conservation laws stay exact), finalize every
-                // in-flight query as a degraded partial, and drain every
-                // shard's pending queue as shed.
-                rounds -= 1;
-                for b in &mut inbox {
-                    for (qid, _w) in b.drain(..) {
-                        total_immigrated += 1;
-                        metrics.record_walkers_immigrated(1);
-                        active
-                            .iter_mut()
-                            .find(|q| q.spec.id == qid)
-                            .expect("parked walker's query stays active")
-                            .stats
-                            .cancelled += 1;
-                    }
-                }
-                for q in active.drain(..) {
-                    st.finalize(q);
-                }
-                for adm in &mut admissions {
-                    let retry_after_ns = adm.retry_after();
-                    while let Some(q) = adm.next_ready(now, u64::MAX) {
-                        st.shed(q, retry_after_ns);
-                    }
-                }
-                break;
-            }
-
-            // (4b) Re-admit handed-off walkers on their owning shard:
-            // each resumes ahead of the fresh chunks with vertex, step
-            // count, and private RNG stream intact. Draining queries get
-            // pre-cancelled slots so their walkers retire on contact.
-            for (s, b) in inbox.iter_mut().enumerate() {
-                let arrivals = std::mem::take(b);
-                if arrivals.is_empty() {
-                    continue;
-                }
-                total_immigrated += arrivals.len() as u64;
-                metrics.record_walkers_immigrated(arrivals.len() as u64);
-                for (qid, mut w) in arrivals {
-                    let idx = active
-                        .iter()
-                        .position(|q| q.spec.id == qid)
-                        .expect("in-flight walker's query stays active");
-                    let g =
-                        &mut groups[s][usize::from(on_par(self.opts.backend, &active[idx].spec))];
-                    let slot = match g.slot_of_query.iter().find(|&&(id, _)| id == qid) {
-                        Some(&(_, slot)) => slot,
-                        None => {
-                            let q = &active[idx];
-                            let slot = g.entries.len() as u32;
-                            let allowance = q
-                                .spec
-                                .deadline_ns
-                                .map(|d| d.saturating_sub(now) / step_cost.max(1));
-                            g.entries.push((
-                                q.class,
-                                q.spec.walk_length,
-                                allowance,
-                                query_stream_seed(self.opts.seed, qid),
-                            ));
-                            g.charged.push((idx, slot, 0));
-                            g.slot_of_query.push((qid, slot));
-                            if q.draining {
-                                g.precancel.push(slot);
-                            }
-                            slot
-                        }
-                    };
-                    w.slot = slot;
-                    g.resumed.push(w);
-                }
-            }
-
-            // (5) Run every shard's round. The shared clock advances by
-            // the slowest shard (shards are parallel in the model); the
-            // admission controllers all observe the *plane-wide* stall
-            // rate — the global backpressure view.
-            let seed = self
-                .opts
-                .seed
-                .wrapping_add(rounds.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let mut max_advance = 0u64;
-            let mut round_stalls = 0u64;
-            let mut round_steps = 0u64;
-            type Ran = (
-                usize,
-                Arc<QueryTable>,
-                Vec<(usize, u32, u64)>,
-                Arc<RoundApp>,
-            );
-            let mut ran: Vec<Ran> = Vec::new();
-            for (s, shard_groups) in groups.into_iter().enumerate() {
-                let mut shard_advance = 0u64;
-                for (par, g) in shard_groups.into_iter().enumerate() {
-                    if g.entries.is_empty() {
-                        continue;
-                    }
-                    let table = Arc::new(QueryTable::new(g.entries));
-                    for &slot in &g.precancel {
-                        table.cancel(slot);
-                    }
-                    let app = Arc::new(RoundApp::sharded(
-                        Arc::clone(&table),
-                        g.chunks,
-                        self.nv,
-                        self.shards[s].owned.clone(),
-                        g.resumed,
-                    ));
-                    let out = if par == 1 {
-                        par_kernels[s].run_round(Arc::clone(&app), seed)?
-                    } else {
-                        seq_kernels[s].run_round(Arc::clone(&app), seed)?
-                    };
-                    shard_advance += out.advance_ns;
-                    round_stalls += out.metrics.presample_stalls + out.metrics.pool_stalls;
-                    round_steps += out.metrics.steps;
-                    metrics.merge(&out.metrics);
-                    ran.push((s, table, g.charged, app));
-                }
-                max_advance = max_advance.max(shard_advance);
-            }
-            st.clock.advance(max_advance);
-            for adm in &mut admissions {
-                adm.observe_stall_rate(round_stalls, round_steps);
-            }
-
-            // (6a) Fold per-slot results back into each query.
-            let after = st.clock.now_ns();
-            let mut candidates: Vec<usize> = Vec::new();
-            for (_s, table, charged, _app) in &ran {
-                for &(idx, slot, count) in charged {
-                    let q = &mut active[idx];
-                    q.stats.issued += count;
-                    q.stats.completed += table.completed_walkers(slot);
-                    q.stats.cancelled += table.cancelled_walkers(slot);
-                    q.digest = q.digest.wrapping_add(table.digest(slot));
-                    let timed_out = table.is_cancelled(slot);
-                    let missed = deadline_passed(q.spec.deadline_ns, after);
-                    if timed_out || missed {
-                        q.deadline_missed = true;
-                        q.draining = true;
-                    }
-                    candidates.push(idx);
-                }
-            }
-
-            // (6b) Drain emigrants into per-destination handoff queues,
-            // on a deterministic key so parallel retirement order never
-            // leaks into re-admission order.
-            for (s, table, charged, app) in &ran {
-                let mut slot_to_qidx = vec![usize::MAX; table.len()];
-                for &(idx, slot, _) in charged {
-                    slot_to_qidx[slot as usize] = idx;
-                }
-                let mut ems = app.take_emigrants();
-                if ems.is_empty() {
-                    continue;
-                }
-                ems.sort_by_key(|w| {
-                    (
-                        active[slot_to_qidx[w.slot as usize]].spec.id,
-                        w.rng,
-                        w.step,
-                        w.at,
-                    )
-                });
-                total_emigrated += ems.len() as u64;
-                metrics.record_walkers_emigrated(ems.len() as u64);
-                let mut per_dest = vec![0u64; n];
-                for w in ems {
-                    let qid = active[slot_to_qidx[w.slot as usize]].spec.id;
-                    let dest = self.router.shard_of(w.at);
-                    per_dest[dest] += 1;
-                    inbox[dest].push((qid, w));
-                }
-                for (dest, &walkers) in per_dest.iter().enumerate() {
-                    if walkers == 0 {
-                        continue;
-                    }
-                    let (from_shard, to_shard) = (*s as u32, dest as u32);
-                    st.trace.emit(|| TraceEvent::ShardHandoff {
-                        from_shard,
-                        to_shard,
-                        walkers,
-                        at_ns: after,
-                    });
-                }
-            }
-            if cfg!(debug_assertions) {
-                let in_flight: u64 = inbox.iter().map(|b| b.len() as u64).sum();
-                audit_handoffs(total_emigrated, total_immigrated, in_flight).assert_clean();
-            }
-
-            // (6c) Terminate finished queries: budget fully issued (or
-            // surrendered by draining) and nothing in flight.
-            let mut done: Vec<usize> = candidates
-                .into_iter()
-                .filter(|&idx| {
-                    let q = &active[idx];
-                    (q.draining || q.fresh_unissued() == 0) && q.in_flight() == 0
-                })
-                .collect();
-            done.sort_unstable_by(|a, b| b.cmp(a));
-            done.dedup();
-            for idx in done {
-                let q = active.remove(idx);
-                st.finalize(q);
+                },
             }
         }
-
-        // Modeled time only, as in the unsharded engine.
-        metrics.set_wall_ns(0);
-        if cfg!(debug_assertions) {
-            // Run-end conservation: every emigrated walker was re-admitted.
-            audit_handoffs(total_emigrated, total_immigrated, 0).assert_clean();
-        }
-
-        let PlaneState {
-            clock,
-            outcomes,
-            shard_histograms,
-            ..
-        } = st;
-        let mut histograms: BTreeMap<String, LatencyHistogram> = BTreeMap::new();
-        for h in &shard_histograms {
-            for (k, v) in h {
-                histograms.entry(k.clone()).or_default().merge(v);
-            }
-        }
-        let report = ServeReport {
-            end_ns: clock.now_ns(),
-            outcomes,
-            histograms,
-            metrics,
-            rounds,
-        };
-        if cfg!(debug_assertions) {
-            audit_queries(&report.query_stats()).assert_clean();
-        }
+        let end_ns = TickClock::now_ns(&mut clock);
+        let t = core.finish(end_ns);
         Ok(ShardReport {
-            report,
-            shard_histograms,
-            walkers_emigrated: total_emigrated,
-            walkers_immigrated: total_immigrated,
+            report: t.report,
+            shard_histograms: t.lane_histograms,
+            walkers_emigrated: t.walkers_emigrated,
+            walkers_immigrated: t.walkers_immigrated,
         })
     }
 }
@@ -753,7 +225,8 @@ impl ShardPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noswalker_core::{MemorySink, StaticQuerySource};
+    use noswalker_core::audit::TraceEvent;
+    use noswalker_core::{audit_handoffs, MemorySink, StaticQuerySource};
     use noswalker_graph::generators;
     use noswalker_serve::ServeEngine;
     use noswalker_storage::{per_shard_devices, SimSsd, SsdProfile};

@@ -1,0 +1,218 @@
+//! Realtime-async serving pins.
+//!
+//! **Cross-mode parity**: the realtime driver replaying a submitted
+//! trace under an injected deterministic clock ([`IngressMode::Replay`]
+//! with `ModelClock`) is *bit-identical* to the lockstep [`ServeEngine`]
+//! on the same trace — outcomes, end time, round count, step count —
+//! on the sequential and the parallel kernel. This is the whole point
+//! of the TickCore extraction: realtime mode is a waiting policy, not
+//! a different state machine.
+//!
+//! **Ingress accounting**: concurrent submitters racing cancels and a
+//! shutdown never lose an accepted query — every submit that returned
+//! `Ok` yields exactly one outcome, and none yields two.
+
+use noswalker::core::{ModelClock, OnDiskGraph, QuerySpec, StaticQuerySource};
+use noswalker::graph::generators::{self, RmatParams};
+use noswalker::graph::Csr;
+use noswalker::serve::{
+    Backend, IngressMode, RealtimeOptions, RealtimeServer, ServeEngine, ServeOptions, ServeReport,
+};
+use noswalker::storage::{MemoryBudget, SimSsd, SsdProfile};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const LENGTH: u32 = 8;
+
+fn graph() -> Csr {
+    generators::rmat(10, 10, RmatParams::default(), 47)
+}
+
+fn store(csr: &Csr) -> (Arc<OnDiskGraph>, Arc<MemoryBudget>) {
+    let device = Arc::new(SimSsd::new(SsdProfile::nvme_p4618()));
+    let g = Arc::new(OnDiskGraph::store(csr, device, csr.edge_region_bytes() / 16).unwrap());
+    let budget = MemoryBudget::new((csr.edge_region_bytes() / 4).max(64 << 10));
+    (g, budget)
+}
+
+fn opts(backend: Backend) -> ServeOptions {
+    ServeOptions {
+        backend,
+        par_workers: 3,
+        round_walkers: 256,
+        ..ServeOptions::default()
+    }
+}
+
+fn spec(id: u64, class: &str, walkers: u64, arrival_ns: u64) -> QuerySpec {
+    QuerySpec {
+        id,
+        class: class.to_string(),
+        walkers,
+        walk_length: LENGTH,
+        deadline_ns: None,
+        arrival_ns,
+    }
+}
+
+fn lockstep(csr: &Csr, backend: Backend, specs: Vec<QuerySpec>) -> ServeReport {
+    let (g, budget) = store(csr);
+    let e = ServeEngine::new(g, budget, opts(backend));
+    let mut src = StaticQuerySource::new(specs);
+    e.run(&mut src, None).expect("lockstep serve")
+}
+
+/// Runs the same trace through the realtime driver: submit everything
+/// over the ingress channel, drain, and join — with a deterministic
+/// injected clock, so the replay is a lockstep run wearing the async
+/// protocol.
+fn realtime_replay(csr: &Csr, backend: Backend, specs: Vec<QuerySpec>) -> ServeReport {
+    let (g, budget) = store(csr);
+    let srv = RealtimeServer::single(
+        g,
+        budget,
+        opts(backend),
+        RealtimeOptions {
+            mode: IngressMode::Replay,
+            ..RealtimeOptions::default()
+        },
+    );
+    let h = srv.start_with_clock(Box::new(ModelClock::new()));
+    for q in specs {
+        h.submit_blocking(q).expect("submit");
+    }
+    h.drain_and_join().expect("realtime serve").report
+}
+
+fn trace() -> Vec<QuerySpec> {
+    vec![
+        spec(1, "ppr:7", 120, 0),
+        spec(2, "basic", 90, 50),
+        spec(3, "deepwalk:0", 80, 30_000),
+        spec(4, "rwr:7:0.2", 70, 45_000),
+    ]
+}
+
+fn assert_bit_identical(a: &ServeReport, b: &ServeReport) {
+    assert_eq!(a.outcomes, b.outcomes, "per-query outcomes must match");
+    assert_eq!(a.end_ns, b.end_ns, "modeled end time must match");
+    assert_eq!(a.rounds, b.rounds, "round count must match");
+    assert_eq!(a.metrics.steps, b.metrics.steps, "step count must match");
+    assert_eq!(
+        a.histograms.keys().collect::<Vec<_>>(),
+        b.histograms.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn realtime_replay_is_bit_identical_to_lockstep_on_seq() {
+    let csr = graph();
+    let lock = lockstep(&csr, Backend::Seq, trace());
+    let rt = realtime_replay(&csr, Backend::Seq, trace());
+    assert_eq!(lock.completed_count(), 4);
+    assert_bit_identical(&lock, &rt);
+}
+
+#[test]
+fn realtime_replay_is_bit_identical_to_lockstep_on_par() {
+    let csr = graph();
+    let lock = lockstep(&csr, Backend::Par, trace());
+    let rt = realtime_replay(&csr, Backend::Par, trace());
+    assert_eq!(lock.completed_count(), 4);
+    assert_bit_identical(&lock, &rt);
+}
+
+#[test]
+fn concurrent_submits_and_cancels_racing_shutdown_lose_nothing() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 25;
+    let csr = graph();
+    let (g, budget) = store(&csr);
+    let srv = RealtimeServer::single(
+        g,
+        budget,
+        opts(Backend::Seq),
+        RealtimeOptions::default(), // wall mode, live timestamps
+    );
+    let h = srv.start();
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tx = h.sender();
+            std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                for i in 0..PER_THREAD {
+                    let id = t * 1_000 + i;
+                    if tx.submit_blocking(spec(id, "basic", 40, 0)).is_ok() {
+                        accepted.push(id);
+                    }
+                    // Cancel every fourth own query — wherever it is by
+                    // now (ingress, admission, active, or already done).
+                    if i % 4 == 3 {
+                        let _ = tx.cancel(id);
+                    }
+                }
+                accepted
+            })
+        })
+        .collect();
+
+    // Let the race actually overlap serving, then pull the rug.
+    let victims: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("worker"))
+        .collect();
+    h.shutdown().expect("shutdown");
+    let report = h.join().expect("serve thread").report;
+
+    // Exactly one outcome per accepted submit: none lost, none doubled.
+    let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+    for o in &report.outcomes {
+        *by_id.entry(o.id).or_default() += 1;
+    }
+    assert_eq!(
+        by_id.keys().copied().collect::<Vec<_>>(),
+        {
+            let mut v = victims.clone();
+            v.sort_unstable();
+            v
+        },
+        "every accepted submit gets an outcome, and only those"
+    );
+    assert!(
+        by_id.values().all(|&n| n == 1),
+        "no query may report twice: {by_id:?}"
+    );
+}
+
+#[test]
+fn shutdown_mid_serve_reports_degraded_partials_not_losses() {
+    let csr = graph();
+    let (g, budget) = store(&csr);
+    let srv = RealtimeServer::single(
+        g,
+        budget,
+        // A tiny round cap keeps queries in flight long enough for the
+        // shutdown to land mid-serve.
+        ServeOptions {
+            backend: Backend::Seq,
+            round_walkers: 16,
+            ..ServeOptions::default()
+        },
+        RealtimeOptions::default(),
+    );
+    let mut h = srv.start();
+    for id in 0..8 {
+        h.submit_blocking(spec(id, "basic", 200, 0))
+            .expect("submit");
+    }
+    // Outcomes stream while the server runs; whatever we saw before the
+    // shutdown must still be present, verbatim, in the final report.
+    let streamed = h.take_outcomes();
+    h.shutdown().expect("shutdown");
+    let report = h.join().expect("serve thread").report;
+    assert_eq!(report.outcomes.len(), 8, "one outcome per submit");
+    for (i, o) in streamed.iter().enumerate() {
+        assert_eq!(&report.outcomes[i], o, "streamed prefix must be stable");
+    }
+}
